@@ -1,0 +1,93 @@
+//! Microbenchmarks of the core hardware structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcor::{AttributeCache, AttributeCacheConfig, ReadResult};
+use tcor_bench::grid;
+use tcor_cache::{AccessKind, AccessMeta, Cache, Indexing};
+use tcor_common::{CacheParams, PrimitiveId, TileRank, Traversal};
+use tcor_mem::{L2Mode, MemoryHierarchy, PbTag};
+use tcor_pbuf::{PmdTcor, PMDS_PER_BLOCK};
+
+fn bench_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+
+    g.bench_function("attribute_cache_read_write_churn", |b| {
+        b.iter(|| {
+            let mut ac = AttributeCache::new(AttributeCacheConfig::from_budget(48 << 10, 4));
+            for i in 0..2000u32 {
+                let _ = ac.write(PrimitiveId(i), 3, TileRank(i % 1488));
+                if i >= 10 {
+                    if let ReadResult::Hit | ReadResult::Miss { .. } =
+                        ac.read(PrimitiveId(i - 10), 3, TileRank(i % 1488 + 1))
+                    {
+                        ac.unlock(PrimitiveId(i - 10));
+                    }
+                }
+            }
+            black_box(ac.stats().misses())
+        })
+    });
+
+    g.bench_function("l2_dead_line_hierarchy_10k_accesses", |b| {
+        b.iter(|| {
+            let mut h = MemoryHierarchy::new(
+                CacheParams::new(1 << 20, 64, 8, 12),
+                tcor_common::MemoryParams::default(),
+                L2Mode::TcorEnhanced,
+            );
+            for i in 0..10_000u64 {
+                let block = tcor_common::Address(0x2000_0000 + (i % 4096) * 64).block();
+                h.access(block, AccessKind::Write, PbTag::attributes(TileRank((i % 64) as u32)));
+                if i % 100 == 0 {
+                    h.tile_done();
+                }
+            }
+            black_box(h.dead_drops())
+        })
+    });
+
+    g.bench_function("zorder_traversal_1488_tiles", |b| {
+        let gr = grid();
+        b.iter(|| black_box(Traversal::ZOrder.order(&gr).len()))
+    });
+
+    g.bench_function("pmd_codec_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..4096u32 {
+                let pmd = PmdTcor {
+                    primitive_id: i as u16,
+                    num_attributes: (i % 15) as u8 + 1,
+                    opt_number: (i % 4096) as u16,
+                };
+                acc ^= PmdTcor::decode(pmd.encode()).opt_number as u32;
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("generic_cache_lru_100k", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(
+                CacheParams::new(64 << 10, 64, 4, 1),
+                Indexing::Modulo,
+                tcor_cache::policy::Lru::new(),
+            );
+            for i in 0..100_000u64 {
+                cache.access(
+                    tcor_common::BlockAddr((i * 7919) % 8192),
+                    AccessKind::Read,
+                    AccessMeta::NONE,
+                );
+            }
+            black_box(cache.stats().misses())
+        })
+    });
+
+    let _ = PMDS_PER_BLOCK; // referenced for documentation symmetry
+    g.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 20–24 evaluations: the energy roll-up and the Tile Fetcher
+//! timing model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcor::{BaselineSystem, SystemConfig};
+use tcor_bench::{prepared, profile};
+use tcor_energy::EnergyModel;
+use tcor_gpu::MshrTiming;
+
+fn bench_energy_and_throughput(c: &mut Criterion) {
+    let (scene, _, _) = prepared("CCS");
+    let rp = profile("CCS").raster_params();
+    let report =
+        BaselineSystem::new(SystemConfig::paper_baseline_64k().with_raster(rp)).run_frame(&scene);
+
+    let mut g = c.benchmark_group("fig20_22_energy");
+    g.bench_function("evaluate_frame_report", |b| {
+        let model = EnergyModel::default();
+        b.iter(|| black_box(model.evaluate(&report).total_pj()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig23_24_timing");
+    g.bench_function("mshr_timing_100k_ops", |b| {
+        b.iter(|| {
+            let mut t = MshrTiming::new(8);
+            for i in 0..100_000u64 {
+                if i % 7 == 0 {
+                    t.issue_miss(62);
+                } else {
+                    t.issue_hit();
+                }
+            }
+            black_box(t.finish())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_energy_and_throughput);
+criterion_main!(benches);

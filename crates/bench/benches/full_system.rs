@@ -1,0 +1,41 @@
+//! Figure 14–19 substrate: whole-frame runs of both systems over
+//! calibrated Table II workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcor::{BaselineSystem, SystemConfig, TcorSystem};
+use tcor_bench::{prepared, profile};
+
+fn bench_full_system(c: &mut Criterion) {
+    // CCS: the suite's smallest workload (about 800 primitives); GTr for
+    // a second, high-reuse point.
+    for alias in ["CCS", "GTr"] {
+        let (scene, _, _) = prepared(alias);
+        let rp = profile(alias).raster_params();
+        let mut g = c.benchmark_group(format!("fig14_19_frame_{alias}"));
+        g.sample_size(10);
+        g.bench_function("baseline_64k", |b| {
+            b.iter(|| {
+                let sys =
+                    BaselineSystem::new(SystemConfig::paper_baseline_64k().with_raster(rp));
+                black_box(sys.run_frame(&scene).pb_l2_accesses())
+            })
+        });
+        g.bench_function("tcor_64k", |b| {
+            b.iter(|| {
+                let sys = TcorSystem::new(SystemConfig::paper_tcor_64k().with_raster(rp));
+                black_box(sys.run_frame(&scene).pb_l2_accesses())
+            })
+        });
+        g.bench_function("tcor_128k", |b| {
+            b.iter(|| {
+                let sys = TcorSystem::new(SystemConfig::paper_tcor_128k().with_raster(rp));
+                black_box(sys.run_frame(&scene).pb_mm_accesses())
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_full_system);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 1/11/12/13 kernels: the replacement-study machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcor_bench::prepared;
+use tcor_cache::policy::{by_name, Opt};
+use tcor_cache::profile::{opt_misses, simulate_policy, LruStackProfiler};
+use tcor_cache::Indexing;
+use tcor_common::CacheParams;
+use tcor_workloads::{primitive_trace, prims_capacity};
+
+fn bench_miss_curves(c: &mut Criterion) {
+    let (_, frame, order) = prepared("CCS");
+    let trace = primitive_trace(&frame.binned, &order);
+    let cap = prims_capacity(64 << 10);
+
+    let mut g = c.benchmark_group("fig1_fully_associative");
+    g.bench_function("lru_stack_profile_full_curve", |b| {
+        b.iter(|| {
+            let mut p = LruStackProfiler::new();
+            for a in &trace {
+                p.record(a.addr);
+            }
+            black_box(p.misses_at(cap))
+        })
+    });
+    g.bench_function("opt_belady_one_capacity", |b| {
+        b.iter(|| black_box(opt_misses(&trace, cap)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig12_fig13_set_associative");
+    for policy in ["lru", "mru", "drrip"] {
+        g.bench_function(format!("policy_{policy}_4way"), |b| {
+            let lines = ((cap as u64 / 4).max(1)) * 4;
+            let params = CacheParams::new(lines, 1, 4, 1);
+            b.iter(|| {
+                black_box(simulate_policy(
+                    &trace,
+                    params,
+                    Indexing::Modulo,
+                    by_name(policy),
+                    false,
+                ))
+            })
+        });
+    }
+    g.bench_function("policy_opt_4way_with_oracle", |b| {
+        let lines = ((cap as u64 / 4).max(1)) * 4;
+        let params = CacheParams::new(lines, 1, 4, 1);
+        b.iter(|| {
+            black_box(simulate_policy(
+                &trace,
+                params,
+                Indexing::Modulo,
+                Opt::new(),
+                true,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_miss_curves);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table II: workload synthesis and calibration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcor_bench::{grid, profile};
+use tcor_common::Traversal;
+use tcor_gpu::bin_scene;
+use tcor_workloads::synth::calibrate;
+
+fn bench_tables(c: &mut Criterion) {
+    let g = grid();
+    let mut group = c.benchmark_group("table2_workloads");
+    group.sample_size(10);
+    group.bench_function("calibrate_ccs", |b| {
+        let p = profile("CCS");
+        b.iter(|| black_box(calibrate(&p, &g).measured_reuse))
+    });
+    group.bench_function("calibrate_dds_largest", |b| {
+        let p = profile("DDS");
+        b.iter(|| black_box(calibrate(&p, &g).measured_footprint_bytes))
+    });
+    group.bench_function("bin_scene_ccs", |b| {
+        let p = profile("CCS");
+        let scene = calibrate(&p, &g).scene;
+        let order = Traversal::ZOrder.order(&g);
+        b.iter(|| black_box(bin_scene(&scene, &g, &order).binned.total_pmds()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! # tcor-bench
+//!
+//! Criterion benchmarks, one per paper table/figure family, plus
+//! component microbenchmarks. The benches both time the simulation
+//! kernels and re-exercise the experiment code paths end to end:
+//!
+//! * `miss_curves` — the Figure 1/11/12/13 kernels (Mattson stack
+//!   profiling, fully-associative Belady, set-associative policy sweeps);
+//! * `full_system` — the Figure 14–19 substrate (whole-frame baseline and
+//!   TCOR runs over calibrated workloads);
+//! * `energy_throughput` — the Figure 20–24 evaluations (energy roll-up,
+//!   MSHR timing);
+//! * `tables` — Table II workload calibration;
+//! * `components` — microbenchmarks of the core structures (Attribute
+//!   Cache ops, L2 dead-line victim selection, Z-order traversal, PMD
+//!   codecs).
+//!
+//! Shared helpers for the bench targets live here.
+
+use tcor_common::{TileGrid, Traversal, TraversalOrder};
+use tcor_gpu::{bin_scene, Frame, Scene};
+use tcor_workloads::{generate_scene, suite, BenchmarkProfile};
+
+/// The standard screen grid.
+pub fn grid() -> TileGrid {
+    TileGrid::new(1960, 768, 32)
+}
+
+/// A benchmark profile by alias.
+///
+/// # Panics
+///
+/// Panics on an unknown alias.
+pub fn profile(alias: &str) -> BenchmarkProfile {
+    suite()
+        .into_iter()
+        .find(|b| b.alias == alias)
+        .unwrap_or_else(|| panic!("unknown alias {alias}"))
+}
+
+/// Generates a calibrated scene + binned frame for an alias.
+pub fn prepared(alias: &str) -> (Scene, Frame, TraversalOrder) {
+    let g = grid();
+    let order = Traversal::ZOrder.order(&g);
+    let scene = generate_scene(&profile(alias), &g);
+    let frame = bin_scene(&scene, &g, &order);
+    (scene, frame, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_nonempty_workloads() {
+        let (scene, frame, order) = prepared("GTr");
+        assert!(!scene.is_empty());
+        assert!(frame.binned.num_primitives() > 0);
+        assert_eq!(order.len(), grid().num_tiles());
+    }
+}

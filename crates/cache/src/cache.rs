@@ -1,0 +1,404 @@
+//! The set-associative cache engine.
+
+use crate::index::Indexing;
+use crate::meta::{AccessKind, AccessMeta, AccessOutcome};
+use crate::policy::ReplacementPolicy;
+use tcor_common::{AccessStats, BlockAddr, CacheParams};
+
+/// One cache line's state, visible to replacement policies during victim
+/// selection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    meta: AccessMeta,
+}
+
+impl Line {
+    /// Whether the line holds data.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Whether the line has been written since fill.
+    pub fn dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// The block address stored in the line (meaningful when valid).
+    pub fn addr(&self) -> BlockAddr {
+        BlockAddr(self.tag)
+    }
+
+    /// The metadata stored with the line (future-use priority, user word).
+    pub fn meta(&self) -> &AccessMeta {
+        &self.meta
+    }
+}
+
+/// A line displaced from the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The displaced block.
+    pub addr: BlockAddr,
+    /// Whether it must be written back (unless the owner decides it is
+    /// dead — the TCOR L2 enhancement).
+    pub dirty: bool,
+    /// The metadata it carried.
+    pub meta: AccessMeta,
+}
+
+/// A write-back, write-allocate, set-associative cache driven by a
+/// [`ReplacementPolicy`].
+///
+/// The engine models state transitions and statistics only — it carries no
+/// payload bytes. Fully-associative geometry is a single set
+/// (`CacheParams::ways == 0`).
+#[derive(Clone, Debug)]
+pub struct Cache<P> {
+    params: CacheParams,
+    indexing: Indexing,
+    num_sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    policy: P,
+    stats: AccessStats,
+}
+
+impl<P: ReplacementPolicy> Cache<P> {
+    /// Creates an empty cache with the given geometry, index function and
+    /// replacement policy.
+    pub fn new(params: CacheParams, indexing: Indexing, mut policy: P) -> Self {
+        let num_sets = params.num_sets() as usize;
+        let ways = params.effective_ways() as usize;
+        policy.attach(num_sets, ways);
+        Cache {
+            params,
+            indexing,
+            num_sets,
+            ways,
+            lines: vec![Line::default(); num_sets * ways],
+            policy,
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics (cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::new();
+    }
+
+    /// The replacement policy (for inspecting dueling state etc.).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    fn set_of(&self, addr: BlockAddr) -> usize {
+        self.indexing.set_of(addr.0, self.num_sets as u64) as usize
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn find(&self, set: usize, addr: BlockAddr) -> Option<usize> {
+        self.lines[self.set_range(set)]
+            .iter()
+            .position(|l| l.valid && l.tag == addr.0)
+    }
+
+    /// Performs one access. On a miss in a full set, the policy selects a
+    /// victim; the displaced line is returned in the outcome so the caller
+    /// can model the write-back (or drop it as dead).
+    pub fn access(&mut self, addr: BlockAddr, kind: AccessKind, meta: AccessMeta) -> AccessOutcome {
+        let set = self.set_of(addr);
+        if let Some(way) = self.find(set, addr) {
+            match kind {
+                AccessKind::Read => self.stats.record_read(true),
+                AccessKind::Write => self.stats.record_write(true),
+            }
+            let line = &mut self.lines[set * self.ways + way];
+            line.dirty |= kind.is_write();
+            line.meta = meta;
+            self.policy.on_hit(set, way, &meta);
+            return AccessOutcome::hit();
+        }
+
+        match kind {
+            AccessKind::Read => self.stats.record_read(false),
+            AccessKind::Write => self.stats.record_write(false),
+        }
+
+        let way = match self.lines[self.set_range(set)]
+            .iter()
+            .position(|l| !l.valid)
+        {
+            Some(invalid) => invalid,
+            None => {
+                let range = self.set_range(set);
+                let way = self.policy.victim(set, &self.lines[range]);
+                debug_assert!(way < self.ways, "policy returned way out of range");
+                way
+            }
+        };
+
+        let idx = set * self.ways + way;
+        let evicted = if self.lines[idx].valid {
+            let old = self.lines[idx];
+            if old.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(Evicted {
+                addr: BlockAddr(old.tag),
+                dirty: old.dirty,
+                meta: old.meta,
+            })
+        } else {
+            None
+        };
+
+        self.lines[idx] = Line {
+            valid: true,
+            dirty: kind.is_write(),
+            tag: addr.0,
+            meta,
+        };
+        self.policy.on_fill(set, way, &meta);
+
+        AccessOutcome { hit: false, evicted }
+    }
+
+    /// Installs `addr` as a clean line without touching the statistics —
+    /// warm-start support (e.g. pre-loading the L2 with the previous
+    /// frame's Parameter Buffer). A full set silently drops the policy's
+    /// victim; a resident line just has its metadata replaced.
+    pub fn fill_clean(&mut self, addr: BlockAddr, meta: AccessMeta) {
+        let set = self.set_of(addr);
+        if let Some(way) = self.find(set, addr) {
+            self.lines[set * self.ways + way].meta = meta;
+            self.policy.on_hit(set, way, &meta);
+            return;
+        }
+        let way = match self.lines[self.set_range(set)]
+            .iter()
+            .position(|l| !l.valid)
+        {
+            Some(invalid) => invalid,
+            None => {
+                let range = self.set_range(set);
+                self.policy.victim(set, &self.lines[range])
+            }
+        };
+        self.lines[set * self.ways + way] = Line {
+            valid: true,
+            dirty: false,
+            tag: addr.0,
+            meta,
+        };
+        self.policy.on_fill(set, way, &meta);
+    }
+
+    /// Whether `addr` is currently cached (no state change).
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.find(self.set_of(addr), addr).is_some()
+    }
+
+    /// Reads a resident line's stored metadata (no state change).
+    pub fn peek_meta(&self, addr: BlockAddr) -> Option<AccessMeta> {
+        let set = self.set_of(addr);
+        self.find(set, addr)
+            .map(|way| self.lines[set * self.ways + way].meta)
+    }
+
+    /// Updates a resident line's metadata in place. Returns `false` when
+    /// the block is not resident.
+    pub fn update_meta(&mut self, addr: BlockAddr, f: impl FnOnce(&mut AccessMeta)) -> bool {
+        let set = self.set_of(addr);
+        if let Some(way) = self.find(set, addr) {
+            f(&mut self.lines[set * self.ways + way].meta);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `addr` from the cache, returning its state if present.
+    pub fn invalidate(&mut self, addr: BlockAddr) -> Option<Evicted> {
+        let set = self.set_of(addr);
+        let way = self.find(set, addr)?;
+        let idx = set * self.ways + way;
+        let old = self.lines[idx];
+        self.lines[idx] = Line::default();
+        self.policy.on_invalidate(set, way);
+        if old.dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(Evicted {
+            addr: BlockAddr(old.tag),
+            dirty: old.dirty,
+            meta: old.meta,
+        })
+    }
+
+    /// Drains every valid line (end-of-frame flush), returning them in
+    /// arbitrary order. Statistics count the dirty ones as write-backs.
+    pub fn drain(&mut self) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        for idx in 0..self.lines.len() {
+            if self.lines[idx].valid {
+                let old = self.lines[idx];
+                if old.dirty {
+                    self.stats.writebacks += 1;
+                }
+                out.push(Evicted {
+                    addr: BlockAddr(old.tag),
+                    dirty: old.dirty,
+                    meta: old.meta,
+                });
+                self.lines[idx] = Line::default();
+                self.policy.on_invalidate(idx / self.ways, idx % self.ways);
+            }
+        }
+        out
+    }
+
+    /// Iterates over all valid lines.
+    pub fn iter_lines(&self) -> impl Iterator<Item = &Line> {
+        self.lines.iter().filter(|l| l.valid)
+    }
+
+    /// Number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Lru;
+
+    fn small() -> Cache<Lru> {
+        // 4 lines, 2 ways, 2 sets.
+        Cache::new(
+            CacheParams::new(256, 64, 2, 1),
+            Indexing::Modulo,
+            Lru::new(),
+        )
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE).hit);
+        assert!(c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE).hit);
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set 0 holds even blocks; fill ways with 0 and 2, touch 0, insert 4.
+        c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE);
+        c.access(BlockAddr(2), AccessKind::Read, AccessMeta::NONE);
+        c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE);
+        let out = c.access(BlockAddr(4), AccessKind::Read, AccessMeta::NONE);
+        assert_eq!(out.evicted.unwrap().addr, BlockAddr(2));
+        assert!(c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(2)));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_reports_it() {
+        let mut c = small();
+        c.access(BlockAddr(0), AccessKind::Write, AccessMeta::NONE);
+        c.access(BlockAddr(2), AccessKind::Read, AccessMeta::NONE);
+        let out = c.access(BlockAddr(4), AccessKind::Read, AccessMeta::NONE);
+        let ev = out.evicted.unwrap();
+        assert_eq!(ev.addr, BlockAddr(0));
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn read_fill_is_clean() {
+        let mut c = small();
+        c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE);
+        c.access(BlockAddr(2), AccessKind::Read, AccessMeta::NONE);
+        let out = c.access(BlockAddr(4), AccessKind::Read, AccessMeta::NONE);
+        assert!(!out.evicted.unwrap().dirty);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.access(BlockAddr(0), AccessKind::Write, AccessMeta::NONE);
+        let ev = c.invalidate(BlockAddr(0)).unwrap();
+        assert!(ev.dirty);
+        assert!(!c.contains(BlockAddr(0)));
+        assert!(c.invalidate(BlockAddr(0)).is_none());
+    }
+
+    #[test]
+    fn drain_returns_everything_once() {
+        let mut c = small();
+        c.access(BlockAddr(0), AccessKind::Write, AccessMeta::NONE);
+        c.access(BlockAddr(1), AccessKind::Read, AccessMeta::NONE);
+        c.access(BlockAddr(2), AccessKind::Read, AccessMeta::NONE);
+        let drained = c.drain();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(drained.iter().filter(|e| e.dirty).count(), 1);
+    }
+
+    #[test]
+    fn meta_updates_in_place() {
+        let mut c = small();
+        c.access(BlockAddr(0), AccessKind::Read, AccessMeta::next_use(5));
+        assert_eq!(c.peek_meta(BlockAddr(0)).unwrap().next_use, 5);
+        assert!(c.update_meta(BlockAddr(0), |m| m.next_use = 9));
+        assert_eq!(c.peek_meta(BlockAddr(0)).unwrap().next_use, 9);
+        assert!(!c.update_meta(BlockAddr(99), |m| m.next_use = 1));
+    }
+
+    #[test]
+    fn fully_associative_uses_whole_capacity() {
+        let mut c = Cache::new(
+            CacheParams::new(256, 64, 0, 1),
+            Indexing::Modulo,
+            Lru::new(),
+        );
+        assert_eq!(c.num_sets(), 1);
+        assert_eq!(c.ways(), 4);
+        for b in 0..4u64 {
+            c.access(BlockAddr(b * 17), AccessKind::Read, AccessMeta::NONE);
+        }
+        assert_eq!(c.occupancy(), 4);
+        // A 5th distinct block evicts the oldest (block 0).
+        let out = c.access(BlockAddr(1000), AccessKind::Read, AccessMeta::NONE);
+        assert_eq!(out.evicted.unwrap().addr, BlockAddr(0));
+    }
+}

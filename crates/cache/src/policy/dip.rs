@@ -1,0 +1,304 @@
+//! Insertion-policy family of Qureshi et al. (the paper's reference
+//! \[30\], "Adaptive insertion policies for high performance caching"):
+//! LIP, BIP and set-dueling DIP. Like DRRIP, these target thrashing
+//! streams — included in the toolbox so the Fig. 13-style comparison can
+//! be extended beyond the paper's four policies.
+
+use super::ReplacementPolicy;
+use crate::cache::Line;
+use crate::meta::AccessMeta;
+
+/// BIP promotes an insertion to MRU once every `BIP_EPSILON` fills.
+const BIP_EPSILON: u32 = 32;
+
+/// Recency core shared by the family: exact LRU timestamps, with
+/// insertions placed at either end of the stack.
+#[derive(Clone, Debug, Default)]
+struct InsertionLru {
+    clock: u64,
+    last_touch: Vec<u64>,
+    ways: usize,
+}
+
+impl InsertionLru {
+    fn attach(&mut self, num_sets: usize, ways: usize) {
+        self.ways = ways;
+        self.last_touch = vec![0; num_sets * ways];
+        self.clock = 0;
+    }
+
+    fn touch_mru(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        self.last_touch[set * self.ways + way] = self.clock;
+    }
+
+    /// Place at the LRU end: older than everything currently in the set.
+    fn touch_lru(&mut self, set: usize, way: usize) {
+        let base = set * self.ways;
+        let min = (0..self.ways)
+            .map(|w| self.last_touch[base + w])
+            .min()
+            .unwrap_or(0);
+        self.last_touch[base + way] = min.saturating_sub(1);
+    }
+
+    fn victim(&self, set: usize, n: usize) -> usize {
+        let base = set * self.ways;
+        (0..n)
+            .min_by_key(|&w| self.last_touch[base + w])
+            .expect("victim called on empty set")
+    }
+}
+
+/// LIP: LRU Insertion Policy — fills land at the LRU position and are
+/// promoted to MRU only on a subsequent hit. Thrash-resistant: a
+/// streaming block is evicted immediately instead of walking the stack.
+#[derive(Clone, Debug, Default)]
+pub struct Lip {
+    lru: InsertionLru,
+}
+
+impl Lip {
+    /// Creates a LIP policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for Lip {
+    fn name(&self) -> &'static str {
+        "LIP"
+    }
+
+    fn attach(&mut self, num_sets: usize, ways: usize) {
+        self.lru.attach(num_sets, ways);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        self.lru.touch_mru(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        self.lru.touch_lru(set, way);
+    }
+
+    fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
+        self.lru.victim(set, lines.len())
+    }
+}
+
+/// BIP: Bimodal Insertion Policy — LIP, except one fill in
+/// `BIP_EPSILON` (32) goes to MRU, letting the policy adapt when the
+/// working set eventually fits.
+#[derive(Clone, Debug, Default)]
+pub struct Bip {
+    lru: InsertionLru,
+    fills: u32,
+}
+
+impl Bip {
+    /// Creates a BIP policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for Bip {
+    fn name(&self) -> &'static str {
+        "BIP"
+    }
+
+    fn attach(&mut self, num_sets: usize, ways: usize) {
+        self.lru.attach(num_sets, ways);
+        self.fills = 0;
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        self.lru.touch_mru(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        self.fills = self.fills.wrapping_add(1);
+        if self.fills.is_multiple_of(BIP_EPSILON) {
+            self.lru.touch_mru(set, way);
+        } else {
+            self.lru.touch_lru(set, way);
+        }
+    }
+
+    fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
+        self.lru.victim(set, lines.len())
+    }
+}
+
+/// DIP: set-dueling between LRU insertion and BIP insertion with a
+/// saturating PSEL counter (leader sets: one in 32 each way).
+#[derive(Clone, Debug)]
+pub struct Dip {
+    lru: InsertionLru,
+    fills: u32,
+    psel: i32,
+    psel_max: i32,
+    duel_period: usize,
+}
+
+impl Dip {
+    /// Creates a DIP policy with a 10-bit PSEL.
+    pub fn new() -> Self {
+        Dip {
+            lru: InsertionLru::default(),
+            fills: 0,
+            psel: 0,
+            psel_max: 512,
+            duel_period: 32,
+        }
+    }
+
+    /// `Some(true)` = LRU-insertion leader, `Some(false)` = BIP leader.
+    fn leader(&self, set: usize) -> Option<bool> {
+        match set % self.duel_period {
+            0 => Some(true),
+            1 => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Whether follower sets currently insert at MRU (plain LRU).
+    pub fn followers_use_lru(&self) -> bool {
+        self.psel <= 0
+    }
+}
+
+impl Default for Dip {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplacementPolicy for Dip {
+    fn name(&self) -> &'static str {
+        "DIP"
+    }
+
+    fn attach(&mut self, num_sets: usize, ways: usize) {
+        self.lru.attach(num_sets, ways);
+        self.fills = 0;
+        self.psel = 0;
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        self.lru.touch_mru(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        match self.leader(set) {
+            Some(true) => self.psel = (self.psel + 1).min(self.psel_max),
+            Some(false) => self.psel = (self.psel - 1).max(-self.psel_max),
+            None => {}
+        }
+        let use_lru = match self.leader(set) {
+            Some(l) => l,
+            None => self.followers_use_lru(),
+        };
+        self.fills = self.fills.wrapping_add(1);
+        if use_lru || self.fills.is_multiple_of(BIP_EPSILON) {
+            self.lru.touch_mru(set, way);
+        } else {
+            self.lru.touch_lru(set, way);
+        }
+    }
+
+    fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
+        self.lru.victim(set, lines.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Cache;
+    use crate::index::Indexing;
+    use crate::meta::AccessKind;
+    use crate::policy::Lru;
+    use tcor_common::{BlockAddr, CacheParams};
+
+    fn run_policy<P: ReplacementPolicy>(policy: P, seq: &[u64], lines: u64) -> u64 {
+        let mut c = Cache::new(
+            CacheParams::new(lines * 64, 64, 0, 1),
+            Indexing::Modulo,
+            policy,
+        );
+        for &b in seq {
+            c.access(BlockAddr(b), AccessKind::Read, AccessMeta::NONE);
+        }
+        c.stats().hits()
+    }
+
+    #[test]
+    fn lip_beats_lru_on_cyclic_thrash() {
+        // 6-block cycle in 4 lines: LRU gets zero hits, LIP retains a
+        // stable subset and hits on it.
+        let seq: Vec<u64> = (0..6u64).cycle().take(120).collect();
+        let lru_hits = run_policy(Lru::new(), &seq, 4);
+        let lip_hits = run_policy(Lip::new(), &seq, 4);
+        assert_eq!(lru_hits, 0);
+        assert!(lip_hits > 40, "LIP only hit {lip_hits}");
+    }
+
+    #[test]
+    fn lip_insertion_is_immediately_evictable() {
+        let mut p = Lip::new();
+        p.attach(1, 2);
+        let lines = vec![Line::default(); 2];
+        p.on_fill(0, 0, &AccessMeta::NONE);
+        p.on_hit(0, 0, &AccessMeta::NONE); // promote way 0
+        p.on_fill(0, 1, &AccessMeta::NONE); // way 1 inserted at LRU
+        assert_eq!(p.victim(0, &lines), 1);
+    }
+
+    #[test]
+    fn bip_occasionally_promotes() {
+        let mut p = Bip::new();
+        p.attach(1, 4);
+        // Drive exactly BIP_EPSILON fills into way 0; the last one hits
+        // the epsilon slot and lands at MRU.
+        for _ in 0..BIP_EPSILON {
+            p.on_fill(0, 0, &AccessMeta::NONE);
+        }
+        let lines = vec![Line::default(); 4];
+        assert_ne!(p.victim(0, &lines), 0);
+    }
+
+    #[test]
+    fn dip_tracks_the_better_insertion() {
+        // Thrash pattern: BIP leaders miss less; PSEL should drift toward
+        // BIP for followers.
+        let seq: Vec<u64> = (0..2048u64).cycle().take(20_000).collect();
+        let mut c = Cache::new(
+            CacheParams::new(1024 * 64, 64, 8, 1), // 128 sets
+            Indexing::Modulo,
+            Dip::new(),
+        );
+        for &b in &seq {
+            c.access(BlockAddr(b), AccessKind::Read, AccessMeta::NONE);
+        }
+        assert!(
+            !c.policy().followers_use_lru(),
+            "DIP should prefer BIP under thrash"
+        );
+    }
+
+    #[test]
+    fn on_friendly_workloads_all_match_lru() {
+        // Working set fits: insertion placement is irrelevant to hits.
+        let seq: Vec<u64> = (0..4u64).cycle().take(100).collect();
+        let lru = run_policy(Lru::new(), &seq, 8);
+        for hits in [
+            run_policy(Lip::new(), &seq, 8),
+            run_policy(Bip::new(), &seq, 8),
+            run_policy(Dip::new(), &seq, 8),
+        ] {
+            assert_eq!(hits, lru);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! First-In-First-Out replacement.
+
+use super::ReplacementPolicy;
+use crate::cache::Line;
+use crate::meta::AccessMeta;
+
+/// FIFO: evicts the way *filled* longest ago, ignoring hits.
+#[derive(Clone, Debug, Default)]
+pub struct Fifo {
+    clock: u64,
+    fill_time: Vec<u64>,
+    ways: usize,
+}
+
+impl Fifo {
+    /// Creates a FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn attach(&mut self, num_sets: usize, ways: usize) {
+        self.ways = ways;
+        self.fill_time = vec![0; num_sets * ways];
+        self.clock = 0;
+    }
+
+    fn on_hit(&mut self, _set: usize, _way: usize, _meta: &AccessMeta) {
+        // Hits do not refresh FIFO age.
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        self.clock += 1;
+        self.fill_time[set * self.ways + way] = self.clock;
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.fill_time[set * self.ways + way] = 0;
+    }
+
+    fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
+        let base = set * self.ways;
+        (0..lines.len())
+            .min_by_key(|&w| self.fill_time[base + w])
+            .expect("victim called on empty set")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Cache;
+    use crate::index::Indexing;
+    use crate::meta::AccessKind;
+    use tcor_common::{BlockAddr, CacheParams};
+
+    #[test]
+    fn fifo_ignores_hits() {
+        // 2-line: fill 1, fill 2, hit 1, insert 3 -> evicts 1 (oldest fill)
+        // even though 1 was just touched.
+        let mut cache = Cache::new(
+            CacheParams::new(128, 64, 0, 1),
+            Indexing::Modulo,
+            Fifo::new(),
+        );
+        for &b in &[1u64, 2, 1] {
+            cache.access(BlockAddr(b), AccessKind::Read, AccessMeta::NONE);
+        }
+        let out = cache.access(BlockAddr(3), AccessKind::Read, AccessMeta::NONE);
+        assert_eq!(out.evicted.unwrap().addr, BlockAddr(1));
+    }
+}

@@ -1,0 +1,139 @@
+//! Replacement policies.
+//!
+//! Each policy owns its own recency/prediction state, keyed by
+//! `(set, way)`. The engine calls [`ReplacementPolicy::victim`] only on a
+//! **full** set, passing the set's lines; the policy returns the way to
+//! displace.
+//!
+//! The menagerie matches the paper's evaluation: LRU (baseline), MRU and
+//! DRRIP (Fig. 13 comparison points), and OPT — the policy TCOR implements
+//! in hardware by storing an *OPT Number* with every line and evicting the
+//! line whose next use lies farthest in the tile traversal (§III.C.6).
+//! FIFO, Random, tree-PLRU, NRU, SRRIP and BRRIP round out the toolbox for
+//! ablations.
+
+mod dip;
+mod fifo;
+mod hawkeye;
+mod lru;
+mod nru;
+mod opt;
+mod plru;
+mod random;
+mod rrip;
+
+pub use dip::{Bip, Dip, Lip};
+pub use fifo::Fifo;
+pub use hawkeye::{simulate_hawkeye, Hawkeye};
+pub use lru::{Lru, Mru};
+pub use nru::Nru;
+pub use opt::Opt;
+pub use plru::TreePlru;
+pub use random::RandomEvict;
+pub use rrip::{Brrip, Drrip, Srrip};
+
+use crate::cache::Line;
+use crate::meta::AccessMeta;
+
+/// Victim-selection and bookkeeping interface for cache replacement.
+///
+/// Implementations must be deterministic given their construction
+/// parameters (the [`RandomEvict`] policy is seeded).
+pub trait ReplacementPolicy {
+    /// Human-readable policy name, used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Called once by the engine with the final geometry; allocate
+    /// per-line state here.
+    fn attach(&mut self, num_sets: usize, ways: usize);
+
+    /// A request hit `(set, way)`; `meta` is the request's metadata.
+    fn on_hit(&mut self, set: usize, way: usize, meta: &AccessMeta);
+
+    /// A miss filled `(set, way)` (after any eviction).
+    fn on_fill(&mut self, set: usize, way: usize, meta: &AccessMeta);
+
+    /// The line at `(set, way)` was invalidated or drained.
+    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+
+    /// Chooses the way to evict from a **full** set. `lines` holds exactly
+    /// the set's ways, all valid.
+    fn victim(&mut self, set: usize, lines: &[Line]) -> usize;
+}
+
+/// A boxed policy, used where experiment harnesses pick policies at
+/// runtime (e.g. the Fig. 13 sweep).
+pub type BoxedPolicy = Box<dyn ReplacementPolicy>;
+
+impl ReplacementPolicy for BoxedPolicy {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn attach(&mut self, num_sets: usize, ways: usize) {
+        self.as_mut().attach(num_sets, ways)
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, meta: &AccessMeta) {
+        self.as_mut().on_hit(set, way, meta)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, meta: &AccessMeta) {
+        self.as_mut().on_fill(set, way, meta)
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.as_mut().on_invalidate(set, way)
+    }
+
+    fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
+        self.as_mut().victim(set, lines)
+    }
+}
+
+/// The policies compared in the paper's replacement study (Fig. 13), by
+/// name. Returns a fresh boxed instance.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn by_name(name: &str) -> BoxedPolicy {
+    match name {
+        "lru" => Box::new(Lru::new()),
+        "mru" => Box::new(Mru::new()),
+        "fifo" => Box::new(Fifo::new()),
+        "random" => Box::new(RandomEvict::with_seed(0xC0FFEE)),
+        "plru" => Box::new(TreePlru::new()),
+        "nru" => Box::new(Nru::new()),
+        "lip" => Box::new(Lip::new()),
+        "bip" => Box::new(Bip::new()),
+        "dip" => Box::new(Dip::new()),
+        "srrip" => Box::new(Srrip::new()),
+        "brrip" => Box::new(Brrip::new()),
+        "drrip" => Box::new(Drrip::new()),
+        "opt" => Box::new(Opt::new()),
+        other => panic!("unknown replacement policy `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_knows_all_policies() {
+        for name in [
+            "lru", "mru", "fifo", "random", "plru", "nru", "srrip", "brrip", "drrip", "opt",
+            "lip", "bip", "dip",
+        ] {
+            let p = by_name(name);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown replacement policy")]
+    fn registry_rejects_unknown() {
+        by_name("clairvoyant-ai");
+    }
+}

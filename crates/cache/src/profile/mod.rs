@@ -1,0 +1,152 @@
+//! Single-pass miss-curve profilers for the replacement-policy studies.
+//!
+//! * [`LruStackProfiler`] — Mattson's stack algorithm: one pass over the
+//!   trace yields the LRU miss count for *every* capacity simultaneously.
+//! * [`opt_miss_curve`] / [`opt_misses`] — exact fully-associative
+//!   Belady-OPT simulation per capacity (O(n log n) each).
+//! * [`simulate_policy`] — direct simulation of any policy on any geometry
+//!   (used for the set-associative sweeps of Figs. 12–13).
+
+mod opt;
+mod stack;
+
+pub use opt::{opt_miss_curve, opt_misses};
+pub use stack::LruStackProfiler;
+
+use crate::cache::Cache;
+use crate::index::Indexing;
+use crate::meta::AccessMeta;
+use crate::policy::ReplacementPolicy;
+use crate::trace::{annotate_next_use, Access};
+use tcor_common::{AccessStats, CacheParams};
+
+/// Simulates `trace` through a fresh cache of the given geometry under
+/// `policy`, returning the statistics.
+///
+/// When `oracle` is `true`, every access carries its exact next-use
+/// position (required for OPT; harmless for history-based policies).
+pub fn simulate_policy<P: ReplacementPolicy>(
+    trace: &[Access],
+    params: CacheParams,
+    indexing: Indexing,
+    policy: P,
+    oracle: bool,
+) -> AccessStats {
+    let mut cache = Cache::new(params, indexing, policy);
+    if oracle {
+        let next = annotate_next_use(trace);
+        for (a, nu) in trace.iter().zip(&next) {
+            cache.access(a.addr, a.kind, AccessMeta::next_use(*nu));
+        }
+    } else {
+        for a in trace {
+            cache.access(a.addr, a.kind, AccessMeta::NONE);
+        }
+    }
+    *cache.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Lru, Opt};
+    use proptest::prelude::*;
+    use tcor_common::BlockAddr;
+
+    fn params(lines: u64, ways: u32) -> CacheParams {
+        CacheParams::new(lines * 64, 64, ways, 1)
+    }
+
+    #[test]
+    fn stack_profiler_matches_direct_lru_simulation() {
+        let trace: Vec<Access> = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4]
+            .iter()
+            .map(|&b| Access::read(BlockAddr(b)))
+            .collect();
+        let mut prof = LruStackProfiler::new();
+        for a in &trace {
+            prof.record(a.addr);
+        }
+        for lines in 1..10u64 {
+            let direct = simulate_policy(&trace, params(lines, 0), Indexing::Modulo, Lru::new(), false);
+            assert_eq!(
+                prof.misses_at(lines as usize),
+                direct.misses(),
+                "capacity {lines}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Mattson stack algorithm ≡ direct LRU simulation at every size.
+        #[test]
+        fn prop_stack_equals_direct(blocks in proptest::collection::vec(0u64..24, 1..200)) {
+            let trace: Vec<Access> = blocks.iter().map(|&b| Access::read(BlockAddr(b))).collect();
+            let mut prof = LruStackProfiler::new();
+            for a in &trace {
+                prof.record(a.addr);
+            }
+            for lines in [1usize, 2, 3, 5, 8, 16, 32] {
+                let direct = simulate_policy(
+                    &trace, params(lines as u64, 0), Indexing::Modulo, Lru::new(), false);
+                prop_assert_eq!(prof.misses_at(lines), direct.misses());
+            }
+        }
+
+        /// The dedicated Belady profiler ≡ the generic engine running the
+        /// OPT policy with exact annotations, fully associative.
+        #[test]
+        fn prop_opt_profiler_equals_engine(blocks in proptest::collection::vec(0u64..16, 1..150)) {
+            let trace: Vec<Access> = blocks.iter().map(|&b| Access::read(BlockAddr(b))).collect();
+            for lines in [1usize, 2, 4, 8] {
+                let fast = opt_misses(&trace, lines);
+                let engine = simulate_policy(
+                    &trace, params(lines as u64, 0), Indexing::Modulo, Opt::new(), true);
+                prop_assert_eq!(fast, engine.misses());
+            }
+        }
+
+        /// Belady's optimality: OPT ≤ every other policy, fully associative.
+        #[test]
+        fn prop_opt_is_optimal(blocks in proptest::collection::vec(0u64..12, 1..150)) {
+            let trace: Vec<Access> = blocks.iter().map(|&b| Access::read(BlockAddr(b))).collect();
+            for lines in [2usize, 4, 8] {
+                let opt = opt_misses(&trace, lines);
+                for name in ["lru", "mru", "fifo", "random", "plru", "nru", "srrip", "drrip"] {
+                    let other = simulate_policy(
+                        &trace,
+                        params(lines as u64, 0),
+                        Indexing::Modulo,
+                        crate::policy::by_name(name),
+                        false,
+                    );
+                    prop_assert!(
+                        opt <= other.misses(),
+                        "OPT {} > {} {} at {} lines",
+                        opt, name, other.misses(), lines
+                    );
+                }
+            }
+        }
+
+        /// Miss counts are monotonically non-increasing in capacity for
+        /// stack algorithms (LRU and OPT both are).
+        #[test]
+        fn prop_miss_curves_monotone(blocks in proptest::collection::vec(0u64..20, 1..150)) {
+            let trace: Vec<Access> = blocks.iter().map(|&b| Access::read(BlockAddr(b))).collect();
+            let mut prof = LruStackProfiler::new();
+            for a in &trace {
+                prof.record(a.addr);
+            }
+            let caps = [1usize, 2, 4, 8, 16, 32];
+            let lru: Vec<u64> = caps.iter().map(|&c| prof.misses_at(c)).collect();
+            let opt: Vec<u64> = caps.iter().map(|&c| opt_misses(&trace, c)).collect();
+            for w in lru.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+            for w in opt.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+    }
+}

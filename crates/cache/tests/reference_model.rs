@@ -1,0 +1,109 @@
+//! Differential testing: the set-associative engine against a naive,
+//! obviously-correct reference model (a vector of (addr, dirty, ts)
+//! tuples per set) under LRU, across random traces and geometries.
+
+use proptest::prelude::*;
+use tcor_cache::policy::Lru;
+use tcor_cache::{AccessKind, AccessMeta, Cache, Indexing};
+use tcor_common::{BlockAddr, CacheParams};
+
+/// The reference: per-set Vec of (tag, dirty, last_touch).
+struct RefCache {
+    sets: Vec<Vec<(u64, bool, u64)>>,
+    ways: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl RefCache {
+    fn new(num_sets: usize, ways: usize) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); num_sets],
+            ways,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64, write: bool) {
+        self.clock += 1;
+        let set = (addr % self.sets.len() as u64) as usize;
+        let lines = &mut self.sets[set];
+        if let Some(entry) = lines.iter_mut().find(|e| e.0 == addr) {
+            entry.1 |= write;
+            entry.2 = self.clock;
+            self.hits += 1;
+            return;
+        }
+        self.misses += 1;
+        if lines.len() == self.ways {
+            let (idx, _) = lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .expect("full set");
+            if lines[idx].1 {
+                self.writebacks += 1;
+            }
+            lines.remove(idx);
+        }
+        lines.push((addr, write, self.clock));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn engine_matches_reference_lru(
+        ops in proptest::collection::vec((0u64..96, proptest::bool::ANY), 1..400),
+        ways in 1u32..6,
+        sets_pow in 0u32..4,
+    ) {
+        let num_sets = 1usize << sets_pow;
+        let lines = num_sets as u64 * ways as u64;
+        let params = CacheParams::new(lines * 64, 64, ways, 1);
+        let mut engine = Cache::new(params, Indexing::Modulo, Lru::new());
+        let mut reference = RefCache::new(num_sets, ways as usize);
+        for &(addr, write) in &ops {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            engine.access(BlockAddr(addr), kind, AccessMeta::NONE);
+            reference.access(addr, write);
+        }
+        prop_assert_eq!(engine.stats().hits(), reference.hits);
+        prop_assert_eq!(engine.stats().misses(), reference.misses);
+        prop_assert_eq!(engine.stats().writebacks, reference.writebacks);
+        // Final contents agree.
+        for set in 0..num_sets {
+            for &(tag, _, _) in &reference.sets[set] {
+                prop_assert!(engine.contains(BlockAddr(tag)), "missing {tag}");
+            }
+        }
+        prop_assert_eq!(
+            engine.occupancy(),
+            reference.sets.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    /// `fill_clean` (warm start) must leave statistics untouched and make
+    /// blocks resident.
+    #[test]
+    fn fill_clean_is_invisible_to_stats(
+        warm in proptest::collection::vec(0u64..64, 1..40)
+    ) {
+        let params = CacheParams::new(32 * 64, 64, 4, 1);
+        let mut cache = Cache::new(params, Indexing::Modulo, Lru::new());
+        for &b in &warm {
+            cache.fill_clean(BlockAddr(b), AccessMeta::NONE);
+        }
+        prop_assert_eq!(cache.stats().accesses(), 0);
+        prop_assert_eq!(cache.stats().writebacks, 0);
+        // The most recently warmed block is always resident.
+        prop_assert!(cache.contains(BlockAddr(*warm.last().unwrap())));
+        // Warm lines are clean: draining produces no dirty blocks.
+        prop_assert!(cache.drain().iter().all(|e| !e.dirty));
+    }
+}

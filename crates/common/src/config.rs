@@ -1,0 +1,289 @@
+//! Simulation configuration mirroring Table I of the paper.
+//!
+//! ```text
+//! Tech Specs            600 MHz, 1 V, 32 nm
+//! Screen Resolution     1960x768
+//! Tile Size             32x32
+//! Tile Traversal Order  Z-order
+//! Main Memory           50-100 cycles, 1 GiB
+//! Vertex Cache          64 B/line, 64 KiB, 4-way, 1 cycle
+//! Texture Caches (4x)   64 B/line, 64 KiB, 4-way, 1 cycle
+//! Tile Cache            64 B/line, 64 KiB, 4-way, 1 cycle
+//! L2 Cache              64 B/line, 1 MiB, 8-way, 12 cycles
+//! ```
+
+use crate::ids::LINE_SIZE;
+use crate::traversal::Traversal;
+
+/// Geometry and latency of one cache structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: u64,
+    /// Ways per set; `0` encodes fully associative.
+    pub ways: u32,
+    /// Hit latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheParams {
+    /// Creates cache parameters. `ways == 0` means fully associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a multiple of the line size, or if a
+    /// set-associative geometry does not divide evenly into sets.
+    pub fn new(size_bytes: u64, line_bytes: u64, ways: u32, latency: u32) -> Self {
+        assert!(line_bytes > 0 && size_bytes >= line_bytes);
+        assert_eq!(size_bytes % line_bytes, 0, "capacity must be whole lines");
+        if ways > 0 {
+            let lines = size_bytes / line_bytes;
+            assert_eq!(lines % ways as u64, 0, "lines must divide into sets");
+        }
+        CacheParams {
+            size_bytes,
+            line_bytes,
+            ways,
+            latency,
+        }
+    }
+
+    /// Total number of lines.
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Number of sets (1 when fully associative).
+    pub fn num_sets(&self) -> u64 {
+        if self.ways == 0 {
+            1
+        } else {
+            self.num_lines() / self.ways as u64
+        }
+    }
+
+    /// Effective associativity (all lines when fully associative).
+    pub fn effective_ways(&self) -> u64 {
+        if self.ways == 0 {
+            self.num_lines()
+        } else {
+            self.ways as u64
+        }
+    }
+
+    /// True when `ways == 0`.
+    pub fn is_fully_associative(&self) -> bool {
+        self.ways == 0
+    }
+}
+
+/// Main-memory model parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemoryParams {
+    /// Lowest access latency in cycles (row-buffer hit).
+    pub min_latency: u32,
+    /// Highest access latency in cycles (bank conflict / precharge).
+    pub max_latency: u32,
+    /// Capacity in bytes (1 GiB in Table I); only bounds address synthesis.
+    pub size_bytes: u64,
+}
+
+impl Default for MemoryParams {
+    fn default() -> Self {
+        MemoryParams {
+            min_latency: 50,
+            max_latency: 100,
+            size_bytes: 1 << 30,
+        }
+    }
+}
+
+/// How the Tile Cache budget is organized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TileCacheOrg {
+    /// The baseline: one unified cache for both PB sections, LRU.
+    Unified {
+        /// The unified cache geometry.
+        cache: CacheParams,
+    },
+    /// TCOR: a split Primitive List Cache (LRU) + Attribute Cache (OPT).
+    /// §V.B: 64 KiB baseline splits as 16 KiB lists + 48 KiB attributes;
+    /// 128 KiB splits as 16 KiB + 112 KiB.
+    Split {
+        /// Primitive List Cache geometry (conventional, LRU).
+        list_cache: CacheParams,
+        /// Attribute Cache capacity in bytes (Primitive Buffer + Attribute
+        /// Buffer share this budget; see `tcor::attribute_cache`).
+        attribute_bytes: u64,
+        /// Attribute Cache (Primitive Buffer) associativity.
+        attribute_ways: u32,
+    },
+}
+
+impl TileCacheOrg {
+    /// Total Tile Cache budget in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        match *self {
+            TileCacheOrg::Unified { cache } => cache.size_bytes,
+            TileCacheOrg::Split {
+                list_cache,
+                attribute_bytes,
+                ..
+            } => list_cache.size_bytes + attribute_bytes,
+        }
+    }
+}
+
+/// Full GPU simulation configuration (Table I).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuConfig {
+    /// Core clock in Hz (600 MHz).
+    pub clock_hz: u64,
+    /// Supply voltage in volts (1.0 V).
+    pub voltage: f64,
+    /// Process node in nanometres (32 nm).
+    pub tech_nm: u32,
+    /// Screen width in pixels.
+    pub screen_width: u32,
+    /// Screen height in pixels.
+    pub screen_height: u32,
+    /// Tile edge in pixels.
+    pub tile_size: u32,
+    /// Tile traversal order of the Tile Fetcher.
+    pub traversal: Traversal,
+    /// L1 vertex cache.
+    pub vertex_cache: CacheParams,
+    /// Each of the four L1 texture caches.
+    pub texture_cache: CacheParams,
+    /// Number of texture caches / fragment processors.
+    pub num_texture_caches: u32,
+    /// The Tile Cache organization under evaluation.
+    pub tile_cache: TileCacheOrg,
+    /// Shared L2.
+    pub l2: CacheParams,
+    /// Main memory model.
+    pub memory: MemoryParams,
+}
+
+impl GpuConfig {
+    /// The paper's baseline configuration: Table I with the unified
+    /// 64 KiB 4-way Tile Cache.
+    pub fn paper_baseline() -> Self {
+        GpuConfig {
+            clock_hz: 600_000_000,
+            voltage: 1.0,
+            tech_nm: 32,
+            screen_width: 1960,
+            screen_height: 768,
+            tile_size: 32,
+            traversal: Traversal::ZOrder,
+            vertex_cache: CacheParams::new(64 << 10, LINE_SIZE, 4, 1),
+            texture_cache: CacheParams::new(64 << 10, LINE_SIZE, 4, 1),
+            num_texture_caches: 4,
+            tile_cache: TileCacheOrg::Unified {
+                cache: CacheParams::new(64 << 10, LINE_SIZE, 4, 1),
+            },
+            l2: CacheParams::new(1 << 20, LINE_SIZE, 8, 12),
+            memory: MemoryParams::default(),
+        }
+    }
+
+    /// The larger baseline also reported in §V.B: a unified 128 KiB 4-way
+    /// Tile Cache.
+    pub fn paper_baseline_128k() -> Self {
+        let mut cfg = Self::paper_baseline();
+        cfg.tile_cache = TileCacheOrg::Unified {
+            cache: CacheParams::new(128 << 10, LINE_SIZE, 4, 1),
+        };
+        cfg
+    }
+
+    /// TCOR organization matching the 64 KiB baseline budget:
+    /// 16 KiB Primitive List Cache + 48 KiB Attribute Cache (§V.B).
+    pub fn paper_tcor() -> Self {
+        let mut cfg = Self::paper_baseline();
+        cfg.tile_cache = TileCacheOrg::Split {
+            list_cache: CacheParams::new(16 << 10, LINE_SIZE, 4, 1),
+            attribute_bytes: 48 << 10,
+            attribute_ways: 4,
+        };
+        cfg
+    }
+
+    /// TCOR organization matching the 128 KiB budget:
+    /// 16 KiB Primitive List Cache + 112 KiB Attribute Cache (§V.B).
+    pub fn paper_tcor_128k() -> Self {
+        let mut cfg = Self::paper_baseline();
+        cfg.tile_cache = TileCacheOrg::Split {
+            list_cache: CacheParams::new(16 << 10, LINE_SIZE, 4, 1),
+            attribute_bytes: 112 << 10,
+            attribute_ways: 4,
+        };
+        cfg
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_geometry_math() {
+        let p = CacheParams::new(64 << 10, 64, 4, 1);
+        assert_eq!(p.num_lines(), 1024);
+        assert_eq!(p.num_sets(), 256);
+        assert_eq!(p.effective_ways(), 4);
+        assert!(!p.is_fully_associative());
+    }
+
+    #[test]
+    fn fully_associative_geometry() {
+        let p = CacheParams::new(4096, 64, 0, 1);
+        assert_eq!(p.num_sets(), 1);
+        assert_eq!(p.effective_ways(), 64);
+        assert!(p.is_fully_associative());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole lines")]
+    fn ragged_capacity_panics() {
+        CacheParams::new(100, 64, 1, 1);
+    }
+
+    #[test]
+    fn paper_budgets_are_preserved() {
+        assert_eq!(
+            GpuConfig::paper_baseline().tile_cache.total_bytes(),
+            64 << 10
+        );
+        assert_eq!(GpuConfig::paper_tcor().tile_cache.total_bytes(), 64 << 10);
+        assert_eq!(
+            GpuConfig::paper_baseline_128k().tile_cache.total_bytes(),
+            128 << 10
+        );
+        assert_eq!(
+            GpuConfig::paper_tcor_128k().tile_cache.total_bytes(),
+            128 << 10
+        );
+    }
+
+    #[test]
+    fn table_one_values() {
+        let cfg = GpuConfig::paper_baseline();
+        assert_eq!(cfg.clock_hz, 600_000_000);
+        assert_eq!(cfg.l2.size_bytes, 1 << 20);
+        assert_eq!(cfg.l2.ways, 8);
+        assert_eq!(cfg.l2.latency, 12);
+        assert_eq!(cfg.memory.min_latency, 50);
+        assert_eq!(cfg.memory.max_latency, 100);
+        assert_eq!(cfg.traversal, Traversal::ZOrder);
+    }
+}

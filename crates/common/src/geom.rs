@@ -1,0 +1,269 @@
+//! Minimal screen-space geometry for the binning substrate.
+//!
+//! The Polygon List Builder only needs a conservative tile-overlap test, for
+//! which the paper's baseline (following Antochi et al. \[2\]) uses primitive
+//! bounding boxes. We carry full triangles so the Raster Pipeline model can
+//! estimate fragment counts (triangle area), but binning itself uses
+//! [`Rect`]s.
+
+use std::fmt;
+
+/// An axis-aligned screen-space rectangle, `x0 <= x1`, `y0 <= y1`
+/// (half-open semantics on tile boundaries: touching a boundary exactly
+/// does not enter the next tile).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge (pixels).
+    pub x0: f32,
+    /// Top edge (pixels).
+    pub y0: f32,
+    /// Right edge (pixels).
+    pub x1: f32,
+    /// Bottom edge (pixels).
+    pub y1: f32,
+}
+
+impl Rect {
+    /// Creates a rectangle, normalizing so that `x0 <= x1` and `y0 <= y1`.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> f32 {
+        self.x1 - self.x0
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> f32 {
+        self.y1 - self.y0
+    }
+
+    /// Area in square pixels.
+    pub fn area(&self) -> f32 {
+        self.width() * self.height()
+    }
+
+    /// Intersects with the screen `[0,w) × [0,h)`. Returns `None` when the
+    /// intersection is empty or degenerate to a zero-area sliver entirely
+    /// on the far boundary.
+    pub fn clamp_to(&self, w: f32, h: f32) -> Option<Rect> {
+        let x0 = self.x0.max(0.0);
+        let y0 = self.y0.max(0.0);
+        let x1 = self.x1.min(w);
+        let y1 = self.y1.min(h);
+        if x0 >= x1 && !(x0 == x1 && x0 < w) {
+            return None;
+        }
+        if y0 >= y1 && !(y0 == y1 && y0 < h) {
+            return None;
+        }
+        if x1 <= 0.0 || y1 <= 0.0 || x0 >= w || y0 >= h {
+            return None;
+        }
+        Some(Rect { x0, y0, x1, y1 })
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.1},{:.1}]x[{:.1},{:.1}]",
+            self.x0, self.x1, self.y0, self.y1
+        )
+    }
+}
+
+/// A screen-space triangle: the primitive shape produced by the Geometry
+/// Pipeline's primitive assembly.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Tri2 {
+    /// Vertex positions in pixels.
+    pub v: [(f32, f32); 3],
+}
+
+impl Tri2 {
+    /// Creates a triangle from three screen-space vertices.
+    pub fn new(a: (f32, f32), b: (f32, f32), c: (f32, f32)) -> Self {
+        Tri2 { v: [a, b, c] }
+    }
+
+    /// Axis-aligned bounding box — the binning footprint.
+    pub fn bbox(&self) -> Rect {
+        let xs = [self.v[0].0, self.v[1].0, self.v[2].0];
+        let ys = [self.v[0].1, self.v[1].1, self.v[2].1];
+        Rect {
+            x0: xs.iter().copied().fold(f32::INFINITY, f32::min),
+            y0: ys.iter().copied().fold(f32::INFINITY, f32::min),
+            x1: xs.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+            y1: ys.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+        }
+    }
+
+    /// Signed double area (positive for counter-clockwise winding).
+    pub fn double_area(&self) -> f32 {
+        let [(ax, ay), (bx, by), (cx, cy)] = self.v;
+        (bx - ax) * (cy - ay) - (cx - ax) * (by - ay)
+    }
+
+    /// Unsigned area in square pixels — the Raster Pipeline model uses this
+    /// as the fragment-count estimate.
+    pub fn area(&self) -> f32 {
+        self.double_area().abs() * 0.5
+    }
+
+    /// Exact triangle/rectangle overlap via the separating-axis theorem —
+    /// the accurate tile-overlap test of Antochi et al. (the paper's
+    /// reference \[2\]), as opposed to the conservative bounding-box test.
+    ///
+    /// Degenerate (zero-area) triangles fall back to the bounding-box
+    /// test, which is conservative and numerically robust.
+    pub fn overlaps_rect(&self, rect: &Rect) -> bool {
+        let bb = self.bbox();
+        // Axis-aligned axes first (equivalent to the bbox test).
+        if bb.x1 < rect.x0 || bb.x0 > rect.x1 || bb.y1 < rect.y0 || bb.y0 > rect.y1 {
+            return false;
+        }
+        if self.double_area().abs() < 1e-6 {
+            return true; // degenerate: bbox answer
+        }
+        // Triangle edge normals.
+        let corners = [
+            (rect.x0, rect.y0),
+            (rect.x1, rect.y0),
+            (rect.x0, rect.y1),
+            (rect.x1, rect.y1),
+        ];
+        for i in 0..3 {
+            let (px, py) = self.v[i];
+            let (qx, qy) = self.v[(i + 1) % 3];
+            let (nx, ny) = (py - qy, qx - px);
+            let tri_min = self
+                .v
+                .iter()
+                .map(|&(x, y)| nx * x + ny * y)
+                .fold(f32::INFINITY, f32::min);
+            let tri_max = self
+                .v
+                .iter()
+                .map(|&(x, y)| nx * x + ny * y)
+                .fold(f32::NEG_INFINITY, f32::max);
+            let rect_min = corners
+                .iter()
+                .map(|&(x, y)| nx * x + ny * y)
+                .fold(f32::INFINITY, f32::min);
+            let rect_max = corners
+                .iter()
+                .map(|&(x, y)| nx * x + ny * y)
+                .fold(f32::NEG_INFINITY, f32::max);
+            if tri_max < rect_min || tri_min > rect_max {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(10.0, 20.0, 0.0, 5.0);
+        assert_eq!((r.x0, r.y0, r.x1, r.y1), (0.0, 5.0, 10.0, 20.0));
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 15.0);
+        assert_eq!(r.area(), 150.0);
+    }
+
+    #[test]
+    fn clamp_inside_is_identity() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.clamp_to(100.0, 100.0), Some(r));
+    }
+
+    #[test]
+    fn clamp_outside_is_none() {
+        assert_eq!(Rect::new(-5.0, -5.0, -1.0, -1.0).clamp_to(10.0, 10.0), None);
+        assert_eq!(Rect::new(11.0, 0.0, 20.0, 5.0).clamp_to(10.0, 10.0), None);
+    }
+
+    #[test]
+    fn clamp_partial_overlap_truncates() {
+        let r = Rect::new(-5.0, -5.0, 5.0, 5.0).clamp_to(10.0, 10.0).unwrap();
+        assert_eq!((r.x0, r.y0, r.x1, r.y1), (0.0, 0.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn triangle_area_and_bbox() {
+        let t = Tri2::new((0.0, 0.0), (10.0, 0.0), (0.0, 10.0));
+        assert_eq!(t.area(), 50.0);
+        let b = t.bbox();
+        assert_eq!((b.x0, b.y0, b.x1, b.y1), (0.0, 0.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn triangle_area_winding_independent() {
+        let ccw = Tri2::new((0.0, 0.0), (10.0, 0.0), (0.0, 10.0));
+        let cw = Tri2::new((0.0, 0.0), (0.0, 10.0), (10.0, 0.0));
+        assert_eq!(ccw.area(), cw.area());
+        assert!(ccw.double_area() * cw.double_area() < 0.0);
+    }
+
+    #[test]
+    fn degenerate_triangle_has_zero_area() {
+        let t = Tri2::new((0.0, 0.0), (5.0, 5.0), (10.0, 10.0));
+        assert_eq!(t.area(), 0.0);
+    }
+
+    #[test]
+    fn exact_overlap_agrees_with_bbox_on_contained_rects() {
+        let t = Tri2::new((0.0, 0.0), (100.0, 0.0), (0.0, 100.0));
+        assert!(t.overlaps_rect(&Rect::new(10.0, 10.0, 20.0, 20.0)));
+        assert!(!t.overlaps_rect(&Rect::new(200.0, 200.0, 210.0, 210.0)));
+    }
+
+    #[test]
+    fn exact_overlap_rejects_bbox_false_positives() {
+        // A thin diagonal triangle: its bbox covers the whole square, but
+        // the far corner rect is outside the hypotenuse.
+        let t = Tri2::new((0.0, 0.0), (100.0, 0.0), (0.0, 100.0));
+        let far_corner = Rect::new(80.0, 80.0, 95.0, 95.0);
+        let bb = t.bbox();
+        assert!(bb.x1 >= far_corner.x0 && bb.y1 >= far_corner.y0, "bbox overlaps");
+        assert!(!t.overlaps_rect(&far_corner), "SAT must reject it");
+    }
+
+    #[test]
+    fn exact_overlap_accepts_edge_grazing() {
+        let t = Tri2::new((0.0, 0.0), (100.0, 0.0), (0.0, 100.0));
+        // Rect whose corner touches the hypotenuse region.
+        assert!(t.overlaps_rect(&Rect::new(40.0, 40.0, 60.0, 60.0)));
+    }
+
+    #[test]
+    fn degenerate_triangle_falls_back_to_bbox() {
+        let t = Tri2::new((0.0, 0.0), (5.0, 5.0), (10.0, 10.0));
+        assert!(t.overlaps_rect(&Rect::new(0.0, 0.0, 10.0, 10.0)));
+        assert!(!t.overlaps_rect(&Rect::new(20.0, 0.0, 30.0, 10.0)));
+    }
+
+    #[test]
+    fn rect_fully_inside_triangle_overlaps() {
+        let t = Tri2::new((0.0, 0.0), (300.0, 0.0), (0.0, 300.0));
+        assert!(t.overlaps_rect(&Rect::new(50.0, 50.0, 60.0, 60.0)));
+    }
+
+    #[test]
+    fn triangle_fully_inside_rect_overlaps() {
+        let t = Tri2::new((10.0, 10.0), (20.0, 10.0), (10.0, 20.0));
+        assert!(t.overlaps_rect(&Rect::new(0.0, 0.0, 100.0, 100.0)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Strongly-typed identifiers used throughout the simulator.
+//!
+//! Newtypes keep tile identifiers, traversal ranks, primitive identifiers
+//! and byte/block addresses from being mixed up (they are all "just
+//! integers" in hardware, and mixing them is the classic simulator bug).
+
+use std::fmt;
+
+/// Cache line / memory block size in bytes, fixed at 64 throughout the
+/// paper ("we assume a cache line of 64 bytes", §II.B).
+pub const LINE_SIZE: u64 = 64;
+
+/// Identifier of a tile on the screen grid, in **row-major** numbering
+/// (`y * tiles_x + x`). Independent of the traversal order.
+///
+/// The paper reserves 12 bits for tile identifiers (4096 tiles max); the
+/// baseline 1960×768 screen with 32×32 tiles has 62×24 = 1488 tiles.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TileId(pub u32);
+
+impl TileId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tile {}", self.0)
+    }
+}
+
+/// Position of a tile in the Tile Fetcher's traversal order
+/// (0 = first tile processed). This is the quantity stored in a PMD's
+/// *OPT Number* field: replacement compares ranks, and "farther in the
+/// future" means a larger rank.
+///
+/// `TileRank` is ordered; the OPT policy evicts the line with the
+/// **greatest** rank among unlocked candidates (§III.C.6).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TileRank(pub u32);
+
+impl TileRank {
+    /// Sentinel for "no further use": larger than every real rank.
+    pub const NEVER: TileRank = TileRank(u32::MAX);
+
+    /// The raw rank value.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// True if this rank is the [`TileRank::NEVER`] sentinel.
+    #[inline]
+    pub fn is_never(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl fmt::Debug for TileRank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_never() {
+            write!(f, "R∞")
+        } else {
+            write!(f, "R{}", self.0)
+        }
+    }
+}
+
+/// Identifier of a primitive within a frame, in Polygon List Builder
+/// arrival order (0 = first binned).
+///
+/// In the paper's hardware layout the primitive ID doubles as the address
+/// of the primitive's first attribute in PB-Attributes; the simulator keeps
+/// the logical index and derives addresses through `tcor-pbuf` layouts.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PrimitiveId(pub u32);
+
+impl PrimitiveId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PrimitiveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for PrimitiveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "primitive {}", self.0)
+    }
+}
+
+/// A byte address in the simulated physical address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// The memory block (cache line) containing this byte.
+    #[inline]
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 / LINE_SIZE)
+    }
+
+    /// Byte offset within the containing block.
+    #[inline]
+    pub fn block_offset(self) -> u64 {
+        self.0 % LINE_SIZE
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(v: u64) -> Self {
+        Address(v)
+    }
+}
+
+/// A memory-block (64-byte cache line) address: the byte address divided by
+/// [`LINE_SIZE`]. Caches in `tcor-cache`/`tcor-mem` operate on these.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Byte address of the first byte of this block.
+    #[inline]
+    pub fn base(self) -> Address {
+        Address(self.0 * LINE_SIZE)
+    }
+
+    /// The raw block number.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_block_math() {
+        assert_eq!(Address(0).block(), BlockAddr(0));
+        assert_eq!(Address(63).block(), BlockAddr(0));
+        assert_eq!(Address(64).block(), BlockAddr(1));
+        assert_eq!(Address(130).block_offset(), 2);
+        assert_eq!(BlockAddr(3).base(), Address(192));
+    }
+
+    #[test]
+    fn tile_rank_ordering_matches_future_distance() {
+        let near = TileRank(3);
+        let far = TileRank(100);
+        assert!(far > near);
+        assert!(TileRank::NEVER > far);
+        assert!(TileRank::NEVER.is_never());
+        assert!(!far.is_never());
+    }
+
+    #[test]
+    fn debug_formats_are_compact_and_nonempty() {
+        assert_eq!(format!("{:?}", TileId(7)), "T7");
+        assert_eq!(format!("{:?}", PrimitiveId(9)), "P9");
+        assert_eq!(format!("{:?}", TileRank(2)), "R2");
+        assert_eq!(format!("{:?}", TileRank::NEVER), "R∞");
+        assert_eq!(format!("{:?}", Address(255)), "0xff");
+    }
+
+    #[test]
+    fn ids_are_hash_and_ord() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<TileId> = [TileId(3), TileId(1), TileId(3)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

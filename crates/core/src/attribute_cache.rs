@@ -1,0 +1,756 @@
+//! The Attribute Cache (Fig. 8): a Primitive Buffer over an Attribute
+//! Buffer, with OPT replacement and write bypass.
+//!
+//! * The **Primitive Buffer** is set-associative over primitive IDs
+//!   (XOR-based set index \[12\]). Each line: valid / lock / dirty bits,
+//!   tag, the OPT Number, and the Attribute Buffer Pointer (ABP) to the
+//!   first attribute.
+//! * The **Attribute Buffer** stores one 48-byte attribute per entry;
+//!   a primitive's attributes form a linked list, and free entries form a
+//!   free list. A primitive fits only if enough free entries exist.
+//!
+//! Replacement (§III.C.6): among *unlocked* lines of the set, evict the
+//! one with the **greatest** OPT Number (used farthest in the future; a
+//! primitive never used again carries [`TileRank::NEVER`], the greatest of
+//! all). Locks pin primitives whose ABP sits in the Tile Fetcher output
+//! queue until the Rasterizer consumes them (§III.C.3/5).
+//!
+//! Writes (§III.C.4): the Polygon List Builder writes each primitive
+//! once. If the best victim's OPT Number is **greater** than the write's,
+//! the victim is evicted and the write allocated; otherwise (including
+//! equality) the write is **bypassed** to the L2.
+
+use tcor_cache::Indexing;
+use tcor_common::{AccessStats, PrimitiveId, TileRank};
+
+/// Geometry and policy knobs of the Attribute Cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttributeCacheConfig {
+    /// Primitive Buffer associativity.
+    pub ways: usize,
+    /// Primitive Buffer lines (must be a multiple of `ways`).
+    pub pb_lines: usize,
+    /// Attribute Buffer entries (one 48-byte attribute each).
+    pub ab_entries: usize,
+    /// Set-index function over primitive IDs. The paper uses the
+    /// XOR-based function of \[12\]; `Modulo` is the ablation.
+    pub indexing: Indexing,
+    /// Polygon-List-Builder write bypass (§III.C.4). Disabling it makes
+    /// every write allocate (evicting the farthest-future line) — the
+    /// ablation for design decision D2.
+    pub write_bypass: bool,
+}
+
+impl AttributeCacheConfig {
+    /// Splits a byte budget into the two structures the way the paper's
+    /// zero-overhead argument implies: the budget buys `bytes / 64`
+    /// attribute entries (48 B data + pointer/valid/lock overhead, which
+    /// the removed per-line tags pay for), and one Primitive Buffer line
+    /// per potential resident primitive (at the 1-attribute worst case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is too small to hold `ways` primitives of one
+    /// attribute each.
+    pub fn from_budget(bytes: u64, ways: usize) -> Self {
+        let ab_entries = (bytes / 64) as usize;
+        let pb_lines = (ab_entries / ways).max(1) * ways;
+        assert!(
+            ab_entries >= ways,
+            "attribute cache budget {bytes} too small"
+        );
+        AttributeCacheConfig {
+            ways,
+            pb_lines,
+            ab_entries,
+            indexing: Indexing::Xor,
+            write_bypass: true,
+        }
+    }
+
+    /// Returns the config with a different set-index function.
+    pub fn with_indexing(mut self, indexing: Indexing) -> Self {
+        self.indexing = indexing;
+        self
+    }
+
+    /// Returns the config with write bypass enabled or disabled.
+    pub fn with_write_bypass(mut self, on: bool) -> Self {
+        self.write_bypass = on;
+        self
+    }
+
+    /// Number of Primitive Buffer sets.
+    pub fn num_sets(&self) -> usize {
+        self.pb_lines / self.ways
+    }
+}
+
+/// A primitive displaced from the Attribute Cache. If `dirty`, its
+/// attributes must be written back to the L2 (the system driver issues
+/// one write per attribute block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedPrim {
+    /// The displaced primitive.
+    pub prim: PrimitiveId,
+    /// Whether its attributes were dirty (written by the Polygon List
+    /// Builder and never yet flushed).
+    pub dirty: bool,
+    /// How many attributes it held.
+    pub attr_count: u8,
+}
+
+/// Outcome of a Tile Fetcher read (§III.C.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadResult {
+    /// Present: line and first attribute locked, OPT Number updated, ABP
+    /// pushed to the output queue.
+    Hit,
+    /// Absent: a line was reserved (evicting `evicted`, possibly several
+    /// to free Attribute Buffer space); the driver fetches the attribute
+    /// blocks from the L2.
+    Miss {
+        /// Primitives displaced to make room.
+        evicted: Vec<EvictedPrim>,
+    },
+    /// No unlocked victim (or not enough unlockable space): the fetcher
+    /// must wait for the Rasterizer to consume queued primitives and
+    /// retry.
+    Stalled,
+}
+
+/// Outcome of a Polygon List Builder write (§III.C.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteResult {
+    /// Stored in the Attribute Cache (dirty), possibly evicting
+    /// farther-future primitives.
+    Allocated {
+        /// Primitives displaced to make room.
+        evicted: Vec<EvictedPrim>,
+    },
+    /// Every unlocked candidate will be used sooner than (or at the same
+    /// tile as) this primitive: the write goes straight to the L2.
+    Bypassed,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PbLine {
+    valid: bool,
+    lock: bool,
+    dirty: bool,
+    prim: PrimitiveId,
+    opt: TileRank,
+    abp: u32,
+    attr_count: u8,
+}
+
+/// The Attribute Cache.
+#[derive(Clone, Debug)]
+pub struct AttributeCache {
+    cfg: AttributeCacheConfig,
+    lines: Vec<PbLine>,
+    /// Attribute Buffer: next-entry links (the attribute payloads carry no
+    /// information the simulator needs).
+    ab_next: Vec<Option<u32>>,
+    free: Vec<u32>,
+    stats: AccessStats,
+    locked_prims: u64,
+    resident: usize,
+    occ_samples: u64,
+    occ_entries_sum: u64,
+    occ_prims_sum: u64,
+    stall_events: u64,
+}
+
+impl AttributeCache {
+    /// Creates an empty Attribute Cache.
+    pub fn new(cfg: AttributeCacheConfig) -> Self {
+        assert!(cfg.ways > 0 && cfg.pb_lines.is_multiple_of(cfg.ways));
+        AttributeCache {
+            cfg,
+            lines: vec![PbLine::default(); cfg.pb_lines],
+            ab_next: vec![None; cfg.ab_entries],
+            free: (0..cfg.ab_entries as u32).rev().collect(),
+            stats: AccessStats::new(),
+            locked_prims: 0,
+            resident: 0,
+            occ_samples: 0,
+            occ_entries_sum: 0,
+            occ_prims_sum: 0,
+            stall_events: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &AttributeCacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics. Bypassed writes count in
+    /// [`AccessStats::bypasses`], not as accesses.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Free Attribute Buffer entries.
+    pub fn free_entries(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Resident (valid) primitives.
+    pub fn resident_primitives(&self) -> usize {
+        self.resident
+    }
+
+    /// Mean Attribute Buffer occupancy over the accesses so far, as a
+    /// fraction of `ab_entries` — evidence for the paper's zero-overhead
+    /// sizing argument (§III.C.2).
+    pub fn avg_buffer_utilization(&self) -> f64 {
+        if self.occ_samples == 0 {
+            0.0
+        } else {
+            self.occ_entries_sum as f64 / (self.occ_samples as f64 * self.cfg.ab_entries as f64)
+        }
+    }
+
+    /// Mean Primitive Buffer occupancy over the accesses so far, as a
+    /// fraction of `pb_lines`.
+    pub fn avg_line_utilization(&self) -> f64 {
+        if self.occ_samples == 0 {
+            0.0
+        } else {
+            self.occ_prims_sum as f64 / (self.occ_samples as f64 * self.cfg.pb_lines as f64)
+        }
+    }
+
+    /// Read attempts that stalled on locks (the fetcher had to wait for
+    /// the Rasterizer).
+    pub fn stall_events(&self) -> u64 {
+        self.stall_events
+    }
+
+    fn sample_occupancy(&mut self) {
+        self.occ_samples += 1;
+        self.occ_entries_sum += (self.cfg.ab_entries - self.free.len()) as u64;
+        self.occ_prims_sum += self.resident as u64;
+    }
+
+    /// Number of currently locked primitives.
+    pub fn locked_primitives(&self) -> u64 {
+        self.locked_prims
+    }
+
+    fn set_of(&self, prim: PrimitiveId) -> usize {
+        self.cfg
+            .indexing
+            .set_of(prim.0 as u64, self.cfg.num_sets() as u64) as usize
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.cfg.ways..(set + 1) * self.cfg.ways
+    }
+
+    fn find(&self, prim: PrimitiveId) -> Option<usize> {
+        let set = self.set_of(prim);
+        self.set_range(set)
+            .find(|&i| self.lines[i].valid && self.lines[i].prim == prim)
+    }
+
+    fn alloc_chain(&mut self, count: u8) -> u32 {
+        debug_assert!(self.free.len() >= count as usize);
+        let head = self.free.pop().expect("space checked");
+        let mut cur = head;
+        for _ in 1..count {
+            let nxt = self.free.pop().expect("space checked");
+            self.ab_next[cur as usize] = Some(nxt);
+            cur = nxt;
+        }
+        self.ab_next[cur as usize] = None;
+        head
+    }
+
+    fn free_chain(&mut self, head: u32) {
+        let mut cur = Some(head);
+        while let Some(i) = cur {
+            cur = self.ab_next[i as usize].take();
+            self.free.push(i);
+        }
+    }
+
+    fn evict_line(&mut self, idx: usize) -> EvictedPrim {
+        let line = self.lines[idx];
+        debug_assert!(line.valid && !line.lock);
+        self.free_chain(line.abp);
+        self.lines[idx] = PbLine::default();
+        self.resident -= 1;
+        EvictedPrim {
+            prim: line.prim,
+            dirty: line.dirty,
+            attr_count: line.attr_count,
+        }
+    }
+
+    /// The unlocked line in `set` with the greatest OPT Number, if any.
+    fn best_victim(&self, set: usize) -> Option<usize> {
+        self.set_range(set)
+            .filter(|&i| self.lines[i].valid && !self.lines[i].lock)
+            .max_by_key(|&i| self.lines[i].opt)
+    }
+
+    /// Frees Attribute Buffer space by evicting unlocked primitives
+    /// cache-wide in OPT order until `needed` entries are free. Returns
+    /// `false` (rolling nothing back — evicted lines were the
+    /// farthest-future anyway) if locked lines make it impossible.
+    fn make_space(&mut self, needed: usize, evicted: &mut Vec<EvictedPrim>) -> bool {
+        while self.free.len() < needed {
+            let victim = (0..self.lines.len())
+                .filter(|&i| self.lines[i].valid && !self.lines[i].lock)
+                .max_by_key(|&i| self.lines[i].opt);
+            match victim {
+                Some(i) => evicted.push(self.evict_line(i)),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Tile Fetcher read of `prim` (which has `attr_count` attributes) on
+    /// behalf of the tile whose PMD supplied `opt_number` (§III.C.3).
+    ///
+    /// On a hit the line is locked and its OPT Number updated from the
+    /// request. On a miss a line is reserved (and locked): the caller
+    /// fetches the attribute blocks from the L2 and, when they arrive,
+    /// the primitive is resident. `Stalled` means every candidate is
+    /// locked; the caller must let the Rasterizer drain and retry.
+    pub fn read(&mut self, prim: PrimitiveId, attr_count: u8, opt_number: TileRank) -> ReadResult {
+        self.sample_occupancy();
+        if let Some(idx) = self.find(prim) {
+            self.stats.record_read(true);
+            let line = &mut self.lines[idx];
+            if !line.lock {
+                line.lock = true;
+                self.locked_prims += 1;
+            }
+            line.opt = opt_number;
+            return ReadResult::Hit;
+        }
+
+        // Miss path: reserve a Primitive Buffer line. Check feasibility
+        // *before* mutating so a stall leaves the cache untouched.
+        let set = self.set_of(prim);
+        let empty = self.set_range(set).find(|&i| !self.lines[i].valid);
+        let victim = self.best_victim(set);
+        if empty.is_none() && victim.is_none() {
+            self.stall_events += 1;
+            return ReadResult::Stalled; // every line in the set is locked
+        }
+        let reclaimable: usize = (0..self.lines.len())
+            .filter(|&i| self.lines[i].valid && !self.lines[i].lock)
+            .map(|i| self.lines[i].attr_count as usize)
+            .sum();
+        if self.free.len() + reclaimable < attr_count as usize {
+            self.stall_events += 1;
+            return ReadResult::Stalled; // locked primitives hold the buffer
+        }
+
+        let mut evicted = Vec::new();
+        let line_idx = match empty {
+            Some(i) => i,
+            None => {
+                let v = victim.expect("checked above");
+                evicted.push(self.evict_line(v));
+                v
+            }
+        };
+        // Ensure Attribute Buffer space (§III.C.3 Miss: "In case of a
+        // dearth of space, more primitives are evicted using OPT").
+        let ok = self.make_space(attr_count as usize, &mut evicted);
+        debug_assert!(ok, "feasibility was checked");
+        self.stats.record_read(false);
+        let abp = self.alloc_chain(attr_count);
+        self.lines[line_idx] = PbLine {
+            valid: true,
+            lock: true,
+            dirty: false,
+            prim,
+            opt: opt_number,
+            abp,
+            attr_count,
+        };
+        self.resident += 1;
+        self.locked_prims += 1;
+        ReadResult::Miss { evicted }
+    }
+
+    /// Polygon List Builder write of a new primitive whose first use is
+    /// the tile at rank `first_use` (§III.C.4).
+    pub fn write(&mut self, prim: PrimitiveId, attr_count: u8, first_use: TileRank) -> WriteResult {
+        self.sample_occupancy();
+        debug_assert!(
+            self.find(prim).is_none(),
+            "each primitive is written exactly once"
+        );
+        let set = self.set_of(prim);
+        let empty = self.set_range(set).find(|&i| !self.lines[i].valid);
+
+        if !self.cfg.write_bypass {
+            // Ablation: no bypass — allocate like a read (evict the
+            // farthest-future unlocked line unconditionally), falling
+            // back to bypass only when locks leave no room.
+            return match self.read_style_reserve(prim, attr_count, first_use) {
+                Some(evicted) => WriteResult::Allocated { evicted },
+                None => {
+                    self.stats.bypasses += 1;
+                    WriteResult::Bypassed
+                }
+            };
+        }
+
+        // Feasibility of Attribute Buffer space: free entries plus entries
+        // held by unlocked primitives that are strictly farther-future
+        // than this write (only those may be evicted on the write path).
+        let reclaimable: usize = (0..self.lines.len())
+            .filter(|&i| {
+                self.lines[i].valid && !self.lines[i].lock && self.lines[i].opt > first_use
+            })
+            .map(|i| self.lines[i].attr_count as usize)
+            .sum();
+        let space_feasible = self.free.len() + reclaimable >= attr_count as usize;
+
+        let line_idx = match empty {
+            Some(i) if space_feasible => i,
+            _ => {
+                // Full set (or not enough space): compare with the best
+                // victim's OPT Number.
+                let Some(victim) = self.best_victim(set) else {
+                    self.stats.bypasses += 1;
+                    return WriteResult::Bypassed;
+                };
+                if empty.is_none() && self.lines[victim].opt <= first_use {
+                    // The victim (and so every line in the set) is used no
+                    // later than this primitive: bypass. Equality also
+                    // bypasses (§III.C.4).
+                    self.stats.bypasses += 1;
+                    return WriteResult::Bypassed;
+                }
+                if !space_feasible {
+                    self.stats.bypasses += 1;
+                    return WriteResult::Bypassed;
+                }
+                match empty {
+                    Some(i) => i,
+                    None => victim,
+                }
+            }
+        };
+
+        let mut evicted = Vec::new();
+        if self.lines[line_idx].valid {
+            evicted.push(self.evict_line(line_idx));
+        }
+        // Free space evicting only strictly-farther-future primitives.
+        while self.free.len() < attr_count as usize {
+            let victim = (0..self.lines.len())
+                .filter(|&i| {
+                    self.lines[i].valid && !self.lines[i].lock && self.lines[i].opt > first_use
+                })
+                .max_by_key(|&i| self.lines[i].opt)
+                .expect("feasibility checked");
+            evicted.push(self.evict_line(victim));
+        }
+        self.stats.record_write(false); // every PLB write is a (compulsory) miss
+        let abp = self.alloc_chain(attr_count);
+        self.lines[line_idx] = PbLine {
+            valid: true,
+            lock: false,
+            dirty: true,
+            prim,
+            opt: first_use,
+            abp,
+            attr_count,
+        };
+        self.resident += 1;
+        WriteResult::Allocated { evicted }
+    }
+
+    /// Shared allocation path for the no-bypass ablation: reserve a line
+    /// for `prim` evicting farthest-future unlocked lines; returns `None`
+    /// when locks make it impossible.
+    fn read_style_reserve(
+        &mut self,
+        prim: PrimitiveId,
+        attr_count: u8,
+        opt: TileRank,
+    ) -> Option<Vec<EvictedPrim>> {
+        let set = self.set_of(prim);
+        let empty = self.set_range(set).find(|&i| !self.lines[i].valid);
+        let victim = self.best_victim(set);
+        if empty.is_none() && victim.is_none() {
+            return None;
+        }
+        let reclaimable: usize = (0..self.lines.len())
+            .filter(|&i| self.lines[i].valid && !self.lines[i].lock)
+            .map(|i| self.lines[i].attr_count as usize)
+            .sum();
+        if self.free.len() + reclaimable < attr_count as usize {
+            return None;
+        }
+        let mut evicted = Vec::new();
+        let line_idx = match empty {
+            Some(i) => i,
+            None => {
+                let v = victim.expect("checked above");
+                evicted.push(self.evict_line(v));
+                v
+            }
+        };
+        let ok = self.make_space(attr_count as usize, &mut evicted);
+        debug_assert!(ok, "feasibility was checked");
+        self.stats.record_write(false);
+        let abp = self.alloc_chain(attr_count);
+        self.lines[line_idx] = PbLine {
+            valid: true,
+            lock: false,
+            dirty: true,
+            prim,
+            opt,
+            abp,
+            attr_count,
+        };
+        self.resident += 1;
+        Some(evicted)
+    }
+
+    /// Rasterizer consumed `prim`'s attributes: unlock its line and
+    /// attribute chain (§III.C.3 "Rasterizer Read"). Idempotent; a
+    /// primitive already evicted (only possible when unlocked) is a no-op.
+    pub fn unlock(&mut self, prim: PrimitiveId) {
+        if let Some(idx) = self.find(prim) {
+            if self.lines[idx].lock {
+                self.lines[idx].lock = false;
+                self.locked_prims -= 1;
+            }
+        }
+    }
+
+    /// Whether `prim` is resident.
+    pub fn contains(&self, prim: PrimitiveId) -> bool {
+        self.find(prim).is_some()
+    }
+
+    /// The stored OPT Number of a resident primitive.
+    pub fn peek_opt(&self, prim: PrimitiveId) -> Option<TileRank> {
+        self.find(prim).map(|i| self.lines[i].opt)
+    }
+
+    /// End of frame: evicts every resident primitive (unlocking first),
+    /// returning them for dirty write-back accounting.
+    pub fn drain(&mut self) -> Vec<EvictedPrim> {
+        let mut out = Vec::new();
+        for i in 0..self.lines.len() {
+            if self.lines[i].valid {
+                if self.lines[i].lock {
+                    self.lines[i].lock = false;
+                    self.locked_prims -= 1;
+                }
+                out.push(self.evict_line(i));
+            }
+        }
+        debug_assert_eq!(self.free.len(), self.cfg.ab_entries);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(ways: usize, pb_lines: usize, ab_entries: usize) -> AttributeCache {
+        AttributeCache::new(AttributeCacheConfig {
+            ways,
+            pb_lines,
+            ab_entries,
+            indexing: Indexing::Xor,
+            write_bypass: true,
+        })
+    }
+
+    /// A fully-associative 2-primitive cache as in the paper's worked
+    /// example (Fig. 9/10): 2 lines, 6 attribute entries (3 each).
+    fn example_cache() -> AttributeCache {
+        cache(2, 2, 6)
+    }
+
+    #[test]
+    fn write_allocates_until_full() {
+        let mut c = example_cache();
+        assert!(matches!(
+            c.write(PrimitiveId(0), 3, TileRank(0)),
+            WriteResult::Allocated { .. }
+        ));
+        assert!(matches!(
+            c.write(PrimitiveId(1), 3, TileRank(1)),
+            WriteResult::Allocated { .. }
+        ));
+        assert_eq!(c.resident_primitives(), 2);
+        assert_eq!(c.free_entries(), 0);
+    }
+
+    /// The paper's example, write 3 (Fig. 10, OPT side): prim 2 has first
+    /// use at tile 3 (rank 3); residents have OPT numbers 0 and 1 — all
+    /// sooner — so the write is bypassed.
+    #[test]
+    fn write_bypasses_when_residents_are_nearer_future() {
+        let mut c = example_cache();
+        c.write(PrimitiveId(0), 3, TileRank(0));
+        c.write(PrimitiveId(1), 3, TileRank(1));
+        assert_eq!(c.write(PrimitiveId(2), 3, TileRank(3)), WriteResult::Bypassed);
+        assert!(c.contains(PrimitiveId(0)));
+        assert!(c.contains(PrimitiveId(1)));
+        assert_eq!(c.stats().bypasses, 1);
+    }
+
+    #[test]
+    fn write_evicts_farther_future_resident() {
+        let mut c = example_cache();
+        c.write(PrimitiveId(0), 3, TileRank(5));
+        c.write(PrimitiveId(1), 3, TileRank(9));
+        // New primitive first used at rank 2: evict prim 1 (rank 9).
+        match c.write(PrimitiveId(2), 3, TileRank(2)) {
+            WriteResult::Allocated { evicted } => {
+                assert_eq!(evicted.len(), 1);
+                assert_eq!(evicted[0].prim, PrimitiveId(1));
+                assert!(evicted[0].dirty);
+            }
+            other => panic!("expected allocation, got {other:?}"),
+        }
+        assert!(c.contains(PrimitiveId(2)));
+        assert!(!c.contains(PrimitiveId(1)));
+    }
+
+    #[test]
+    fn equal_opt_number_bypasses() {
+        let mut c = example_cache();
+        c.write(PrimitiveId(0), 3, TileRank(4));
+        c.write(PrimitiveId(1), 3, TileRank(4));
+        assert_eq!(c.write(PrimitiveId(2), 3, TileRank(4)), WriteResult::Bypassed);
+    }
+
+    #[test]
+    fn read_hit_locks_and_updates_opt() {
+        let mut c = example_cache();
+        c.write(PrimitiveId(0), 3, TileRank(0));
+        assert_eq!(c.read(PrimitiveId(0), 3, TileRank(3)), ReadResult::Hit);
+        assert_eq!(c.peek_opt(PrimitiveId(0)), Some(TileRank(3)));
+        assert_eq!(c.locked_primitives(), 1);
+        assert_eq!(c.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn read_miss_reserves_and_can_evict() {
+        let mut c = example_cache();
+        c.write(PrimitiveId(0), 3, TileRank(7));
+        c.write(PrimitiveId(1), 3, TileRank(8));
+        // Reading prim 2 (next use rank 9): must evict one of the others.
+        match c.read(PrimitiveId(2), 3, TileRank(9)) {
+            ReadResult::Miss { evicted } => {
+                assert_eq!(evicted.len(), 1);
+                assert_eq!(evicted[0].prim, PrimitiveId(1)); // farthest (8)
+            }
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert!(c.contains(PrimitiveId(2)));
+    }
+
+    #[test]
+    fn locked_lines_are_not_victims() {
+        let mut c = example_cache();
+        c.write(PrimitiveId(0), 3, TileRank(7));
+        c.write(PrimitiveId(1), 3, TileRank(8));
+        assert_eq!(c.read(PrimitiveId(0), 3, TileRank(9)), ReadResult::Hit); // locks prim 0
+        assert_eq!(c.read(PrimitiveId(1), 3, TileRank(9)), ReadResult::Hit); // locks prim 1
+        // Everything locked: a read miss must stall.
+        assert_eq!(c.read(PrimitiveId(2), 3, TileRank(10)), ReadResult::Stalled);
+        c.unlock(PrimitiveId(0));
+        // Now prim 0 is evictable.
+        assert!(matches!(
+            c.read(PrimitiveId(2), 3, TileRank(10)),
+            ReadResult::Miss { .. }
+        ));
+    }
+
+    #[test]
+    fn variable_attr_counts_share_the_buffer() {
+        // 4 lines, 8 entries: a 5-attribute primitive plus a 3-attribute
+        // one exactly fill the buffer.
+        let mut c = cache(4, 4, 8);
+        assert!(matches!(
+            c.write(PrimitiveId(0), 5, TileRank(0)),
+            WriteResult::Allocated { .. }
+        ));
+        assert!(matches!(
+            c.write(PrimitiveId(1), 3, TileRank(1)),
+            WriteResult::Allocated { .. }
+        ));
+        assert_eq!(c.free_entries(), 0);
+        // A third one first-used later than both residents: bypass.
+        assert_eq!(c.write(PrimitiveId(2), 1, TileRank(2)), WriteResult::Bypassed);
+        // First-used EARLIER than prim 0 (rank 0)? No line is
+        // strictly-later than rank 0 except... prim 1 (rank 1) is. Evicting
+        // prim 1 frees 3 entries for a 2-attribute newcomer at rank 0.
+        // (Write-path evictions only take strictly-farther lines.)
+        match c.write(PrimitiveId(3), 2, TileRank(0)) {
+            WriteResult::Allocated { evicted } => {
+                assert!(evicted.iter().any(|e| e.prim == PrimitiveId(1)));
+            }
+            other => panic!("expected allocation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_list_never_leaks() {
+        let mut c = cache(2, 8, 24);
+        // Churn: write, read, evict many primitives with varied sizes.
+        for i in 0..200u32 {
+            let attrs = 1 + (i % 5) as u8;
+            let _ = c.write(PrimitiveId(i), attrs, TileRank(i % 50));
+            if i % 3 == 0 {
+                let _ = c.read(PrimitiveId(i / 2), 1 + ((i / 2) % 5) as u8, TileRank(i % 50 + 1));
+            }
+            if i % 4 == 0 {
+                c.unlock(PrimitiveId(i / 2));
+            }
+        }
+        // Every entry is either free or owned by exactly one resident.
+        let owned: usize = (0..c.lines.len())
+            .filter(|&i| c.lines[i].valid)
+            .map(|i| c.lines[i].attr_count as usize)
+            .sum();
+        assert_eq!(owned + c.free_entries(), c.config().ab_entries);
+        let drained = c.drain();
+        assert_eq!(c.free_entries(), c.config().ab_entries);
+        assert_eq!(drained.iter().map(|e| e.attr_count as usize).sum::<usize>(), owned);
+    }
+
+    #[test]
+    fn drain_reports_dirty_lines() {
+        let mut c = example_cache();
+        c.write(PrimitiveId(0), 3, TileRank(0)); // dirty
+        c.read(PrimitiveId(1), 3, TileRank(1)); // miss fill: clean
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        let by_prim = |p: u32| drained.iter().find(|e| e.prim == PrimitiveId(p)).unwrap();
+        assert!(by_prim(0).dirty);
+        assert!(!by_prim(1).dirty);
+    }
+
+    #[test]
+    fn budget_constructor_is_consistent() {
+        let cfg = AttributeCacheConfig::from_budget(48 << 10, 4);
+        assert_eq!(cfg.ab_entries, 768);
+        assert_eq!(cfg.pb_lines % 4, 0);
+        assert!(cfg.num_sets() > 0);
+        let c = AttributeCache::new(cfg);
+        assert_eq!(c.free_entries(), 768);
+    }
+}

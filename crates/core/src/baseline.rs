@@ -1,0 +1,150 @@
+//! The baseline unified Tile Cache (§II.C, Fig. 5).
+//!
+//! One conventional LRU cache serves both Parameter Buffer sections at
+//! 64-byte-block granularity, over the baseline layouts: strided PB-Lists
+//! (Fig. 3) and block-aligned PB-Attributes (Fig. 4). Reading a primitive
+//! means reading each of its attribute blocks through this cache — the
+//! per-line tags and block granularity TCOR's Attribute Cache does away
+//! with.
+
+use tcor_cache::policy::Lru;
+use tcor_cache::{AccessKind, AccessMeta, Cache, Indexing};
+use tcor_common::{AccessStats, BlockAddr, CacheParams, TileId};
+use tcor_pbuf::{AttributesLayout, ListsLayout, ListsScheme};
+
+/// One block-level access outcome the system driver must act on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileCacheAccess {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// A dirty block displaced toward the L2, if any.
+    pub writeback: Option<BlockAddr>,
+    /// The block accessed.
+    pub block: BlockAddr,
+}
+
+/// The baseline unified Tile Cache.
+#[derive(Clone, Debug)]
+pub struct BaselineTileCache {
+    cache: Cache<Lru>,
+    lists: ListsLayout,
+    attrs: AttributesLayout,
+}
+
+impl BaselineTileCache {
+    /// Creates the cache over the baseline layouts for a frame with
+    /// `num_tiles` tiles and the given per-primitive attribute counts.
+    pub fn new(params: CacheParams, num_tiles: u32, attr_counts: &[u8]) -> Self {
+        BaselineTileCache {
+            cache: Cache::new(params, Indexing::Modulo, Lru::new()),
+            lists: ListsLayout::new(ListsScheme::Baseline, num_tiles),
+            attrs: AttributesLayout::new(attr_counts),
+        }
+    }
+
+    /// The PB-Lists layout (baseline, strided).
+    pub fn lists_layout(&self) -> &ListsLayout {
+        &self.lists
+    }
+
+    /// The PB-Attributes layout.
+    pub fn attrs_layout(&self) -> &AttributesLayout {
+        &self.attrs
+    }
+
+    fn access(&mut self, block: BlockAddr, kind: AccessKind) -> TileCacheAccess {
+        let out = self.cache.access(block, kind, AccessMeta::NONE);
+        TileCacheAccess {
+            hit: out.hit,
+            writeback: out.evicted.and_then(|e| e.dirty.then_some(e.addr)),
+            block,
+        }
+    }
+
+    /// Polygon List Builder writes PMD `n` of `tile`'s list.
+    pub fn write_pmd(&mut self, tile: TileId, n: u32) -> TileCacheAccess {
+        let block = self.lists.pmd_block(tile, n);
+        self.access(block, AccessKind::Write)
+    }
+
+    /// Polygon List Builder writes attribute `k` of primitive `p`.
+    pub fn write_attr(&mut self, p: usize, k: u8) -> TileCacheAccess {
+        let block = self.attrs.attr_block(p, k);
+        self.access(block, AccessKind::Write)
+    }
+
+    /// Tile Fetcher reads the list block containing PMD `first_n`.
+    pub fn read_list_block(&mut self, tile: TileId, first_n: u32) -> TileCacheAccess {
+        let block = self.lists.pmd_block(tile, first_n);
+        self.access(block, AccessKind::Read)
+    }
+
+    /// Tile Fetcher reads attribute `k` of primitive `p`.
+    pub fn read_attr(&mut self, p: usize, k: u8) -> TileCacheAccess {
+        let block = self.attrs.attr_block(p, k);
+        self.access(block, AccessKind::Read)
+    }
+
+    /// End of frame: flush, returning dirty blocks.
+    pub fn drain_dirty(&mut self) -> Vec<BlockAddr> {
+        self.cache
+            .drain()
+            .into_iter()
+            .filter_map(|e| e.dirty.then_some(e.addr))
+            .collect()
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> &AccessStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> BaselineTileCache {
+        BaselineTileCache::new(
+            CacheParams::new(1024, 64, 4, 1), // 16 lines
+            64,
+            &[3, 3, 2, 5],
+        )
+    }
+
+    #[test]
+    fn attr_write_then_read_hits() {
+        let mut c = cache();
+        assert!(!c.write_attr(0, 0).hit);
+        assert!(c.read_attr(0, 0).hit);
+        assert!(!c.read_attr(0, 1).hit, "different block per attribute");
+    }
+
+    #[test]
+    fn primitive_read_is_per_block() {
+        let mut c = cache();
+        // Reading primitive 3 (5 attributes) misses 5 blocks cold.
+        for k in 0..5 {
+            assert!(!c.read_attr(3, k).hit);
+        }
+        assert_eq!(c.stats().read_misses, 5);
+    }
+
+    #[test]
+    fn lists_and_attrs_share_capacity() {
+        let mut c = cache();
+        c.write_pmd(TileId(0), 0);
+        c.write_attr(0, 0);
+        assert_eq!(c.stats().writes(), 2);
+        assert!(c.read_list_block(TileId(0), 0).hit);
+    }
+
+    #[test]
+    fn drain_returns_dirty_blocks() {
+        let mut c = cache();
+        c.write_attr(0, 0);
+        c.write_attr(0, 1);
+        c.read_attr(2, 0);
+        assert_eq!(c.drain_dirty().len(), 2);
+    }
+}

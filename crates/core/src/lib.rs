@@ -1,0 +1,63 @@
+//! # tcor
+//!
+//! The paper's contribution: **TCOR — a Tile Cache with Optimal
+//! Replacement** (§III), plus the baseline Tile Cache it is evaluated
+//! against and full-system drivers that replay identical Tiling Engine
+//! access streams through either organization.
+//!
+//! ## The TCOR organization (Fig. 7, Fig. 8)
+//!
+//! The unified baseline Tile Cache is split in two:
+//!
+//! * [`ListCache`] — a conventional LRU cache in front of PB-Lists, laid
+//!   out with TCOR's interleaved scheme (Fig. 6) so consecutive tiles map
+//!   to consecutive sets.
+//! * [`AttributeCache`] — a decoupled, primitive-granularity cache in
+//!   front of PB-Attributes: a **Primitive Buffer** (tags, lock/dirty
+//!   bits, the 12-bit OPT Number, and a pointer into the attribute
+//!   storage) over an **Attribute Buffer** (a linked free-list pool of
+//!   48-byte attribute entries). Replacement is OPT: evict the unlocked
+//!   line whose next use (OPT Number) lies farthest in the tile
+//!   traversal; Polygon List Builder writes that would evict
+//!   nearer-future lines are **bypassed** to the L2 instead (§III.C.4).
+//!
+//! ## Systems
+//!
+//! [`BaselineSystem`] and [`TcorSystem`] run one frame end to end —
+//! geometry, binning, both Tiling Engine phases, raster-side traffic —
+//! over a shared [`tcor_mem::MemoryHierarchy`], and produce a
+//! [`FrameReport`] with every counter the paper's Figures 14–24 plot.
+//!
+//! ```
+//! use tcor::{SystemConfig, TcorSystem, BaselineSystem};
+//! use tcor_gpu::{Scene, ScenePrimitive};
+//! use tcor_common::Tri2;
+//!
+//! let scene: Scene = (0..64)
+//!     .map(|i| ScenePrimitive {
+//!         tri: Tri2::new(
+//!             (i as f32 * 7.0 % 600.0, i as f32 * 13.0 % 400.0),
+//!             (i as f32 * 7.0 % 600.0 + 40.0, i as f32 * 13.0 % 400.0),
+//!             (i as f32 * 7.0 % 600.0, i as f32 * 13.0 % 400.0 + 40.0),
+//!         ),
+//!         attr_count: 3,
+//!     })
+//!     .collect();
+//! let report = TcorSystem::new(SystemConfig::paper_tcor_64k()).run_frame(&scene);
+//! let base = BaselineSystem::new(SystemConfig::paper_baseline_64k()).run_frame(&scene);
+//! assert!(report.pb_l2_accesses() <= base.pb_l2_accesses());
+//! ```
+
+pub mod attribute_cache;
+pub mod baseline;
+pub mod list_cache;
+pub mod report;
+pub mod system;
+
+pub use attribute_cache::{
+    AttributeCache, AttributeCacheConfig, EvictedPrim, ReadResult, WriteResult,
+};
+pub use baseline::BaselineTileCache;
+pub use list_cache::ListCache;
+pub use report::{FrameReport, StructureActivity};
+pub use system::{BaselineSession, BaselineSystem, SystemConfig, TcorSession, TcorSystem};

@@ -1,0 +1,140 @@
+//! The Primitive List Cache (§III.C.1).
+//!
+//! A conventional LRU cache in front of the PB-Lists section. PB-Lists
+//! traffic is small (a 4-byte PMD versus ~192 bytes of attributes per
+//! primitive) and nearly streaming — each block is written by the Polygon
+//! List Builder (with intra-block reuse: 16 PMDs per block) and later read
+//! exactly once by the Tile Fetcher — so the paper keeps plain LRU here
+//! and spends its cleverness on the layout (interleaving, Fig. 6).
+
+use tcor_cache::{AccessKind, AccessMeta, Cache, Indexing};
+use tcor_cache::policy::Lru;
+use tcor_common::{AccessStats, BlockAddr, CacheParams, TileId};
+use tcor_pbuf::{ListsLayout, ListsScheme};
+
+/// Outcome of a list-cache access the system driver must act on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ListAccess {
+    /// Whether the access hit in the L1.
+    pub hit: bool,
+    /// A dirty block displaced to the L2, if any.
+    pub writeback: Option<BlockAddr>,
+    /// The block accessed (for the L2 request on a miss).
+    pub block: BlockAddr,
+}
+
+/// LRU cache over PB-Lists blocks with a fixed layout.
+#[derive(Clone, Debug)]
+pub struct ListCache {
+    cache: Cache<Lru>,
+    layout: ListsLayout,
+}
+
+impl ListCache {
+    /// Creates the cache. TCOR uses the interleaved layout; passing
+    /// [`ListsScheme::Baseline`] gives the layout-ablation configuration.
+    pub fn new(params: CacheParams, scheme: ListsScheme, num_tiles: u32) -> Self {
+        ListCache {
+            cache: Cache::new(params, Indexing::Modulo, Lru::new()),
+            layout: ListsLayout::new(scheme, num_tiles),
+        }
+    }
+
+    /// The PB-Lists layout in use.
+    pub fn layout(&self) -> &ListsLayout {
+        &self.layout
+    }
+
+    /// Polygon List Builder writes PMD `n` of `tile`'s list.
+    pub fn write_pmd(&mut self, tile: TileId, n: u32) -> ListAccess {
+        let block = self.layout.pmd_block(tile, n);
+        let out = self.cache.access(block, AccessKind::Write, AccessMeta::NONE);
+        ListAccess {
+            hit: out.hit,
+            writeback: out.evicted.and_then(|e| e.dirty.then_some(e.addr)),
+            block,
+        }
+    }
+
+    /// Tile Fetcher reads the list block starting at PMD `first_n`.
+    pub fn read_block(&mut self, tile: TileId, first_n: u32) -> ListAccess {
+        let block = self.layout.pmd_block(tile, first_n);
+        let out = self.cache.access(block, AccessKind::Read, AccessMeta::NONE);
+        ListAccess {
+            hit: out.hit,
+            writeback: out.evicted.and_then(|e| e.dirty.then_some(e.addr)),
+            block,
+        }
+    }
+
+    /// End of frame: flush, returning dirty blocks for write-back.
+    pub fn drain_dirty(&mut self) -> Vec<BlockAddr> {
+        self.cache
+            .drain()
+            .into_iter()
+            .filter_map(|e| e.dirty.then_some(e.addr))
+            .collect()
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> &AccessStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(scheme: ListsScheme) -> ListCache {
+        // 4 lines, 2-way.
+        ListCache::new(CacheParams::new(256, 64, 2, 1), scheme, 64)
+    }
+
+    #[test]
+    fn pmds_in_same_block_hit_after_first_write() {
+        let mut c = small(ListsScheme::Interleaved);
+        assert!(!c.write_pmd(TileId(0), 0).hit);
+        for n in 1..16 {
+            assert!(c.write_pmd(TileId(0), n).hit, "PMD {n} shares the block");
+        }
+        assert!(!c.write_pmd(TileId(0), 16).hit, "next block");
+    }
+
+    #[test]
+    fn read_after_write_hits_if_resident() {
+        let mut c = small(ListsScheme::Interleaved);
+        c.write_pmd(TileId(3), 0);
+        assert!(c.read_block(TileId(3), 0).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small(ListsScheme::Baseline);
+        // Baseline layout: consecutive tiles stride 64 blocks -> with 2
+        // sets they all collide in one set (the §III.B pathology).
+        c.write_pmd(TileId(0), 0);
+        c.write_pmd(TileId(1), 0);
+        let third = c.write_pmd(TileId(2), 0);
+        assert!(third.writeback.is_some(), "dirty LRU block written back");
+    }
+
+    #[test]
+    fn interleaved_layout_avoids_that_conflict() {
+        let mut c = small(ListsScheme::Interleaved);
+        c.write_pmd(TileId(0), 0);
+        c.write_pmd(TileId(1), 0);
+        let third = c.write_pmd(TileId(2), 0);
+        assert!(third.writeback.is_none(), "consecutive tiles spread over sets");
+    }
+
+    #[test]
+    fn drain_returns_only_dirty() {
+        let mut c = small(ListsScheme::Interleaved);
+        c.write_pmd(TileId(0), 0);
+        c.read_block(TileId(1), 0); // clean fill
+        let dirty = c.drain_dirty();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0], c.layout().pmd_block(TileId(0), 0));
+    }
+}

@@ -1,0 +1,29 @@
+//! # tcor-energy
+//!
+//! The energy model — the McPAT/DRAMSim2-power substitution documented in
+//! `DESIGN.md`. An analytic CACTI-style model assigns each SRAM structure
+//! a per-access energy growing with √capacity plus capacity-proportional
+//! leakage; DRAM accesses carry a fixed (much larger) per-64-byte energy;
+//! compute energy scales with executed shader instructions, shaded
+//! fragments and transformed primitives.
+//!
+//! Every figure in the paper reports energy **normalized to the
+//! baseline**, so only the *ratios* between the coefficients matter: L1 ≪
+//! L2 ≪ DRAM for accesses, and the compute share calibrated so the memory
+//! hierarchy is a plausible fraction of total GPU energy (the paper's
+//! 13.8% memory-hierarchy saving translating to ~5.5% of total GPU
+//! energy implies memory ≈ 40% of the total).
+//!
+//! ```
+//! use tcor_energy::{EnergyModel, EnergyParams};
+//!
+//! let model = EnergyModel::new(EnergyParams::default_32nm());
+//! // 64 KiB L1 access costs less than a 1 MiB L2 access...
+//! assert!(model.sram_access_pj(64 << 10) < model.sram_access_pj(1 << 20));
+//! // ...which costs far less than a DRAM access.
+//! assert!(model.sram_access_pj(1 << 20) * 10.0 < model.params().dram_access_pj);
+//! ```
+
+pub mod model;
+
+pub use model::{EnergyBreakdown, EnergyModel, EnergyParams};

@@ -1,0 +1,231 @@
+//! The Geometry Pipeline: vertex fetch, (modeled) transform, primitive
+//! assembly and viewport culling.
+//!
+//! The workload generator synthesizes scenes directly in screen space, so
+//! the "transform" here is the viewport stage: primitives entirely outside
+//! the screen are culled (they would have been frustum-culled). What the
+//! memory hierarchy cares about is the *vertex-fetch traffic* this stage
+//! pushes through the Vertex Cache toward the shared L2 — modeled as a
+//! stream of block addresses over the input-geometry region with the
+//! sharing factor of indexed triangle meshes (vertices shared by ~2
+//! triangles on average in a strip-ordered mesh).
+
+use crate::scene::Scene;
+use tcor_common::{Rect, TileGrid};
+use tcor_pbuf::region::bases;
+use tcor_common::BlockAddr;
+
+/// Bytes per vertex record in the input geometry (position + a couple of
+/// attributes, pre-transform).
+pub const VERTEX_BYTES: u64 = 32;
+
+/// Entries in the post-transform vertex cache (the small FIFO real GPUs
+/// place after the Vertex Stage so indexed meshes shade each vertex
+/// once).
+pub const POST_TRANSFORM_ENTRIES: usize = 16;
+
+/// The post-transform vertex cache: a FIFO of recently shaded vertex
+/// indices. A lookup hit means the vertex needs neither a memory fetch
+/// nor a re-run of the vertex shader.
+#[derive(Clone, Debug)]
+pub struct PostTransformCache {
+    fifo: std::collections::VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PostTransformCache {
+    /// Creates a cache with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "post-transform cache needs capacity");
+        PostTransformCache {
+            fifo: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a vertex index; on a miss the index is inserted (evicting
+    /// the oldest). Returns whether it hit.
+    pub fn lookup(&mut self, index: u64) -> bool {
+        if self.fifo.contains(&index) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.fifo.len() == self.capacity {
+            self.fifo.pop_front();
+        }
+        self.fifo.push_back(index);
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far (each one is a vertex fetch + shade).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// The Geometry Pipeline stage.
+#[derive(Clone, Debug)]
+pub struct GeometryPipeline {
+    grid: TileGrid,
+}
+
+/// Output of the Geometry Pipeline for one frame.
+#[derive(Clone, Debug)]
+pub struct GeometryOutput {
+    /// Surviving primitives in program order (input to the Polygon List
+    /// Builder).
+    pub visible: Scene,
+    /// Number of culled primitives.
+    pub culled: usize,
+    /// Vertex-fetch block addresses, in fetch order, through the Vertex
+    /// Cache.
+    pub vertex_fetch_blocks: Vec<BlockAddr>,
+}
+
+impl GeometryPipeline {
+    /// Creates the stage for a screen described by `grid`.
+    pub fn new(grid: TileGrid) -> Self {
+        GeometryPipeline { grid }
+    }
+
+    /// Runs the frame: fetch vertices, assemble, cull.
+    ///
+    /// The vertex stream models an indexed triangle strip: triangle `i`
+    /// uses vertex indices `{i, i+1, i+2}` with a strip restart every 24
+    /// triangles (the workload generator's object granularity). A
+    /// [`PostTransformCache`] filters the index stream — only misses
+    /// fetch a vertex record from the input-geometry region.
+    pub fn run(&self, scene: &Scene) -> GeometryOutput {
+        let screen = Rect::new(
+            0.0,
+            0.0,
+            self.grid.screen_width() as f32,
+            self.grid.screen_height() as f32,
+        );
+        let mut visible = Scene::new();
+        let mut culled = 0usize;
+        let mut vertex_fetch_blocks = Vec::new();
+        let mut ptc = PostTransformCache::new(POST_TRANSFORM_ENTRIES);
+        for (i, prim) in scene.primitives().iter().enumerate() {
+            // Strip restart between objects: indices jump so no sharing
+            // crosses an object boundary.
+            let object = (i / 24) as u64;
+            let within = (i % 24) as u64;
+            let base_index = object * 64 + within;
+            for r in [base_index, base_index + 1, base_index + 2] {
+                if !ptc.lookup(r) {
+                    vertex_fetch_blocks.push(
+                        tcor_common::Address(bases::VERTICES + r * VERTEX_BYTES).block(),
+                    );
+                }
+            }
+            if prim.tri.bbox().clamp_to(screen.x1, screen.y1).is_some() {
+                visible.push(*prim);
+            } else {
+                culled += 1;
+            }
+        }
+        GeometryOutput {
+            visible,
+            culled,
+            vertex_fetch_blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::ScenePrimitive;
+    use tcor_common::Tri2;
+
+    fn prim(x: f32, y: f32) -> ScenePrimitive {
+        ScenePrimitive {
+            tri: Tri2::new((x, y), (x + 8.0, y), (x, y + 8.0)),
+            attr_count: 3,
+        }
+    }
+
+    #[test]
+    fn culls_offscreen_primitives() {
+        let grid = TileGrid::new(64, 64, 32);
+        let gp = GeometryPipeline::new(grid);
+        let scene = Scene::from_primitives(vec![prim(10.0, 10.0), prim(-100.0, -100.0)]);
+        let out = gp.run(&scene);
+        assert_eq!(out.visible.len(), 1);
+        assert_eq!(out.culled, 1);
+    }
+
+    #[test]
+    fn vertex_traffic_reflects_strip_sharing() {
+        let grid = TileGrid::new(64, 64, 32);
+        let gp = GeometryPipeline::new(grid);
+        let scene = Scene::from_primitives(vec![prim(0.0, 0.0); 10]);
+        let out = gp.run(&scene);
+        // Strip indexing through the post-transform cache: the first
+        // triangle fetches 3 records, each further one only 1.
+        assert_eq!(out.vertex_fetch_blocks.len(), 3 + 9);
+    }
+
+    #[test]
+    fn strip_restart_breaks_sharing_at_object_boundaries() {
+        let grid = TileGrid::new(64, 64, 32);
+        let gp = GeometryPipeline::new(grid);
+        // 25 triangles: object boundary after 24 -> a fresh 3-vertex fetch.
+        let scene = Scene::from_primitives(vec![prim(0.0, 0.0); 25]);
+        let out = gp.run(&scene);
+        assert_eq!(out.vertex_fetch_blocks.len(), (3 + 23) + 3);
+    }
+
+    #[test]
+    fn post_transform_cache_fifo_semantics() {
+        let mut c = PostTransformCache::new(2);
+        assert!(!c.lookup(1));
+        assert!(!c.lookup(2));
+        assert!(c.lookup(1), "still resident");
+        assert!(!c.lookup(3), "evicts the oldest (1)");
+        assert!(!c.lookup(1), "1 was evicted");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_post_transform_panics() {
+        PostTransformCache::new(0);
+    }
+
+    #[test]
+    fn vertex_blocks_live_in_vertices_region() {
+        let grid = TileGrid::new(64, 64, 32);
+        let gp = GeometryPipeline::new(grid);
+        let scene = Scene::from_primitives(vec![prim(0.0, 0.0); 4]);
+        let out = gp.run(&scene);
+        for b in &out.vertex_fetch_blocks {
+            assert_eq!(tcor_pbuf::Region::of_block(*b), tcor_pbuf::Region::Vertices);
+        }
+    }
+
+    #[test]
+    fn empty_scene_is_empty_output() {
+        let grid = TileGrid::new(64, 64, 32);
+        let out = GeometryPipeline::new(grid).run(&Scene::new());
+        assert!(out.visible.is_empty());
+        assert_eq!(out.culled, 0);
+        assert!(out.vertex_fetch_blocks.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Screen-space scenes.
+//!
+//! A scene is the Geometry Pipeline's output for one frame: an ordered
+//! list of screen-space triangles, each with the attribute count the
+//! vertex program produced (colors, normals, texture coordinates… —
+//! 1..=15, average ≈ 3 per the paper §III.C).
+
+use tcor_common::Tri2;
+
+/// One assembled primitive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenePrimitive {
+    /// The screen-space triangle.
+    pub tri: Tri2,
+    /// Number of vertex attributes (1..=15).
+    pub attr_count: u8,
+}
+
+/// An ordered list of primitives for one frame, in program order (the
+/// order the Polygon List Builder receives them).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Scene {
+    prims: Vec<ScenePrimitive>,
+}
+
+impl Scene {
+    /// An empty scene.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a scene from primitives in program order.
+    pub fn from_primitives(prims: Vec<ScenePrimitive>) -> Self {
+        Scene { prims }
+    }
+
+    /// Appends a primitive.
+    pub fn push(&mut self, prim: ScenePrimitive) {
+        self.prims.push(prim);
+    }
+
+    /// The primitives in program order.
+    pub fn primitives(&self) -> &[ScenePrimitive] {
+        &self.prims
+    }
+
+    /// Number of primitives.
+    pub fn len(&self) -> usize {
+        self.prims.len()
+    }
+
+    /// Whether the scene is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prims.is_empty()
+    }
+
+    /// Total attribute count (the PB-Attributes footprint in blocks).
+    pub fn total_attrs(&self) -> usize {
+        self.prims.iter().map(|p| p.attr_count as usize).sum()
+    }
+
+    /// Mean attribute count per primitive.
+    pub fn avg_attrs(&self) -> f64 {
+        if self.prims.is_empty() {
+            0.0
+        } else {
+            self.total_attrs() as f64 / self.prims.len() as f64
+        }
+    }
+}
+
+impl FromIterator<ScenePrimitive> for Scene {
+    fn from_iter<I: IntoIterator<Item = ScenePrimitive>>(iter: I) -> Self {
+        Scene {
+            prims: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<ScenePrimitive> for Scene {
+    fn extend<I: IntoIterator<Item = ScenePrimitive>>(&mut self, iter: I) {
+        self.prims.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Tri2 {
+        Tri2::new((0.0, 0.0), (10.0, 0.0), (0.0, 10.0))
+    }
+
+    #[test]
+    fn scene_accumulates() {
+        let mut s = Scene::new();
+        assert!(s.is_empty());
+        s.push(ScenePrimitive {
+            tri: tri(),
+            attr_count: 3,
+        });
+        s.push(ScenePrimitive {
+            tri: tri(),
+            attr_count: 5,
+        });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_attrs(), 8);
+        assert!((s.avg_attrs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: Scene = (0..4)
+            .map(|_| ScenePrimitive {
+                tri: tri(),
+                attr_count: 2,
+            })
+            .collect();
+        assert_eq!(s.len(), 4);
+    }
+}

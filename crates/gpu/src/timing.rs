@@ -1,0 +1,198 @@
+//! Tile Fetcher timing with MSHR overlap.
+//!
+//! Figures 23–24 measure *primitives output per cycle* by the Tile Fetcher
+//! with an unbounded output queue (the Raster Pipeline never back-
+//! pressures). Throughput is then bounded by the fetch issue rate (one
+//! request per cycle) and by miss latency, which Miss Status Holding
+//! Registers overlap up to their capacity.
+//!
+//! The model: each operation takes one issue cycle. A miss additionally
+//! occupies an MSHR until `latency` cycles after issue; when all MSHRs are
+//! busy, issue stalls until the earliest outstanding fill returns.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cycle-level MSHR occupancy model.
+///
+/// ```
+/// use tcor_gpu::MshrTiming;
+///
+/// let mut t = MshrTiming::new(4);
+/// t.issue_hit();            // 1 cycle
+/// t.issue_miss(100);        // overlapped
+/// t.issue_miss(100);        // overlapped
+/// let cycles = t.finish();
+/// assert!(cycles >= 100 && cycles < 210); // misses overlap, not serialize
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrTiming {
+    mshrs: usize,
+    now: u64,
+    outstanding: BinaryHeap<Reverse<u64>>,
+    issued_ops: u64,
+    issued_misses: u64,
+    stall_cycles: u64,
+}
+
+impl MshrTiming {
+    /// Creates a timing model with `mshrs` miss registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mshrs` is zero (a cache always has at least one).
+    pub fn new(mshrs: usize) -> Self {
+        assert!(mshrs > 0, "need at least one MSHR");
+        MshrTiming {
+            mshrs,
+            now: 0,
+            outstanding: BinaryHeap::new(),
+            issued_ops: 0,
+            issued_misses: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    fn retire_completed(&mut self) {
+        while let Some(&Reverse(t)) = self.outstanding.peek() {
+            if t <= self.now {
+                self.outstanding.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Issues an operation that hits: one cycle.
+    pub fn issue_hit(&mut self) {
+        self.now += 1;
+        self.issued_ops += 1;
+        self.retire_completed();
+    }
+
+    /// Issues an operation that misses with the given fill latency,
+    /// stalling first if every MSHR is occupied.
+    pub fn issue_miss(&mut self, latency: u64) {
+        self.retire_completed();
+        if self.outstanding.len() >= self.mshrs {
+            let Reverse(earliest) = self.outstanding.pop().expect("nonempty");
+            if earliest > self.now {
+                self.stall_cycles += earliest - self.now;
+                self.now = earliest;
+            }
+            self.retire_completed();
+        }
+        self.now += 1;
+        self.issued_ops += 1;
+        self.issued_misses += 1;
+        self.outstanding.push(Reverse(self.now + latency));
+    }
+
+    /// Advances time by an explicit bubble (e.g. pipeline drain between
+    /// tiles).
+    pub fn bubble(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.retire_completed();
+    }
+
+    /// Drains all outstanding fills and returns the total elapsed cycles.
+    pub fn finish(&mut self) -> u64 {
+        if let Some(&Reverse(last)) = self.outstanding.iter().max_by_key(|&&Reverse(t)| t) {
+            if last > self.now {
+                self.now = last;
+            }
+        }
+        self.outstanding.clear();
+        self.now
+    }
+
+    /// Cycles elapsed so far (without draining).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Operations issued.
+    pub fn issued_ops(&self) -> u64 {
+        self.issued_ops
+    }
+
+    /// Misses issued.
+    pub fn issued_misses(&self) -> u64 {
+        self.issued_misses
+    }
+
+    /// Cycles spent stalled waiting for a free MSHR.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_are_one_cycle_each() {
+        let mut t = MshrTiming::new(2);
+        for _ in 0..10 {
+            t.issue_hit();
+        }
+        assert_eq!(t.finish(), 10);
+    }
+
+    #[test]
+    fn single_miss_costs_latency() {
+        let mut t = MshrTiming::new(4);
+        t.issue_miss(50);
+        assert_eq!(t.finish(), 51); // 1 issue + 50 fill
+    }
+
+    #[test]
+    fn misses_overlap_up_to_mshr_count() {
+        let mut t = MshrTiming::new(4);
+        for _ in 0..4 {
+            t.issue_miss(100);
+        }
+        // 4 issue cycles; fills overlap: last completes at 4 + 100.
+        assert_eq!(t.finish(), 104);
+        assert_eq!(t.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn mshr_exhaustion_serializes() {
+        let mut t = MshrTiming::new(1);
+        t.issue_miss(100);
+        t.issue_miss(100);
+        // Second miss waits for the first fill (at 101), issues at 102,
+        // completes at 202.
+        assert_eq!(t.finish(), 202);
+        assert!(t.stall_cycles() >= 100);
+    }
+
+    #[test]
+    fn hits_proceed_under_outstanding_misses() {
+        let mut t = MshrTiming::new(4);
+        t.issue_miss(100);
+        for _ in 0..10 {
+            t.issue_hit();
+        }
+        // 11 issue cycles; the miss fill (at 101) dominates.
+        assert_eq!(t.finish(), 101);
+    }
+
+    #[test]
+    fn counters_track_issues() {
+        let mut t = MshrTiming::new(2);
+        t.issue_hit();
+        t.issue_miss(10);
+        t.issue_hit();
+        assert_eq!(t.issued_ops(), 3);
+        assert_eq!(t.issued_misses(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MSHR")]
+    fn zero_mshrs_panics() {
+        MshrTiming::new(0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The shared L2 + main memory, wired together with the completed-tile
+//! watermark.
+
+use crate::dram::MainMemory;
+use crate::l2policy::{L2Policy, L2PolicyMode};
+use crate::pbtag::PbTag;
+use crate::traffic::TrafficMatrix;
+use std::cell::Cell;
+use std::rc::Rc;
+use tcor_cache::{AccessKind, AccessMeta, Cache, Indexing};
+use tcor_common::{AccessStats, BlockAddr, CacheParams, MemoryParams};
+use tcor_pbuf::Region;
+
+/// Which L2 behaviour the hierarchy models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum L2Mode {
+    /// Baseline: LRU, no PB tags, every dirty eviction written back.
+    Baseline,
+    /// TCOR: dead-line-priority replacement; dead dirty lines dropped
+    /// without write-back (§III.D).
+    TcorEnhanced,
+}
+
+/// The memory system below the L1 caches.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    mode: L2Mode,
+    l2: Cache<L2Policy>,
+    mem: MainMemory,
+    watermark: Rc<Cell<u64>>,
+    traffic: TrafficMatrix,
+    dead_drops: u64,
+    l2_latency: u32,
+}
+
+impl MemoryHierarchy {
+    /// Creates the hierarchy from cache/memory parameters.
+    pub fn new(l2_params: CacheParams, mem_params: MemoryParams, mode: L2Mode) -> Self {
+        let watermark = Rc::new(Cell::new(0));
+        let policy_mode = match mode {
+            L2Mode::Baseline => L2PolicyMode::BaselineLru,
+            L2Mode::TcorEnhanced => L2PolicyMode::DeadLinePriority,
+        };
+        MemoryHierarchy {
+            mode,
+            l2: Cache::new(
+                l2_params,
+                Indexing::Modulo,
+                L2Policy::new(policy_mode, watermark.clone()),
+            ),
+            mem: MainMemory::new(mem_params),
+            watermark,
+            traffic: TrafficMatrix::default(),
+            dead_drops: 0,
+            l2_latency: l2_params.latency,
+        }
+    }
+
+    /// The L2 behaviour mode.
+    pub fn mode(&self) -> L2Mode {
+        self.mode
+    }
+
+    /// An access from an L1 (read miss, write-back, write miss or TCOR
+    /// bypass) arriving at the L2. Returns the total latency in cycles
+    /// (L2 hit latency, plus main-memory latency on an L2 read miss).
+    ///
+    /// `tag` classifies the block for the dead-line machinery; pass
+    /// [`PbTag::NONE`] for non-Parameter-Buffer data.
+    pub fn access(&mut self, block: BlockAddr, kind: AccessKind, tag: PbTag) -> u32 {
+        let region = Region::of_block(block);
+        match kind {
+            AccessKind::Read => self.traffic.record_l2_read(region),
+            AccessKind::Write => self.traffic.record_l2_write(region),
+        }
+        let meta = AccessMeta::with_user(u64::MAX, tag.encode());
+        let out = self.l2.access(block, kind, meta);
+        let mut latency = self.l2_latency;
+        if !out.hit && kind == AccessKind::Read {
+            // Read miss: fill from main memory. (Write misses allocate
+            // without a fill read: PB writes are full-line.)
+            latency += self.mem.read(block);
+        }
+        if let Some(ev) = out.evicted {
+            if ev.dirty {
+                let etag = PbTag::decode(ev.meta.user);
+                if self.mode == L2Mode::TcorEnhanced && etag.is_dead(self.watermark.get()) {
+                    self.dead_drops += 1;
+                } else {
+                    self.mem.write(ev.addr);
+                }
+            }
+        }
+        latency
+    }
+
+    /// A write that bypasses the L2 entirely (the Color Buffer flush of
+    /// Fig. 2 goes straight to main memory).
+    pub fn write_direct(&mut self, block: BlockAddr) {
+        self.mem.write(block);
+    }
+
+    /// Warm-start: installs a clean line as left over from the previous
+    /// frame (the Parameter Buffer is rebuilt at the same addresses every
+    /// frame, so in steady state the L2 holds much of last frame's PB).
+    /// No statistics or traffic are recorded.
+    pub fn warm_fill(&mut self, block: BlockAddr, tag: PbTag) {
+        self.l2
+            .fill_clean(block, AccessMeta::with_user(u64::MAX, tag.encode()));
+    }
+
+    /// Tile Fetcher completion signal (§III.D.1): advances the
+    /// completed-tiles watermark.
+    pub fn tile_done(&mut self) {
+        self.watermark.set(self.watermark.get() + 1);
+    }
+
+    /// Completed-tile count.
+    pub fn completed_tiles(&self) -> u64 {
+        self.watermark.get()
+    }
+
+    /// Frame boundary for steady-state (multi-frame session) runs: the
+    /// L2 keeps its contents — next frame's Parameter Buffer writes will
+    /// overwrite the stale lines in place — and only the completed-tile
+    /// watermark resets.
+    pub fn frame_boundary(&mut self) {
+        self.watermark.set(0);
+    }
+
+    /// Zeroes every counter (L2 stats, traffic matrices, dead drops)
+    /// while keeping cache and DRAM state — call at the start of a
+    /// steady-state frame so the report covers exactly that frame.
+    pub fn reset_counters(&mut self) {
+        self.l2.reset_stats();
+        self.traffic = TrafficMatrix::default();
+        self.mem.reset_counters();
+        self.dead_drops = 0;
+    }
+
+    /// End of frame: every remaining dirty L2 line is disposed of — the
+    /// Parameter Buffer is dead in its entirety (it is rebuilt next
+    /// frame), so TCOR drops PB lines while the baseline writes them back.
+    /// Resets the watermark for the next frame.
+    pub fn end_frame(&mut self) {
+        let drained = self.l2.drain();
+        for ev in drained {
+            if ev.dirty {
+                let etag = PbTag::decode(ev.meta.user);
+                let pb = etag.kind != crate::pbtag::PbKind::None;
+                if self.mode == L2Mode::TcorEnhanced && pb {
+                    self.dead_drops += 1;
+                } else {
+                    self.mem.write(ev.addr);
+                }
+            }
+        }
+        self.watermark.set(0);
+    }
+
+    /// L2 hit/miss statistics.
+    pub fn l2_stats(&self) -> &AccessStats {
+        self.l2.stats()
+    }
+
+    /// Traffic arriving at the L2, per region.
+    pub fn l2_traffic(&self) -> &TrafficMatrix {
+        &self.traffic
+    }
+
+    /// Traffic reaching main memory, per region.
+    pub fn mm_traffic(&self) -> &TrafficMatrix {
+        self.mem.traffic()
+    }
+
+    /// Dirty lines dropped dead without write-back (TCOR only).
+    pub fn dead_drops(&self) -> u64 {
+        self.dead_drops
+    }
+
+    /// The main-memory model.
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcor_common::TileRank;
+    use tcor_pbuf::region::bases;
+
+    fn hierarchy(mode: L2Mode) -> MemoryHierarchy {
+        MemoryHierarchy::new(
+            CacheParams::new(512, 64, 0, 12), // 8-line L2 for micro-tests
+            MemoryParams::default(),
+            mode,
+        )
+    }
+
+    fn pb_block(i: u64) -> BlockAddr {
+        tcor_common::Address(bases::PB_ATTRIBUTES + i * 64).block()
+    }
+
+    #[test]
+    fn read_miss_goes_to_memory() {
+        let mut h = hierarchy(L2Mode::Baseline);
+        let lat = h.access(pb_block(0), AccessKind::Read, PbTag::NONE);
+        assert!(lat > 12, "miss latency {lat} must include memory");
+        let lat2 = h.access(pb_block(0), AccessKind::Read, PbTag::NONE);
+        assert_eq!(lat2, 12, "hit pays only L2 latency");
+        assert_eq!(h.mm_traffic().region(Region::PbAttributes).mm_reads, 1);
+    }
+
+    #[test]
+    fn write_miss_allocates_without_fill() {
+        let mut h = hierarchy(L2Mode::Baseline);
+        h.access(pb_block(0), AccessKind::Write, PbTag::NONE);
+        assert_eq!(h.mm_traffic().region(Region::PbAttributes).mm_reads, 0);
+        assert_eq!(h.l2_traffic().region(Region::PbAttributes).l2_writes, 1);
+    }
+
+    #[test]
+    fn baseline_writes_back_dirty_evictions() {
+        let mut h = hierarchy(L2Mode::Baseline);
+        for i in 0..8 {
+            h.access(pb_block(i), AccessKind::Write, PbTag::attributes(TileRank(0)));
+        }
+        h.access(pb_block(100), AccessKind::Read, PbTag::NONE);
+        assert_eq!(h.mm_traffic().region(Region::PbAttributes).mm_writes, 1);
+        assert_eq!(h.dead_drops(), 0);
+    }
+
+    #[test]
+    fn tcor_drops_dead_dirty_lines() {
+        let mut h = hierarchy(L2Mode::TcorEnhanced);
+        for i in 0..8 {
+            h.access(pb_block(i), AccessKind::Write, PbTag::attributes(TileRank(0)));
+        }
+        h.tile_done(); // tile 0 completed: all 8 lines now dead
+        h.access(pb_block(100), AccessKind::Read, PbTag::NONE);
+        assert_eq!(h.mm_traffic().region(Region::PbAttributes).mm_writes, 0);
+        assert_eq!(h.dead_drops(), 1);
+    }
+
+    #[test]
+    fn tcor_live_lines_still_written_back() {
+        let mut h = hierarchy(L2Mode::TcorEnhanced);
+        for i in 0..8 {
+            h.access(pb_block(i), AccessKind::Write, PbTag::attributes(TileRank(5)));
+        }
+        // No tile completed: lines are live; eviction writes back.
+        h.access(pb_block(100), AccessKind::Read, PbTag::NONE);
+        assert_eq!(h.mm_traffic().region(Region::PbAttributes).mm_writes, 1);
+    }
+
+    #[test]
+    fn end_frame_disposal_differs_by_mode() {
+        for (mode, expect_writes, expect_drops) in
+            [(L2Mode::Baseline, 4u64, 0u64), (L2Mode::TcorEnhanced, 0, 4)]
+        {
+            let mut h = hierarchy(mode);
+            for i in 0..4 {
+                h.access(pb_block(i), AccessKind::Write, PbTag::attributes(TileRank(9)));
+            }
+            h.end_frame();
+            assert_eq!(
+                h.mm_traffic().region(Region::PbAttributes).mm_writes,
+                expect_writes,
+                "{mode:?}"
+            );
+            assert_eq!(h.dead_drops(), expect_drops, "{mode:?}");
+            assert_eq!(h.completed_tiles(), 0);
+        }
+    }
+
+    #[test]
+    fn direct_writes_skip_l2() {
+        let mut h = hierarchy(L2Mode::Baseline);
+        let fb = tcor_common::Address(bases::FRAME_BUFFER).block();
+        h.write_direct(fb);
+        assert_eq!(h.l2_traffic().total_l2_accesses(), 0);
+        assert_eq!(h.mm_traffic().region(Region::FrameBuffer).mm_writes, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! The L2 replacement policy (§III.D.2).
+//!
+//! Baseline mode is plain LRU. TCOR mode prioritizes eviction classes:
+//!
+//! 1. **dead PB lines** — their last-use tile has completed; they will
+//!    never be read again and need no write-back;
+//! 2. **non-PB lines** — always clean (textures, vertices, instructions),
+//!    so cheap to replace;
+//! 3. **live PB lines** — may be dirty and will be read again.
+//!
+//! LRU orders victims within each class. The completed-tile watermark is
+//! shared with the hierarchy through an `Rc<Cell<u64>>` — the hardware
+//! equivalent is the Tile Fetcher's completion signal wire into the L2
+//! control logic.
+
+use crate::pbtag::PbTag;
+use std::cell::Cell;
+use std::rc::Rc;
+use tcor_cache::cache::Line;
+use tcor_cache::policy::ReplacementPolicy;
+use tcor_cache::AccessMeta;
+
+/// Replacement behaviour selector for [`L2Policy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum L2PolicyMode {
+    /// Plain LRU (the baseline L2).
+    BaselineLru,
+    /// TCOR's dead-line-priority replacement.
+    DeadLinePriority,
+}
+
+/// The L2 replacement policy, parameterized by mode.
+#[derive(Clone, Debug)]
+pub struct L2Policy {
+    mode: L2PolicyMode,
+    watermark: Rc<Cell<u64>>,
+    clock: u64,
+    last_touch: Vec<u64>,
+    ways: usize,
+}
+
+impl L2Policy {
+    /// Creates the policy; `watermark` is the shared completed-tiles
+    /// counter (advanced by the hierarchy on Tile Fetcher signals).
+    pub fn new(mode: L2PolicyMode, watermark: Rc<Cell<u64>>) -> Self {
+        L2Policy {
+            mode,
+            watermark,
+            clock: 0,
+            last_touch: Vec::new(),
+            ways: 0,
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> L2PolicyMode {
+        self.mode
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        self.last_touch[set * self.ways + way] = self.clock;
+    }
+
+    /// Eviction class of a line: lower is evicted first.
+    fn class(&self, line: &Line) -> u8 {
+        let tag = PbTag::decode(line.meta().user);
+        if tag.is_dead(self.watermark.get()) {
+            0
+        } else if tag.kind == crate::pbtag::PbKind::None {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+impl ReplacementPolicy for L2Policy {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            L2PolicyMode::BaselineLru => "L2-LRU",
+            L2PolicyMode::DeadLinePriority => "L2-TCOR",
+        }
+    }
+
+    fn attach(&mut self, num_sets: usize, ways: usize) {
+        self.ways = ways;
+        self.last_touch = vec![0; num_sets * ways];
+        self.clock = 0;
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        self.touch(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        self.touch(set, way);
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.last_touch[set * self.ways + way] = 0;
+    }
+
+    fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
+        let base = set * self.ways;
+        match self.mode {
+            L2PolicyMode::BaselineLru => (0..lines.len())
+                .min_by_key(|&w| self.last_touch[base + w])
+                .expect("victim called on empty set"),
+            L2PolicyMode::DeadLinePriority => (0..lines.len())
+                .min_by_key(|&w| (self.class(&lines[w]), self.last_touch[base + w]))
+                .expect("victim called on empty set"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcor_cache::{AccessKind, Cache, Indexing};
+    use tcor_common::{BlockAddr, CacheParams, TileRank};
+
+    fn tcor_l2(watermark: Rc<Cell<u64>>) -> Cache<L2Policy> {
+        // 4 lines, fully associative, for policy micro-tests.
+        Cache::new(
+            CacheParams::new(256, 64, 0, 12),
+            Indexing::Modulo,
+            L2Policy::new(L2PolicyMode::DeadLinePriority, watermark),
+        )
+    }
+
+    fn meta(tag: PbTag) -> AccessMeta {
+        AccessMeta::with_user(u64::MAX, tag.encode())
+    }
+
+    #[test]
+    fn dead_lines_evicted_first_even_if_recent() {
+        let wm = Rc::new(Cell::new(0));
+        let mut l2 = tcor_l2(wm.clone());
+        l2.access(BlockAddr(1), AccessKind::Write, meta(PbTag::attributes(TileRank(0))));
+        l2.access(BlockAddr(2), AccessKind::Read, meta(PbTag::NONE));
+        l2.access(BlockAddr(3), AccessKind::Write, meta(PbTag::attributes(TileRank(9))));
+        l2.access(BlockAddr(1), AccessKind::Read, meta(PbTag::attributes(TileRank(0)))); // refresh LRU
+        l2.access(BlockAddr(4), AccessKind::Read, meta(PbTag::NONE));
+        // Tile 0 completes -> block 1 is dead despite being recently used.
+        wm.set(1);
+        let out = l2.access(BlockAddr(5), AccessKind::Read, meta(PbTag::NONE));
+        assert_eq!(out.evicted.unwrap().addr, BlockAddr(1));
+    }
+
+    #[test]
+    fn non_pb_preferred_over_live_pb() {
+        let wm = Rc::new(Cell::new(0));
+        let mut l2 = tcor_l2(wm);
+        l2.access(BlockAddr(1), AccessKind::Write, meta(PbTag::attributes(TileRank(9))));
+        l2.access(BlockAddr(2), AccessKind::Read, meta(PbTag::NONE));
+        l2.access(BlockAddr(3), AccessKind::Write, meta(PbTag::lists(TileRank(5))));
+        l2.access(BlockAddr(4), AccessKind::Write, meta(PbTag::attributes(TileRank(7))));
+        // No dead lines; the single non-PB line (2) goes first even though
+        // others are older or newer.
+        let out = l2.access(BlockAddr(5), AccessKind::Read, meta(PbTag::NONE));
+        assert_eq!(out.evicted.unwrap().addr, BlockAddr(2));
+    }
+
+    #[test]
+    fn lru_within_class() {
+        let wm = Rc::new(Cell::new(0));
+        let mut l2 = tcor_l2(wm);
+        for b in 1..=4u64 {
+            l2.access(BlockAddr(b), AccessKind::Read, meta(PbTag::NONE));
+        }
+        l2.access(BlockAddr(1), AccessKind::Read, meta(PbTag::NONE));
+        let out = l2.access(BlockAddr(9), AccessKind::Read, meta(PbTag::NONE));
+        assert_eq!(out.evicted.unwrap().addr, BlockAddr(2));
+    }
+
+    #[test]
+    fn baseline_mode_is_plain_lru_ignoring_tags() {
+        let wm = Rc::new(Cell::new(100)); // everything PB would be dead
+        let mut l2 = Cache::new(
+            CacheParams::new(256, 64, 0, 12),
+            Indexing::Modulo,
+            L2Policy::new(L2PolicyMode::BaselineLru, wm),
+        );
+        l2.access(BlockAddr(1), AccessKind::Read, meta(PbTag::NONE));
+        l2.access(BlockAddr(2), AccessKind::Write, meta(PbTag::attributes(TileRank(0))));
+        l2.access(BlockAddr(3), AccessKind::Read, meta(PbTag::NONE));
+        l2.access(BlockAddr(4), AccessKind::Read, meta(PbTag::NONE));
+        let out = l2.access(BlockAddr(5), AccessKind::Read, meta(PbTag::NONE));
+        // Pure LRU: block 1, not the dead PB block 2.
+        assert_eq!(out.evicted.unwrap().addr, BlockAddr(1));
+    }
+}

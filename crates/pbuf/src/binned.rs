@@ -1,0 +1,279 @@
+//! The product of binning: which tiles each primitive overlaps, and the
+//! per-tile primitive lists — plus the future-knowledge queries (OPT
+//! Number, first use, last use) that the Polygon List Builder derives
+//! "for free" while binning (§III.A).
+
+use tcor_common::{PrimitiveId, TileId, TileRank, TraversalOrder};
+
+/// One binned primitive: its attribute count and the traversal ranks of
+/// every tile it overlaps, sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinnedPrimitive {
+    /// The primitive's identifier (its index in binning order).
+    pub id: PrimitiveId,
+    /// Number of attributes (1..=15).
+    pub attr_count: u8,
+    /// Ranks of overlapped tiles in traversal order (ascending, deduped).
+    pub tile_ranks: Vec<TileRank>,
+}
+
+impl BinnedPrimitive {
+    /// Rank of the first tile that will read this primitive — the OPT
+    /// Number attached to the Polygon List Builder's *write* (§III.C.4).
+    pub fn first_use(&self) -> TileRank {
+        self.tile_ranks.first().copied().unwrap_or(TileRank::NEVER)
+    }
+
+    /// Rank of the last tile that will read this primitive — the dead-line
+    /// tag for its PB-Attributes blocks (§III.D.1).
+    pub fn last_use(&self) -> TileRank {
+        self.tile_ranks.last().copied().unwrap_or(TileRank::NEVER)
+    }
+
+    /// The OPT Number for a read occurring at tile rank `at`: the rank of
+    /// the *next* tile (strictly after `at`) that uses this primitive, or
+    /// [`TileRank::NEVER`] when `at` is the last use.
+    pub fn next_use_after(&self, at: TileRank) -> TileRank {
+        match self.tile_ranks.binary_search(&at) {
+            Ok(i) if i + 1 < self.tile_ranks.len() => self.tile_ranks[i + 1],
+            Err(i) if i < self.tile_ranks.len() => self.tile_ranks[i],
+            _ => TileRank::NEVER,
+        }
+    }
+
+    /// Number of tiles the primitive overlaps (its re-use count).
+    pub fn reuse(&self) -> usize {
+        self.tile_ranks.len()
+    }
+}
+
+/// A fully binned frame: per-primitive tile schedules and per-tile
+/// primitive lists. This is the Parameter Buffer *content* (addresses come
+/// from [`crate::layout`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinnedFrame {
+    num_tiles: usize,
+    prims: Vec<BinnedPrimitive>,
+    /// `tile_lists[tile.index()]` = primitives overlapping that tile, in
+    /// binning (program) order — the PB-Lists content.
+    tile_lists: Vec<Vec<PrimitiveId>>,
+}
+
+impl BinnedFrame {
+    /// Assembles a binned frame.
+    ///
+    /// `prims` gives, per primitive in binning order, its attribute count
+    /// and the tiles it overlaps (any order, duplicates ignored — a
+    /// primitive appears in a given list at most once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attribute count is outside `1..=15`, or a tile id is
+    /// out of range, or a primitive overlaps no tiles (such primitives
+    /// must be culled before binning).
+    pub fn new(prims: &[(u8, Vec<TileId>)], order: &TraversalOrder) -> Self {
+        let num_tiles = order.len();
+        let mut tile_lists = vec![Vec::new(); num_tiles];
+        let mut binned = Vec::with_capacity(prims.len());
+        for (i, &(attr_count, ref tiles)) in prims.iter().enumerate() {
+            assert!(
+                (1..=crate::pmd::MAX_ATTRS).contains(&attr_count),
+                "primitive {i} has invalid attribute count {attr_count}"
+            );
+            assert!(!tiles.is_empty(), "primitive {i} overlaps no tiles");
+            let id = PrimitiveId(i as u32);
+            let mut ranks: Vec<TileRank> = tiles
+                .iter()
+                .map(|&t| {
+                    assert!(t.index() < num_tiles, "primitive {i}: {t:?} out of range");
+                    order.rank_of(t)
+                })
+                .collect();
+            ranks.sort_unstable();
+            ranks.dedup();
+            for &r in &ranks {
+                tile_lists[order.tile_at(r).index()].push(id);
+            }
+            binned.push(BinnedPrimitive {
+                id,
+                attr_count,
+                tile_ranks: ranks,
+            });
+        }
+        BinnedFrame {
+            num_tiles,
+            prims: binned,
+            tile_lists,
+        }
+    }
+
+    /// Number of tiles in the frame.
+    pub fn num_tiles(&self) -> usize {
+        self.num_tiles
+    }
+
+    /// Number of primitives.
+    pub fn num_primitives(&self) -> usize {
+        self.prims.len()
+    }
+
+    /// The binned primitives, in binning order.
+    pub fn primitives(&self) -> &[BinnedPrimitive] {
+        &self.prims
+    }
+
+    /// One primitive by id.
+    pub fn primitive(&self, id: PrimitiveId) -> &BinnedPrimitive {
+        &self.prims[id.index()]
+    }
+
+    /// The primitive list of `tile`, in binning order.
+    pub fn tile_list(&self, tile: TileId) -> &[PrimitiveId] {
+        &self.tile_lists[tile.index()]
+    }
+
+    /// Per-primitive attribute counts (input to
+    /// [`crate::layout::AttributesLayout`]).
+    pub fn attr_counts(&self) -> Vec<u8> {
+        self.prims.iter().map(|p| p.attr_count).collect()
+    }
+
+    /// Total (tile, primitive) binned pairs — the number of PMDs written.
+    pub fn total_pmds(&self) -> usize {
+        self.prims.iter().map(|p| p.reuse()).sum()
+    }
+
+    /// Length of the longest tile list.
+    pub fn max_list_len(&self) -> usize {
+        self.tile_lists.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average tiles overlapped per primitive — Table II's "Avg Prim
+    /// Re-use".
+    pub fn avg_reuse(&self) -> f64 {
+        if self.prims.is_empty() {
+            0.0
+        } else {
+            self.total_pmds() as f64 / self.prims.len() as f64
+        }
+    }
+
+    /// Total attribute count over all primitives.
+    pub fn total_attrs(&self) -> usize {
+        self.prims.iter().map(|p| p.attr_count as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcor_common::{TileGrid, Traversal};
+
+    fn order_3x3() -> TraversalOrder {
+        Traversal::Scanline.order(&TileGrid::new(96, 96, 32))
+    }
+
+    /// The paper's worked example (Fig. 9): 3 primitives, 9 tiles,
+    /// scanline traversal. Prim 0 covers the left column (tiles 0,3,6),
+    /// prim 1 the top-right (1,2), prim 2 the rest (4,5,7,8).
+    fn example_frame() -> BinnedFrame {
+        let t = |i: u32| TileId(i);
+        BinnedFrame::new(
+            &[
+                (3, vec![t(0), t(3), t(6)]),
+                (3, vec![t(1), t(2)]),
+                (3, vec![t(4), t(5), t(7), t(8)]),
+            ],
+            &order_3x3(),
+        )
+    }
+
+    #[test]
+    fn example_tile_lists() {
+        let f = example_frame();
+        assert_eq!(f.tile_list(TileId(0)), &[PrimitiveId(0)]);
+        assert_eq!(f.tile_list(TileId(2)), &[PrimitiveId(1)]);
+        assert_eq!(f.tile_list(TileId(8)), &[PrimitiveId(2)]);
+        assert_eq!(f.total_pmds(), 9);
+        assert_eq!(f.max_list_len(), 1);
+    }
+
+    #[test]
+    fn example_first_and_last_use() {
+        let f = example_frame();
+        // Scanline order: rank == tile id on a 3x3 grid.
+        assert_eq!(f.primitive(PrimitiveId(0)).first_use(), TileRank(0));
+        assert_eq!(f.primitive(PrimitiveId(0)).last_use(), TileRank(6));
+        assert_eq!(f.primitive(PrimitiveId(1)).first_use(), TileRank(1));
+        assert_eq!(f.primitive(PrimitiveId(2)).last_use(), TileRank(8));
+    }
+
+    #[test]
+    fn example_opt_numbers() {
+        let f = example_frame();
+        let p0 = f.primitive(PrimitiveId(0));
+        // Read at tile 0 -> next use is tile 3.
+        assert_eq!(p0.next_use_after(TileRank(0)), TileRank(3));
+        assert_eq!(p0.next_use_after(TileRank(3)), TileRank(6));
+        assert_eq!(p0.next_use_after(TileRank(6)), TileRank::NEVER);
+        // Query between uses (not itself an overlap) returns next above.
+        assert_eq!(p0.next_use_after(TileRank(1)), TileRank(3));
+        assert_eq!(p0.next_use_after(TileRank(7)), TileRank::NEVER);
+    }
+
+    #[test]
+    fn reuse_statistics() {
+        let f = example_frame();
+        assert_eq!(f.avg_reuse(), 3.0);
+        assert_eq!(f.total_attrs(), 9);
+        assert_eq!(f.attr_counts(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn duplicate_tiles_are_deduped() {
+        let order = order_3x3();
+        let f = BinnedFrame::new(&[(2, vec![TileId(4), TileId(4), TileId(4)])], &order);
+        assert_eq!(f.primitive(PrimitiveId(0)).reuse(), 1);
+        assert_eq!(f.tile_list(TileId(4)).len(), 1);
+    }
+
+    #[test]
+    fn lists_keep_binning_order() {
+        let order = order_3x3();
+        let f = BinnedFrame::new(
+            &[(1, vec![TileId(0)]), (1, vec![TileId(0)]), (1, vec![TileId(0)])],
+            &order,
+        );
+        assert_eq!(
+            f.tile_list(TileId(0)),
+            &[PrimitiveId(0), PrimitiveId(1), PrimitiveId(2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps no tiles")]
+    fn empty_overlap_panics() {
+        BinnedFrame::new(&[(1, vec![])], &order_3x3());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid attribute count")]
+    fn bad_attr_count_panics() {
+        BinnedFrame::new(&[(0, vec![TileId(0)])], &order_3x3());
+    }
+
+    #[test]
+    fn ranks_follow_traversal_not_tile_ids() {
+        // Z-order on a 4x4 grid: tile ids and ranks diverge.
+        let grid = TileGrid::new(128, 128, 32);
+        let order = Traversal::ZOrder.order(&grid);
+        let a = grid.tile_id(2, 0); // id 2
+        let b = grid.tile_id(1, 1); // id 5
+        // In Z-order, (1,1) comes before (2,0).
+        assert!(order.rank_of(b) < order.rank_of(a));
+        let f = BinnedFrame::new(&[(1, vec![a, b])], &order);
+        let p = f.primitive(PrimitiveId(0));
+        assert_eq!(p.first_use(), order.rank_of(b));
+        assert_eq!(p.last_use(), order.rank_of(a));
+    }
+}

@@ -1,0 +1,34 @@
+//! # tcor-pbuf
+//!
+//! The **Parameter Buffer** data model (§II.B, §III.B of the paper).
+//!
+//! The Parameter Buffer is the in-memory structure the Tiling Engine
+//! builds (Polygon List Builder) and consumes (Tile Fetcher) within each
+//! frame. It has two sections:
+//!
+//! * **PB-Lists** — per-tile lists of Primitive MetaData (PMD) words.
+//!   The baseline lays each tile's list out contiguously with room for
+//!   1024 primitives (64 blocks), creating power-of-two strides and thus
+//!   set conflicts; TCOR interleaves the lists one block per tile per
+//!   section (Fig. 6).
+//! * **PB-Attributes** — each primitive's vertex attributes, 48 bytes per
+//!   attribute, one per 64-byte block, stored once regardless of how many
+//!   tiles the primitive overlaps.
+//!
+//! This crate provides bit-accurate PMD encodings (baseline and TCOR —
+//! the latter carries the 12-bit *OPT Number*), exact address math for
+//! both layouts, the frame-level [`BinnedFrame`] product of binning
+//! (which knows every primitive's future tile schedule, the source of OPT
+//! Numbers and last-use tags), and the memory-region map of Fig. 5.
+
+pub mod binned;
+pub mod layout;
+pub mod pmd;
+pub mod region;
+
+pub use binned::{BinnedFrame, BinnedPrimitive};
+pub use layout::{
+    AttributesLayout, ListsLayout, ListsScheme, MAX_PRIMS_PER_TILE_BASELINE, PMDS_PER_BLOCK,
+};
+pub use pmd::{PmdBaseline, PmdTcor};
+pub use region::Region;

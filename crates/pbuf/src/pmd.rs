@@ -1,0 +1,163 @@
+//! Primitive MetaData (PMD) word encodings.
+//!
+//! A PMD is the 4-byte record appended to a tile's list for every
+//! primitive that overlaps the tile. The paper defines two encodings:
+//!
+//! * **Baseline (Fig. 3):** 26-bit Primitive ID + 4-bit attribute count
+//!   (2 bits free).
+//! * **TCOR (Fig. 6):** 16-bit Primitive ID + 4-bit attribute count +
+//!   12-bit **OPT Number** — the traversal rank of the next tile that
+//!   will use this primitive (the tile's own rank when there is none:
+//!   §III.C.4 treats "equal" as "no later use" and bypasses).
+
+/// Maximum attribute count a 4-bit field can carry.
+pub const MAX_ATTRS: u8 = 15;
+
+/// Baseline PMD: `[31:6] primitive id, [5:2] attr count, [1:0] free`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PmdBaseline {
+    /// Primitive identifier (26 bits).
+    pub primitive_id: u32,
+    /// Number of attributes (4 bits).
+    pub num_attributes: u8,
+}
+
+impl PmdBaseline {
+    /// Packs into the 32-bit hardware word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its bit width.
+    pub fn encode(self) -> u32 {
+        assert!(self.primitive_id < (1 << 26), "primitive id exceeds 26 bits");
+        assert!(self.num_attributes <= MAX_ATTRS, "attr count exceeds 4 bits");
+        (self.primitive_id << 6) | ((self.num_attributes as u32) << 2)
+    }
+
+    /// Unpacks from the 32-bit hardware word.
+    pub fn decode(word: u32) -> Self {
+        PmdBaseline {
+            primitive_id: word >> 6,
+            num_attributes: ((word >> 2) & 0xF) as u8,
+        }
+    }
+}
+
+/// TCOR PMD: `[31:16] primitive id, [15:12] attr count, [11:0] OPT number`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PmdTcor {
+    /// Primitive identifier (16 bits).
+    pub primitive_id: u16,
+    /// Number of attributes (4 bits).
+    pub num_attributes: u8,
+    /// OPT Number: traversal rank of the next tile using this primitive
+    /// (12 bits).
+    pub opt_number: u16,
+}
+
+impl PmdTcor {
+    /// Packs into the 32-bit hardware word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its bit width.
+    pub fn encode(self) -> u32 {
+        assert!(self.num_attributes <= MAX_ATTRS, "attr count exceeds 4 bits");
+        assert!(self.opt_number < (1 << 12), "OPT number exceeds 12 bits");
+        ((self.primitive_id as u32) << 16)
+            | ((self.num_attributes as u32) << 12)
+            | self.opt_number as u32
+    }
+
+    /// Unpacks from the 32-bit hardware word.
+    pub fn decode(word: u32) -> Self {
+        PmdTcor {
+            primitive_id: (word >> 16) as u16,
+            num_attributes: ((word >> 12) & 0xF) as u8,
+            opt_number: (word & 0xFFF) as u16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrip() {
+        let pmd = PmdBaseline {
+            primitive_id: 0x3FF_FFFF,
+            num_attributes: 15,
+        };
+        assert_eq!(PmdBaseline::decode(pmd.encode()), pmd);
+        let zero = PmdBaseline {
+            primitive_id: 0,
+            num_attributes: 0,
+        };
+        assert_eq!(zero.encode(), 0);
+    }
+
+    #[test]
+    fn tcor_roundtrip() {
+        let pmd = PmdTcor {
+            primitive_id: 0xFFFF,
+            num_attributes: 15,
+            opt_number: 0xFFF,
+        };
+        assert_eq!(PmdTcor::decode(pmd.encode()), pmd);
+    }
+
+    #[test]
+    fn tcor_field_positions() {
+        let pmd = PmdTcor {
+            primitive_id: 1,
+            num_attributes: 2,
+            opt_number: 3,
+        };
+        assert_eq!(pmd.encode(), (1 << 16) | (2 << 12) | 3);
+    }
+
+    #[test]
+    fn baseline_field_positions() {
+        let pmd = PmdBaseline {
+            primitive_id: 1,
+            num_attributes: 3,
+        };
+        assert_eq!(pmd.encode(), (1 << 6) | (3 << 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "26 bits")]
+    fn baseline_overflow_panics() {
+        PmdBaseline {
+            primitive_id: 1 << 26,
+            num_attributes: 0,
+        }
+        .encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "12 bits")]
+    fn opt_number_overflow_panics() {
+        PmdTcor {
+            primitive_id: 0,
+            num_attributes: 0,
+            opt_number: 1 << 12,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_over_small_fields() {
+        for attrs in 0..=15u8 {
+            for opt in [0u16, 1, 0x7FF, 0xFFF] {
+                let pmd = PmdTcor {
+                    primitive_id: 0xABCD,
+                    num_attributes: attrs,
+                    opt_number: opt,
+                };
+                assert_eq!(PmdTcor::decode(pmd.encode()), pmd);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests on the Parameter Buffer layouts: address maps must be
+//! injective and invertible — aliasing between two PMDs or attributes
+//! would silently corrupt every simulation above them.
+
+use proptest::prelude::*;
+use tcor_common::TileId;
+use tcor_pbuf::{AttributesLayout, ListsLayout, ListsScheme, PmdBaseline, PmdTcor};
+
+proptest! {
+    /// No two (tile, n) pairs map to the same PMD byte address, in either
+    /// scheme.
+    #[test]
+    fn pmd_addresses_are_injective(
+        pairs in proptest::collection::hash_set((0u32..64, 0u32..128), 2..40)
+    ) {
+        for scheme in [ListsScheme::Baseline, ListsScheme::Interleaved] {
+            let l = ListsLayout::new(scheme, 64);
+            let addrs: Vec<u64> = pairs
+                .iter()
+                .map(|&(t, n)| l.pmd_addr(TileId(t), n).0)
+                .collect();
+            let mut dedup = addrs.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), addrs.len(), "{:?} aliased", scheme);
+        }
+    }
+
+    /// `tile_of_block` inverts `pmd_block` for every in-range entry.
+    #[test]
+    fn tile_of_block_inverts_pmd_block(t in 0u32..97, n in 0u32..1024, tiles in 97u32..200) {
+        for scheme in [ListsScheme::Baseline, ListsScheme::Interleaved] {
+            let l = ListsLayout::new(scheme, tiles);
+            let b = l.pmd_block(TileId(t), n);
+            prop_assert_eq!(l.tile_of_block(b), Some(TileId(t)));
+        }
+    }
+
+    /// `primitive_of_block` inverts `attr_block` for arbitrary attribute
+    /// count vectors.
+    #[test]
+    fn primitive_of_block_inverts_attr_block(
+        counts in proptest::collection::vec(1u8..=15, 1..50)
+    ) {
+        let l = AttributesLayout::new(&counts);
+        for (p, &c) in counts.iter().enumerate() {
+            for k in 0..c {
+                prop_assert_eq!(l.primitive_of_block(l.attr_block(p, k)), Some(p));
+            }
+        }
+        // Total footprint is exactly one block per attribute.
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(l.footprint_bytes(), total * 64);
+    }
+
+    /// PMD encodings round-trip for every in-range field combination.
+    #[test]
+    fn pmd_codecs_roundtrip(
+        prim in 0u32..(1 << 26),
+        attrs in 1u8..=15,
+        opt in 0u16..(1 << 12)
+    ) {
+        let b = PmdBaseline { primitive_id: prim, num_attributes: attrs };
+        prop_assert_eq!(PmdBaseline::decode(b.encode()), b);
+        let t = PmdTcor {
+            primitive_id: (prim & 0xFFFF) as u16,
+            num_attributes: attrs,
+            opt_number: opt,
+        };
+        prop_assert_eq!(PmdTcor::decode(t.encode()), t);
+    }
+
+    /// The interleaved layout's footprint never exceeds the baseline's
+    /// for list lengths within the baseline's 1024 allotment — the whole
+    /// point of §III.B.
+    #[test]
+    fn interleaved_footprint_never_larger(tiles in 1u32..300, max_len in 1u32..1024) {
+        let b = ListsLayout::new(ListsScheme::Baseline, tiles);
+        let i = ListsLayout::new(ListsScheme::Interleaved, tiles);
+        prop_assert!(i.footprint_bytes(max_len) <= b.footprint_bytes(max_len));
+    }
+}

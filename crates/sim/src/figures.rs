@@ -1,0 +1,394 @@
+//! Full-system figures (14–24) and the headline summary.
+
+use crate::output::{f3, pct_decrease, Table};
+use crate::suite::{BenchmarkRun, SuiteRun};
+use tcor::FrameReport;
+use tcor_energy::EnergyModel;
+
+fn pick(b: &BenchmarkRun, big: bool) -> (&FrameReport, &FrameReport, &FrameReport) {
+    if big {
+        (&b.base128, &b.tcor_nol2_128, &b.tcor128)
+    } else {
+        (&b.base64, &b.tcor_nol2_64, &b.tcor64)
+    }
+}
+
+fn size_label(big: bool) -> &'static str {
+    if big {
+        "128KiB"
+    } else {
+        "64KiB"
+    }
+}
+
+/// Figures 14/15: Parameter Buffer accesses to the L2, normalized to the
+/// baseline, split into reads and writes.
+pub fn fig14_15(suite: &SuiteRun, big: bool) -> Table {
+    let id = if big { "fig15" } else { "fig14" };
+    let mut t = Table::new(
+        id,
+        &format!(
+            "PB accesses to L2 normalized to baseline ({} Tile Cache)",
+            size_label(big)
+        ),
+        &[
+            "bench",
+            "base_read",
+            "base_write",
+            "tcor_read",
+            "tcor_write",
+            "norm_total",
+            "decrease",
+        ],
+    );
+    let mut norms = Vec::new();
+    for b in &suite.benchmarks {
+        let (base, _, tcor) = pick(b, big);
+        let norm = tcor.pb_l2_accesses() as f64 / base.pb_l2_accesses().max(1) as f64;
+        norms.push(norm);
+        t.push_row(vec![
+            b.profile.alias.to_string(),
+            base.pb_l2_reads().to_string(),
+            base.pb_l2_writes().to_string(),
+            tcor.pb_l2_reads().to_string(),
+            tcor.pb_l2_writes().to_string(),
+            f3(norm),
+            pct_decrease(base.pb_l2_accesses() as f64, tcor.pb_l2_accesses() as f64),
+        ]);
+    }
+    let avg = norms.iter().sum::<f64>() / norms.len().max(1) as f64;
+    t.push_row(vec![
+        "average".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        f3(avg),
+        format!("{:.1}%", (1.0 - avg) * 100.0),
+    ]);
+    t
+}
+
+/// Figures 16/17: Parameter Buffer accesses to main memory, normalized.
+pub fn fig16_17(suite: &SuiteRun, big: bool) -> Table {
+    let id = if big { "fig17" } else { "fig16" };
+    let mut t = Table::new(
+        id,
+        &format!(
+            "PB accesses to Main Memory normalized to baseline ({} Tile Cache)",
+            size_label(big)
+        ),
+        &[
+            "bench",
+            "base_read",
+            "base_write",
+            "tcor_read",
+            "tcor_write",
+            "norm_total",
+            "decrease",
+        ],
+    );
+    let mut norms = Vec::new();
+    for b in &suite.benchmarks {
+        let (base, _, tcor) = pick(b, big);
+        let norm = tcor.pb_mm_accesses() as f64 / base.pb_mm_accesses().max(1) as f64;
+        norms.push(norm);
+        t.push_row(vec![
+            b.profile.alias.to_string(),
+            base.pb_mm_reads().to_string(),
+            base.pb_mm_writes().to_string(),
+            tcor.pb_mm_reads().to_string(),
+            tcor.pb_mm_writes().to_string(),
+            f3(norm),
+            pct_decrease(base.pb_mm_accesses() as f64, tcor.pb_mm_accesses() as f64),
+        ]);
+    }
+    let avg = norms.iter().sum::<f64>() / norms.len().max(1) as f64;
+    t.push_row(vec![
+        "average".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        f3(avg),
+        format!("{:.1}%", (1.0 - avg) * 100.0),
+    ]);
+    t
+}
+
+/// Figures 18/19: total main-memory accesses, normalized.
+pub fn fig18_19(suite: &SuiteRun, big: bool) -> Table {
+    let id = if big { "fig19" } else { "fig18" };
+    let mut t = Table::new(
+        id,
+        &format!(
+            "Total Main Memory accesses normalized to baseline ({} Tile Cache)",
+            size_label(big)
+        ),
+        &["bench", "baseline", "tcor", "normalized", "decrease"],
+    );
+    let mut norms = Vec::new();
+    for b in &suite.benchmarks {
+        let (base, _, tcor) = pick(b, big);
+        let norm = tcor.total_mm_accesses() as f64 / base.total_mm_accesses().max(1) as f64;
+        norms.push(norm);
+        t.push_row(vec![
+            b.profile.alias.to_string(),
+            base.total_mm_accesses().to_string(),
+            tcor.total_mm_accesses().to_string(),
+            f3(norm),
+            pct_decrease(
+                base.total_mm_accesses() as f64,
+                tcor.total_mm_accesses() as f64,
+            ),
+        ]);
+    }
+    let avg = norms.iter().sum::<f64>() / norms.len().max(1) as f64;
+    t.push_row(vec![
+        "average".into(),
+        "-".into(),
+        "-".into(),
+        f3(avg),
+        format!("{:.1}%", (1.0 - avg) * 100.0),
+    ]);
+    t
+}
+
+/// Figures 20/21: memory-hierarchy energy for baseline, TCOR without L2
+/// enhancements, and full TCOR, normalized to the baseline.
+pub fn fig20_21(suite: &SuiteRun, big: bool) -> Table {
+    let id = if big { "fig21" } else { "fig20" };
+    let model = EnergyModel::default();
+    let mut t = Table::new(
+        id,
+        &format!(
+            "Memory hierarchy energy normalized to baseline ({} Tile Cache)",
+            size_label(big)
+        ),
+        &[
+            "bench",
+            "tcor_no_l2enh",
+            "tcor",
+            "decrease_no_l2enh",
+            "decrease_tcor",
+        ],
+    );
+    let (mut sum_nol2, mut sum_tcor) = (0.0, 0.0);
+    for b in &suite.benchmarks {
+        let (base, nol2, tcor) = pick(b, big);
+        let eb = model.evaluate(base).memory_hierarchy_pj();
+        let en = model.evaluate(nol2).memory_hierarchy_pj();
+        let et = model.evaluate(tcor).memory_hierarchy_pj();
+        sum_nol2 += en / eb;
+        sum_tcor += et / eb;
+        t.push_row(vec![
+            b.profile.alias.to_string(),
+            f3(en / eb),
+            f3(et / eb),
+            pct_decrease(eb, en),
+            pct_decrease(eb, et),
+        ]);
+    }
+    let n = suite.benchmarks.len().max(1) as f64;
+    t.push_row(vec![
+        "average".into(),
+        f3(sum_nol2 / n),
+        f3(sum_tcor / n),
+        format!("{:.1}%", (1.0 - sum_nol2 / n) * 100.0),
+        format!("{:.1}%", (1.0 - sum_tcor / n) * 100.0),
+    ]);
+    t
+}
+
+/// Figure 22: decrease in total GPU energy, both Tile Cache sizes.
+pub fn fig22(suite: &SuiteRun) -> Table {
+    let model = EnergyModel::default();
+    let mut t = Table::new(
+        "fig22",
+        "Decrease in total GPU energy wrt the baseline",
+        &["bench", "64KiB", "128KiB"],
+    );
+    let (mut s64, mut s128) = (0.0, 0.0);
+    for b in &suite.benchmarks {
+        let d64 = 1.0
+            - model.evaluate(&b.tcor64).total_pj() / model.evaluate(&b.base64).total_pj();
+        let d128 = 1.0
+            - model.evaluate(&b.tcor128).total_pj() / model.evaluate(&b.base128).total_pj();
+        s64 += d64;
+        s128 += d128;
+        t.push_row(vec![
+            b.profile.alias.to_string(),
+            format!("{:.1}%", d64 * 100.0),
+            format!("{:.1}%", d128 * 100.0),
+        ]);
+    }
+    let n = suite.benchmarks.len().max(1) as f64;
+    t.push_row(vec![
+        "average".into(),
+        format!("{:.1}%", s64 / n * 100.0),
+        format!("{:.1}%", s128 / n * 100.0),
+    ]);
+    t
+}
+
+/// Figures 23/24: Tile Fetcher primitives per cycle, with the speedup
+/// factor annotated as in the paper.
+pub fn fig23_24(suite: &SuiteRun, big: bool) -> Table {
+    let id = if big { "fig24" } else { "fig23" };
+    let mut t = Table::new(
+        id,
+        &format!(
+            "Primitives output per cycle by the Tile Fetcher ({} Tile Cache)",
+            size_label(big)
+        ),
+        &["bench", "baseline_ppc", "tcor_ppc", "speedup"],
+    );
+    let mut speedups = Vec::new();
+    for b in &suite.benchmarks {
+        let (base, _, tcor) = pick(b, big);
+        let sp = tcor.primitives_per_cycle() / base.primitives_per_cycle().max(1e-12);
+        speedups.push(sp);
+        t.push_row(vec![
+            b.profile.alias.to_string(),
+            f3(base.primitives_per_cycle()),
+            f3(tcor.primitives_per_cycle()),
+            format!("{sp:.1}x"),
+        ]);
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    t.push_row(vec![
+        "average".into(),
+        "-".into(),
+        "-".into(),
+        format!("{avg:.1}x"),
+    ]);
+    t
+}
+
+/// The abstract's headline numbers: memory-hierarchy energy, total GPU
+/// energy, Tiling Engine speedup and FPS.
+pub fn headline(suite: &SuiteRun) -> Table {
+    let model = EnergyModel::default();
+    let n = suite.benchmarks.len().max(1) as f64;
+    let avg =
+        |f: &dyn Fn(&BenchmarkRun) -> f64| suite.benchmarks.iter().map(f).sum::<f64>() / n;
+
+    let mem64 = avg(&|b| {
+        1.0 - model.evaluate(&b.tcor64).memory_hierarchy_pj()
+            / model.evaluate(&b.base64).memory_hierarchy_pj()
+    });
+    let mem128 = avg(&|b| {
+        1.0 - model.evaluate(&b.tcor128).memory_hierarchy_pj()
+            / model.evaluate(&b.base128).memory_hierarchy_pj()
+    });
+    let gpu64 = avg(&|b| {
+        1.0 - model.evaluate(&b.tcor64).total_pj() / model.evaluate(&b.base64).total_pj()
+    });
+    let speedup64 = avg(&|b| {
+        b.tcor64.primitives_per_cycle() / b.base64.primitives_per_cycle().max(1e-12)
+    });
+    let fps64 = avg(&|b| {
+        let fb = model.evaluate(&b.base64);
+        let ft = model.evaluate(&b.tcor64);
+        ft.fps(600_000_000) / fb.fps(600_000_000) - 1.0
+    });
+    let mm64 = avg(&|b| {
+        1.0 - b.tcor64.total_mm_accesses() as f64 / b.base64.total_mm_accesses().max(1) as f64
+    });
+    let pb_l2_64 = avg(&|b| {
+        1.0 - b.tcor64.pb_l2_accesses() as f64 / b.base64.pb_l2_accesses().max(1) as f64
+    });
+    let pb_mm_64 = avg(&|b| {
+        1.0 - b.tcor64.pb_mm_accesses() as f64 / b.base64.pb_mm_accesses().max(1) as f64
+    });
+
+    let mut t = Table::new(
+        "headline",
+        "Headline results (suite averages) vs the paper's reported numbers",
+        &["metric", "measured", "paper"],
+    );
+    let rows: Vec<(String, String, &str)> = vec![
+        (
+            "PB L2 access decrease (64KiB)".into(),
+            format!("{:.1}%", pb_l2_64 * 100.0),
+            "33.5%",
+        ),
+        (
+            "PB MM access decrease (64KiB)".into(),
+            format!("{:.1}%", pb_mm_64 * 100.0),
+            "93.0%",
+        ),
+        (
+            "Total MM access decrease (64KiB)".into(),
+            format!("{:.1}%", mm64 * 100.0),
+            "13.9%",
+        ),
+        (
+            "Mem hierarchy energy decrease (64KiB)".into(),
+            format!("{:.1}%", mem64 * 100.0),
+            "14.1%",
+        ),
+        (
+            "Mem hierarchy energy decrease (128KiB)".into(),
+            format!("{:.1}%", mem128 * 100.0),
+            "13.6%",
+        ),
+        (
+            "Total GPU energy decrease (64KiB)".into(),
+            format!("{:.1}%", gpu64 * 100.0),
+            "5.6%",
+        ),
+        (
+            "Tiling Engine speedup (64KiB)".into(),
+            format!("{speedup64:.1}x"),
+            "4.7x",
+        ),
+        (
+            "FPS increase (64KiB)".into(),
+            format!("{:.1}%", fps64 * 100.0),
+            "3.7%",
+        ),
+    ];
+    for (m, v, p) in rows {
+        t.push_row(vec![m, v, p.to_string()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::run_benchmark;
+    use tcor_common::TileGrid;
+
+    fn mini_suite() -> SuiteRun {
+        let grid = TileGrid::new(1960, 768, 32);
+        SuiteRun {
+            benchmarks: vec![run_benchmark(&tcor_workloads::suite()[1], &grid)],
+        }
+    }
+
+    #[test]
+    fn figures_have_one_row_per_benchmark_plus_average() {
+        let s = mini_suite();
+        for t in [
+            fig14_15(&s, false),
+            fig16_17(&s, true),
+            fig18_19(&s, false),
+            fig20_21(&s, true),
+            fig22(&s),
+            fig23_24(&s, false),
+        ] {
+            assert_eq!(t.rows.len(), s.benchmarks.len() + 1, "{}", t.id);
+            assert_eq!(t.rows.last().unwrap()[0], "average");
+        }
+    }
+
+    #[test]
+    fn headline_has_paper_column() {
+        let s = mini_suite();
+        let t = headline(&s);
+        assert!(t.columns.contains(&"paper".to_string()));
+        assert_eq!(t.rows.len(), 8);
+    }
+}

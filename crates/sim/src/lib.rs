@@ -1,0 +1,95 @@
+//! # tcor-sim
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation, over the synthetic Table II suite. The `tcor-sim` binary
+//! exposes them as subcommands (`tcor-sim fig14`, `tcor-sim all`, …) and
+//! can dump CSV next to the pretty tables.
+//!
+//! | Experiment | Paper result it regenerates |
+//! |---|---|
+//! | `table1` | simulation parameters |
+//! | `table2` | benchmark characteristics (verifies calibration) |
+//! | `fig1`, `fig11` | LRU vs OPT (vs lower bound) miss curves, fully associative |
+//! | `fig12` | LRU and OPT across associativities |
+//! | `fig13` | LRU / MRU / DRRIP / OPT, 4-way |
+//! | `fig14`–`fig15` | PB accesses to L2, normalized (64/128 KiB) |
+//! | `fig16`–`fig17` | PB accesses to main memory, normalized |
+//! | `fig18`–`fig19` | total main-memory accesses, normalized |
+//! | `fig20`–`fig21` | memory-hierarchy energy (3 configurations) |
+//! | `fig22` | total GPU energy decrease |
+//! | `fig23`–`fig24` | Tile Fetcher primitives per cycle |
+//! | `headline` | the abstract's summary numbers |
+//!
+//! All results are deterministic: scenes are seeded, the DRAM model is
+//! state-machine-based, and no wall-clock enters any measurement.
+
+pub mod ablation;
+pub mod example;
+pub mod figures;
+pub mod misscurves;
+pub mod output;
+pub mod scaling;
+pub mod suite;
+pub mod sweep;
+pub mod traversal_study;
+pub mod utilization;
+pub mod tables;
+
+pub use output::Table;
+pub use suite::{run_suite, BenchmarkRun, SuiteRun};
+
+/// Every experiment id, in presentation order.
+pub const EXPERIMENTS: [&str; 25] = [
+    "table1", "table2", "fig1", "fig10", "fig11", "fig12", "fig13", "fig13x", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "headline",
+    "ablation", "scaling", "sweep", "traversal", "utilization",
+];
+
+/// Runs one experiment by id, reusing `suite` for the full-system ones
+/// (pass `None` to compute on demand).
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run_experiment(id: &str, suite: Option<&SuiteRun>) -> Vec<Table> {
+    let need_suite = !matches!(
+        id,
+        "table1" | "fig1" | "fig10" | "fig11" | "fig12" | "fig13" | "fig13x" | "ablation"
+            | "scaling" | "sweep" | "traversal"
+    );
+    let owned;
+    let suite_ref: Option<&SuiteRun> = if need_suite && suite.is_none() {
+        owned = run_suite();
+        Some(&owned)
+    } else {
+        suite
+    };
+    match id {
+        "table1" => vec![tables::table1()],
+        "table2" => vec![tables::table2(suite_ref.expect("suite"))],
+        "fig1" => vec![misscurves::fig1()],
+        "fig10" => vec![example::fig10()],
+        "fig11" => vec![misscurves::fig11()],
+        "fig12" => misscurves::fig12(),
+        "fig13" => vec![misscurves::fig13()],
+        "fig13x" => vec![misscurves::fig13x()],
+        "fig14" => vec![figures::fig14_15(suite_ref.expect("suite"), false)],
+        "fig15" => vec![figures::fig14_15(suite_ref.expect("suite"), true)],
+        "fig16" => vec![figures::fig16_17(suite_ref.expect("suite"), false)],
+        "fig17" => vec![figures::fig16_17(suite_ref.expect("suite"), true)],
+        "fig18" => vec![figures::fig18_19(suite_ref.expect("suite"), false)],
+        "fig19" => vec![figures::fig18_19(suite_ref.expect("suite"), true)],
+        "fig20" => vec![figures::fig20_21(suite_ref.expect("suite"), false)],
+        "fig21" => vec![figures::fig20_21(suite_ref.expect("suite"), true)],
+        "fig22" => vec![figures::fig22(suite_ref.expect("suite"))],
+        "fig23" => vec![figures::fig23_24(suite_ref.expect("suite"), false)],
+        "fig24" => vec![figures::fig23_24(suite_ref.expect("suite"), true)],
+        "headline" => vec![figures::headline(suite_ref.expect("suite"))],
+        "ablation" => vec![ablation::ablation()],
+        "scaling" => vec![scaling::scaling()],
+        "sweep" => vec![sweep::sweep()],
+        "traversal" => vec![traversal_study::traversal_study()],
+        "utilization" => vec![utilization::utilization(suite_ref.expect("suite"))],
+        other => panic!("unknown experiment `{other}`"),
+    }
+}

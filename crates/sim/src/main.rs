@@ -1,0 +1,124 @@
+//! The `tcor-sim` binary: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! tcor-sim <experiment>...     run specific experiments (fig1, table2, …)
+//! tcor-sim all                 run everything in paper order
+//! tcor-sim --list              list experiment ids
+//! tcor-sim all --csv DIR       also write one CSV per table into DIR
+//! tcor-sim trace <alias> FILE  export a benchmark's PB trace as CSV
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tcor_sim::{run_experiment, run_suite, EXPERIMENTS};
+
+fn usage() {
+    eprintln!("usage: tcor-sim <experiment>... | all [--csv DIR] [--list]");
+    eprintln!("       tcor-sim trace <alias> <file>   export a PB trace as CSV");
+    eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+}
+
+/// `tcor-sim trace <alias> <file>`: export the primitive-granularity
+/// Parameter Buffer trace of one Table II benchmark for external tools.
+fn export_trace(alias: &str, path: &str) -> ExitCode {
+    use tcor_common::{TileGrid, Traversal};
+    let Some(profile) = tcor_workloads::suite().into_iter().find(|b| b.alias == alias) else {
+        eprintln!("unknown benchmark `{alias}`");
+        return ExitCode::FAILURE;
+    };
+    let grid = TileGrid::new(1960, 768, 32);
+    let order = Traversal::ZOrder.order(&grid);
+    let scene = tcor_workloads::generate_scene(&profile, &grid);
+    let frame = tcor_gpu::bin_scene(&scene, &grid, &order);
+    let trace = tcor_workloads::primitive_trace(&frame.binned, &order);
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = tcor_cache::trace::write_csv(&trace, std::io::BufWriter::new(file)) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {} accesses to {path}", trace.len());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        return match (args.get(1), args.get(2)) {
+            (Some(alias), Some(path)) => export_trace(alias, path),
+            _ => {
+                usage();
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--csv" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        usage();
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "all" => ids.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if EXPERIMENTS.contains(&other) => ids.push(other.to_string()),
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    // Compute the expensive full-system suite once if any experiment
+    // needs it.
+    let needs_suite = ids.iter().any(|id| {
+        !matches!(
+            id.as_str(),
+            "table1" | "fig1" | "fig10" | "fig11" | "fig12" | "fig13" | "fig13x" | "ablation"
+                | "scaling" | "sweep" | "traversal"
+        )
+    });
+    let suite = if needs_suite {
+        eprintln!("running the full-system benchmark suite (deterministic)...");
+        Some(run_suite())
+    } else {
+        None
+    };
+
+    for id in &ids {
+        for table in run_experiment(id, suite.as_ref()) {
+            println!("{}", table.render());
+            if let Some(dir) = &csv_dir {
+                if let Err(e) = table.write_csv(dir) {
+                    eprintln!("failed to write {}/{}.csv: {e}", dir.display(), table.id);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,364 @@
+//! The replacement-policy studies: Figures 1, 11, 12 and 13.
+//!
+//! All four figures plot miss ratio against Attribute Cache capacity over
+//! the aggregated PB-Attributes access streams of the benchmark suite, at
+//! primitive granularity (§V.A's capacity conversion: a primitive
+//! averages 3 attributes × 64 B = 192 B).
+
+use crate::output::Table;
+use tcor_cache::policy::{by_name, Opt};
+use tcor_cache::profile::{opt_misses, simulate_policy, LruStackProfiler};
+use tcor_cache::{Indexing, Trace};
+use tcor_common::{CacheParams, TileGrid};
+use tcor_gpu::bin_scene;
+use tcor_workloads::{generate_scene, primitive_trace, prims_capacity, suite};
+
+/// One benchmark's trace plus its primitive count.
+pub struct BenchTrace {
+    /// Table II alias.
+    pub alias: &'static str,
+    /// The primitive-granularity PB-Attributes trace.
+    pub trace: Trace,
+    /// Total primitives (TP in the lower-bound formula).
+    pub total_prims: usize,
+}
+
+/// Builds the suite's traces (deterministic).
+pub fn suite_traces() -> Vec<BenchTrace> {
+    let grid = TileGrid::new(1960, 768, 32);
+    suite()
+        .iter()
+        .map(|b| {
+            let scene = generate_scene(b, &grid);
+            let order = tcor_common::Traversal::ZOrder.order(&grid);
+            let frame = bin_scene(&scene, &grid, &order);
+            BenchTrace {
+                alias: b.alias,
+                total_prims: frame.binned.num_primitives(),
+                trace: primitive_trace(&frame.binned, &order),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate LRU miss ratio at each capacity: one Mattson pass per
+/// benchmark gives every size at once.
+fn lru_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
+    let profilers: Vec<LruStackProfiler> = traces
+        .iter()
+        .map(|b| {
+            let mut p = LruStackProfiler::new();
+            for a in &b.trace {
+                p.record(a.addr);
+            }
+            p
+        })
+        .collect();
+    let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
+    capacities
+        .iter()
+        .map(|&c| {
+            let misses: u64 = profilers.iter().map(|p| p.misses_at(c)).sum();
+            misses as f64 / total as f64
+        })
+        .collect()
+}
+
+/// Aggregate exact-Belady miss ratio per capacity.
+fn opt_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
+    let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
+    capacities
+        .iter()
+        .map(|&c| {
+            let misses: u64 = traces.iter().map(|b| opt_misses(&b.trace, c)).sum();
+            misses as f64 / total as f64
+        })
+        .collect()
+}
+
+/// Aggregate lower-bound ratio (§V.A) per capacity.
+fn lb_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
+    let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
+    capacities
+        .iter()
+        .map(|&c| {
+            let misses: u64 = traces
+                .iter()
+                .map(|b| tcor_workloads::trace::lower_bound_misses(b.total_prims, c))
+                .sum();
+            misses as f64 / total as f64
+        })
+        .collect()
+}
+
+/// Aggregate miss ratio of a named policy on a set-associative geometry
+/// (capacity in primitives, `ways == 0` for fully associative).
+fn policy_curve(
+    traces: &[BenchTrace],
+    capacities: &[usize],
+    ways: u32,
+    policy: &str,
+) -> Vec<f64> {
+    let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
+    capacities
+        .iter()
+        .map(|&c| {
+            // Round capacity down to a whole number of sets.
+            let lines = if ways == 0 {
+                c.max(1) as u64
+            } else {
+                ((c as u64 / ways as u64).max(1)) * ways as u64
+            };
+            let params = CacheParams::new(lines, 1, ways, 1);
+            let misses: u64 = traces
+                .iter()
+                .map(|b| {
+                    let oracle = policy == "opt";
+                    let stats = if oracle {
+                        simulate_policy(&b.trace, params, Indexing::Modulo, Opt::new(), true)
+                    } else {
+                        simulate_policy(&b.trace, params, Indexing::Modulo, by_name(policy), false)
+                    };
+                    stats.misses()
+                })
+                .sum();
+            misses as f64 / total as f64
+        })
+        .collect()
+}
+
+fn kb_sizes(from_kb: usize, to_kb: usize, step_kb: usize) -> Vec<usize> {
+    (from_kb..=to_kb).step_by(step_kb).collect()
+}
+
+/// Figure 1: LRU vs OPT, fully associative, 8–152 KB.
+pub fn fig1() -> Table {
+    let traces = suite_traces();
+    let sizes = kb_sizes(8, 152, 8);
+    let caps: Vec<usize> = sizes.iter().map(|kb| prims_capacity(*kb as u64 * 1024)).collect();
+    let lru = lru_curve(&traces, &caps);
+    let opt = opt_curve(&traces, &caps);
+    let mut t = Table::new(
+        "fig1",
+        "LRU and OPT miss ratio, fully associative L1 (suite aggregate)",
+        &["size_kb", "lru", "opt"],
+    );
+    for ((kb, l), o) in sizes.iter().zip(&lru).zip(&opt) {
+        t.push_row(vec![kb.to_string(), format!("{l:.4}"), format!("{o:.4}")]);
+    }
+    t
+}
+
+/// Figure 11: adds the lower bound and extends to 456 KB.
+pub fn fig11() -> Table {
+    let traces = suite_traces();
+    let sizes = kb_sizes(8, 456, 16);
+    let caps: Vec<usize> = sizes.iter().map(|kb| prims_capacity(*kb as u64 * 1024)).collect();
+    let lb = lb_curve(&traces, &caps);
+    let lru = lru_curve(&traces, &caps);
+    let opt = opt_curve(&traces, &caps);
+    let mut t = Table::new(
+        "fig11",
+        "Lower bound, LRU and OPT miss ratio, fully associative L1",
+        &["size_kb", "lower_bound", "lru", "opt"],
+    );
+    for (((kb, b), l), o) in sizes.iter().zip(&lb).zip(&lru).zip(&opt) {
+        t.push_row(vec![
+            kb.to_string(),
+            format!("{b:.4}"),
+            format!("{l:.4}"),
+            format!("{o:.4}"),
+        ]);
+    }
+    t
+}
+
+/// Figure 12: LRU and OPT across associativities (two tables).
+pub fn fig12() -> Vec<Table> {
+    let traces = suite_traces();
+    let sizes = kb_sizes(8, 152, 16);
+    let caps: Vec<usize> = sizes.iter().map(|kb| prims_capacity(*kb as u64 * 1024)).collect();
+    let lb = lb_curve(&traces, &caps);
+    let assocs: [(u32, &str); 5] = [
+        (1, "direct"),
+        (2, "assoc2"),
+        (4, "assoc4"),
+        (8, "assoc8"),
+        (0, "full"),
+    ];
+    let mut out = Vec::new();
+    for (policy, id) in [("lru", "fig12-lru"), ("opt", "fig12-opt")] {
+        let mut cols = vec!["size_kb".to_string(), "lower_bound".to_string()];
+        cols.extend(assocs.iter().map(|(_, n)| n.to_string()));
+        let mut t = Table {
+            id: id.to_string(),
+            title: format!("{policy} miss ratio across associativities"),
+            columns: cols,
+            rows: Vec::new(),
+        };
+        let curves: Vec<Vec<f64>> = assocs
+            .iter()
+            .map(|(w, _)| policy_curve(&traces, &caps, *w, policy))
+            .collect();
+        for (i, kb) in sizes.iter().enumerate() {
+            let mut row = vec![kb.to_string(), format!("{:.4}", lb[i])];
+            row.extend(curves.iter().map(|c| format!("{:.4}", c[i])));
+            t.push_row(row);
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Figure 13: LRU, MRU, DRRIP and OPT in a 4-way cache, plus the lower
+/// bound.
+pub fn fig13() -> Table {
+    let traces = suite_traces();
+    let sizes = kb_sizes(40, 160, 8);
+    let caps: Vec<usize> = sizes.iter().map(|kb| prims_capacity(*kb as u64 * 1024)).collect();
+    let lb = lb_curve(&traces, &caps);
+    let policies = ["mru", "drrip", "lru", "opt"];
+    let curves: Vec<Vec<f64>> = policies
+        .iter()
+        .map(|p| policy_curve(&traces, &caps, 4, p))
+        .collect();
+    let mut t = Table::new(
+        "fig13",
+        "MRU, DRRIP, LRU and OPT miss ratio in a 4-way L1",
+        &["size_kb", "lower_bound", "mru", "drrip", "lru", "opt"],
+    );
+    for (i, kb) in sizes.iter().enumerate() {
+        let mut row = vec![kb.to_string(), format!("{:.4}", lb[i])];
+        row.extend(curves.iter().map(|c| format!("{:.4}", c[i])));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 13 extended: every policy in the toolbox (including the
+/// LIP/BIP/DIP insertion family and the PC-less Hawkeye) against OPT and
+/// the lower bound, 4-way.
+pub fn fig13x() -> Table {
+    let traces = suite_traces();
+    let sizes = kb_sizes(48, 144, 32);
+    let caps: Vec<usize> = sizes.iter().map(|kb| prims_capacity(*kb as u64 * 1024)).collect();
+    let lb = lb_curve(&traces, &caps);
+    let policies = [
+        "random", "fifo", "mru", "nru", "plru", "lip", "bip", "dip", "srrip", "brrip", "drrip",
+        "lru",
+    ];
+    let curves: Vec<Vec<f64>> = policies
+        .iter()
+        .map(|p| policy_curve(&traces, &caps, 4, p))
+        .collect();
+    // Hawkeye needs the address signal; use its dedicated driver.
+    let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
+    let hawkeye: Vec<f64> = caps
+        .iter()
+        .map(|&c| {
+            let lines = ((c as u64 / 4).max(1)) * 4;
+            let params = CacheParams::new(lines, 1, 4, 1);
+            let misses: u64 = traces
+                .iter()
+                .map(|b| tcor_cache::policy::simulate_hawkeye(&b.trace, params).misses())
+                .sum();
+            misses as f64 / total as f64
+        })
+        .collect();
+    let opt = policy_curve(&traces, &caps, 4, "opt");
+
+    let mut cols = vec!["size_kb".to_string(), "lower_bound".to_string()];
+    cols.extend(policies.iter().map(|p| p.to_string()));
+    cols.push("hawkeye".to_string());
+    cols.push("opt".to_string());
+    let mut t = Table {
+        id: "fig13x".to_string(),
+        title: "Extended policy comparison (4-way): the full toolbox vs OPT".to_string(),
+        columns: cols,
+        rows: Vec::new(),
+    };
+    for (i, kb) in sizes.iter().enumerate() {
+        let mut row = vec![kb.to_string(), format!("{:.4}", lb[i])];
+        row.extend(curves.iter().map(|c| format!("{:.4}", c[i])));
+        row.push(format!("{:.4}", hawkeye[i]));
+        row.push(format!("{:.4}", opt[i]));
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced trace set for fast shape checks.
+    fn mini_traces() -> Vec<BenchTrace> {
+        let grid = TileGrid::new(1960, 768, 32);
+        suite()[..2]
+            .iter()
+            .map(|b| {
+                let scene = generate_scene(b, &grid);
+                let order = tcor_common::Traversal::ZOrder.order(&grid);
+                let frame = bin_scene(&scene, &grid, &order);
+                BenchTrace {
+                    alias: b.alias,
+                    total_prims: frame.binned.num_primitives(),
+                    trace: primitive_trace(&frame.binned, &order),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn opt_dominates_lru_and_lb_dominates_opt() {
+        let traces = mini_traces();
+        let caps = vec![64, 128, 256, 512];
+        let lb = lb_curve(&traces, &caps);
+        let lru = lru_curve(&traces, &caps);
+        let opt = opt_curve(&traces, &caps);
+        for i in 0..caps.len() {
+            assert!(
+                lb[i] <= opt[i] + 1e-12,
+                "LB {} > OPT {} at {}",
+                lb[i],
+                opt[i],
+                caps[i]
+            );
+            assert!(
+                opt[i] <= lru[i] + 1e-12,
+                "OPT {} > LRU {} at {}",
+                opt[i],
+                lru[i],
+                caps[i]
+            );
+        }
+    }
+
+    #[test]
+    fn curves_fall_with_capacity() {
+        let traces = mini_traces();
+        let caps = vec![32, 128, 1024];
+        for curve in [lru_curve(&traces, &caps), opt_curve(&traces, &caps)] {
+            assert!(curve[0] >= curve[1] && curve[1] >= curve[2]);
+        }
+    }
+
+    #[test]
+    fn opt_gap_grows_with_lower_associativity_pressure() {
+        // At 4-way, OPT still beats LRU (Fig. 13's key shape).
+        let traces = mini_traces();
+        let caps = vec![256];
+        let lru4 = policy_curve(&traces, &caps, 4, "lru");
+        let opt4 = policy_curve(&traces, &caps, 4, "opt");
+        assert!(opt4[0] <= lru4[0]);
+    }
+
+    #[test]
+    fn mru_is_worst_at_moderate_capacity() {
+        let traces = mini_traces();
+        let caps = vec![256];
+        let mru = policy_curve(&traces, &caps, 4, "mru");
+        let lru = policy_curve(&traces, &caps, 4, "lru");
+        assert!(mru[0] >= lru[0], "MRU {} < LRU {}", mru[0], lru[0]);
+    }
+}

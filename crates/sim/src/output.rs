@@ -1,0 +1,158 @@
+//! Pretty-printed and CSV table output.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A result table: a title, column headers and string rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment id (used as the CSV file stem).
+    pub id: String,
+    /// Human title (figure/table caption).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each must have `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "ragged row in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.columns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-ish quoting for commas/quotes).
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Formats a ratio as a percentage decrease ("33.5%").
+pub fn pct_decrease(baseline: f64, improved: f64) -> String {
+    if baseline <= 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:.1}%", (1.0 - improved / baseline) * 100.0)
+}
+
+/// Formats a float with three decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("figX", "Example", &["bench", "value"]);
+        t.push_row(vec!["CCS".into(), "0.5".into()]);
+        t.push_row(vec!["a,b".into(), "1".into()]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = sample().render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("bench"));
+        assert!(r.contains("CCS"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let c = sample().to_csv();
+        assert!(c.lines().any(|l| l.starts_with("\"a,b\"")));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_row_panics() {
+        let mut t = Table::new("x", "t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct_decrease(100.0, 66.5), "33.5%");
+        assert_eq!(pct_decrease(0.0, 1.0), "n/a");
+        assert_eq!(f3(0.12345), "0.123");
+    }
+}

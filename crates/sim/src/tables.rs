@@ -1,0 +1,128 @@
+//! Tables I and II.
+
+use crate::output::Table;
+use crate::suite::SuiteRun;
+use tcor_common::GpuConfig;
+
+/// Table I: the simulation parameters actually used.
+pub fn table1() -> Table {
+    let cfg = GpuConfig::paper_baseline();
+    let mut t = Table::new("table1", "GPU simulation parameters", &["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        (
+            "Tech Specs",
+            format!(
+                "{} MHz, {} V, {} nm",
+                cfg.clock_hz / 1_000_000,
+                cfg.voltage,
+                cfg.tech_nm
+            ),
+        ),
+        (
+            "Screen Resolution",
+            format!("{}x{}", cfg.screen_width, cfg.screen_height),
+        ),
+        ("Tile Size", format!("{0}x{0}", cfg.tile_size)),
+        ("Tile Traversal Order", format!("{:?}", cfg.traversal)),
+        (
+            "Main Memory Latency",
+            format!(
+                "{}-{} cycles",
+                cfg.memory.min_latency, cfg.memory.max_latency
+            ),
+        ),
+        (
+            "Main Memory Size",
+            format!("{} GiB", cfg.memory.size_bytes >> 30),
+        ),
+        (
+            "Vertex Cache",
+            format!(
+                "{}B/line, {} KiB, {}-way, {} cycle",
+                cfg.vertex_cache.line_bytes,
+                cfg.vertex_cache.size_bytes >> 10,
+                cfg.vertex_cache.ways,
+                cfg.vertex_cache.latency
+            ),
+        ),
+        (
+            "Texture Caches",
+            format!(
+                "{}x {}B/line, {} KiB, {}-way, {} cycle",
+                cfg.num_texture_caches,
+                cfg.texture_cache.line_bytes,
+                cfg.texture_cache.size_bytes >> 10,
+                cfg.texture_cache.ways,
+                cfg.texture_cache.latency
+            ),
+        ),
+        (
+            "Tile Cache",
+            format!("{} KiB total", cfg.tile_cache.total_bytes() >> 10),
+        ),
+        (
+            "L2 Cache",
+            format!(
+                "{}B/line, {} MiB, {}-way, {} cycles",
+                cfg.l2.line_bytes,
+                cfg.l2.size_bytes >> 20,
+                cfg.l2.ways,
+                cfg.l2.latency
+            ),
+        ),
+    ];
+    for (k, v) in rows {
+        t.push_row(vec![k.to_string(), v]);
+    }
+    t
+}
+
+/// Table II: per-benchmark characteristics, published targets vs what the
+/// synthesized workloads measure — the calibration check.
+pub fn table2(suite: &SuiteRun) -> Table {
+    let mut t = Table::new(
+        "table2",
+        "Benchmark suite: Table II targets vs synthesized workloads",
+        &[
+            "bench",
+            "genre",
+            "type",
+            "pb_mib_target",
+            "pb_mib_measured",
+            "reuse_target",
+            "reuse_measured",
+            "primitives",
+        ],
+    );
+    for b in &suite.benchmarks {
+        t.push_row(vec![
+            b.profile.alias.to_string(),
+            b.profile.genre.to_string(),
+            if b.profile.is_3d { "3D" } else { "2D" }.to_string(),
+            format!("{:.2}", b.profile.pb_footprint_mib),
+            format!("{:.2}", b.measured_footprint_bytes as f64 / 1048576.0),
+            format!("{:.1}", b.profile.avg_reuse),
+            format!("{:.1}", b.measured_reuse),
+            b.base64.num_primitives.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_parameters() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 10);
+        let params: Vec<&String> = t.rows.iter().map(|r| &r[0]).collect();
+        assert!(params.iter().any(|p| p.contains("L2")));
+        assert!(params.iter().any(|p| p.contains("Traversal")));
+        let render = t.render();
+        assert!(render.contains("600 MHz"));
+        assert!(render.contains("1960x768"));
+        assert!(render.contains("ZOrder"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # tcor-workloads
+//!
+//! The synthetic benchmark suite standing in for the ten Android games of
+//! Table II (the documented substitution — see `DESIGN.md`). Each
+//! [`BenchmarkProfile`] carries the published sufficient statistics
+//! (Parameter Buffer footprint, average primitive re-use, 2D/3D style,
+//! texture footprint, shader length) and [`synth::generate_scene`]
+//! synthesizes a deterministic frame *calibrated* to hit the footprint and
+//! re-use targets — the Table II harness (`tcor-sim table2`) verifies the
+//! match.
+//!
+//! ```
+//! use tcor_workloads::{suite, generate_scene};
+//! use tcor_common::{TileGrid, Traversal};
+//!
+//! let grid = TileGrid::new(1960, 768, 32);
+//! let ccs = &suite()[0];
+//! assert_eq!(ccs.alias, "CCS");
+//! let scene = generate_scene(ccs, &grid);
+//! assert!(!scene.is_empty());
+//! ```
+
+pub mod profile;
+pub mod synth;
+pub mod trace;
+
+pub use profile::{suite, BenchmarkProfile};
+pub use synth::{generate_scene, Animation, CalibratedScene};
+pub use trace::{primitive_trace, prims_capacity, AVG_ATTR_BYTES};

@@ -1,0 +1,337 @@
+//! Calibrated scene synthesis.
+//!
+//! Given a [`BenchmarkProfile`], produce a deterministic frame whose
+//! Parameter Buffer footprint and average primitive re-use match the
+//! Table II targets. Synthesis is iterative: generate with a size factor,
+//! measure re-use by binning bounding boxes, correct the factor, and
+//! finally size the primitive count to the footprint target.
+//!
+//! Scenes are *spatially coherent*: primitives arrive in mesh/object
+//! order (consecutive triangles adjacent on screen), as real game
+//! geometry does — this matters for the Primitive List Cache, whose
+//! locality comes from consecutive primitives touching the same tiles.
+
+use crate::profile::BenchmarkProfile;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use tcor_common::{TileGrid, Tri2};
+use tcor_gpu::{Scene, ScenePrimitive};
+
+/// Attribute-count distribution with mean 3.0 ("an average primitive has
+/// around 3 attributes", §III.C.1).
+const ATTR_CHOICES: [u8; 9] = [1, 2, 2, 3, 3, 3, 4, 4, 5];
+
+/// Triangles per synthesized object (mesh coherence granularity).
+const TRIS_PER_OBJECT: usize = 24;
+
+/// A generated scene with its measured statistics.
+#[derive(Clone, Debug)]
+pub struct CalibratedScene {
+    /// The frame's primitives in program order.
+    pub scene: Scene,
+    /// Measured average tiles per primitive (compare to Table II).
+    pub measured_reuse: f64,
+    /// Measured Parameter Buffer footprint in bytes (attributes at one
+    /// 64-byte block each + 4-byte PMDs).
+    pub measured_footprint_bytes: u64,
+    /// Calibrated primitive count (for [`Animation`]).
+    pub num_prims: usize,
+    /// Calibrated mean primitive side in pixels (for [`Animation`]).
+    pub mean_side: f64,
+}
+
+/// An animated workload: the calibrated scene with per-object velocities,
+/// producing smoothly varying frames (the "animated graphics
+/// applications" of the paper's abstract). Geometry statistics stay at
+/// the Table II calibration on every frame; only positions move.
+#[derive(Clone, Debug)]
+pub struct Animation {
+    profile: BenchmarkProfile,
+    num_prims: usize,
+    mean_side: f64,
+}
+
+impl Animation {
+    /// Calibrates the profile once and fixes the animation parameters.
+    pub fn new(profile: &BenchmarkProfile, grid: &TileGrid) -> Self {
+        let c = calibrate(profile, grid);
+        Animation {
+            profile: *profile,
+            num_prims: c.num_prims,
+            mean_side: c.mean_side,
+        }
+    }
+
+    /// The scene at time `t` (in frames): object origins translate by
+    /// their velocities and wrap at the screen edges. `t = 0.0`
+    /// reproduces [`generate_scene`]'s frame exactly.
+    pub fn frame(&self, grid: &TileGrid, t: f64) -> Scene {
+        build(&self.profile, grid, self.num_prims, self.mean_side, t).scene
+    }
+}
+
+/// Generates the calibrated frame for `profile` on `grid`.
+pub fn generate_scene(profile: &BenchmarkProfile, grid: &TileGrid) -> Scene {
+    calibrate(profile, grid).scene
+}
+
+/// Generates the frame and reports the measured statistics (the Table II
+/// verification harness uses this).
+pub fn calibrate(profile: &BenchmarkProfile, grid: &TileGrid) -> CalibratedScene {
+    // Initial primitive count from the footprint identity:
+    // footprint ≈ TP · (avg_attrs·64 + reuse·4).
+    let per_prim = 3.0 * 64.0 + profile.avg_reuse * 4.0;
+    let mut num_prims = (profile.pb_footprint_bytes() as f64 / per_prim).round() as usize;
+    // Initial size factor from the bbox model: reuse ≈ (s/32 + 1)².
+    let mut side = 32.0 * (profile.avg_reuse.sqrt() - 1.0).max(0.05);
+
+    let mut best = build(profile, grid, num_prims, side, 0.0);
+    for _ in 0..8 {
+        let measured = best.measured_reuse.max(1.0);
+        let target = profile.avg_reuse;
+        if (measured - target).abs() / target < 0.02 {
+            break;
+        }
+        // Invert the bbox model around the measured point.
+        let correction = (32.0 * (target.sqrt() - 1.0).max(0.05))
+            / (32.0 * (measured.sqrt() - 1.0).max(0.05));
+        side = (side * correction.clamp(0.25, 4.0)).clamp(1.0, 600.0);
+        best = build(profile, grid, num_prims, side, 0.0);
+    }
+    // Resize primitive count to the footprint target using measured
+    // per-primitive cost.
+    for _ in 0..3 {
+        let per_prim_measured = best.measured_footprint_bytes as f64 / best.scene.len() as f64;
+        let wanted = (profile.pb_footprint_bytes() as f64 / per_prim_measured).round() as usize;
+        if wanted.abs_diff(best.scene.len()) * 50 < best.scene.len() {
+            break;
+        }
+        num_prims = wanted.max(TRIS_PER_OBJECT);
+        best = build(profile, grid, num_prims, side, 0.0);
+    }
+    best
+}
+
+fn build(
+    profile: &BenchmarkProfile,
+    grid: &TileGrid,
+    num_prims: usize,
+    mean_side: f64,
+    phase: f64,
+) -> CalibratedScene {
+    let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let mut scene = Scene::new();
+    let (w, h) = (
+        grid.screen_width() as f32,
+        grid.screen_height() as f32,
+    );
+    let num_objects = num_prims.div_ceil(TRIS_PER_OBJECT);
+    'outer: for _obj in 0..num_objects {
+        // Object origin: uniform over the screen with a small margin,
+        // translated by the object's velocity at animation time `phase`
+        // (a few pixels per frame, wrapping at the screen edges).
+        let bx = rng.random_range(0.0..w as f64 * 0.95);
+        let by = rng.random_range(0.0..h as f64 * 0.95);
+        let (vx, vy) = (
+            rng.random_range(-4.0..4.0f64),
+            rng.random_range(-2.0..2.0f64),
+        );
+        let ox = (bx + vx * phase).rem_euclid(w as f64 * 0.95) as f32;
+        let oy = (by + vy * phase).rem_euclid(h as f64 * 0.95) as f32;
+        // Per-object scale spread: foreground objects are bigger
+        // (perspective for 3D, sprite variety for 2D).
+        let spread = if profile.is_3d {
+            // Log-uniform in [0.4, 2.5] around the mean.
+            (0.4f64 * (2.5f64 / 0.4).powf(rng.random::<f64>())) as f32
+        } else {
+            rng.random_range(0.7..1.3f64) as f32
+        };
+        let s = (mean_side as f32 * spread).max(1.0);
+        for t in 0..TRIS_PER_OBJECT {
+            if scene.len() >= num_prims {
+                break 'outer;
+            }
+            // Strip order: cells of a 6-row grid, two triangles per cell.
+            let cell = t / 2;
+            let cx = ox + (cell % 6) as f32 * s * 0.5;
+            let cy = oy + (cell / 6) as f32 * s * 0.5;
+            let jitter = if profile.is_3d {
+                rng.random_range(-0.1..0.1f64) as f32 * s
+            } else {
+                0.0
+            };
+            let tri = if t % 2 == 0 {
+                Tri2::new((cx, cy), (cx + s, cy + jitter), (cx, cy + s))
+            } else {
+                Tri2::new((cx + s, cy), (cx + s, cy + s), (cx + jitter, cy + s))
+            };
+            let attr_count = ATTR_CHOICES[rng.random_range(0..ATTR_CHOICES.len())];
+            scene.push(ScenePrimitive { tri, attr_count });
+        }
+    }
+    measure(scene, grid, num_prims, mean_side)
+}
+
+fn measure(scene: Scene, grid: &TileGrid, num_prims: usize, mean_side: f64) -> CalibratedScene {
+    let (w, h) = (grid.screen_width() as f32, grid.screen_height() as f32);
+    let mut total_tiles = 0u64;
+    let mut visible = 0u64;
+    let mut attr_blocks = 0u64;
+    for p in scene.primitives() {
+        if p.tri.bbox().clamp_to(w, h).is_none() {
+            continue;
+        }
+        visible += 1;
+        total_tiles += grid.tiles_overlapping(&p.tri.bbox()).len() as u64;
+        attr_blocks += p.attr_count as u64;
+    }
+    let measured_reuse = if visible == 0 {
+        0.0
+    } else {
+        total_tiles as f64 / visible as f64
+    };
+    CalibratedScene {
+        scene,
+        measured_reuse,
+        measured_footprint_bytes: attr_blocks * 64 + total_tiles * 4,
+        num_prims,
+        mean_side,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::suite;
+
+    fn grid() -> TileGrid {
+        TileGrid::new(1960, 768, 32)
+    }
+
+    #[test]
+    fn calibration_hits_reuse_targets() {
+        for b in suite() {
+            let c = calibrate(&b, &grid());
+            let err = (c.measured_reuse - b.avg_reuse).abs() / b.avg_reuse;
+            assert!(
+                err < 0.10,
+                "{}: reuse {:.2} vs target {:.2}",
+                b.alias,
+                c.measured_reuse,
+                b.avg_reuse
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_hits_footprint_targets() {
+        for b in suite() {
+            let c = calibrate(&b, &grid());
+            let target = b.pb_footprint_bytes() as f64;
+            let err = (c.measured_footprint_bytes as f64 - target).abs() / target;
+            assert!(
+                err < 0.15,
+                "{}: footprint {:.2} MiB vs target {:.2} MiB",
+                b.alias,
+                c.measured_footprint_bytes as f64 / 1048576.0,
+                b.pb_footprint_mib
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let b = suite()[0];
+        let a = generate_scene(&b, &grid());
+        let c = generate_scene(&b, &grid());
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn scenes_are_spatially_coherent() {
+        // Consecutive primitives within an object should be close: median
+        // distance between consecutive bbox centres well under a tile.
+        let b = suite()[3]; // TRu
+        let s = generate_scene(&b, &grid());
+        let centers: Vec<(f32, f32)> = s
+            .primitives()
+            .iter()
+            .map(|p| {
+                let bb = p.tri.bbox();
+                ((bb.x0 + bb.x1) / 2.0, (bb.y0 + bb.y1) / 2.0)
+            })
+            .collect();
+        let mut dists: Vec<f32> = centers
+            .windows(2)
+            .map(|w| ((w[0].0 - w[1].0).powi(2) + (w[0].1 - w[1].1).powi(2)).sqrt())
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = dists[dists.len() / 2];
+        assert!(median < 64.0, "median consecutive distance {median}");
+    }
+
+    #[test]
+    fn animation_frame_zero_matches_generate_scene() {
+        let g = grid();
+        let b = suite()[1];
+        let anim = Animation::new(&b, &g);
+        assert_eq!(anim.frame(&g, 0.0), generate_scene(&b, &g));
+    }
+
+    #[test]
+    fn animation_moves_smoothly() {
+        let g = grid();
+        let b = suite()[0];
+        let anim = Animation::new(&b, &g);
+        let f0 = anim.frame(&g, 0.0);
+        let f1 = anim.frame(&g, 1.0);
+        let f10 = anim.frame(&g, 10.0);
+        assert_eq!(f0.len(), f1.len());
+        // Inter-frame displacement of the first vertex: small between
+        // consecutive frames (a few px/frame), larger over 10 frames
+        // (modulo wrap-around, so compare medians).
+        let disp = |a: &tcor_gpu::Scene, b: &tcor_gpu::Scene| -> f32 {
+            let mut d: Vec<f32> = a
+                .primitives()
+                .iter()
+                .zip(b.primitives())
+                .map(|(p, q)| {
+                    let (ax, ay) = p.tri.v[0];
+                    let (bx, by) = q.tri.v[0];
+                    ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+                })
+                .collect();
+            d.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            d[d.len() / 2]
+        };
+        let step = disp(&f0, &f1);
+        assert!(step > 0.0 && step < 8.0, "median per-frame motion {step}");
+        assert!(disp(&f0, &f10) > step, "longer time, larger displacement");
+    }
+
+    #[test]
+    fn animation_preserves_calibration_statistics() {
+        let g = grid();
+        let b = suite()[3]; // TRu
+        let anim = Animation::new(&b, &g);
+        for t in [5.0, 20.0] {
+            let scene = anim.frame(&g, t);
+            let measured = measure(scene, &g, 0, 0.0);
+            let err = (measured.measured_reuse - b.avg_reuse).abs() / b.avg_reuse;
+            assert!(
+                err < 0.15,
+                "frame {t}: reuse {:.2} drifted from {:.2}",
+                measured.measured_reuse,
+                b.avg_reuse
+            );
+        }
+    }
+
+    #[test]
+    fn attr_distribution_mean_is_three() {
+        let b = suite()[4];
+        let s = generate_scene(&b, &grid());
+        let mean = s.avg_attrs();
+        assert!((2.6..=3.4).contains(&mean), "mean attrs {mean}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Parameter Buffer access traces for the replacement studies
+//! (Figures 1, 11, 12 and 13).
+//!
+//! The paper studies the Attribute Cache at *primitive* granularity: each
+//! access is one primitive (a write when the Polygon List Builder bins
+//! it, a read each time the Tile Fetcher processes a tile it overlaps),
+//! and capacity converts as "the Attribute Cache has a capacity for N
+//! primitives" (§V.A) at an average of 3 attributes × 64 bytes.
+
+use tcor_cache::{Access, Trace};
+use tcor_common::{BlockAddr, TraversalOrder};
+use tcor_pbuf::BinnedFrame;
+
+/// Bytes one primitive occupies on average (3 attributes, one 64-byte
+/// block each) — the §V.A capacity conversion.
+pub const AVG_ATTR_BYTES: u64 = 3 * 64;
+
+/// Converts a cache size in bytes to a capacity in primitives, as the
+/// paper's lower-bound analysis does ("the Attribute Cache has a capacity
+/// for 128 primitives").
+pub fn prims_capacity(bytes: u64) -> usize {
+    (bytes / AVG_ATTR_BYTES) as usize
+}
+
+/// The primitive-granularity PB-Attributes trace of one frame:
+/// compulsory writes in binning order, then reads in tile traversal
+/// order. The trace key is the primitive id.
+pub fn primitive_trace(frame: &BinnedFrame, order: &TraversalOrder) -> Trace {
+    let mut trace =
+        Vec::with_capacity(frame.num_primitives() + frame.total_pmds());
+    for p in frame.primitives() {
+        trace.push(Access::write(BlockAddr(p.id.0 as u64)));
+    }
+    for tile in order.iter() {
+        for prim in frame.tile_list(tile) {
+            trace.push(Access::read(BlockAddr(prim.0 as u64)));
+        }
+    }
+    trace
+}
+
+/// The *hardware* OPT priorities for [`primitive_trace`]'s accesses: what
+/// TCOR's 12-bit OPT Numbers encode, aligned index-for-index with the
+/// trace. A write carries its primitive's first-use rank; a read carries
+/// the rank of the next tile using the primitive (`u64::MAX` when none).
+///
+/// Feeding these to the engine's OPT policy instead of exact next-access
+/// positions quantifies the D1 design decision (OPT Numbers approximate
+/// Belady's timestamps at tile granularity).
+pub fn opt_number_annotations(frame: &BinnedFrame, order: &tcor_common::TraversalOrder) -> Vec<u64> {
+    let mut out = Vec::with_capacity(frame.num_primitives() + frame.total_pmds());
+    for p in frame.primitives() {
+        out.push(p.first_use().value() as u64);
+    }
+    for tile in order.iter() {
+        let rank = order.rank_of(tile);
+        for prim in frame.tile_list(tile) {
+            let next = frame.primitive(*prim).next_use_after(rank);
+            out.push(if next.is_never() {
+                u64::MAX
+            } else {
+                next.value() as u64
+            });
+        }
+    }
+    out
+}
+
+/// The paper's lower bound on total misses (§V.A): every write is a
+/// compulsory miss, and at least `TP - CP` primitives cannot be resident
+/// when reading starts.
+///
+/// ```
+/// use tcor_workloads::trace::lower_bound_misses;
+/// assert_eq!(lower_bound_misses(1000, 128), 1000 + 872);
+/// assert_eq!(lower_bound_misses(100, 128), 100);
+/// ```
+pub fn lower_bound_misses(total_prims: usize, capacity_prims: usize) -> u64 {
+    let tp = total_prims as u64;
+    let cp = capacity_prims as u64;
+    if cp >= tp {
+        tp
+    } else {
+        tp + (tp - cp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcor_cache::profile::opt_misses;
+    use tcor_common::{TileGrid, TileId, Traversal};
+
+    fn frame_and_order() -> (BinnedFrame, TraversalOrder) {
+        let grid = TileGrid::new(96, 96, 32); // 3x3
+        let order = Traversal::Scanline.order(&grid);
+        let t = |i: u32| TileId(i);
+        let frame = BinnedFrame::new(
+            &[
+                (3, vec![t(0), t(3), t(6)]),
+                (3, vec![t(1), t(2)]),
+                (3, vec![t(4), t(5), t(7), t(8)]),
+            ],
+            &order,
+        );
+        (frame, order)
+    }
+
+    #[test]
+    fn trace_is_writes_then_reads_in_order() {
+        let (frame, order) = frame_and_order();
+        let t = primitive_trace(&frame, &order);
+        assert_eq!(t.len(), 3 + 9);
+        assert!(t[..3].iter().all(|a| a.kind.is_write()));
+        assert!(t[3..].iter().all(|a| !a.kind.is_write()));
+        // Reads follow tile order: tile0->P0, tile1->P1, tile2->P1, ...
+        let read_ids: Vec<u64> = t[3..].iter().map(|a| a.addr.0).collect();
+        assert_eq!(read_ids, vec![0, 1, 1, 0, 2, 2, 0, 2, 2]);
+    }
+
+    #[test]
+    fn capacity_conversion() {
+        assert_eq!(prims_capacity(48 << 10), 256);
+        assert_eq!(prims_capacity(191), 0);
+    }
+
+    #[test]
+    fn lower_bound_is_below_opt() {
+        let (frame, order) = frame_and_order();
+        let trace = primitive_trace(&frame, &order);
+        for cp in 1..=4usize {
+            let lb = lower_bound_misses(frame.num_primitives(), cp);
+            let opt = opt_misses(&trace, cp);
+            assert!(lb <= opt, "LB {lb} > OPT {opt} at capacity {cp}");
+        }
+    }
+
+    #[test]
+    fn opt_reaches_lower_bound_with_enough_capacity() {
+        let (frame, order) = frame_and_order();
+        let trace = primitive_trace(&frame, &order);
+        // Capacity for all 3 primitives: only compulsory write misses.
+        assert_eq!(opt_misses(&trace, 3), 3);
+        assert_eq!(lower_bound_misses(3, 3), 3);
+    }
+}

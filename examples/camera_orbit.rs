@@ -1,0 +1,81 @@
+//! A true 3D scene through the full pipeline: a ring of meshes orbited by
+//! the camera, transformed by the Vertex Stage (`tcor_gpu::transform`),
+//! binned, and run through both Tile Cache organizations frame by frame.
+//!
+//! ```text
+//! cargo run --release --example camera_orbit            # 6 frames
+//! cargo run --release --example camera_orbit -- 12
+//! ```
+
+use tcor::{BaselineSession, SystemConfig, TcorSession};
+use tcor_gpu::{transform_scene, Mat4, Vec3, WorldPrimitive};
+
+/// A ring of simple pyramid meshes around the origin.
+fn world() -> Vec<WorldPrimitive> {
+    let mut prims = Vec::new();
+    for i in 0..24 {
+        let angle = i as f32 / 24.0 * std::f32::consts::TAU;
+        let (cx, cz) = (angle.cos() * 6.0, angle.sin() * 6.0);
+        let apex = Vec3::new(cx, 1.0, cz);
+        let base = [
+            Vec3::new(cx - 0.7, -0.5, cz - 0.7),
+            Vec3::new(cx + 0.7, -0.5, cz - 0.7),
+            Vec3::new(cx + 0.7, -0.5, cz + 0.7),
+            Vec3::new(cx - 0.7, -0.5, cz + 0.7),
+        ];
+        for k in 0..4 {
+            prims.push(WorldPrimitive {
+                v: [base[k], base[(k + 1) % 4], apex],
+                attr_count: 3,
+            });
+        }
+        prims.push(WorldPrimitive {
+            v: [base[0], base[1], base[2]],
+            attr_count: 2,
+        });
+        prims.push(WorldPrimitive {
+            v: [base[0], base[2], base[3]],
+            attr_count: 2,
+        });
+    }
+    prims
+}
+
+fn main() {
+    let frames: usize = std::env::args()
+        .nth(1)
+        .map(|n| n.parse().expect("frames"))
+        .unwrap_or(6);
+    let (w, h) = (1960.0f32, 768.0f32);
+    let proj = Mat4::perspective(std::f32::consts::FRAC_PI_3, w / h, 0.1, 100.0);
+    let prims = world();
+
+    let mut base = BaselineSession::new(SystemConfig::paper_baseline_64k());
+    let mut tcor = TcorSession::new(SystemConfig::paper_tcor_64k());
+
+    println!("orbiting camera around {} world triangles\n", prims.len());
+    println!(
+        "{:>5}{:>10}{:>12}{:>12}{:>10}{:>10}",
+        "frame", "visible", "base PB-L2", "tcor PB-L2", "base ppc", "tcor ppc"
+    );
+    for f in 0..frames {
+        let angle = f as f32 / frames as f32 * std::f32::consts::TAU;
+        let eye = Vec3::new(angle.cos() * 12.0, 3.0, angle.sin() * 12.0);
+        let view = Mat4::look_at(eye, Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        let mvp = proj.mul(&view);
+        let scene = transform_scene(&prims, &mvp, w, h);
+
+        let rb = base.run_frame(&scene);
+        let rt = tcor.run_frame(&scene);
+        println!(
+            "{f:>5}{:>10}{:>12}{:>12}{:>10.3}{:>10.3}",
+            scene.len(),
+            rb.pb_l2_accesses(),
+            rt.pb_l2_accesses(),
+            rb.primitives_per_cycle(),
+            rt.primitives_per_cycle(),
+        );
+    }
+    println!("\nthe Vertex Stage culls back-ring meshes as the camera orbits;");
+    println!("TCOR's advantage holds frame over frame on live 3D geometry.");
+}

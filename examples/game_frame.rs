@@ -1,0 +1,76 @@
+//! Run one Table II benchmark end to end through all six configurations
+//! ({baseline, TCOR w/o L2 enhancements, TCOR} × {64 KiB, 128 KiB}) and
+//! print every measured quantity.
+//!
+//! ```text
+//! cargo run --release --example game_frame            # defaults to CCS
+//! cargo run --release --example game_frame -- DDS     # Table II alias
+//! ```
+
+use tcor_common::TileGrid;
+use tcor_energy::EnergyModel;
+use tcor_sim::suite::run_benchmark;
+use tcor_workloads::suite;
+
+fn main() {
+    let alias = std::env::args().nth(1).unwrap_or_else(|| "CCS".to_string());
+    let Some(profile) = suite().into_iter().find(|b| b.alias == alias) else {
+        eprintln!(
+            "unknown benchmark `{alias}`; choose one of: {}",
+            suite()
+                .iter()
+                .map(|b| b.alias)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    println!(
+        "{} ({}) — {} / {}, PB footprint target {:.2} MiB, re-use target {:.1}",
+        profile.name,
+        profile.alias,
+        profile.genre,
+        if profile.is_3d { "3D" } else { "2D" },
+        profile.pb_footprint_mib,
+        profile.avg_reuse
+    );
+
+    let grid = TileGrid::new(1960, 768, 32);
+    let run = run_benchmark(&profile, &grid);
+    println!(
+        "synthesized: {} primitives, measured footprint {:.2} MiB, measured re-use {:.1}\n",
+        run.base64.num_primitives,
+        run.measured_footprint_bytes as f64 / 1048576.0,
+        run.measured_reuse
+    );
+
+    let model = EnergyModel::default();
+    let configs = [
+        ("baseline 64KiB", &run.base64),
+        ("tcor-noL2 64KiB", &run.tcor_nol2_64),
+        ("tcor 64KiB", &run.tcor64),
+        ("baseline 128KiB", &run.base128),
+        ("tcor-noL2 128KiB", &run.tcor_nol2_128),
+        ("tcor 128KiB", &run.tcor128),
+    ];
+    println!(
+        "{:<18}{:>9}{:>9}{:>10}{:>8}{:>10}{:>11}{:>8}",
+        "config", "PB->L2", "PB->MM", "total MM", "PPC", "deaddrop", "mem nJ", "fps"
+    );
+    println!("{}", "-".repeat(83));
+    for (name, r) in configs {
+        let e = model.evaluate(r);
+        println!(
+            "{:<18}{:>9}{:>9}{:>10}{:>8.3}{:>10}{:>11.0}{:>8.1}",
+            name,
+            r.pb_l2_accesses(),
+            r.pb_mm_accesses(),
+            r.total_mm_accesses(),
+            r.primitives_per_cycle(),
+            r.dead_drops,
+            e.memory_hierarchy_pj() / 1000.0,
+            e.fps(600_000_000),
+        );
+    }
+}

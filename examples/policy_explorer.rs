@@ -1,0 +1,70 @@
+//! Explore replacement policies on a Table II workload's Parameter
+//! Buffer stream: every policy in the toolbox, across cache sizes, with
+//! the paper's lower bound — Figure 13 generalized.
+//!
+//! ```text
+//! cargo run --release --example policy_explorer              # CCS, 4-way
+//! cargo run --release --example policy_explorer -- SoD 8     # alias, ways
+//! ```
+
+use tcor_cache::policy::{by_name, Opt};
+use tcor_cache::profile::simulate_policy;
+use tcor_cache::Indexing;
+use tcor_common::{CacheParams, TileGrid, Traversal};
+use tcor_gpu::bin_scene;
+use tcor_workloads::trace::lower_bound_misses;
+use tcor_workloads::{generate_scene, primitive_trace, prims_capacity, suite};
+
+const POLICIES: [&str; 9] = [
+    "fifo", "random", "mru", "nru", "plru", "srrip", "drrip", "lru", "opt",
+];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let alias = args.next().unwrap_or_else(|| "CCS".to_string());
+    let ways: u32 = args.next().map(|w| w.parse().expect("ways")).unwrap_or(4);
+    let Some(profile) = suite().into_iter().find(|b| b.alias == alias) else {
+        eprintln!("unknown benchmark `{alias}`");
+        std::process::exit(1);
+    };
+
+    let grid = TileGrid::new(1960, 768, 32);
+    let order = Traversal::ZOrder.order(&grid);
+    let scene = generate_scene(&profile, &grid);
+    let frame = bin_scene(&scene, &grid, &order);
+    let trace = primitive_trace(&frame.binned, &order);
+    let tp = frame.binned.num_primitives();
+    println!(
+        "{alias}: {} primitives, {} accesses, {}-way; miss ratio per policy:",
+        tp,
+        trace.len(),
+        ways
+    );
+
+    print!("{:>8}{:>8}", "size_kb", "LB");
+    for p in POLICIES {
+        print!("{p:>8}");
+    }
+    println!();
+    for kb in (16..=160).step_by(16) {
+        let cap = prims_capacity(kb as u64 * 1024);
+        let lines = if ways == 0 {
+            cap.max(1) as u64
+        } else {
+            (cap as u64 / ways as u64).max(1) * ways as u64
+        };
+        let params = CacheParams::new(lines, 1, ways, 1);
+        let lb = lower_bound_misses(tp, cap) as f64 / trace.len() as f64;
+        print!("{kb:>8}{lb:>8.3}");
+        for p in POLICIES {
+            let stats = if p == "opt" {
+                simulate_policy(&trace, params, Indexing::Modulo, Opt::new(), true)
+            } else {
+                simulate_policy(&trace, params, Indexing::Modulo, by_name(p), false)
+            };
+            print!("{:>8.3}", stats.miss_ratio());
+        }
+        println!();
+    }
+    println!("\nLB = the paper's lower bound (§V.A); OPT should hug it, MRU should trail.");
+}

@@ -1,0 +1,18 @@
+//! # tcor-repro
+//!
+//! Umbrella crate for the TCOR reproduction (HPCA 2022: *TCOR: A Tile Cache
+//! with Optimal Replacement*). Re-exports every subsystem so examples,
+//! integration tests and downstream users can depend on a single crate.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! per-experiment index.
+
+pub use tcor;
+pub use tcor_cache as cache;
+pub use tcor_common as common;
+pub use tcor_energy as energy;
+pub use tcor_gpu as gpu;
+pub use tcor_mem as mem;
+pub use tcor_pbuf as pbuf;
+pub use tcor_sim as sim;
+pub use tcor_workloads as workloads;

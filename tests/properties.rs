@@ -1,0 +1,134 @@
+//! Cross-crate property tests: the paper's analytical invariants must
+//! hold on arbitrary generated frames, not just the calibrated suite.
+
+use proptest::prelude::*;
+use tcor_cache::profile::{opt_misses, LruStackProfiler};
+use tcor_common::{TileGrid, TileId, Traversal};
+use tcor_pbuf::BinnedFrame;
+use tcor_workloads::trace::{lower_bound_misses, primitive_trace};
+
+/// Strategy: a random binned frame on a 8x8-tile screen.
+fn arb_frame() -> impl Strategy<Value = BinnedFrame> {
+    let prim = (1u8..=5, proptest::collection::vec(0u32..64, 1..6));
+    proptest::collection::vec(prim, 1..40).prop_map(|prims| {
+        let grid = TileGrid::new(256, 256, 32);
+        let order = Traversal::ZOrder.order(&grid);
+        let prims: Vec<(u8, Vec<TileId>)> = prims
+            .into_iter()
+            .map(|(a, ts)| (a, ts.into_iter().map(TileId).collect()))
+            .collect();
+        BinnedFrame::new(&prims, &order)
+    })
+}
+
+proptest! {
+    /// §V.A's lower bound really lower-bounds OPT (hence every policy)
+    /// at every capacity, on every frame.
+    #[test]
+    fn lower_bound_holds(frame in arb_frame(), cap in 1usize..64) {
+        let grid = TileGrid::new(256, 256, 32);
+        let order = Traversal::ZOrder.order(&grid);
+        let trace = primitive_trace(&frame, &order);
+        let lb = lower_bound_misses(frame.num_primitives(), cap);
+        let opt = opt_misses(&trace, cap);
+        prop_assert!(lb <= opt, "LB {lb} > OPT {opt} at capacity {cap}");
+    }
+
+    /// Belady's optimality over the PB stream: OPT ≤ LRU at every
+    /// capacity (fully associative).
+    #[test]
+    fn opt_never_worse_than_lru(frame in arb_frame()) {
+        let grid = TileGrid::new(256, 256, 32);
+        let order = Traversal::ZOrder.order(&grid);
+        let trace = primitive_trace(&frame, &order);
+        let mut prof = LruStackProfiler::new();
+        for a in &trace {
+            prof.record(a.addr);
+        }
+        for cap in [1usize, 2, 4, 8, 16, 32] {
+            prop_assert!(opt_misses(&trace, cap) <= prof.misses_at(cap));
+        }
+    }
+
+    /// With capacity for every primitive, misses are exactly the
+    /// compulsory writes (TP) under OPT — the LB's flat region.
+    #[test]
+    fn compulsory_only_at_full_capacity(frame in arb_frame()) {
+        let grid = TileGrid::new(256, 256, 32);
+        let order = Traversal::ZOrder.order(&grid);
+        let trace = primitive_trace(&frame, &order);
+        let tp = frame.num_primitives();
+        prop_assert_eq!(opt_misses(&trace, tp.max(1)), tp as u64);
+    }
+
+    /// Every PMD the Polygon List Builder writes is read exactly once by
+    /// the Tile Fetcher: reads in the trace equal total binned pairs.
+    #[test]
+    fn trace_access_counts(frame in arb_frame()) {
+        let grid = TileGrid::new(256, 256, 32);
+        let order = Traversal::ZOrder.order(&grid);
+        let trace = primitive_trace(&frame, &order);
+        let writes = trace.iter().filter(|a| a.kind.is_write()).count();
+        let reads = trace.len() - writes;
+        prop_assert_eq!(writes, frame.num_primitives());
+        prop_assert_eq!(reads, frame.total_pmds());
+    }
+
+    /// OPT numbers are consistent: walking a primitive's uses through
+    /// `next_use_after` visits exactly its tile ranks in order.
+    #[test]
+    fn opt_number_chain_visits_all_uses(frame in arb_frame()) {
+        for p in frame.primitives() {
+            let mut visited = vec![p.first_use()];
+            loop {
+                let next = p.next_use_after(*visited.last().unwrap());
+                if next.is_never() {
+                    break;
+                }
+                visited.push(next);
+            }
+            prop_assert_eq!(&visited, &p.tile_ranks);
+        }
+    }
+}
+
+/// The TCOR attribute cache never reports more resident attributes than
+/// its buffer holds, across random operation sequences.
+#[test]
+fn attribute_cache_capacity_respected_under_churn() {
+    use tcor::{AttributeCache, AttributeCacheConfig, ReadResult};
+    use tcor_common::{PrimitiveId, TileRank};
+
+    let cfg = AttributeCacheConfig {
+        ways: 4,
+        pb_lines: 16,
+        ab_entries: 32,
+        indexing: tcor_cache::Indexing::Xor,
+        write_bypass: true,
+    };
+    let mut c = AttributeCache::new(cfg);
+    let mut queued: Vec<PrimitiveId> = Vec::new();
+    for i in 0..500u32 {
+        let prim = PrimitiveId(i % 97);
+        let attrs = 1 + (i % 5) as u8;
+        if i % 3 == 0 && !c.contains(prim) {
+            let _ = c.write(prim, attrs, TileRank(i % 40));
+        } else {
+            match c.read(prim, attrs, TileRank(i % 40 + 1)) {
+                ReadResult::Stalled => {
+                    for q in queued.drain(..) {
+                        c.unlock(q);
+                    }
+                }
+                _ => queued.push(prim),
+            }
+            if queued.len() > 8 {
+                c.unlock(queued.remove(0));
+            }
+        }
+        assert!(c.free_entries() <= cfg.ab_entries);
+        assert!(c.resident_primitives() <= cfg.pb_lines);
+    }
+    c.drain();
+    assert_eq!(c.free_entries(), cfg.ab_entries);
+}
