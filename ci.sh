@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 gate. Fully offline: no registry access, no network.
+#
+#   ./ci.sh            format + lint + build + test + golden check
+#
+# The golden check regenerates the abstract's headline numbers through
+# the parallel runner and compares them bit-for-bit against
+# results/golden/ (see README "Parallel runs, telemetry and golden
+# results"). Re-record intentional changes with
+#   cargo run --release -p tcor-sim -- all --update-golden
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== golden check (headline)"
+cargo run --release -q -p tcor-sim -- headline --check --telemetry /tmp/tcor-ci-telemetry.jsonl >/dev/null
+
+echo "ci: all green"

@@ -186,7 +186,10 @@ impl<P: ReplacementPolicy> Cache<P> {
         };
         self.policy.on_fill(set, way, &meta);
 
-        AccessOutcome { hit: false, evicted }
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Installs `addr` as a clean line without touching the statistics —
@@ -311,8 +314,14 @@ mod tests {
     #[test]
     fn cold_miss_then_hit() {
         let mut c = small();
-        assert!(!c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE).hit);
-        assert!(c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE).hit);
+        assert!(
+            !c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE)
+                .hit
+        );
+        assert!(
+            c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE)
+                .hit
+        );
         assert_eq!(c.stats().read_hits, 1);
         assert_eq!(c.stats().read_misses, 1);
     }

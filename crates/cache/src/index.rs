@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn xor_is_deterministic() {
         for addr in [3u64, 999, 1 << 40] {
-            assert_eq!(Indexing::Xor.set_of(addr, 32), Indexing::Xor.set_of(addr, 32));
+            assert_eq!(
+                Indexing::Xor.set_of(addr, 32),
+                Indexing::Xor.set_of(addr, 32)
+            );
         }
     }
 }

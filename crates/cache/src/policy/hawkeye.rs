@@ -176,7 +176,8 @@ pub fn simulate_hawkeye(
     trace: &[crate::trace::Access],
     params: tcor_common::CacheParams,
 ) -> tcor_common::AccessStats {
-    let mut cache = crate::cache::Cache::new(params, crate::index::Indexing::Modulo, Hawkeye::new());
+    let mut cache =
+        crate::cache::Cache::new(params, crate::index::Indexing::Modulo, Hawkeye::new());
     for a in trace {
         cache.access(a.addr, a.kind, AccessMeta::with_user(u64::MAX, a.addr.0));
     }
@@ -226,10 +227,7 @@ mod tests {
         // prediction-based policy should retain something once trained.
         let seq: Vec<u64> = (0..6u64).cycle().take(600).collect();
         let hawkeye = simulate_hawkeye(&reads(&seq), CacheParams::new(4, 1, 0, 1));
-        assert!(
-            hawkeye.hits() > 0,
-            "Hawkeye should not thrash to zero hits"
-        );
+        assert!(hawkeye.hits() > 0, "Hawkeye should not thrash to zero hits");
     }
 
     #[test]

@@ -123,8 +123,8 @@ mod tests {
     #[test]
     fn registry_knows_all_policies() {
         for name in [
-            "lru", "mru", "fifo", "random", "plru", "nru", "srrip", "brrip", "drrip", "opt",
-            "lip", "bip", "dip",
+            "lru", "mru", "fifo", "random", "plru", "nru", "srrip", "brrip", "drrip", "opt", "lip",
+            "bip", "dip",
         ] {
             let p = by_name(name);
             assert!(!p.name().is_empty());

@@ -107,7 +107,11 @@ mod tests {
             Indexing::Modulo,
             Opt::new(),
         );
-        cache.access(BlockAddr(1), AccessKind::Read, AccessMeta::next_use(u64::MAX));
+        cache.access(
+            BlockAddr(1),
+            AccessKind::Read,
+            AccessMeta::next_use(u64::MAX),
+        );
         cache.access(BlockAddr(2), AccessKind::Read, AccessMeta::next_use(50));
         let out = cache.access(BlockAddr(3), AccessKind::Read, AccessMeta::next_use(4));
         assert_eq!(out.evicted.unwrap().addr, BlockAddr(1));

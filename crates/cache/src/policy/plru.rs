@@ -127,6 +127,10 @@ mod tests {
         let out = cache.access(BlockAddr(100), AccessKind::Read, AccessMeta::NONE);
         assert!(out.evicted.is_some());
         // Re-touching after eviction still hits remaining lines.
-        assert!(cache.access(BlockAddr(3), AccessKind::Read, AccessMeta::NONE).hit);
+        assert!(
+            cache
+                .access(BlockAddr(3), AccessKind::Read, AccessMeta::NONE)
+                .hit
+        );
     }
 }

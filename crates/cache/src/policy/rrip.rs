@@ -207,7 +207,11 @@ impl ReplacementPolicy for Drrip {
         self.fill_count = self.fill_count.wrapping_add(1);
         // SRRIP insertion, or BRRIP's occasional long-interval insertion.
         let long_interval = use_srrip || self.fill_count.is_multiple_of(BIP_EPSILON);
-        let rrpv = if long_interval { MAX_RRPV - 1 } else { MAX_RRPV };
+        let rrpv = if long_interval {
+            MAX_RRPV - 1
+        } else {
+            MAX_RRPV
+        };
         self.state.fill(set, way, rrpv);
     }
 
@@ -232,7 +236,7 @@ mod tests {
         p.on_fill(0, 0, &AccessMeta::NONE); // rrpv 2
         p.on_fill(0, 1, &AccessMeta::NONE); // rrpv 2
         p.on_hit(0, 0, &AccessMeta::NONE); // rrpv 0
-        // Aging: both < 3, so the loop ages until way 1 reaches 3 first.
+                                           // Aging: both < 3, so the loop ages until way 1 reaches 3 first.
         assert_eq!(p.victim(0, &lines), 1);
     }
 

@@ -50,25 +50,47 @@ pub fn simulate_policy<P: ReplacementPolicy>(
 mod tests {
     use super::*;
     use crate::policy::{Lru, Opt};
-    use proptest::prelude::*;
-    use tcor_common::BlockAddr;
+    use tcor_common::{BlockAddr, SmallRng};
 
     fn params(lines: u64, ways: u32) -> CacheParams {
         CacheParams::new(lines * 64, 64, ways, 1)
     }
 
+    /// Seeded random traces standing in for the retired proptest
+    /// strategies: `cases` traces of up to `max_len` reads over a
+    /// `blocks`-block footprint.
+    fn random_traces(seed: u64, cases: usize, blocks: u64, max_len: usize) -> Vec<Vec<Access>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..cases)
+            .map(|_| {
+                let len = rng.random_range(1..max_len + 1);
+                (0..len)
+                    .map(|_| Access::read(BlockAddr(rng.random_range(0..blocks))))
+                    .collect()
+            })
+            .collect()
+    }
+
     #[test]
     fn stack_profiler_matches_direct_lru_simulation() {
-        let trace: Vec<Access> = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4]
-            .iter()
-            .map(|&b| Access::read(BlockAddr(b)))
-            .collect();
+        let trace: Vec<Access> = [
+            3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4,
+        ]
+        .iter()
+        .map(|&b| Access::read(BlockAddr(b)))
+        .collect();
         let mut prof = LruStackProfiler::new();
         for a in &trace {
             prof.record(a.addr);
         }
         for lines in 1..10u64 {
-            let direct = simulate_policy(&trace, params(lines, 0), Indexing::Modulo, Lru::new(), false);
+            let direct = simulate_policy(
+                &trace,
+                params(lines, 0),
+                Indexing::Modulo,
+                Lru::new(),
+                false,
+            );
             assert_eq!(
                 prof.misses_at(lines as usize),
                 direct.misses(),
@@ -77,42 +99,55 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Mattson stack algorithm ≡ direct LRU simulation at every size.
-        #[test]
-        fn prop_stack_equals_direct(blocks in proptest::collection::vec(0u64..24, 1..200)) {
-            let trace: Vec<Access> = blocks.iter().map(|&b| Access::read(BlockAddr(b))).collect();
+    /// Mattson stack algorithm ≡ direct LRU simulation at every size.
+    #[test]
+    fn prop_stack_equals_direct() {
+        for trace in random_traces(0xA11CE, 64, 24, 200) {
             let mut prof = LruStackProfiler::new();
             for a in &trace {
                 prof.record(a.addr);
             }
             for lines in [1usize, 2, 3, 5, 8, 16, 32] {
                 let direct = simulate_policy(
-                    &trace, params(lines as u64, 0), Indexing::Modulo, Lru::new(), false);
-                prop_assert_eq!(prof.misses_at(lines), direct.misses());
+                    &trace,
+                    params(lines as u64, 0),
+                    Indexing::Modulo,
+                    Lru::new(),
+                    false,
+                );
+                assert_eq!(prof.misses_at(lines), direct.misses());
             }
         }
+    }
 
-        /// The dedicated Belady profiler ≡ the generic engine running the
-        /// OPT policy with exact annotations, fully associative.
-        #[test]
-        fn prop_opt_profiler_equals_engine(blocks in proptest::collection::vec(0u64..16, 1..150)) {
-            let trace: Vec<Access> = blocks.iter().map(|&b| Access::read(BlockAddr(b))).collect();
+    /// The dedicated Belady profiler ≡ the generic engine running the
+    /// OPT policy with exact annotations, fully associative.
+    #[test]
+    fn prop_opt_profiler_equals_engine() {
+        for trace in random_traces(0xB0B, 64, 16, 150) {
             for lines in [1usize, 2, 4, 8] {
                 let fast = opt_misses(&trace, lines);
                 let engine = simulate_policy(
-                    &trace, params(lines as u64, 0), Indexing::Modulo, Opt::new(), true);
-                prop_assert_eq!(fast, engine.misses());
+                    &trace,
+                    params(lines as u64, 0),
+                    Indexing::Modulo,
+                    Opt::new(),
+                    true,
+                );
+                assert_eq!(fast, engine.misses());
             }
         }
+    }
 
-        /// Belady's optimality: OPT ≤ every other policy, fully associative.
-        #[test]
-        fn prop_opt_is_optimal(blocks in proptest::collection::vec(0u64..12, 1..150)) {
-            let trace: Vec<Access> = blocks.iter().map(|&b| Access::read(BlockAddr(b))).collect();
+    /// Belady's optimality: OPT ≤ every other policy, fully associative.
+    #[test]
+    fn prop_opt_is_optimal() {
+        for trace in random_traces(0xCAFE, 48, 12, 150) {
             for lines in [2usize, 4, 8] {
                 let opt = opt_misses(&trace, lines);
-                for name in ["lru", "mru", "fifo", "random", "plru", "nru", "srrip", "drrip"] {
+                for name in [
+                    "lru", "mru", "fifo", "random", "plru", "nru", "srrip", "drrip",
+                ] {
                     let other = simulate_policy(
                         &trace,
                         params(lines as u64, 0),
@@ -120,20 +155,24 @@ mod tests {
                         crate::policy::by_name(name),
                         false,
                     );
-                    prop_assert!(
+                    assert!(
                         opt <= other.misses(),
                         "OPT {} > {} {} at {} lines",
-                        opt, name, other.misses(), lines
+                        opt,
+                        name,
+                        other.misses(),
+                        lines
                     );
                 }
             }
         }
+    }
 
-        /// Miss counts are monotonically non-increasing in capacity for
-        /// stack algorithms (LRU and OPT both are).
-        #[test]
-        fn prop_miss_curves_monotone(blocks in proptest::collection::vec(0u64..20, 1..150)) {
-            let trace: Vec<Access> = blocks.iter().map(|&b| Access::read(BlockAddr(b))).collect();
+    /// Miss counts are monotonically non-increasing in capacity for
+    /// stack algorithms (LRU and OPT both are).
+    #[test]
+    fn prop_miss_curves_monotone() {
+        for trace in random_traces(0xD00D, 64, 20, 150) {
             let mut prof = LruStackProfiler::new();
             for a in &trace {
                 prof.record(a.addr);
@@ -142,10 +181,10 @@ mod tests {
             let lru: Vec<u64> = caps.iter().map(|&c| prof.misses_at(c)).collect();
             let opt: Vec<u64> = caps.iter().map(|&c| opt_misses(&trace, c)).collect();
             for w in lru.windows(2) {
-                prop_assert!(w[0] >= w[1]);
+                assert!(w[0] >= w[1]);
             }
             for w in opt.windows(2) {
-                prop_assert!(w[0] >= w[1]);
+                assert!(w[0] >= w[1]);
             }
         }
     }

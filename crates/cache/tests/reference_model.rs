@@ -2,10 +2,9 @@
 //! obviously-correct reference model (a vector of (addr, dirty, ts)
 //! tuples per set) under LRU, across random traces and geometries.
 
-use proptest::prelude::*;
 use tcor_cache::policy::Lru;
 use tcor_cache::{AccessKind, AccessMeta, Cache, Indexing};
-use tcor_common::{BlockAddr, CacheParams};
+use tcor_common::{BlockAddr, CacheParams, SmallRng};
 
 /// The reference: per-set Vec of (tag, dirty, last_touch).
 struct RefCache {
@@ -55,55 +54,63 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn engine_matches_reference_lru(
-        ops in proptest::collection::vec((0u64..96, proptest::bool::ANY), 1..400),
-        ways in 1u32..6,
-        sets_pow in 0u32..4,
-    ) {
-        let num_sets = 1usize << sets_pow;
+#[test]
+fn engine_matches_reference_lru() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0001);
+    for _case in 0..64 {
+        let ways = rng.random_range(1..6u32);
+        let num_sets = 1usize << rng.random_range(0..4u32);
+        let ops: Vec<(u64, bool)> = (0..rng.random_range(1..400usize))
+            .map(|_| (rng.random_range(0..96u64), rng.random_bool(0.5)))
+            .collect();
         let lines = num_sets as u64 * ways as u64;
         let params = CacheParams::new(lines * 64, 64, ways, 1);
         let mut engine = Cache::new(params, Indexing::Modulo, Lru::new());
         let mut reference = RefCache::new(num_sets, ways as usize);
         for &(addr, write) in &ops {
-            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             engine.access(BlockAddr(addr), kind, AccessMeta::NONE);
             reference.access(addr, write);
         }
-        prop_assert_eq!(engine.stats().hits(), reference.hits);
-        prop_assert_eq!(engine.stats().misses(), reference.misses);
-        prop_assert_eq!(engine.stats().writebacks, reference.writebacks);
+        assert_eq!(engine.stats().hits(), reference.hits);
+        assert_eq!(engine.stats().misses(), reference.misses);
+        assert_eq!(engine.stats().writebacks, reference.writebacks);
         // Final contents agree.
         for set in 0..num_sets {
             for &(tag, _, _) in &reference.sets[set] {
-                prop_assert!(engine.contains(BlockAddr(tag)), "missing {tag}");
+                assert!(engine.contains(BlockAddr(tag)), "missing {tag}");
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             engine.occupancy(),
             reference.sets.iter().map(Vec::len).sum::<usize>()
         );
     }
+}
 
-    /// `fill_clean` (warm start) must leave statistics untouched and make
-    /// blocks resident.
-    #[test]
-    fn fill_clean_is_invisible_to_stats(
-        warm in proptest::collection::vec(0u64..64, 1..40)
-    ) {
+/// `fill_clean` (warm start) must leave statistics untouched and make
+/// blocks resident.
+#[test]
+fn fill_clean_is_invisible_to_stats() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0002);
+    for _case in 0..64 {
+        let warm: Vec<u64> = (0..rng.random_range(1..40usize))
+            .map(|_| rng.random_range(0..64u64))
+            .collect();
         let params = CacheParams::new(32 * 64, 64, 4, 1);
         let mut cache = Cache::new(params, Indexing::Modulo, Lru::new());
         for &b in &warm {
             cache.fill_clean(BlockAddr(b), AccessMeta::NONE);
         }
-        prop_assert_eq!(cache.stats().accesses(), 0);
-        prop_assert_eq!(cache.stats().writebacks, 0);
+        assert_eq!(cache.stats().accesses(), 0);
+        assert_eq!(cache.stats().writebacks, 0);
         // The most recently warmed block is always resident.
-        prop_assert!(cache.contains(BlockAddr(*warm.last().unwrap())));
+        assert!(cache.contains(BlockAddr(*warm.last().unwrap())));
         // Warm lines are clean: draining produces no dirty blocks.
-        prop_assert!(cache.drain().iter().all(|e| !e.dirty));
+        assert!(cache.drain().iter().all(|e| !e.dirty));
     }
 }

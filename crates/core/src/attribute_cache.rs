@@ -604,7 +604,10 @@ mod tests {
         let mut c = example_cache();
         c.write(PrimitiveId(0), 3, TileRank(0));
         c.write(PrimitiveId(1), 3, TileRank(1));
-        assert_eq!(c.write(PrimitiveId(2), 3, TileRank(3)), WriteResult::Bypassed);
+        assert_eq!(
+            c.write(PrimitiveId(2), 3, TileRank(3)),
+            WriteResult::Bypassed
+        );
         assert!(c.contains(PrimitiveId(0)));
         assert!(c.contains(PrimitiveId(1)));
         assert_eq!(c.stats().bypasses, 1);
@@ -633,7 +636,10 @@ mod tests {
         let mut c = example_cache();
         c.write(PrimitiveId(0), 3, TileRank(4));
         c.write(PrimitiveId(1), 3, TileRank(4));
-        assert_eq!(c.write(PrimitiveId(2), 3, TileRank(4)), WriteResult::Bypassed);
+        assert_eq!(
+            c.write(PrimitiveId(2), 3, TileRank(4)),
+            WriteResult::Bypassed
+        );
     }
 
     #[test]
@@ -669,7 +675,7 @@ mod tests {
         c.write(PrimitiveId(1), 3, TileRank(8));
         assert_eq!(c.read(PrimitiveId(0), 3, TileRank(9)), ReadResult::Hit); // locks prim 0
         assert_eq!(c.read(PrimitiveId(1), 3, TileRank(9)), ReadResult::Hit); // locks prim 1
-        // Everything locked: a read miss must stall.
+                                                                             // Everything locked: a read miss must stall.
         assert_eq!(c.read(PrimitiveId(2), 3, TileRank(10)), ReadResult::Stalled);
         c.unlock(PrimitiveId(0));
         // Now prim 0 is evictable.
@@ -694,7 +700,10 @@ mod tests {
         ));
         assert_eq!(c.free_entries(), 0);
         // A third one first-used later than both residents: bypass.
-        assert_eq!(c.write(PrimitiveId(2), 1, TileRank(2)), WriteResult::Bypassed);
+        assert_eq!(
+            c.write(PrimitiveId(2), 1, TileRank(2)),
+            WriteResult::Bypassed
+        );
         // First-used EARLIER than prim 0 (rank 0)? No line is
         // strictly-later than rank 0 except... prim 1 (rank 1) is. Evicting
         // prim 1 frees 3 entries for a 2-attribute newcomer at rank 0.
@@ -715,7 +724,11 @@ mod tests {
             let attrs = 1 + (i % 5) as u8;
             let _ = c.write(PrimitiveId(i), attrs, TileRank(i % 50));
             if i % 3 == 0 {
-                let _ = c.read(PrimitiveId(i / 2), 1 + ((i / 2) % 5) as u8, TileRank(i % 50 + 1));
+                let _ = c.read(
+                    PrimitiveId(i / 2),
+                    1 + ((i / 2) % 5) as u8,
+                    TileRank(i % 50 + 1),
+                );
             }
             if i % 4 == 0 {
                 c.unlock(PrimitiveId(i / 2));
@@ -729,7 +742,10 @@ mod tests {
         assert_eq!(owned + c.free_entries(), c.config().ab_entries);
         let drained = c.drain();
         assert_eq!(c.free_entries(), c.config().ab_entries);
-        assert_eq!(drained.iter().map(|e| e.attr_count as usize).sum::<usize>(), owned);
+        assert_eq!(
+            drained.iter().map(|e| e.attr_count as usize).sum::<usize>(),
+            owned
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! exactly once by the Tile Fetcher — so the paper keeps plain LRU here
 //! and spends its cleverness on the layout (interleaving, Fig. 6).
 
-use tcor_cache::{AccessKind, AccessMeta, Cache, Indexing};
 use tcor_cache::policy::Lru;
+use tcor_cache::{AccessKind, AccessMeta, Cache, Indexing};
 use tcor_common::{AccessStats, BlockAddr, CacheParams, TileId};
 use tcor_pbuf::{ListsLayout, ListsScheme};
 
@@ -48,7 +48,9 @@ impl ListCache {
     /// Polygon List Builder writes PMD `n` of `tile`'s list.
     pub fn write_pmd(&mut self, tile: TileId, n: u32) -> ListAccess {
         let block = self.layout.pmd_block(tile, n);
-        let out = self.cache.access(block, AccessKind::Write, AccessMeta::NONE);
+        let out = self
+            .cache
+            .access(block, AccessKind::Write, AccessMeta::NONE);
         ListAccess {
             hit: out.hit,
             writeback: out.evicted.and_then(|e| e.dirty.then_some(e.addr)),
@@ -125,7 +127,10 @@ mod tests {
         c.write_pmd(TileId(0), 0);
         c.write_pmd(TileId(1), 0);
         let third = c.write_pmd(TileId(2), 0);
-        assert!(third.writeback.is_none(), "consecutive tiles spread over sets");
+        assert!(
+            third.writeback.is_none(),
+            "consecutive tiles spread over sets"
+        );
     }
 
     #[test]

@@ -169,8 +169,10 @@ mod tests {
     fn pb_counters_derive_from_traffic() {
         let mut r = empty_report();
         r.l2_traffic.record_l2_read(tcor_pbuf::Region::PbLists);
-        r.l2_traffic.record_l2_write(tcor_pbuf::Region::PbAttributes);
-        r.mm_traffic.record_mm_write(tcor_pbuf::Region::PbAttributes);
+        r.l2_traffic
+            .record_l2_write(tcor_pbuf::Region::PbAttributes);
+        r.mm_traffic
+            .record_mm_write(tcor_pbuf::Region::PbAttributes);
         r.mm_traffic.record_mm_read(tcor_pbuf::Region::Textures);
         assert_eq!(r.pb_l2_accesses(), 2);
         assert_eq!(r.pb_l2_reads(), 1);

@@ -7,7 +7,9 @@
 //! are identical by construction; only the memory system differs, exactly
 //! as in the paper's methodology.
 
-use crate::attribute_cache::{AttributeCache, AttributeCacheConfig, EvictedPrim, ReadResult, WriteResult};
+use crate::attribute_cache::{
+    AttributeCache, AttributeCacheConfig, EvictedPrim, ReadResult, WriteResult,
+};
 use crate::baseline::BaselineTileCache;
 use crate::list_cache::ListCache;
 use crate::report::{FrameReport, StructureActivity};
@@ -15,12 +17,12 @@ use std::collections::VecDeque;
 use tcor_cache::policy::Lru;
 use tcor_cache::{AccessKind, AccessMeta, Cache, Indexing};
 use tcor_common::{
-    BlockAddr, CacheParams, GpuConfig, PrimitiveId, TileGrid, TileCacheOrg, TraversalOrder,
+    BlockAddr, CacheParams, GpuConfig, PrimitiveId, TileCacheOrg, TileGrid, TraversalOrder,
     LINE_SIZE,
 };
 use tcor_gpu::{
-    bin_scene_with, fetch_ops, plb_ops, FetchOp, Frame, GeometryPipeline, MshrTiming,
-    OverlapTest, PlbOp, RasterParams, RasterTraffic, Scene,
+    bin_scene_with, fetch_ops, plb_ops, FetchOp, Frame, GeometryPipeline, MshrTiming, OverlapTest,
+    PlbOp, RasterParams, RasterTraffic, Scene,
 };
 use tcor_mem::{L2Mode, MemoryHierarchy, PbTag};
 use tcor_pbuf::{AttributesLayout, BinnedFrame, ListsLayout, ListsScheme};
@@ -263,7 +265,11 @@ fn geometry_and_bin(
     l1s: &mut OtherL1s,
     hierarchy: &mut MemoryHierarchy,
 ) -> (TileGrid, TraversalOrder, Frame) {
-    let grid = TileGrid::new(cfg.gpu.screen_width, cfg.gpu.screen_height, cfg.gpu.tile_size);
+    let grid = TileGrid::new(
+        cfg.gpu.screen_width,
+        cfg.gpu.screen_height,
+        cfg.gpu.tile_size,
+    );
     let order = cfg.gpu.traversal.order(&grid);
     let geo = GeometryPipeline::new(grid).run(scene);
     for b in &geo.vertex_fetch_blocks {
@@ -385,7 +391,14 @@ impl BaselineSystem {
         let mut hierarchy = new_hierarchy(&self.cfg);
         let mut l1s = OtherL1s::new(&self.cfg);
         let mut raster = RasterTraffic::new(self.cfg.raster);
-        baseline_frame(&self.cfg, scene, &mut hierarchy, &mut l1s, &mut raster, true)
+        baseline_frame(
+            &self.cfg,
+            scene,
+            &mut hierarchy,
+            &mut l1s,
+            &mut raster,
+            true,
+        )
     }
 }
 
@@ -489,14 +502,7 @@ fn baseline_frame(
                         / (cfg.fragment_processors * cfg.simd_lanes) as f64
                         + 32.0;
                     coupled_cycles += fetch_t.max(raster_t);
-                    raster_tile(
-                        tile.index(),
-                        &frame,
-                        &grid,
-                        raster,
-                        l1s,
-                        hierarchy,
-                    );
+                    raster_tile(tile.index(), &frame, &grid, raster, l1s, hierarchy);
                 }
             }
         }
@@ -616,7 +622,14 @@ impl TcorSystem {
         let mut hierarchy = new_hierarchy(&self.cfg);
         let mut l1s = OtherL1s::new(&self.cfg);
         let mut raster = RasterTraffic::new(self.cfg.raster);
-        tcor_frame(&self.cfg, scene, &mut hierarchy, &mut l1s, &mut raster, true)
+        tcor_frame(
+            &self.cfg,
+            scene,
+            &mut hierarchy,
+            &mut l1s,
+            &mut raster,
+            true,
+        )
     }
 }
 
@@ -788,14 +801,7 @@ fn tcor_frame(
                         / (cfg.fragment_processors * cfg.simd_lanes) as f64
                         + 32.0;
                     coupled_cycles += fetch_t.max(raster_t);
-                    raster_tile(
-                        tile.index(),
-                        &frame,
-                        &grid,
-                        raster,
-                        l1s,
-                        hierarchy,
-                    );
+                    raster_tile(tile.index(), &frame, &grid, raster, l1s, hierarchy);
                 }
             }
         }
@@ -929,8 +935,7 @@ mod tests {
 
     #[test]
     fn baseline_system_runs_and_conserves_counts() {
-        let r = BaselineSystem::new(SystemConfig::paper_baseline_64k())
-            .run_frame(&test_scene(300));
+        let r = BaselineSystem::new(SystemConfig::paper_baseline_64k()).run_frame(&test_scene(300));
         assert_eq!(r.num_primitives, 300);
         assert!(r.prims_fetched > 0);
         assert!(r.fetch_cycles > 0);
@@ -979,9 +984,8 @@ mod tests {
     #[test]
     fn l2_ablation_has_more_mm_writes_than_full_tcor() {
         let scene = test_scene(800);
-        let without =
-            TcorSystem::new(SystemConfig::paper_tcor_64k().without_l2_enhancements())
-                .run_frame(&scene);
+        let without = TcorSystem::new(SystemConfig::paper_tcor_64k().without_l2_enhancements())
+            .run_frame(&scene);
         let with = TcorSystem::new(SystemConfig::paper_tcor_64k()).run_frame(&scene);
         assert!(with.pb_mm_writes() <= without.pb_mm_writes());
         assert_eq!(without.dead_drops, 0);

@@ -58,12 +58,11 @@ fn tcor_frame_is_never_slower() {
 fn l2_enhancement_energy_is_incremental() {
     let s = scene(3000);
     let model = EnergyModel::default();
-    let nol2 = TcorSystem::new(SystemConfig::paper_tcor_64k().without_l2_enhancements())
-        .run_frame(&s);
+    let nol2 =
+        TcorSystem::new(SystemConfig::paper_tcor_64k().without_l2_enhancements()).run_frame(&s);
     let full = TcorSystem::new(SystemConfig::paper_tcor_64k()).run_frame(&s);
     assert!(
-        model.evaluate(&full).memory_hierarchy_pj()
-            <= model.evaluate(&nol2).memory_hierarchy_pj()
+        model.evaluate(&full).memory_hierarchy_pj() <= model.evaluate(&nol2).memory_hierarchy_pj()
     );
 }
 

@@ -11,9 +11,9 @@
 //! triangles on average in a strip-ordered mesh).
 
 use crate::scene::Scene;
+use tcor_common::BlockAddr;
 use tcor_common::{Rect, TileGrid};
 use tcor_pbuf::region::bases;
-use tcor_common::BlockAddr;
 
 /// Bytes per vertex record in the input geometry (position + a couple of
 /// attributes, pre-transform).
@@ -128,9 +128,8 @@ impl GeometryPipeline {
             let base_index = object * 64 + within;
             for r in [base_index, base_index + 1, base_index + 2] {
                 if !ptc.lookup(r) {
-                    vertex_fetch_blocks.push(
-                        tcor_common::Address(bases::VERTICES + r * VERTEX_BYTES).block(),
-                    );
+                    vertex_fetch_blocks
+                        .push(tcor_common::Address(bases::VERTICES + r * VERTEX_BYTES).block());
                 }
             }
             if prim.tri.bbox().clamp_to(screen.x1, screen.y1).is_some() {

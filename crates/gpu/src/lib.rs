@@ -47,7 +47,9 @@ pub mod scene;
 pub mod timing;
 pub mod transform;
 
-pub use binner::{bin_scene, bin_scene_with, fetch_ops, plb_ops, FetchOp, Frame, OverlapTest, PlbOp};
+pub use binner::{
+    bin_scene, bin_scene_with, fetch_ops, plb_ops, FetchOp, Frame, OverlapTest, PlbOp,
+};
 pub use geometry::{GeometryOutput, GeometryPipeline, PostTransformCache};
 pub use raster::{RasterParams, RasterTraffic};
 pub use scene::{Scene, ScenePrimitive};

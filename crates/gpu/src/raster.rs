@@ -11,9 +11,7 @@
 //! loop over a small shader working set; the color buffer flushes one
 //! tile's pixels per tile.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use tcor_common::{Address, BlockAddr, LINE_SIZE};
+use tcor_common::{Address, BlockAddr, SmallRng, LINE_SIZE};
 use tcor_pbuf::region::bases;
 
 /// Per-benchmark raster traffic parameters (calibrated from Table II).
@@ -214,7 +212,10 @@ mod tests {
         let mut full = traffic();
         let k = killed.texture_blocks(4096.0).len();
         let f = full.texture_blocks(4096.0).len();
-        assert!(k * 3 < f * 2, "50% z-kill should cut texel traffic: {k} vs {f}");
+        assert!(
+            k * 3 < f * 2,
+            "50% z-kill should cut texel traffic: {k} vs {f}"
+        );
         assert_eq!(
             killed.shader_instructions_executed(1000.0),
             0.5 * full.shader_instructions_executed(1000.0)

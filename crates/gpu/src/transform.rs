@@ -150,9 +150,8 @@ impl Mat4 {
 
     /// Transforms a point, returning homogeneous `(x, y, z, w)`.
     pub fn transform(&self, p: Vec3) -> (f32, f32, f32, f32) {
-        let col = |r: usize| {
-            self.m[0][r] * p.x + self.m[1][r] * p.y + self.m[2][r] * p.z + self.m[3][r]
-        };
+        let col =
+            |r: usize| self.m[0][r] * p.x + self.m[1][r] * p.y + self.m[2][r] * p.z + self.m[3][r];
         (col(0), col(1), col(2), col(3))
     }
 }
@@ -161,12 +160,7 @@ impl Mat4 {
 /// screen. Returns `None` when any vertex lies behind the near plane
 /// (conservative near culling — a full clipper would split the triangle)
 /// or when the projected triangle misses the screen entirely.
-pub fn project_triangle(
-    tri: &[Vec3; 3],
-    mvp: &Mat4,
-    width: f32,
-    height: f32,
-) -> Option<Tri2> {
+pub fn project_triangle(tri: &[Vec3; 3], mvp: &Mat4, width: f32, height: f32) -> Option<Tri2> {
     let mut screen = [(0.0f32, 0.0f32); 3];
     for (i, v) in tri.iter().enumerate() {
         let (x, y, _z, w) = mvp.transform(*v);
@@ -185,12 +179,7 @@ pub fn project_triangle(
 
 /// Transforms a world-space scene into the screen-space [`Scene`] the
 /// Tiling Engine bins: the Vertex Stage of Fig. 2.
-pub fn transform_scene(
-    prims: &[WorldPrimitive],
-    mvp: &Mat4,
-    width: f32,
-    height: f32,
-) -> Scene {
+pub fn transform_scene(prims: &[WorldPrimitive], mvp: &Mat4, width: f32, height: f32) -> Scene {
     prims
         .iter()
         .filter_map(|p| {

@@ -224,7 +224,11 @@ mod tests {
     fn baseline_writes_back_dirty_evictions() {
         let mut h = hierarchy(L2Mode::Baseline);
         for i in 0..8 {
-            h.access(pb_block(i), AccessKind::Write, PbTag::attributes(TileRank(0)));
+            h.access(
+                pb_block(i),
+                AccessKind::Write,
+                PbTag::attributes(TileRank(0)),
+            );
         }
         h.access(pb_block(100), AccessKind::Read, PbTag::NONE);
         assert_eq!(h.mm_traffic().region(Region::PbAttributes).mm_writes, 1);
@@ -235,7 +239,11 @@ mod tests {
     fn tcor_drops_dead_dirty_lines() {
         let mut h = hierarchy(L2Mode::TcorEnhanced);
         for i in 0..8 {
-            h.access(pb_block(i), AccessKind::Write, PbTag::attributes(TileRank(0)));
+            h.access(
+                pb_block(i),
+                AccessKind::Write,
+                PbTag::attributes(TileRank(0)),
+            );
         }
         h.tile_done(); // tile 0 completed: all 8 lines now dead
         h.access(pb_block(100), AccessKind::Read, PbTag::NONE);
@@ -247,7 +255,11 @@ mod tests {
     fn tcor_live_lines_still_written_back() {
         let mut h = hierarchy(L2Mode::TcorEnhanced);
         for i in 0..8 {
-            h.access(pb_block(i), AccessKind::Write, PbTag::attributes(TileRank(5)));
+            h.access(
+                pb_block(i),
+                AccessKind::Write,
+                PbTag::attributes(TileRank(5)),
+            );
         }
         // No tile completed: lines are live; eviction writes back.
         h.access(pb_block(100), AccessKind::Read, PbTag::NONE);
@@ -261,7 +273,11 @@ mod tests {
         {
             let mut h = hierarchy(mode);
             for i in 0..4 {
-                h.access(pb_block(i), AccessKind::Write, PbTag::attributes(TileRank(9)));
+                h.access(
+                    pb_block(i),
+                    AccessKind::Write,
+                    PbTag::attributes(TileRank(9)),
+                );
             }
             h.end_frame();
             assert_eq!(

@@ -137,10 +137,22 @@ mod tests {
     fn dead_lines_evicted_first_even_if_recent() {
         let wm = Rc::new(Cell::new(0));
         let mut l2 = tcor_l2(wm.clone());
-        l2.access(BlockAddr(1), AccessKind::Write, meta(PbTag::attributes(TileRank(0))));
+        l2.access(
+            BlockAddr(1),
+            AccessKind::Write,
+            meta(PbTag::attributes(TileRank(0))),
+        );
         l2.access(BlockAddr(2), AccessKind::Read, meta(PbTag::NONE));
-        l2.access(BlockAddr(3), AccessKind::Write, meta(PbTag::attributes(TileRank(9))));
-        l2.access(BlockAddr(1), AccessKind::Read, meta(PbTag::attributes(TileRank(0)))); // refresh LRU
+        l2.access(
+            BlockAddr(3),
+            AccessKind::Write,
+            meta(PbTag::attributes(TileRank(9))),
+        );
+        l2.access(
+            BlockAddr(1),
+            AccessKind::Read,
+            meta(PbTag::attributes(TileRank(0))),
+        ); // refresh LRU
         l2.access(BlockAddr(4), AccessKind::Read, meta(PbTag::NONE));
         // Tile 0 completes -> block 1 is dead despite being recently used.
         wm.set(1);
@@ -152,10 +164,22 @@ mod tests {
     fn non_pb_preferred_over_live_pb() {
         let wm = Rc::new(Cell::new(0));
         let mut l2 = tcor_l2(wm);
-        l2.access(BlockAddr(1), AccessKind::Write, meta(PbTag::attributes(TileRank(9))));
+        l2.access(
+            BlockAddr(1),
+            AccessKind::Write,
+            meta(PbTag::attributes(TileRank(9))),
+        );
         l2.access(BlockAddr(2), AccessKind::Read, meta(PbTag::NONE));
-        l2.access(BlockAddr(3), AccessKind::Write, meta(PbTag::lists(TileRank(5))));
-        l2.access(BlockAddr(4), AccessKind::Write, meta(PbTag::attributes(TileRank(7))));
+        l2.access(
+            BlockAddr(3),
+            AccessKind::Write,
+            meta(PbTag::lists(TileRank(5))),
+        );
+        l2.access(
+            BlockAddr(4),
+            AccessKind::Write,
+            meta(PbTag::attributes(TileRank(7))),
+        );
         // No dead lines; the single non-PB line (2) goes first even though
         // others are older or newer.
         let out = l2.access(BlockAddr(5), AccessKind::Read, meta(PbTag::NONE));
@@ -183,7 +207,11 @@ mod tests {
             L2Policy::new(L2PolicyMode::BaselineLru, wm),
         );
         l2.access(BlockAddr(1), AccessKind::Read, meta(PbTag::NONE));
-        l2.access(BlockAddr(2), AccessKind::Write, meta(PbTag::attributes(TileRank(0))));
+        l2.access(
+            BlockAddr(2),
+            AccessKind::Write,
+            meta(PbTag::attributes(TileRank(0))),
+        );
         l2.access(BlockAddr(3), AccessKind::Read, meta(PbTag::NONE));
         l2.access(BlockAddr(4), AccessKind::Read, meta(PbTag::NONE));
         let out = l2.access(BlockAddr(5), AccessKind::Read, meta(PbTag::NONE));

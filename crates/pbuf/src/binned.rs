@@ -241,7 +241,11 @@ mod tests {
     fn lists_keep_binning_order() {
         let order = order_3x3();
         let f = BinnedFrame::new(
-            &[(1, vec![TileId(0)]), (1, vec![TileId(0)]), (1, vec![TileId(0)])],
+            &[
+                (1, vec![TileId(0)]),
+                (1, vec![TileId(0)]),
+                (1, vec![TileId(0)]),
+            ],
             &order,
         );
         assert_eq!(
@@ -269,7 +273,7 @@ mod tests {
         let order = Traversal::ZOrder.order(&grid);
         let a = grid.tile_id(2, 0); // id 2
         let b = grid.tile_id(1, 1); // id 5
-        // In Z-order, (1,1) comes before (2,0).
+                                    // In Z-order, (1,1) comes before (2,0).
         assert!(order.rank_of(b) < order.rank_of(a));
         let f = BinnedFrame::new(&[(1, vec![a, b])], &order);
         let p = f.primitive(PrimitiveId(0));

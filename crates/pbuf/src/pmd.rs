@@ -29,8 +29,14 @@ impl PmdBaseline {
     ///
     /// Panics if a field exceeds its bit width.
     pub fn encode(self) -> u32 {
-        assert!(self.primitive_id < (1 << 26), "primitive id exceeds 26 bits");
-        assert!(self.num_attributes <= MAX_ATTRS, "attr count exceeds 4 bits");
+        assert!(
+            self.primitive_id < (1 << 26),
+            "primitive id exceeds 26 bits"
+        );
+        assert!(
+            self.num_attributes <= MAX_ATTRS,
+            "attr count exceeds 4 bits"
+        );
         (self.primitive_id << 6) | ((self.num_attributes as u32) << 2)
     }
 
@@ -62,7 +68,10 @@ impl PmdTcor {
     ///
     /// Panics if a field exceeds its bit width.
     pub fn encode(self) -> u32 {
-        assert!(self.num_attributes <= MAX_ATTRS, "attr count exceeds 4 bits");
+        assert!(
+            self.num_attributes <= MAX_ATTRS,
+            "attr count exceeds 4 bits"
+        );
         assert!(self.opt_number < (1 << 12), "OPT number exceeds 12 bits");
         ((self.primitive_id as u32) << 16)
             | ((self.num_attributes as u32) << 12)

@@ -1,18 +1,26 @@
 //! Property tests on the Parameter Buffer layouts: address maps must be
 //! injective and invertible — aliasing between two PMDs or attributes
 //! would silently corrupt every simulation above them.
+//!
+//! Inputs come from a seeded local PRNG (the workspace builds offline,
+//! so no proptest); 256 cases per property, deterministic.
 
-use proptest::prelude::*;
-use tcor_common::TileId;
+use std::collections::BTreeSet;
+use tcor_common::{SmallRng, TileId};
 use tcor_pbuf::{AttributesLayout, ListsLayout, ListsScheme, PmdBaseline, PmdTcor};
 
-proptest! {
-    /// No two (tile, n) pairs map to the same PMD byte address, in either
-    /// scheme.
-    #[test]
-    fn pmd_addresses_are_injective(
-        pairs in proptest::collection::hash_set((0u32..64, 0u32..128), 2..40)
-    ) {
+const CASES: usize = 256;
+
+/// No two (tile, n) pairs map to the same PMD byte address, in either
+/// scheme.
+#[test]
+fn pmd_addresses_are_injective() {
+    let mut rng = SmallRng::seed_from_u64(0x9B0F_0001);
+    for _case in 0..CASES {
+        let mut pairs: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for _ in 0..rng.random_range(2..40usize) {
+            pairs.insert((rng.random_range(0..64u32), rng.random_range(0..128u32)));
+        }
         for scheme in [ListsScheme::Baseline, ListsScheme::Interleaved] {
             let l = ListsLayout::new(scheme, 64);
             let addrs: Vec<u64> = pairs
@@ -22,61 +30,81 @@ proptest! {
             let mut dedup = addrs.clone();
             dedup.sort_unstable();
             dedup.dedup();
-            prop_assert_eq!(dedup.len(), addrs.len(), "{:?} aliased", scheme);
+            assert_eq!(dedup.len(), addrs.len(), "{scheme:?} aliased");
         }
     }
+}
 
-    /// `tile_of_block` inverts `pmd_block` for every in-range entry.
-    #[test]
-    fn tile_of_block_inverts_pmd_block(t in 0u32..97, n in 0u32..1024, tiles in 97u32..200) {
+/// `tile_of_block` inverts `pmd_block` for every in-range entry.
+#[test]
+fn tile_of_block_inverts_pmd_block() {
+    let mut rng = SmallRng::seed_from_u64(0x9B0F_0002);
+    for _case in 0..CASES {
+        let t = rng.random_range(0..97u32);
+        let n = rng.random_range(0..1024u32);
+        let tiles = rng.random_range(97..200u32);
         for scheme in [ListsScheme::Baseline, ListsScheme::Interleaved] {
             let l = ListsLayout::new(scheme, tiles);
             let b = l.pmd_block(TileId(t), n);
-            prop_assert_eq!(l.tile_of_block(b), Some(TileId(t)));
+            assert_eq!(l.tile_of_block(b), Some(TileId(t)));
         }
     }
+}
 
-    /// `primitive_of_block` inverts `attr_block` for arbitrary attribute
-    /// count vectors.
-    #[test]
-    fn primitive_of_block_inverts_attr_block(
-        counts in proptest::collection::vec(1u8..=15, 1..50)
-    ) {
+/// `primitive_of_block` inverts `attr_block` for arbitrary attribute
+/// count vectors.
+#[test]
+fn primitive_of_block_inverts_attr_block() {
+    let mut rng = SmallRng::seed_from_u64(0x9B0F_0003);
+    for _case in 0..CASES {
+        let counts: Vec<u8> = (0..rng.random_range(1..50usize))
+            .map(|_| rng.random_range(1..16u32) as u8)
+            .collect();
         let l = AttributesLayout::new(&counts);
         for (p, &c) in counts.iter().enumerate() {
             for k in 0..c {
-                prop_assert_eq!(l.primitive_of_block(l.attr_block(p, k)), Some(p));
+                assert_eq!(l.primitive_of_block(l.attr_block(p, k)), Some(p));
             }
         }
         // Total footprint is exactly one block per attribute.
         let total: u64 = counts.iter().map(|&c| c as u64).sum();
-        prop_assert_eq!(l.footprint_bytes(), total * 64);
+        assert_eq!(l.footprint_bytes(), total * 64);
     }
+}
 
-    /// PMD encodings round-trip for every in-range field combination.
-    #[test]
-    fn pmd_codecs_roundtrip(
-        prim in 0u32..(1 << 26),
-        attrs in 1u8..=15,
-        opt in 0u16..(1 << 12)
-    ) {
-        let b = PmdBaseline { primitive_id: prim, num_attributes: attrs };
-        prop_assert_eq!(PmdBaseline::decode(b.encode()), b);
+/// PMD encodings round-trip for every in-range field combination.
+#[test]
+fn pmd_codecs_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x9B0F_0004);
+    for _case in 0..CASES {
+        let prim = rng.random_range(0..(1u32 << 26));
+        let attrs = rng.random_range(1..16u32) as u8;
+        let opt = rng.random_range(0..(1u32 << 12)) as u16;
+        let b = PmdBaseline {
+            primitive_id: prim,
+            num_attributes: attrs,
+        };
+        assert_eq!(PmdBaseline::decode(b.encode()), b);
         let t = PmdTcor {
             primitive_id: (prim & 0xFFFF) as u16,
             num_attributes: attrs,
             opt_number: opt,
         };
-        prop_assert_eq!(PmdTcor::decode(t.encode()), t);
+        assert_eq!(PmdTcor::decode(t.encode()), t);
     }
+}
 
-    /// The interleaved layout's footprint never exceeds the baseline's
-    /// for list lengths within the baseline's 1024 allotment — the whole
-    /// point of §III.B.
-    #[test]
-    fn interleaved_footprint_never_larger(tiles in 1u32..300, max_len in 1u32..1024) {
+/// The interleaved layout's footprint never exceeds the baseline's
+/// for list lengths within the baseline's 1024 allotment — the whole
+/// point of §III.B.
+#[test]
+fn interleaved_footprint_never_larger() {
+    let mut rng = SmallRng::seed_from_u64(0x9B0F_0005);
+    for _case in 0..CASES {
+        let tiles = rng.random_range(1..300u32);
+        let max_len = rng.random_range(1..1024u32);
         let b = ListsLayout::new(ListsScheme::Baseline, tiles);
         let i = ListsLayout::new(ListsScheme::Interleaved, tiles);
-        prop_assert!(i.footprint_bytes(max_len) <= b.footprint_bytes(max_len));
+        assert!(i.footprint_bytes(max_len) <= b.footprint_bytes(max_len));
     }
 }

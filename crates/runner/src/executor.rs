@@ -1,0 +1,345 @@
+//! The work-stealing parallel executor.
+//!
+//! Built strictly on `std`: [`std::thread::scope`] workers, one
+//! `Mutex<VecDeque>` run queue per worker plus a `Mutex`/`Condvar`
+//! coordinator for sleeping. A worker pops its own queue from the back
+//! (LIFO: newly unblocked dependents run hot, artifacts still in
+//! cache), and steals from other queues' fronts (FIFO: old, likely
+//! large jobs migrate) — the classic Chase–Lev discipline without the
+//! lock-free deque, which `std` alone cannot express safely.
+//!
+//! Determinism: every job writes its result into its own id-indexed
+//! slot, so the returned `Vec` is ordered by [`JobId`] and bit-identical
+//! to [`execute_serial`] for deterministic jobs, whatever the schedule.
+
+use crate::job::{JobCtx, JobGraph, JobId};
+use crate::store::ArtifactStore;
+use crate::telemetry::Telemetry;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Worker count the CLI defaults to: every hardware thread.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A job body as stored in the executor: boxed, claimed exactly once.
+type BoxedTask<'g, T> = Box<dyn FnOnce(&JobCtx<'_>) -> T + Send + 'g>;
+
+struct Coord {
+    /// Jobs sitting in some queue, not yet claimed.
+    queued: usize,
+    /// Jobs not yet completed (queued + running + dep-blocked).
+    unfinished: usize,
+}
+
+struct Shared<'g, 'env, T> {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    coord: Mutex<Coord>,
+    cv: Condvar,
+    /// Remaining dependency count per job; the worker that drops one to
+    /// zero enqueues it.
+    pending: Vec<AtomicUsize>,
+    dependents: Vec<Vec<usize>>,
+    labels: Vec<String>,
+    tasks: Vec<Mutex<Option<BoxedTask<'g, T>>>>,
+    results: Vec<Mutex<Option<T>>>,
+    store: &'env ArtifactStore,
+    telemetry: &'env Telemetry,
+}
+
+impl<T> Shared<'_, '_, T> {
+    /// Queues `job` on `worker`'s deque and wakes one sleeper.
+    fn push(&self, worker: usize, job: usize) {
+        self.queues[worker]
+            .lock()
+            .expect("queue lock")
+            .push_back(job);
+        self.coord.lock().expect("coord lock").queued += 1;
+        self.cv.notify_one();
+    }
+
+    /// Own queue (LIFO) first, then steal round-robin (FIFO).
+    fn try_claim(&self, worker: usize) -> Option<usize> {
+        if let Some(j) = self.queues[worker].lock().expect("queue lock").pop_back() {
+            self.coord.lock().expect("coord lock").queued -= 1;
+            return Some(j);
+        }
+        let n = self.queues.len();
+        for k in 1..n {
+            let victim = (worker + k) % n;
+            if let Some(j) = self.queues[victim].lock().expect("queue lock").pop_front() {
+                self.coord.lock().expect("coord lock").queued -= 1;
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    fn run_job(&self, worker: usize, job: usize) {
+        let work = self.tasks[job]
+            .lock()
+            .expect("task lock")
+            .take()
+            .expect("job claimed twice");
+        let ctx = JobCtx::new(self.store);
+        self.telemetry.job_start(job, &self.labels[job], worker);
+        let out = work(&ctx);
+        self.telemetry
+            .job_end(job, &self.labels[job], worker, ctx.take_counters());
+        *self.results[job].lock().expect("result lock") = Some(out);
+        // Unblock dependents; newly ready ones run on this worker's
+        // queue (their inputs are hot here), idle workers steal.
+        for &d in &self.dependents[job] {
+            if self.pending[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.push(worker, d);
+            }
+        }
+        let mut coord = self.coord.lock().expect("coord lock");
+        coord.unfinished -= 1;
+        if coord.unfinished == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn worker_loop(&self, worker: usize) {
+        loop {
+            if let Some(job) = self.try_claim(worker) {
+                self.run_job(worker, job);
+                continue;
+            }
+            let mut coord = self.coord.lock().expect("coord lock");
+            loop {
+                if coord.unfinished == 0 {
+                    return;
+                }
+                if coord.queued > 0 {
+                    break; // retry claiming outside the coord lock
+                }
+                coord = self.cv.wait(coord).expect("coord wait");
+            }
+        }
+    }
+}
+
+/// Runs the graph on `workers` threads and returns the results ordered
+/// by job id. `workers == 1` still goes through the queue machinery;
+/// use [`execute_serial`] for the zero-thread reference path.
+///
+/// # Panics
+///
+/// Propagates the first job panic after the scope joins.
+pub fn execute<T: Send>(
+    graph: JobGraph<'_, T>,
+    workers: usize,
+    store: &ArtifactStore,
+    telemetry: &Telemetry,
+) -> Vec<T> {
+    let jobs = graph.into_jobs();
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+
+    let mut pending = Vec::with_capacity(n);
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut labels = Vec::with_capacity(n);
+    let mut tasks = Vec::with_capacity(n);
+    let mut roots = Vec::new();
+    for (i, job) in jobs.into_iter().enumerate() {
+        if job.deps.is_empty() {
+            roots.push(i);
+        }
+        pending.push(AtomicUsize::new(job.deps.len()));
+        for JobId(d) in job.deps {
+            dependents[d].push(i);
+        }
+        labels.push(job.label);
+        tasks.push(Mutex::new(Some(job.work)));
+    }
+
+    let shared = Shared {
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        coord: Mutex::new(Coord {
+            queued: 0,
+            unfinished: n,
+        }),
+        cv: Condvar::new(),
+        pending,
+        dependents,
+        labels,
+        tasks,
+        results: (0..n).map(|_| Mutex::new(None)).collect(),
+        store,
+        telemetry,
+    };
+    // Seed roots round-robin so the pool starts balanced.
+    for (k, &r) in roots.iter().enumerate() {
+        shared.push(k % workers, r);
+    }
+
+    std::thread::scope(|s| {
+        for w in 1..workers {
+            let shared = &shared;
+            std::thread::Builder::new()
+                .name(format!("tcor-runner-{w}"))
+                .spawn_scoped(s, move || shared.worker_loop(w))
+                .expect("spawn worker");
+        }
+        shared.worker_loop(0);
+    });
+
+    shared
+        .results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("job completed without a result")
+        })
+        .collect()
+}
+
+/// The reference path: runs every job on the calling thread in id
+/// order (ids are topological by construction), with identical
+/// telemetry recording and results.
+pub fn execute_serial<T>(
+    graph: JobGraph<'_, T>,
+    store: &ArtifactStore,
+    telemetry: &Telemetry,
+) -> Vec<T> {
+    graph
+        .into_jobs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let ctx = JobCtx::new(store);
+            telemetry.job_start(i, &job.label, 0);
+            let out = (job.work)(&ctx);
+            telemetry.job_end(i, &job.label, 0, ctx.take_counters());
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn diamond(counter: &AtomicU64) -> JobGraph<'_, u64> {
+        // a → {b, c} → d ; d must observe both b and c done.
+        let mut g = JobGraph::new();
+        let a = g.add_job("a", &[], move |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            1
+        });
+        let b = g.add_job("b", &[a], move |_| {
+            counter.fetch_add(10, Ordering::SeqCst);
+            2
+        });
+        let c = g.add_job("c", &[a], move |_| {
+            counter.fetch_add(100, Ordering::SeqCst);
+            3
+        });
+        g.add_job("d", &[b, c], move |_| counter.load(Ordering::SeqCst));
+        g
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_a_diamond() {
+        for workers in [1, 2, 4, 8] {
+            let counter = AtomicU64::new(0);
+            let store = ArtifactStore::new();
+            let t = Telemetry::new();
+            let out = execute(diamond(&counter), workers, &store, &t);
+            assert_eq!(out, vec![1, 2, 3, 111], "workers={workers}");
+        }
+        let counter = AtomicU64::new(0);
+        let store = ArtifactStore::new();
+        let t = Telemetry::new();
+        assert_eq!(
+            execute_serial(diamond(&counter), &store, &t),
+            vec![1, 2, 3, 111]
+        );
+    }
+
+    #[test]
+    fn wide_graph_runs_every_job_once() {
+        let n = 300;
+        let hits = AtomicU64::new(0);
+        let mut g = JobGraph::new();
+        for i in 0..n {
+            let hits = &hits;
+            g.add_job(format!("j{i}"), &[], move |_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                i as u64
+            });
+        }
+        let store = ArtifactStore::new();
+        let t = Telemetry::new();
+        let out = execute(g, 8, &store, &t);
+        assert_eq!(hits.load(Ordering::SeqCst), n as u64);
+        assert_eq!(out, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deep_chain_respects_ordering() {
+        // Each link multiplies; any reordering would change the value.
+        let mut g = JobGraph::new();
+        let trace = &*Box::leak(Box::new(Mutex::new(Vec::<usize>::new())));
+        let mut prev: Option<JobId> = None;
+        for i in 0..64 {
+            let deps: Vec<JobId> = prev.into_iter().collect();
+            prev = Some(g.add_job(format!("link{i}"), &deps, move |_| {
+                trace.lock().unwrap().push(i);
+                i
+            }));
+        }
+        let store = ArtifactStore::new();
+        let t = Telemetry::new();
+        execute(g, 4, &store, &t);
+        assert_eq!(*trace.lock().unwrap(), (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_share_artifacts_through_the_store() {
+        let mut g = JobGraph::new();
+        for i in 0..16 {
+            g.add_job(format!("j{i}"), &[], move |ctx: &JobCtx<'_>| {
+                *ctx.store().get_or_compute(0xBEEF, || 7u64)
+            });
+        }
+        let store = ArtifactStore::new();
+        let t = Telemetry::new();
+        let out = execute(g, 4, &store, &t);
+        assert!(out.iter().all(|&v| v == 7));
+        assert_eq!(store.computes(), 1);
+        assert_eq!(store.hits(), 15);
+    }
+
+    #[test]
+    fn telemetry_records_every_job() {
+        let counter = AtomicU64::new(0);
+        let store = ArtifactStore::new();
+        let t = Telemetry::new();
+        execute(diamond(&counter), 2, &store, &t);
+        let records = t.records();
+        assert_eq!(records.len(), 4);
+        let mut labels: Vec<_> = records.iter().map(|r| r.label.clone()).collect();
+        labels.sort();
+        assert_eq!(labels, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let store = ArtifactStore::new();
+        let t = Telemetry::new();
+        let out: Vec<()> = execute(JobGraph::new(), 4, &store, &t);
+        assert!(out.is_empty());
+    }
+}

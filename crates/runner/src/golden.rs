@@ -1,0 +1,196 @@
+//! Golden-result regression: committed reference outputs plus a stable
+//! hash manifest.
+//!
+//! Each experiment table's CSV rendering is stored verbatim under the
+//! golden directory (`<id>.csv`) so regressions produce a readable
+//! diff, and `MANIFEST.txt` pins `fxhash64` of every file so a
+//! hand-edited golden cannot silently pass.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use tcor_common::{fxhash64, hash_hex};
+
+/// Outcome of checking one artifact against its golden.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GoldenStatus {
+    /// Content identical and manifest hash intact.
+    Match,
+    /// No golden recorded for this id.
+    Missing,
+    /// Content differs from the recorded golden.
+    Mismatch {
+        /// 1-based first differing line.
+        line: usize,
+        /// That line in the golden (empty when past its end).
+        expected: String,
+        /// That line in the candidate (empty when past its end).
+        actual: String,
+    },
+    /// The golden file does not match its manifest hash — the golden
+    /// itself was corrupted or edited without `--update-golden`.
+    Corrupt,
+}
+
+impl GoldenStatus {
+    /// Whether the check passed.
+    pub fn is_match(&self) -> bool {
+        matches!(self, GoldenStatus::Match)
+    }
+}
+
+/// A directory of golden files with a hash manifest.
+pub struct GoldenStore {
+    dir: PathBuf,
+}
+
+impl GoldenStore {
+    /// A store rooted at `dir` (created lazily on first update).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        GoldenStore { dir: dir.into() }
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.csv"))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("MANIFEST.txt")
+    }
+
+    fn read_manifest(&self) -> BTreeMap<String, String> {
+        let Ok(text) = std::fs::read_to_string(self.manifest_path()) else {
+            return BTreeMap::new();
+        };
+        text.lines()
+            .filter_map(|l| {
+                let (id, hash) = l.trim().split_once(' ')?;
+                Some((id.to_string(), hash.trim().to_string()))
+            })
+            .collect()
+    }
+
+    fn write_manifest(&self, manifest: &BTreeMap<String, String>) -> io::Result<()> {
+        let mut out = String::new();
+        for (id, hash) in manifest {
+            out.push_str(id);
+            out.push(' ');
+            out.push_str(hash);
+            out.push('\n');
+        }
+        std::fs::write(self.manifest_path(), out)
+    }
+
+    /// Records `content` as the golden for `id` and updates the
+    /// manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn update(&self, id: &str, content: &str) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        std::fs::write(self.file(id), content)?;
+        let mut manifest = self.read_manifest();
+        manifest.insert(id.to_string(), hash_hex(fxhash64(content.as_bytes())));
+        self.write_manifest(&manifest)
+    }
+
+    /// Checks `content` against the recorded golden for `id`.
+    pub fn check(&self, id: &str, content: &str) -> GoldenStatus {
+        let Ok(golden) = std::fs::read_to_string(self.file(id)) else {
+            return GoldenStatus::Missing;
+        };
+        let manifest = self.read_manifest();
+        match manifest.get(id) {
+            Some(recorded) if *recorded == hash_hex(fxhash64(golden.as_bytes())) => {}
+            _ => return GoldenStatus::Corrupt,
+        }
+        if golden == content {
+            return GoldenStatus::Match;
+        }
+        let mut g = golden.lines();
+        let mut c = content.lines();
+        let mut line = 0;
+        loop {
+            line += 1;
+            match (g.next(), c.next()) {
+                (Some(a), Some(b)) if a == b => continue,
+                (a, b) => {
+                    return GoldenStatus::Mismatch {
+                        line,
+                        expected: a.unwrap_or("").to_string(),
+                        actual: b.unwrap_or("").to_string(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ids recorded in the manifest, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        self.read_manifest().into_keys().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> GoldenStore {
+        let dir =
+            std::env::temp_dir().join(format!("tcor-golden-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        GoldenStore::new(dir)
+    }
+
+    #[test]
+    fn update_then_check_matches() {
+        let s = temp_store("match");
+        s.update("fig14", "a,b\n1,2\n").unwrap();
+        assert_eq!(s.check("fig14", "a,b\n1,2\n"), GoldenStatus::Match);
+        assert_eq!(s.ids(), vec!["fig14".to_string()]);
+    }
+
+    #[test]
+    fn missing_and_mismatch_are_reported() {
+        let s = temp_store("miss");
+        assert_eq!(s.check("nope", "x"), GoldenStatus::Missing);
+        s.update("t", "a,b\n1,2\n").unwrap();
+        match s.check("t", "a,b\n1,3\n") {
+            GoldenStatus::Mismatch {
+                line,
+                expected,
+                actual,
+            } => {
+                assert_eq!(line, 2);
+                assert_eq!(expected, "1,2");
+                assert_eq!(actual, "1,3");
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        // Extra trailing content is also a mismatch.
+        assert!(!s.check("t", "a,b\n1,2\n3,4\n").is_match());
+    }
+
+    #[test]
+    fn tampered_golden_is_corrupt() {
+        let s = temp_store("tamper");
+        s.update("t", "a,b\n1,2\n").unwrap();
+        std::fs::write(s.dir().join("t.csv"), "a,b\n6,6\n").unwrap();
+        assert_eq!(s.check("t", "a,b\n6,6\n"), GoldenStatus::Corrupt);
+    }
+
+    #[test]
+    fn update_overwrites_and_remanifests() {
+        let s = temp_store("overwrite");
+        s.update("t", "v1\n").unwrap();
+        s.update("t", "v2\n").unwrap();
+        assert_eq!(s.check("t", "v2\n"), GoldenStatus::Match);
+        assert!(!s.check("t", "v1\n").is_match());
+    }
+}

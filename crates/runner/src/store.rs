@@ -1,0 +1,169 @@
+//! Content-addressed, in-memory artifact memoization.
+//!
+//! Artifacts (a calibrated scene, a binned frame, an annotated trace, a
+//! whole `SuiteRun`) are keyed by a stable `fxhash64` of the
+//! configuration that produces them. The first requester computes; any
+//! concurrent requester for the same key blocks on the winner's
+//! `OnceLock` and shares the resulting `Arc` — each artifact is built
+//! exactly once per process regardless of schedule.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+
+/// The shared store. Cheap to share by reference across the worker
+/// pool; all methods take `&self`.
+#[derive(Default)]
+pub struct ArtifactStore {
+    map: Mutex<HashMap<u64, Slot>>,
+    hits: AtomicU64,
+    computes: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the artifact under `key`, computing it with `f` if
+    /// absent. Concurrent calls with the same key compute once and
+    /// share; the loser blocks until the artifact exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` already holds an artifact of a different type —
+    /// that is a key-collision bug at the call site, never silent.
+    pub fn get_or_compute<A, F>(&self, key: u64, f: F) -> Arc<A>
+    where
+        A: Send + Sync + 'static,
+        F: FnOnce() -> A,
+    {
+        let slot: Slot = {
+            let mut map = self.map.lock().expect("store lock");
+            map.entry(key).or_default().clone()
+        };
+        let mut computed = false;
+        let erased = slot.get_or_init(|| {
+            computed = true;
+            Arc::new(f()) as Arc<dyn Any + Send + Sync>
+        });
+        if computed {
+            self.computes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(erased)
+            .downcast::<A>()
+            .unwrap_or_else(|_| panic!("artifact key {key:#018x} holds a different type"))
+    }
+
+    /// Returns the artifact under `key` if (and only if) it has been
+    /// computed, without blocking on in-flight computation by others.
+    pub fn get<A: Send + Sync + 'static>(&self, key: u64) -> Option<Arc<A>> {
+        let slot = self.map.lock().expect("store lock").get(&key).cloned()?;
+        let erased = slot.get()?;
+        Some(
+            Arc::clone(erased)
+                .downcast::<A>()
+                .unwrap_or_else(|_| panic!("artifact key {key:#018x} holds a different type")),
+        )
+    }
+
+    /// Number of keys with a completed artifact.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("store lock")
+            .values()
+            .filter(|s| s.get().is_some())
+            .count()
+    }
+
+    /// Whether nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many lookups were served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many artifacts were actually computed.
+    pub fn computes(&self) -> u64 {
+        self.computes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn computes_once_and_shares() {
+        let store = ArtifactStore::new();
+        let calls = AtomicUsize::new(0);
+        let a: Arc<Vec<u32>> = store.get_or_compute(1, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            vec![1, 2, 3]
+        });
+        let b: Arc<Vec<u32>> = store.get_or_compute(1, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            vec![9, 9, 9]
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.computes(), 1);
+        assert_eq!(store.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_independent() {
+        let store = ArtifactStore::new();
+        let a: Arc<u64> = store.get_or_compute(10, || 100);
+        let b: Arc<u64> = store.get_or_compute(11, || 200);
+        assert_eq!((*a, *b), (100, 200));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn get_sees_only_completed() {
+        let store = ArtifactStore::new();
+        assert!(store.get::<u64>(5).is_none());
+        let _ = store.get_or_compute(5, || 7u64);
+        assert_eq!(*store.get::<u64>(5).expect("present"), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_collision_is_loud() {
+        let store = ArtifactStore::new();
+        let _ = store.get_or_compute(3, || 1u64);
+        let _: Arc<String> = store.get_or_compute(3, || "oops".to_string());
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let store = ArtifactStore::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let v: Arc<u64> = store.get_or_compute(42, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window.
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        99
+                    });
+                    assert_eq!(*v, 99);
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Run observability: per-job wall time, simulation counters, progress
+//! events — collected in memory, written as JSON-lines, summarized as a
+//! table.
+//!
+//! Wall times are *observability only*: no simulated measurement ever
+//! reads the clock (the simulators are cycle-based and deterministic),
+//! so recording here cannot perturb any paper number.
+
+use crate::json::Json;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed job, as it appears in telemetry.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Job id within its graph.
+    pub id: usize,
+    /// The job's label.
+    pub label: String,
+    /// Worker index that executed it.
+    pub worker: usize,
+    /// Start offset from run start, milliseconds.
+    pub start_ms: f64,
+    /// Wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Counters reported through [`crate::JobCtx::counter`]
+    /// (simulated accesses, misses, …).
+    pub counters: Vec<(String, u64)>,
+}
+
+enum Event {
+    Start {
+        t_ms: f64,
+        id: usize,
+        label: String,
+        worker: usize,
+    },
+    End(JobRecord),
+    Note {
+        t_ms: f64,
+        message: String,
+    },
+}
+
+/// Collector shared by reference with the executor. One `Telemetry`
+/// spans one run (possibly several graphs).
+pub struct Telemetry {
+    start: Instant,
+    events: Mutex<Vec<Event>>,
+    progress: AtomicBool,
+    expected: AtomicUsize,
+    completed: AtomicUsize,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A collector with the clock started now.
+    pub fn new() -> Self {
+        Telemetry {
+            start: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            progress: AtomicBool::new(false),
+            expected: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enables `[k/n] label wall` progress lines on stderr; `expected`
+    /// is the denominator (add more with repeated calls).
+    pub fn enable_progress(&self, expected: usize) {
+        self.progress.store(true, Ordering::Relaxed);
+        self.expected.fetch_add(expected, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the collector was created.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Records a free-form annotation ("suite assembled", …).
+    pub fn note(&self, message: impl Into<String>) {
+        self.events
+            .lock()
+            .expect("telemetry lock")
+            .push(Event::Note {
+                t_ms: self.elapsed_ms(),
+                message: message.into(),
+            });
+    }
+
+    pub(crate) fn job_start(&self, id: usize, label: &str, worker: usize) {
+        self.events
+            .lock()
+            .expect("telemetry lock")
+            .push(Event::Start {
+                t_ms: self.elapsed_ms(),
+                id,
+                label: label.to_string(),
+                worker,
+            });
+    }
+
+    pub(crate) fn job_end(
+        &self,
+        id: usize,
+        label: &str,
+        worker: usize,
+        counters: Vec<(String, u64)>,
+    ) {
+        let t_ms = self.elapsed_ms();
+        let start_ms = {
+            let events = self.events.lock().expect("telemetry lock");
+            events
+                .iter()
+                .rev()
+                .find_map(|e| match e {
+                    Event::Start { id: i, t_ms, .. } if *i == id => Some(*t_ms),
+                    _ => None,
+                })
+                .unwrap_or(t_ms)
+        };
+        let record = JobRecord {
+            id,
+            label: label.to_string(),
+            worker,
+            start_ms,
+            wall_ms: t_ms - start_ms,
+            counters,
+        };
+        let done = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.progress.load(Ordering::Relaxed) {
+            let total = self.expected.load(Ordering::Relaxed).max(done);
+            eprintln!("[{done}/{total}] {label} {:.1}ms", record.wall_ms);
+        }
+        self.events
+            .lock()
+            .expect("telemetry lock")
+            .push(Event::End(record));
+    }
+
+    /// All completed-job records, in completion order.
+    pub fn records(&self) -> Vec<JobRecord> {
+        self.events
+            .lock()
+            .expect("telemetry lock")
+            .iter()
+            .filter_map(|e| match e {
+                Event::End(r) => Some(r.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Writes the event log as JSON-lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let events = self.events.lock().expect("telemetry lock");
+        for e in events.iter() {
+            let line = match e {
+                Event::Start {
+                    t_ms,
+                    id,
+                    label,
+                    worker,
+                } => Json::obj([
+                    ("event", Json::str("job_start")),
+                    ("t_ms", Json::Float(*t_ms)),
+                    ("job", Json::UInt(*id as u64)),
+                    ("label", Json::str(label.clone())),
+                    ("worker", Json::UInt(*worker as u64)),
+                ]),
+                Event::End(r) => Json::obj([
+                    ("event", Json::str("job_end")),
+                    ("t_ms", Json::Float(r.start_ms + r.wall_ms)),
+                    ("job", Json::UInt(r.id as u64)),
+                    ("label", Json::str(r.label.clone())),
+                    ("worker", Json::UInt(r.worker as u64)),
+                    ("wall_ms", Json::Float(r.wall_ms)),
+                    (
+                        "counters",
+                        Json::Obj(
+                            r.counters
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+                Event::Note { t_ms, message } => Json::obj([
+                    ("event", Json::str("note")),
+                    ("t_ms", Json::Float(*t_ms)),
+                    ("message", Json::str(message.clone())),
+                ]),
+            };
+            writeln!(w, "{}", line.render())?;
+        }
+        Ok(())
+    }
+
+    /// Writes the JSON-lines log to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_jsonl(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::File::create(path)?;
+        self.write_jsonl(io::BufWriter::new(file))
+    }
+
+    /// A human summary: totals plus the slowest jobs.
+    pub fn summary(&self, top: usize) -> String {
+        use std::fmt::Write as _;
+        let mut records = self.records();
+        let total_wall: f64 = records.iter().map(|r| r.wall_ms).sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "runner: {} jobs, {:.1}ms of job work in {:.1}ms wall",
+            records.len(),
+            total_wall,
+            self.elapsed_ms()
+        );
+        records.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
+        for r in records.iter().take(top) {
+            let counters = r
+                .counters
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "  {:>9.1}ms  w{}  {}  {}",
+                r.wall_ms, r.worker, r.label, counters
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_jsonl_roundtrip_structure() {
+        let t = Telemetry::new();
+        t.job_start(0, "alpha", 0);
+        t.job_end(0, "alpha", 0, vec![("accesses".into(), 42)]);
+        t.note("checkpoint");
+        let records = t.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].label, "alpha");
+        assert_eq!(records[0].counters, vec![("accesses".to_string(), 42)]);
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"event\":\"job_start\""));
+        assert!(lines[1].contains("\"accesses\":42"));
+        assert!(lines[2].contains("\"event\":\"note\""));
+        // Every line is a self-contained JSON object.
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn summary_mentions_slowest_job() {
+        let t = Telemetry::new();
+        t.job_start(0, "fast", 0);
+        t.job_end(0, "fast", 0, vec![]);
+        t.job_start(1, "slow", 1);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.job_end(1, "slow", 1, vec![]);
+        let s = t.summary(1);
+        assert!(s.contains("2 jobs"));
+        assert!(s.contains("slow"));
+        assert!(!s.contains("  fast"));
+    }
+}

@@ -7,6 +7,7 @@
 //!   layout, under the same split caches.
 //! * **D5** — XOR set indexing \[12\] vs modulo in the Primitive Buffer.
 
+use crate::orchestrate::calibrated_scene;
 use crate::output::{f3, Table};
 use tcor::{SystemConfig, TcorSystem};
 use tcor_cache::policy::Opt;
@@ -15,11 +16,12 @@ use tcor_cache::{AccessMeta, Cache, Indexing};
 use tcor_common::{CacheParams, TileGrid, Traversal};
 use tcor_gpu::bin_scene;
 use tcor_pbuf::ListsScheme;
+use tcor_runner::ArtifactStore;
 use tcor_workloads::trace::opt_number_annotations;
-use tcor_workloads::{generate_scene, primitive_trace, prims_capacity, suite};
+use tcor_workloads::{primitive_trace, prims_capacity, suite};
 
 /// Runs all four ablations over the suite and tabulates the outcome.
-pub fn ablation() -> Table {
+pub fn ablation(store: &ArtifactStore) -> Table {
     let grid = TileGrid::new(1960, 768, 32);
     let order = Traversal::ZOrder.order(&grid);
     let mut t = Table::new(
@@ -36,32 +38,32 @@ pub fn ablation() -> Table {
         ],
     );
     for b in suite() {
-        let scene = generate_scene(&b, &grid);
+        let cal = calibrated_scene(store, &b, &grid);
+        let scene = &cal.scene;
         let rp = b.raster_params();
 
         // Full TCOR reference.
-        let tcor = TcorSystem::new(SystemConfig::paper_tcor_64k().with_raster(rp))
-            .run_frame(&scene);
+        let tcor = TcorSystem::new(SystemConfig::paper_tcor_64k().with_raster(rp)).run_frame(scene);
         let reference = tcor.pb_l2_accesses() as f64;
 
         // D3: baseline (strided) list layout under the TCOR split caches.
         let mut cfg = SystemConfig::paper_tcor_64k().with_raster(rp);
         cfg.list_scheme = ListsScheme::Baseline;
-        let d3 = TcorSystem::new(cfg).run_frame(&scene).pb_l2_accesses() as f64 / reference;
+        let d3 = TcorSystem::new(cfg).run_frame(scene).pb_l2_accesses() as f64 / reference;
 
         // D2: write bypass disabled.
         let mut cfg = SystemConfig::paper_tcor_64k().with_raster(rp);
         cfg.attr_write_bypass = false;
-        let d2 = TcorSystem::new(cfg).run_frame(&scene).pb_l2_accesses() as f64 / reference;
+        let d2 = TcorSystem::new(cfg).run_frame(scene).pb_l2_accesses() as f64 / reference;
 
         // D5: modulo indexing in the Primitive Buffer.
         let mut cfg = SystemConfig::paper_tcor_64k().with_raster(rp);
         cfg.attr_indexing = Indexing::Modulo;
-        let d5 = TcorSystem::new(cfg).run_frame(&scene).pb_l2_accesses() as f64 / reference;
+        let d5 = TcorSystem::new(cfg).run_frame(scene).pb_l2_accesses() as f64 / reference;
 
         // D1: exact Belady vs hardware OPT Numbers on a 4-way,
         // 48 KiB-equivalent primitive-granularity cache.
-        let frame = bin_scene(&scene, &grid, &order);
+        let frame = bin_scene(scene, &grid, &order);
         let trace = primitive_trace(&frame.binned, &order);
         let cap = prims_capacity(48 << 10);
         let lines = ((cap as u64 / 4).max(1)) * 4;
@@ -113,8 +115,12 @@ mod tests {
         let grid = TileGrid::new(1960, 768, 32);
         let order = Traversal::ZOrder.order(&grid);
         let b = suite().into_iter().find(|b| b.alias == alias).unwrap();
-        let mut t = Table::new("ablation", "test", &["bench", "d3", "d2", "d5", "exact", "hw"]);
-        let scene = generate_scene(&b, &grid);
+        let mut t = Table::new(
+            "ablation",
+            "test",
+            &["bench", "d3", "d2", "d5", "exact", "hw"],
+        );
+        let scene = tcor_workloads::generate_scene(&b, &grid);
         let frame = bin_scene(&scene, &grid, &order);
         let trace = primitive_trace(&frame.binned, &order);
         let cap = prims_capacity(48 << 10);

@@ -45,7 +45,11 @@ pub fn fig10() -> Table {
     );
 
     for p in frame.primitives() {
-        let lru_out = lru.access(BlockAddr(p.id.0 as u64), AccessKind::Write, AccessMeta::NONE);
+        let lru_out = lru.access(
+            BlockAddr(p.id.0 as u64),
+            AccessKind::Write,
+            AccessMeta::NONE,
+        );
         let lru_event = match lru_out.evicted {
             Some(e) if e.dirty => format!("evict P{} + L2 write", e.addr.0),
             Some(e) => format!("evict P{}", e.addr.0),
@@ -104,10 +108,7 @@ mod tests {
         assert!(t.rows[2][1].contains("L2 write"));
         assert_eq!(t.rows[2][2], "bypass to L2");
         // OPT hits everywhere except the bypassed primitive's first read.
-        let opt_misses = t.rows[3..]
-            .iter()
-            .filter(|r| r[2].contains("MISS"))
-            .count();
+        let opt_misses = t.rows[3..].iter().filter(|r| r[2].contains("MISS")).count();
         assert_eq!(opt_misses, 1);
     }
 }

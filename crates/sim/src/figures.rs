@@ -210,10 +210,9 @@ pub fn fig22(suite: &SuiteRun) -> Table {
     );
     let (mut s64, mut s128) = (0.0, 0.0);
     for b in &suite.benchmarks {
-        let d64 = 1.0
-            - model.evaluate(&b.tcor64).total_pj() / model.evaluate(&b.base64).total_pj();
-        let d128 = 1.0
-            - model.evaluate(&b.tcor128).total_pj() / model.evaluate(&b.base128).total_pj();
+        let d64 = 1.0 - model.evaluate(&b.tcor64).total_pj() / model.evaluate(&b.base64).total_pj();
+        let d128 =
+            1.0 - model.evaluate(&b.tcor128).total_pj() / model.evaluate(&b.base128).total_pj();
         s64 += d64;
         s128 += d128;
         t.push_row(vec![
@@ -270,8 +269,7 @@ pub fn fig23_24(suite: &SuiteRun, big: bool) -> Table {
 pub fn headline(suite: &SuiteRun) -> Table {
     let model = EnergyModel::default();
     let n = suite.benchmarks.len().max(1) as f64;
-    let avg =
-        |f: &dyn Fn(&BenchmarkRun) -> f64| suite.benchmarks.iter().map(f).sum::<f64>() / n;
+    let avg = |f: &dyn Fn(&BenchmarkRun) -> f64| suite.benchmarks.iter().map(f).sum::<f64>() / n;
 
     let mem64 = avg(&|b| {
         1.0 - model.evaluate(&b.tcor64).memory_hierarchy_pj()
@@ -281,12 +279,10 @@ pub fn headline(suite: &SuiteRun) -> Table {
         1.0 - model.evaluate(&b.tcor128).memory_hierarchy_pj()
             / model.evaluate(&b.base128).memory_hierarchy_pj()
     });
-    let gpu64 = avg(&|b| {
-        1.0 - model.evaluate(&b.tcor64).total_pj() / model.evaluate(&b.base64).total_pj()
-    });
-    let speedup64 = avg(&|b| {
-        b.tcor64.primitives_per_cycle() / b.base64.primitives_per_cycle().max(1e-12)
-    });
+    let gpu64 =
+        avg(&|b| 1.0 - model.evaluate(&b.tcor64).total_pj() / model.evaluate(&b.base64).total_pj());
+    let speedup64 =
+        avg(&|b| b.tcor64.primitives_per_cycle() / b.base64.primitives_per_cycle().max(1e-12));
     let fps64 = avg(&|b| {
         let fb = model.evaluate(&b.base64);
         let ft = model.evaluate(&b.tcor64);
@@ -295,12 +291,10 @@ pub fn headline(suite: &SuiteRun) -> Table {
     let mm64 = avg(&|b| {
         1.0 - b.tcor64.total_mm_accesses() as f64 / b.base64.total_mm_accesses().max(1) as f64
     });
-    let pb_l2_64 = avg(&|b| {
-        1.0 - b.tcor64.pb_l2_accesses() as f64 / b.base64.pb_l2_accesses().max(1) as f64
-    });
-    let pb_mm_64 = avg(&|b| {
-        1.0 - b.tcor64.pb_mm_accesses() as f64 / b.base64.pb_mm_accesses().max(1) as f64
-    });
+    let pb_l2_64 =
+        avg(&|b| 1.0 - b.tcor64.pb_l2_accesses() as f64 / b.base64.pb_l2_accesses().max(1) as f64);
+    let pb_mm_64 =
+        avg(&|b| 1.0 - b.tcor64.pb_mm_accesses() as f64 / b.base64.pb_mm_accesses().max(1) as f64);
 
     let mut t = Table::new(
         "headline",

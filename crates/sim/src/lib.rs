@@ -27,69 +27,107 @@ pub mod ablation;
 pub mod example;
 pub mod figures;
 pub mod misscurves;
+pub mod orchestrate;
 pub mod output;
 pub mod scaling;
 pub mod suite;
 pub mod sweep;
+pub mod tables;
 pub mod traversal_study;
 pub mod utilization;
-pub mod tables;
 
+pub use orchestrate::{run_experiments, ExecMode};
 pub use output::Table;
 pub use suite::{run_suite, BenchmarkRun, SuiteRun};
 
 /// Every experiment id, in presentation order.
 pub const EXPERIMENTS: [&str; 25] = [
-    "table1", "table2", "fig1", "fig10", "fig11", "fig12", "fig13", "fig13x", "fig14", "fig15",
-    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "headline",
-    "ablation", "scaling", "sweep", "traversal", "utilization",
+    "table1",
+    "table2",
+    "fig1",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig13x",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "headline",
+    "ablation",
+    "scaling",
+    "sweep",
+    "traversal",
+    "utilization",
 ];
 
+/// Runs one experiment by id against `store`, computing (and memoizing)
+/// whatever shared artifacts it needs — the full-system [`SuiteRun`],
+/// the aggregated PB traces, calibrated scenes.
+///
+/// # Errors
+///
+/// Returns an error listing the valid ids on an unknown id.
+pub fn try_run_experiment(
+    store: &tcor_runner::ArtifactStore,
+    id: &str,
+) -> Result<Vec<Table>, String> {
+    let suite = || orchestrate::suite_from_store(store);
+    Ok(match id {
+        "table1" => vec![tables::table1()],
+        "table2" => vec![tables::table2(&suite())],
+        "fig1" => vec![misscurves::fig1(store)],
+        "fig10" => vec![example::fig10()],
+        "fig11" => vec![misscurves::fig11(store)],
+        "fig12" => misscurves::fig12(store),
+        "fig13" => vec![misscurves::fig13(store)],
+        "fig13x" => vec![misscurves::fig13x(store)],
+        "fig14" => vec![figures::fig14_15(&suite(), false)],
+        "fig15" => vec![figures::fig14_15(&suite(), true)],
+        "fig16" => vec![figures::fig16_17(&suite(), false)],
+        "fig17" => vec![figures::fig16_17(&suite(), true)],
+        "fig18" => vec![figures::fig18_19(&suite(), false)],
+        "fig19" => vec![figures::fig18_19(&suite(), true)],
+        "fig20" => vec![figures::fig20_21(&suite(), false)],
+        "fig21" => vec![figures::fig20_21(&suite(), true)],
+        "fig22" => vec![figures::fig22(&suite())],
+        "fig23" => vec![figures::fig23_24(&suite(), false)],
+        "fig24" => vec![figures::fig23_24(&suite(), true)],
+        "headline" => vec![figures::headline(&suite())],
+        "ablation" => vec![ablation::ablation(store)],
+        "scaling" => vec![scaling::scaling(store)],
+        "sweep" => vec![sweep::sweep(store)],
+        "traversal" => vec![traversal_study::traversal_study(store)],
+        "utilization" => vec![utilization::utilization(&suite())],
+        other => {
+            return Err(format!(
+                "unknown experiment `{other}`\nvalid experiments: {}",
+                EXPERIMENTS.join(", ")
+            ))
+        }
+    })
+}
+
 /// Runs one experiment by id, reusing `suite` for the full-system ones
-/// (pass `None` to compute on demand).
+/// (pass `None` to compute on demand). Compatibility wrapper over
+/// [`try_run_experiment`] with a private store.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id.
 pub fn run_experiment(id: &str, suite: Option<&SuiteRun>) -> Vec<Table> {
-    let need_suite = !matches!(
-        id,
-        "table1" | "fig1" | "fig10" | "fig11" | "fig12" | "fig13" | "fig13x" | "ablation"
-            | "scaling" | "sweep" | "traversal"
-    );
-    let owned;
-    let suite_ref: Option<&SuiteRun> = if need_suite && suite.is_none() {
-        owned = run_suite();
-        Some(&owned)
-    } else {
-        suite
-    };
-    match id {
-        "table1" => vec![tables::table1()],
-        "table2" => vec![tables::table2(suite_ref.expect("suite"))],
-        "fig1" => vec![misscurves::fig1()],
-        "fig10" => vec![example::fig10()],
-        "fig11" => vec![misscurves::fig11()],
-        "fig12" => misscurves::fig12(),
-        "fig13" => vec![misscurves::fig13()],
-        "fig13x" => vec![misscurves::fig13x()],
-        "fig14" => vec![figures::fig14_15(suite_ref.expect("suite"), false)],
-        "fig15" => vec![figures::fig14_15(suite_ref.expect("suite"), true)],
-        "fig16" => vec![figures::fig16_17(suite_ref.expect("suite"), false)],
-        "fig17" => vec![figures::fig16_17(suite_ref.expect("suite"), true)],
-        "fig18" => vec![figures::fig18_19(suite_ref.expect("suite"), false)],
-        "fig19" => vec![figures::fig18_19(suite_ref.expect("suite"), true)],
-        "fig20" => vec![figures::fig20_21(suite_ref.expect("suite"), false)],
-        "fig21" => vec![figures::fig20_21(suite_ref.expect("suite"), true)],
-        "fig22" => vec![figures::fig22(suite_ref.expect("suite"))],
-        "fig23" => vec![figures::fig23_24(suite_ref.expect("suite"), false)],
-        "fig24" => vec![figures::fig23_24(suite_ref.expect("suite"), true)],
-        "headline" => vec![figures::headline(suite_ref.expect("suite"))],
-        "ablation" => vec![ablation::ablation()],
-        "scaling" => vec![scaling::scaling()],
-        "sweep" => vec![sweep::sweep()],
-        "traversal" => vec![traversal_study::traversal_study()],
-        "utilization" => vec![utilization::utilization(suite_ref.expect("suite"))],
-        other => panic!("unknown experiment `{other}`"),
+    let store = tcor_runner::ArtifactStore::new();
+    if let Some(s) = suite {
+        let s = s.clone();
+        let _ = store.get_or_compute(orchestrate::artifact_key(orchestrate::SUITE_DESC), || s);
     }
+    try_run_experiment(&store, id).unwrap_or_else(|e| panic!("{e}"))
 }

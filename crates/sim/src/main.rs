@@ -1,20 +1,36 @@
 //! The `tcor-sim` binary: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! tcor-sim <experiment>...     run specific experiments (fig1, table2, …)
-//! tcor-sim all                 run everything in paper order
-//! tcor-sim --list              list experiment ids
-//! tcor-sim all --csv DIR       also write one CSV per table into DIR
-//! tcor-sim trace <alias> FILE  export a benchmark's PB trace as CSV
+//! tcor-sim <experiment>...       run specific experiments (fig1, table2, …)
+//! tcor-sim all                   run everything in paper order
+//! tcor-sim --list                list experiment ids
+//! tcor-sim all --csv DIR         also write one CSV per table into DIR
+//! tcor-sim all --jobs N          run on N worker threads (default: all cores)
+//! tcor-sim all --serial          reference single-thread path
+//! tcor-sim all --check           compare against results/golden, exit 1 on drift
+//! tcor-sim all --update-golden   (re)record the golden results
+//! tcor-sim trace <alias> FILE    export a benchmark's PB trace as CSV
+//! tcor-sim bench-runner          time serial vs parallel, write BENCH_runner.json
 //! ```
+//!
+//! Every run writes a JSON-lines telemetry log (per-job wall time,
+//! simulated counters) to `results/telemetry.jsonl` and prints a
+//! summary of the slowest jobs to stderr.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tcor_sim::{run_experiment, run_suite, EXPERIMENTS};
+use tcor_runner::{default_workers, GoldenStatus, GoldenStore, Json, Telemetry};
+use tcor_sim::orchestrate::ExecMode;
+use tcor_sim::{run_experiments, Table, EXPERIMENTS};
 
 fn usage() {
-    eprintln!("usage: tcor-sim <experiment>... | all [--csv DIR] [--list]");
+    eprintln!(
+        "usage: tcor-sim <experiment>... | all \
+         [--csv DIR] [--jobs N] [--serial] [--check] [--update-golden] [--golden DIR] \
+         [--telemetry FILE] [--list]"
+    );
     eprintln!("       tcor-sim trace <alias> <file>   export a PB trace as CSV");
+    eprintln!("       tcor-sim bench-runner [FILE]    serial-vs-parallel timing -> FILE");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
 }
 
@@ -22,7 +38,10 @@ fn usage() {
 /// Parameter Buffer trace of one Table II benchmark for external tools.
 fn export_trace(alias: &str, path: &str) -> ExitCode {
     use tcor_common::{TileGrid, Traversal};
-    let Some(profile) = tcor_workloads::suite().into_iter().find(|b| b.alias == alias) else {
+    let Some(profile) = tcor_workloads::suite()
+        .into_iter()
+        .find(|b| b.alias == alias)
+    else {
         eprintln!("unknown benchmark `{alias}`");
         return ExitCode::FAILURE;
     };
@@ -46,6 +65,72 @@ fn export_trace(alias: &str, path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the whole experiment set once and returns the rendered output
+/// plus per-experiment wall times, for [`bench_runner`].
+fn timed_full_run(mode: ExecMode) -> (String, Vec<(String, f64)>, f64) {
+    let ids: Vec<String> = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    let store = tcor_runner::ArtifactStore::new();
+    let telemetry = Telemetry::new();
+    let results = run_experiments(&ids, mode, &store, &telemetry).expect("all ids are valid");
+    let wall_ms = telemetry.elapsed_ms();
+    let mut rendered = String::new();
+    for (_, tables) in &results {
+        for t in tables {
+            rendered.push_str(&t.render());
+        }
+    }
+    let per_exp: Vec<(String, f64)> = telemetry
+        .records()
+        .into_iter()
+        .filter(|r| r.label.starts_with("exp:"))
+        .map(|r| (r.label["exp:".len()..].to_string(), r.wall_ms))
+        .collect();
+    (rendered, per_exp, wall_ms)
+}
+
+/// `tcor-sim bench-runner [FILE]`: run the full experiment set serially
+/// and in parallel, assert bit-identical output, and record the timings
+/// as machine-readable JSON.
+fn bench_runner(path: &str) -> ExitCode {
+    let cores = default_workers();
+    eprintln!("bench-runner: serial pass...");
+    let (serial_out, serial_exps, serial_ms) = timed_full_run(ExecMode::Serial);
+    eprintln!("bench-runner: parallel pass ({cores} workers)...");
+    let (parallel_out, parallel_exps, parallel_ms) = timed_full_run(ExecMode::Parallel(cores));
+    if serial_out != parallel_out {
+        eprintln!("bench-runner: FATAL: parallel output differs from serial output");
+        return ExitCode::FAILURE;
+    }
+    let exps = |pairs: &[(String, f64)]| {
+        Json::Obj(
+            pairs
+                .iter()
+                .map(|(id, ms)| (id.clone(), Json::Float(*ms)))
+                .collect(),
+        )
+    };
+    let doc = Json::obj([
+        ("bench", Json::str("runner")),
+        ("cores", Json::UInt(cores as u64)),
+        ("serial_ms", Json::Float(serial_ms)),
+        ("parallel_ms", Json::Float(parallel_ms)),
+        ("speedup", Json::Float(serial_ms / parallel_ms)),
+        ("outputs_identical", Json::Bool(true)),
+        ("serial_experiment_ms", exps(&serial_exps)),
+        ("parallel_experiment_ms", exps(&parallel_exps)),
+    ]);
+    if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench-runner: serial {serial_ms:.0}ms, parallel {parallel_ms:.0}ms on {cores} cores \
+         ({:.2}x), identical output -> {path}",
+        serial_ms / parallel_ms
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
@@ -57,8 +142,17 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.first().map(String::as_str) == Some("bench-runner") {
+        return bench_runner(args.get(1).map_or("BENCH_runner.json", String::as_str));
+    }
+
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut golden_dir = PathBuf::from("results/golden");
+    let mut telemetry_path = PathBuf::from("results/telemetry.jsonl");
+    let mut mode = ExecMode::Parallel(default_workers());
+    let mut check = false;
+    let mut update_golden = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -68,23 +162,31 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
-            "--csv" => {
+            "--serial" => mode = ExecMode::Serial,
+            "--check" => check = true,
+            "--update-golden" => update_golden = true,
+            flag @ ("--csv" | "--jobs" | "--golden" | "--telemetry") => {
                 i += 1;
-                match args.get(i) {
-                    Some(dir) => csv_dir = Some(PathBuf::from(dir)),
-                    None => {
-                        usage();
-                        return ExitCode::FAILURE;
-                    }
+                let Some(value) = args.get(i) else {
+                    eprintln!("{flag} needs a value");
+                    usage();
+                    return ExitCode::FAILURE;
+                };
+                match flag {
+                    "--csv" => csv_dir = Some(PathBuf::from(value)),
+                    "--golden" => golden_dir = PathBuf::from(value),
+                    "--telemetry" => telemetry_path = PathBuf::from(value),
+                    _ => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => mode = ExecMode::Parallel(n),
+                        _ => {
+                            eprintln!("--jobs needs a positive integer, got `{value}`");
+                            return ExitCode::FAILURE;
+                        }
+                    },
                 }
             }
             "all" => ids.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
-            other if EXPERIMENTS.contains(&other) => ids.push(other.to_string()),
-            other => {
-                eprintln!("unknown experiment `{other}`");
-                usage();
-                return ExitCode::FAILURE;
-            }
+            other => ids.push(other.to_string()),
         }
         i += 1;
     }
@@ -93,32 +195,87 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Compute the expensive full-system suite once if any experiment
-    // needs it.
-    let needs_suite = ids.iter().any(|id| {
-        !matches!(
-            id.as_str(),
-            "table1" | "fig1" | "fig10" | "fig11" | "fig12" | "fig13" | "fig13x" | "ablation"
-                | "scaling" | "sweep" | "traversal"
-        )
-    });
-    let suite = if needs_suite {
-        eprintln!("running the full-system benchmark suite (deterministic)...");
-        Some(run_suite())
-    } else {
-        None
+    let store = tcor_runner::ArtifactStore::new();
+    let telemetry = Telemetry::new();
+    let results = match run_experiments(&ids, mode, &store, &telemetry) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
 
-    for id in &ids {
-        for table in run_experiment(id, suite.as_ref()) {
-            println!("{}", table.render());
-            if let Some(dir) = &csv_dir {
-                if let Err(e) = table.write_csv(dir) {
-                    eprintln!("failed to write {}/{}.csv: {e}", dir.display(), table.id);
-                    return ExitCode::FAILURE;
+    let tables: Vec<&Table> = results.iter().flat_map(|(_, ts)| ts).collect();
+    let golden = GoldenStore::new(&golden_dir);
+    let mut drifted = 0usize;
+    for table in &tables {
+        println!("{}", table.render());
+        if let Some(dir) = &csv_dir {
+            if let Err(e) = table.write_csv(dir) {
+                eprintln!("failed to write {}/{}.csv: {e}", dir.display(), table.id);
+                return ExitCode::FAILURE;
+            }
+        }
+        if update_golden {
+            if let Err(e) = golden.update(&table.id, &table.to_csv()) {
+                eprintln!("failed to record golden {}: {e}", table.id);
+                return ExitCode::FAILURE;
+            }
+        } else if check {
+            match golden.check(&table.id, &table.to_csv()) {
+                GoldenStatus::Match => eprintln!("golden {}: ok", table.id),
+                GoldenStatus::Missing => {
+                    drifted += 1;
+                    eprintln!(
+                        "golden {}: MISSING (run with --update-golden to record)",
+                        table.id
+                    );
+                }
+                GoldenStatus::Corrupt => {
+                    drifted += 1;
+                    eprintln!(
+                        "golden {}: CORRUPT ({}/{}.csv does not match MANIFEST.txt)",
+                        table.id,
+                        golden_dir.display(),
+                        table.id
+                    );
+                }
+                GoldenStatus::Mismatch {
+                    line,
+                    expected,
+                    actual,
+                } => {
+                    drifted += 1;
+                    eprintln!("golden {}: MISMATCH at line {line}", table.id);
+                    eprintln!("  golden:  {expected}");
+                    eprintln!("  current: {actual}");
                 }
             }
         }
+    }
+    if update_golden {
+        eprintln!(
+            "recorded {} goldens under {}",
+            tables.len(),
+            golden_dir.display()
+        );
+    }
+
+    if let Err(e) = telemetry.save_jsonl(&telemetry_path) {
+        eprintln!("failed to write {}: {e}", telemetry_path.display());
+    } else {
+        eprintln!("telemetry: {}", telemetry_path.display());
+    }
+    eprint!("{}", telemetry.summary(5));
+    eprintln!(
+        "artifact store: {} computed, {} shared",
+        store.computes(),
+        store.hits()
+    );
+
+    if check && drifted > 0 {
+        eprintln!("--check: {drifted} table(s) drifted from the goldens");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

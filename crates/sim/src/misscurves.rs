@@ -5,13 +5,16 @@
 //! primitive granularity (§V.A's capacity conversion: a primitive
 //! averages 3 attributes × 64 B = 192 B).
 
+use crate::orchestrate::{artifact_key, calibrated_scene, paper_grid, TRACES_DESC};
 use crate::output::Table;
+use std::sync::Arc;
 use tcor_cache::policy::{by_name, Opt};
 use tcor_cache::profile::{opt_misses, simulate_policy, LruStackProfiler};
 use tcor_cache::{Indexing, Trace};
-use tcor_common::{CacheParams, TileGrid};
+use tcor_common::CacheParams;
 use tcor_gpu::bin_scene;
-use tcor_workloads::{generate_scene, primitive_trace, prims_capacity, suite};
+use tcor_runner::ArtifactStore;
+use tcor_workloads::{primitive_trace, prims_capacity, suite};
 
 /// One benchmark's trace plus its primitive count.
 pub struct BenchTrace {
@@ -23,22 +26,25 @@ pub struct BenchTrace {
     pub total_prims: usize,
 }
 
-/// Builds the suite's traces (deterministic).
-pub fn suite_traces() -> Vec<BenchTrace> {
-    let grid = TileGrid::new(1960, 768, 32);
-    suite()
-        .iter()
-        .map(|b| {
-            let scene = generate_scene(b, &grid);
-            let order = tcor_common::Traversal::ZOrder.order(&grid);
-            let frame = bin_scene(&scene, &grid, &order);
-            BenchTrace {
-                alias: b.alias,
-                total_prims: frame.binned.num_primitives(),
-                trace: primitive_trace(&frame.binned, &order),
-            }
-        })
-        .collect()
+/// Builds the suite's traces (deterministic), memoized in `store` and
+/// sharing each benchmark's calibrated scene with the full-system cells.
+pub fn suite_traces(store: &ArtifactStore) -> Arc<Vec<BenchTrace>> {
+    store.get_or_compute(artifact_key(TRACES_DESC), || {
+        let grid = paper_grid();
+        let order = tcor_common::Traversal::ZOrder.order(&grid);
+        suite()
+            .iter()
+            .map(|b| {
+                let cal = calibrated_scene(store, b, &grid);
+                let frame = bin_scene(&cal.scene, &grid, &order);
+                BenchTrace {
+                    alias: b.alias,
+                    total_prims: frame.binned.num_primitives(),
+                    trace: primitive_trace(&frame.binned, &order),
+                }
+            })
+            .collect()
+    })
 }
 
 /// Aggregate LRU miss ratio at each capacity: one Mattson pass per
@@ -93,12 +99,7 @@ fn lb_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
 
 /// Aggregate miss ratio of a named policy on a set-associative geometry
 /// (capacity in primitives, `ways == 0` for fully associative).
-fn policy_curve(
-    traces: &[BenchTrace],
-    capacities: &[usize],
-    ways: u32,
-    policy: &str,
-) -> Vec<f64> {
+fn policy_curve(traces: &[BenchTrace], capacities: &[usize], ways: u32, policy: &str) -> Vec<f64> {
     let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
     capacities
         .iter()
@@ -132,10 +133,13 @@ fn kb_sizes(from_kb: usize, to_kb: usize, step_kb: usize) -> Vec<usize> {
 }
 
 /// Figure 1: LRU vs OPT, fully associative, 8–152 KB.
-pub fn fig1() -> Table {
-    let traces = suite_traces();
+pub fn fig1(store: &ArtifactStore) -> Table {
+    let traces = suite_traces(store);
     let sizes = kb_sizes(8, 152, 8);
-    let caps: Vec<usize> = sizes.iter().map(|kb| prims_capacity(*kb as u64 * 1024)).collect();
+    let caps: Vec<usize> = sizes
+        .iter()
+        .map(|kb| prims_capacity(*kb as u64 * 1024))
+        .collect();
     let lru = lru_curve(&traces, &caps);
     let opt = opt_curve(&traces, &caps);
     let mut t = Table::new(
@@ -150,10 +154,13 @@ pub fn fig1() -> Table {
 }
 
 /// Figure 11: adds the lower bound and extends to 456 KB.
-pub fn fig11() -> Table {
-    let traces = suite_traces();
+pub fn fig11(store: &ArtifactStore) -> Table {
+    let traces = suite_traces(store);
     let sizes = kb_sizes(8, 456, 16);
-    let caps: Vec<usize> = sizes.iter().map(|kb| prims_capacity(*kb as u64 * 1024)).collect();
+    let caps: Vec<usize> = sizes
+        .iter()
+        .map(|kb| prims_capacity(*kb as u64 * 1024))
+        .collect();
     let lb = lb_curve(&traces, &caps);
     let lru = lru_curve(&traces, &caps);
     let opt = opt_curve(&traces, &caps);
@@ -174,10 +181,13 @@ pub fn fig11() -> Table {
 }
 
 /// Figure 12: LRU and OPT across associativities (two tables).
-pub fn fig12() -> Vec<Table> {
-    let traces = suite_traces();
+pub fn fig12(store: &ArtifactStore) -> Vec<Table> {
+    let traces = suite_traces(store);
     let sizes = kb_sizes(8, 152, 16);
-    let caps: Vec<usize> = sizes.iter().map(|kb| prims_capacity(*kb as u64 * 1024)).collect();
+    let caps: Vec<usize> = sizes
+        .iter()
+        .map(|kb| prims_capacity(*kb as u64 * 1024))
+        .collect();
     let lb = lb_curve(&traces, &caps);
     let assocs: [(u32, &str); 5] = [
         (1, "direct"),
@@ -212,10 +222,13 @@ pub fn fig12() -> Vec<Table> {
 
 /// Figure 13: LRU, MRU, DRRIP and OPT in a 4-way cache, plus the lower
 /// bound.
-pub fn fig13() -> Table {
-    let traces = suite_traces();
+pub fn fig13(store: &ArtifactStore) -> Table {
+    let traces = suite_traces(store);
     let sizes = kb_sizes(40, 160, 8);
-    let caps: Vec<usize> = sizes.iter().map(|kb| prims_capacity(*kb as u64 * 1024)).collect();
+    let caps: Vec<usize> = sizes
+        .iter()
+        .map(|kb| prims_capacity(*kb as u64 * 1024))
+        .collect();
     let lb = lb_curve(&traces, &caps);
     let policies = ["mru", "drrip", "lru", "opt"];
     let curves: Vec<Vec<f64>> = policies
@@ -238,10 +251,13 @@ pub fn fig13() -> Table {
 /// Figure 13 extended: every policy in the toolbox (including the
 /// LIP/BIP/DIP insertion family and the PC-less Hawkeye) against OPT and
 /// the lower bound, 4-way.
-pub fn fig13x() -> Table {
-    let traces = suite_traces();
+pub fn fig13x(store: &ArtifactStore) -> Table {
+    let traces = suite_traces(store);
     let sizes = kb_sizes(48, 144, 32);
-    let caps: Vec<usize> = sizes.iter().map(|kb| prims_capacity(*kb as u64 * 1024)).collect();
+    let caps: Vec<usize> = sizes
+        .iter()
+        .map(|kb| prims_capacity(*kb as u64 * 1024))
+        .collect();
     let lb = lb_curve(&traces, &caps);
     let policies = [
         "random", "fifo", "mru", "nru", "plru", "lip", "bip", "dip", "srrip", "brrip", "drrip",
@@ -293,11 +309,11 @@ mod tests {
 
     /// A reduced trace set for fast shape checks.
     fn mini_traces() -> Vec<BenchTrace> {
-        let grid = TileGrid::new(1960, 768, 32);
+        let grid = tcor_common::TileGrid::new(1960, 768, 32);
         suite()[..2]
             .iter()
             .map(|b| {
-                let scene = generate_scene(b, &grid);
+                let scene = tcor_workloads::generate_scene(b, &grid);
                 let order = tcor_common::Traversal::ZOrder.order(&grid);
                 let frame = bin_scene(&scene, &grid, &order);
                 BenchTrace {

@@ -1,0 +1,315 @@
+//! Experiment orchestration over the `tcor-runner` job graph.
+//!
+//! The harness used to run everything sequentially and recompute shared
+//! inputs per experiment: every miss-curve figure rebuilt all ten suite
+//! traces, and every suite cell re-calibrated its scene. Here each
+//! experiment becomes a node of a dependency DAG whose shared inputs —
+//! calibrated scenes, the aggregated PB traces, the 60 full-system cell
+//! reports, the assembled [`SuiteRun`] — live in a content-addressed
+//! [`ArtifactStore`], computed exactly once per process and shared
+//! across however many workers the executor runs.
+//!
+//! Keys are `fxhash64` over a stable textual description of the
+//! artifact's configuration, so a key is a pure function of *what* is
+//! being computed, never of scheduling.
+
+use crate::misscurves;
+use crate::output::Table;
+use crate::suite::{assemble_run, run_cell, SuiteRun, CELL_CONFIGS};
+use std::sync::Arc;
+use tcor::FrameReport;
+use tcor_common::TileGrid;
+use tcor_runner::{execute, execute_serial, ArtifactStore, JobCtx, JobGraph, JobId, Telemetry};
+use tcor_workloads::synth::CalibratedScene;
+use tcor_workloads::{suite as benchmarks, BenchmarkProfile};
+
+/// The screen/tile geometry every paper experiment uses.
+pub fn paper_grid() -> TileGrid {
+    TileGrid::new(1960, 768, 32)
+}
+
+/// Stable store key for an artifact described by `desc`.
+pub fn artifact_key(desc: &str) -> u64 {
+    tcor_common::fxhash64(desc.as_bytes())
+}
+
+fn scene_key(profile: &BenchmarkProfile, grid: &TileGrid) -> u64 {
+    artifact_key(&format!(
+        "scene/{}/seed={:#x}/{}x{}/tile={}",
+        profile.alias,
+        profile.seed,
+        grid.screen_width(),
+        grid.screen_height(),
+        grid.tile_size()
+    ))
+}
+
+fn cell_key(profile: &BenchmarkProfile, cfg: &str) -> u64 {
+    artifact_key(&format!("cell/{}/{cfg}", profile.alias))
+}
+
+/// Store key of the aggregated suite PB traces
+/// ([`misscurves::suite_traces`]).
+pub const TRACES_DESC: &str = "traces/suite/zorder";
+
+/// Store key of the assembled full-system [`SuiteRun`].
+pub const SUITE_DESC: &str = "suite/paper";
+
+/// The calibrated scene of one Table II benchmark, computed once per
+/// process and shared by every consumer (suite cells, miss-curve
+/// traces, the ablation/scaling/sweep/traversal studies).
+pub fn calibrated_scene(
+    store: &ArtifactStore,
+    profile: &BenchmarkProfile,
+    grid: &TileGrid,
+) -> Arc<CalibratedScene> {
+    let (p, g) = (*profile, *grid);
+    store.get_or_compute(scene_key(profile, grid), move || {
+        tcor_workloads::synth::calibrate(&p, &g)
+    })
+}
+
+/// One full-system cell (benchmark × configuration), memoized.
+pub fn cell_report(
+    store: &ArtifactStore,
+    profile: &BenchmarkProfile,
+    scene: &CalibratedScene,
+    cfg: &str,
+) -> Arc<FrameReport> {
+    store.get_or_compute(cell_key(profile, cfg), || {
+        run_cell(profile, &scene.scene, cfg)
+    })
+}
+
+/// The full Table II suite, assembled from memoized cells. Any cells
+/// already computed by the job graph are reused; missing ones are
+/// computed here (the serial / on-demand path).
+pub fn suite_from_store(store: &ArtifactStore) -> Arc<SuiteRun> {
+    store.get_or_compute(artifact_key(SUITE_DESC), || {
+        let grid = paper_grid();
+        SuiteRun {
+            benchmarks: benchmarks()
+                .iter()
+                .map(|p| {
+                    let cal = calibrated_scene(store, p, &grid);
+                    assemble_run(p, &cal, |cfg| (*cell_report(store, p, &cal, cfg)).clone())
+                })
+                .collect(),
+        }
+    })
+}
+
+/// Whether `id` consumes the full-system [`SuiteRun`].
+pub(crate) fn needs_suite(id: &str) -> bool {
+    !matches!(
+        id,
+        "table1"
+            | "fig1"
+            | "fig10"
+            | "fig11"
+            | "fig12"
+            | "fig13"
+            | "fig13x"
+            | "ablation"
+            | "scaling"
+            | "sweep"
+            | "traversal"
+    )
+}
+
+/// Whether `id` consumes the aggregated suite PB traces.
+fn needs_traces(id: &str) -> bool {
+    matches!(id, "fig1" | "fig11" | "fig12" | "fig13" | "fig13x")
+}
+
+/// Whether `id` reads calibrated scenes directly (outside suite/traces).
+fn needs_scenes(id: &str) -> bool {
+    matches!(id, "ablation" | "scaling" | "sweep" | "traversal")
+}
+
+/// How to execute a job graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Reference path: every job in id order on the calling thread.
+    Serial,
+    /// Work-stealing pool with this many workers.
+    Parallel(usize),
+}
+
+/// Runs `ids` through the job graph and returns `(id, tables)` pairs in
+/// input order. Shared artifacts are computed once; with
+/// [`ExecMode::Parallel`] independent cells and experiments run
+/// concurrently, and the output is identical to [`ExecMode::Serial`].
+///
+/// # Errors
+///
+/// Returns an error listing the valid ids if any id is unknown.
+pub fn run_experiments(
+    ids: &[String],
+    mode: ExecMode,
+    store: &ArtifactStore,
+    telemetry: &Telemetry,
+) -> Result<Vec<(String, Vec<Table>)>, String> {
+    for id in ids {
+        if !crate::EXPERIMENTS.contains(&id.as_str()) {
+            return Err(format!(
+                "unknown experiment `{id}`\nvalid experiments: {}",
+                crate::EXPERIMENTS.join(", ")
+            ));
+        }
+    }
+
+    let grid = paper_grid();
+    let profiles = benchmarks();
+    let want_suite = ids.iter().any(|id| needs_suite(id));
+    let want_traces = ids.iter().any(|id| needs_traces(id));
+    let want_scenes = want_suite || want_traces || ids.iter().any(|id| needs_scenes(id));
+
+    let mut g: JobGraph<'_, Option<(usize, Vec<Table>)>> = JobGraph::new();
+
+    // Tier 1: one calibration job per benchmark scene.
+    let mut scene_ids: Vec<JobId> = Vec::new();
+    if want_scenes {
+        for p in &profiles {
+            let (p, grid) = (*p, grid);
+            scene_ids.push(g.add_job(
+                format!("scene:{}", p.alias),
+                &[],
+                move |ctx: &JobCtx<'_>| {
+                    let cal = calibrated_scene(ctx.store(), &p, &grid);
+                    ctx.counter("prims", cal.num_prims as u64);
+                    None
+                },
+            ));
+        }
+    }
+
+    // Tier 2a: the aggregated PB traces (miss-curve substrate).
+    let traces_job = want_traces.then(|| {
+        g.add_job("traces:suite", &scene_ids, |ctx: &JobCtx<'_>| {
+            let traces = misscurves::suite_traces(ctx.store());
+            ctx.counter(
+                "trace_accesses",
+                traces.iter().map(|b| b.trace.len() as u64).sum(),
+            );
+            None
+        })
+    });
+
+    // Tier 2b: the 60 full-system cells, each depending only on its
+    // scene, then one assembly barrier producing the SuiteRun.
+    let suite_job = want_suite.then(|| {
+        let mut cells = Vec::with_capacity(profiles.len() * CELL_CONFIGS.len());
+        for (p, sid) in profiles.iter().zip(&scene_ids) {
+            for cfg in CELL_CONFIGS {
+                let (p, grid) = (*p, grid);
+                cells.push(g.add_job(
+                    format!("cell:{}/{cfg}", p.alias),
+                    &[*sid],
+                    move |ctx: &JobCtx<'_>| {
+                        let cal = calibrated_scene(ctx.store(), &p, &grid);
+                        let r = cell_report(ctx.store(), &p, &cal, cfg);
+                        ctx.counter("pb_l2_accesses", r.pb_l2_accesses());
+                        ctx.counter("pb_mm_accesses", r.pb_mm_accesses());
+                        ctx.counter("l2_hits", r.l2_stats.hits());
+                        ctx.counter("l2_misses", r.l2_stats.misses());
+                        None
+                    },
+                ));
+            }
+        }
+        g.add_job("suite:assemble", &cells, |ctx: &JobCtx<'_>| {
+            let suite = suite_from_store(ctx.store());
+            ctx.counter("benchmarks", suite.benchmarks.len() as u64);
+            None
+        })
+    });
+
+    // Tier 3: the experiments themselves, in input order.
+    for (idx, id) in ids.iter().enumerate() {
+        let mut deps = Vec::new();
+        if needs_suite(id) {
+            deps.extend(suite_job);
+        }
+        if needs_traces(id) {
+            deps.extend(traces_job);
+        }
+        if needs_scenes(id) {
+            deps.extend_from_slice(&scene_ids);
+        }
+        let id = id.clone();
+        g.add_job(format!("exp:{id}"), &deps, move |ctx: &JobCtx<'_>| {
+            let tables = crate::try_run_experiment(ctx.store(), &id)
+                .expect("id validated before graph construction");
+            Some((idx, tables))
+        });
+    }
+
+    telemetry.enable_progress(g.len());
+    let results = match mode {
+        ExecMode::Serial => execute_serial(g, store, telemetry),
+        ExecMode::Parallel(workers) => execute(g, workers, store, telemetry),
+    };
+
+    let mut tables: Vec<(usize, Vec<Table>)> = results.into_iter().flatten().collect();
+    tables.sort_by_key(|(idx, _)| *idx);
+    Ok(tables
+        .into_iter()
+        .map(|(idx, t)| (ids[idx].clone(), t))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scene_keys_distinguish_benchmarks_and_grids() {
+        let profiles = benchmarks();
+        let g1 = paper_grid();
+        let g2 = TileGrid::new(256, 256, 32);
+        let mut keys: Vec<u64> = profiles.iter().map(|p| scene_key(p, &g1)).collect();
+        keys.extend(profiles.iter().map(|p| scene_key(p, &g2)));
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 2 * profiles.len());
+    }
+
+    #[test]
+    fn calibrated_scene_is_shared() {
+        let store = ArtifactStore::new();
+        let grid = TileGrid::new(256, 256, 32);
+        let p = benchmarks()[9]; // GTr: smallest
+        let a = calibrated_scene(&store, &p, &grid);
+        let b = calibrated_scene(&store, &p, &grid);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.computes(), 1);
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected_with_the_valid_list() {
+        let store = ArtifactStore::new();
+        let t = Telemetry::new();
+        let err =
+            run_experiments(&["fig999".to_string()], ExecMode::Serial, &store, &t).unwrap_err();
+        assert!(err.contains("fig999"));
+        assert!(err.contains("fig14"));
+    }
+
+    #[test]
+    fn cheap_experiments_run_through_the_graph() {
+        let store = ArtifactStore::new();
+        let t = Telemetry::new();
+        let out = run_experiments(
+            &["table1".to_string(), "fig10".to_string()],
+            ExecMode::Parallel(2),
+            &store,
+            &t,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, "table1");
+        assert_eq!(out[1].0, "fig10");
+        assert!(!out[0].1.is_empty() && !out[1].1.is_empty());
+    }
+}

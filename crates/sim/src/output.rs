@@ -81,7 +81,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -8,21 +8,24 @@
 //! baseline's slow Tile Fetcher becomes the frame-time bottleneck while
 //! TCOR keeps scaling.
 
+use crate::orchestrate::calibrated_scene;
 use crate::output::Table;
 use tcor::{BaselineSystem, SystemConfig, TcorSystem};
 use tcor_common::TileGrid;
 use tcor_energy::EnergyModel;
-use tcor_workloads::{generate_scene, suite};
+use tcor_runner::ArtifactStore;
+use tcor_workloads::suite;
 
 /// FPS of baseline and TCOR as fragment-shading throughput scales
 /// (1×..8× the Table I configuration), on a raster-heavy benchmark.
-pub fn scaling() -> Table {
+pub fn scaling(store: &ArtifactStore) -> Table {
     let grid = TileGrid::new(1960, 768, 32);
     let profile = suite()
         .into_iter()
         .find(|b| b.alias == "Snp")
         .expect("Snp in suite");
-    let scene = generate_scene(&profile, &grid);
+    let cal = calibrated_scene(store, &profile, &grid);
+    let scene = &cal.scene;
     let rp = profile.raster_params();
     let model = EnergyModel::default();
 
@@ -44,8 +47,8 @@ pub fn scaling() -> Table {
         let mut tcor_cfg = SystemConfig::paper_tcor_64k().with_raster(rp);
         tcor_cfg.fragment_processors = procs;
 
-        let base = BaselineSystem::new(base_cfg).run_frame(&scene);
-        let tcor = TcorSystem::new(tcor_cfg).run_frame(&scene);
+        let base = BaselineSystem::new(base_cfg).run_frame(scene);
+        let tcor = TcorSystem::new(tcor_cfg).run_frame(scene);
         let fb = model.evaluate(&base).fps(600_000_000);
         let ft = model.evaluate(&tcor).fps(600_000_000);
         // How much of the baseline's overlapped phase is fetch-bound:
@@ -69,17 +72,19 @@ mod tests {
 
     #[test]
     fn tcor_fps_advantage_grows_with_raster_throughput() {
-        let t = scaling();
+        let t = scaling(&ArtifactStore::new());
         assert_eq!(t.rows.len(), 4);
-        let gain = |row: &Vec<String>| -> f64 {
-            row[3].trim_end_matches('%').parse::<f64>().unwrap()
-        };
+        let gain =
+            |row: &Vec<String>| -> f64 { row[3].trim_end_matches('%').parse::<f64>().unwrap() };
         let first = gain(&t.rows[0]);
         let last = gain(&t.rows[3]);
         assert!(
             last > first,
             "FPS gain should grow with parallel renderers: {first}% -> {last}%"
         );
-        assert!(last > 5.0, "at 8x renderers TCOR should clearly win: {last}%");
+        assert!(
+            last > 5.0,
+            "at 8x renderers TCOR should clearly win: {last}%"
+        );
     }
 }

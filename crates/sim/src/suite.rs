@@ -48,24 +48,66 @@ impl SuiteRun {
     }
 }
 
-/// Runs one benchmark through all six configurations.
-pub fn run_benchmark(profile: &BenchmarkProfile, grid: &TileGrid) -> BenchmarkRun {
-    let calibrated = tcor_workloads::synth::calibrate(profile, grid);
-    let scene: &Scene = &calibrated.scene;
+/// The six configuration cells of every benchmark, in [`BenchmarkRun`]
+/// field order. These names key the runner's memoized cell artifacts
+/// and its telemetry labels.
+pub const CELL_CONFIGS: [&str; 6] = [
+    "base64",
+    "tcor_nol2_64",
+    "tcor64",
+    "base128",
+    "tcor_nol2_128",
+    "tcor128",
+];
+
+/// Runs one configuration cell of one benchmark on an already
+/// calibrated scene.
+///
+/// # Panics
+///
+/// Panics on a name outside [`CELL_CONFIGS`].
+pub fn run_cell(profile: &BenchmarkProfile, scene: &Scene, cfg: &str) -> FrameReport {
     let rp = profile.raster_params();
-    let run_base = |cfg: SystemConfig| BaselineSystem::new(cfg.with_raster(rp)).run_frame(scene);
-    let run_tcor = |cfg: SystemConfig| TcorSystem::new(cfg.with_raster(rp)).run_frame(scene);
+    let base = |cfg: SystemConfig| BaselineSystem::new(cfg.with_raster(rp)).run_frame(scene);
+    let tcor = |cfg: SystemConfig| TcorSystem::new(cfg.with_raster(rp)).run_frame(scene);
+    match cfg {
+        "base64" => base(SystemConfig::paper_baseline_64k()),
+        "tcor_nol2_64" => tcor(SystemConfig::paper_tcor_64k().without_l2_enhancements()),
+        "tcor64" => tcor(SystemConfig::paper_tcor_64k()),
+        "base128" => base(SystemConfig::paper_baseline_128k()),
+        "tcor_nol2_128" => tcor(SystemConfig::paper_tcor_128k().without_l2_enhancements()),
+        "tcor128" => tcor(SystemConfig::paper_tcor_128k()),
+        other => panic!("unknown cell config `{other}`"),
+    }
+}
+
+/// Assembles a [`BenchmarkRun`] from a calibrated scene and a cell
+/// supplier (direct simulation here; the runner's memoized store in
+/// the orchestrated path).
+pub fn assemble_run(
+    profile: &BenchmarkProfile,
+    calibrated: &tcor_workloads::CalibratedScene,
+    mut cell: impl FnMut(&str) -> FrameReport,
+) -> BenchmarkRun {
     BenchmarkRun {
         profile: *profile,
         measured_reuse: calibrated.measured_reuse,
         measured_footprint_bytes: calibrated.measured_footprint_bytes,
-        base64: run_base(SystemConfig::paper_baseline_64k()),
-        tcor_nol2_64: run_tcor(SystemConfig::paper_tcor_64k().without_l2_enhancements()),
-        tcor64: run_tcor(SystemConfig::paper_tcor_64k()),
-        base128: run_base(SystemConfig::paper_baseline_128k()),
-        tcor_nol2_128: run_tcor(SystemConfig::paper_tcor_128k().without_l2_enhancements()),
-        tcor128: run_tcor(SystemConfig::paper_tcor_128k()),
+        base64: cell("base64"),
+        tcor_nol2_64: cell("tcor_nol2_64"),
+        tcor64: cell("tcor64"),
+        base128: cell("base128"),
+        tcor_nol2_128: cell("tcor_nol2_128"),
+        tcor128: cell("tcor128"),
     }
+}
+
+/// Runs one benchmark through all six configurations.
+pub fn run_benchmark(profile: &BenchmarkProfile, grid: &TileGrid) -> BenchmarkRun {
+    let calibrated = tcor_workloads::synth::calibrate(profile, grid);
+    assemble_run(profile, &calibrated, |cfg| {
+        run_cell(profile, &calibrated.scene, cfg)
+    })
 }
 
 /// Runs the full Table II suite (deterministic; takes a few seconds in

@@ -7,11 +7,13 @@
 //! capacity (the Fig. 11 "6.8× smaller cache" claim, measured in the
 //! full system).
 
+use crate::orchestrate::calibrated_scene;
 use crate::output::Table;
 use tcor::{BaselineSystem, SystemConfig, TcorSystem};
 use tcor_common::{CacheParams, GpuConfig, TileCacheOrg, TileGrid, LINE_SIZE};
 use tcor_mem::L2Mode;
-use tcor_workloads::{generate_scene, suite};
+use tcor_runner::ArtifactStore;
+use tcor_workloads::suite;
 
 fn baseline_cfg(total_kib: u64) -> SystemConfig {
     let mut cfg = SystemConfig::paper_baseline_64k();
@@ -43,7 +45,7 @@ fn tcor_cfg(total_kib: u64) -> SystemConfig {
 
 /// PB L2 accesses across Tile Cache budgets, for a small-PB and a
 /// large-PB benchmark.
-pub fn sweep() -> Table {
+pub fn sweep(store: &ArtifactStore) -> Table {
     let grid = TileGrid::new(1960, 768, 32);
     let all = suite();
     let picks: Vec<_> = ["CCS", "DDS"]
@@ -61,10 +63,14 @@ pub fn sweep() -> Table {
             "dds_tcor",
         ],
     );
-    let scenes: Vec<_> = picks.iter().map(|b| generate_scene(b, &grid)).collect();
+    let scenes: Vec<_> = picks
+        .iter()
+        .map(|b| calibrated_scene(store, b, &grid))
+        .collect();
     for kib in [32u64, 48, 64, 96, 128, 192, 256] {
         let mut row = vec![kib.to_string()];
-        for (b, scene) in picks.iter().zip(&scenes) {
+        for (b, cal) in picks.iter().zip(&scenes) {
+            let scene = &cal.scene;
             let rp = b.raster_params();
             let base = BaselineSystem::new(baseline_cfg(kib).with_raster(rp)).run_frame(scene);
             let tcor = TcorSystem::new(tcor_cfg(kib).with_raster(rp)).run_frame(scene);
@@ -93,7 +99,7 @@ mod tests {
         // One benchmark, two budgets: more Attribute Cache, less traffic.
         let grid = TileGrid::new(1960, 768, 32);
         let b = suite().into_iter().find(|b| b.alias == "GTr").unwrap();
-        let scene = generate_scene(&b, &grid);
+        let scene = tcor_workloads::generate_scene(&b, &grid);
         let rp = b.raster_params();
         let small = TcorSystem::new(tcor_cfg(32).with_raster(rp)).run_frame(&scene);
         let big = TcorSystem::new(tcor_cfg(128).with_raster(rp)).run_frame(&scene);

@@ -7,7 +7,11 @@ use tcor_common::GpuConfig;
 /// Table I: the simulation parameters actually used.
 pub fn table1() -> Table {
     let cfg = GpuConfig::paper_baseline();
-    let mut t = Table::new("table1", "GPU simulation parameters", &["parameter", "value"]);
+    let mut t = Table::new(
+        "table1",
+        "GPU simulation parameters",
+        &["parameter", "value"],
+    );
     let rows: Vec<(&str, String)> = vec![
         (
             "Tech Specs",

@@ -14,10 +14,11 @@
 use crate::output::{f3, Table};
 use tcor::{SystemConfig, TcorSystem};
 use tcor_common::Traversal;
-use tcor_workloads::{generate_scene, suite};
+use tcor_runner::ArtifactStore;
+use tcor_workloads::suite;
 
 /// PB L2 accesses and primitives/cycle per traversal order.
-pub fn traversal_study() -> Table {
+pub fn traversal_study(store: &ArtifactStore) -> Table {
     let grid = tcor_common::TileGrid::new(1960, 768, 32);
     let all = suite();
     let picks: Vec<_> = ["CCS", "TRu"]
@@ -30,7 +31,8 @@ pub fn traversal_study() -> Table {
         &["bench", "order", "pb_l2", "ppc"],
     );
     for b in picks {
-        let scene = generate_scene(b, &grid);
+        let cal = crate::orchestrate::calibrated_scene(store, b, &grid);
+        let scene = &cal.scene;
         for (order, name) in [
             (Traversal::Scanline, "scanline"),
             (Traversal::Serpentine, "serpentine"),
@@ -39,7 +41,7 @@ pub fn traversal_study() -> Table {
         ] {
             let mut cfg = SystemConfig::paper_tcor_64k().with_raster(b.raster_params());
             cfg.gpu.traversal = order;
-            let r = TcorSystem::new(cfg).run_frame(&scene);
+            let r = TcorSystem::new(cfg).run_frame(scene);
             t.push_row(vec![
                 b.alias.to_string(),
                 name.to_string(),
@@ -57,7 +59,7 @@ mod tests {
 
     #[test]
     fn every_traversal_runs_and_zorder_is_listed() {
-        let t = traversal_study();
+        let t = traversal_study(&ArtifactStore::new());
         assert_eq!(t.rows.len(), 8);
         assert!(t.rows.iter().any(|r| r[1] == "z-order"));
         // All traversals produce valid throughput.

@@ -28,8 +28,8 @@ pub fn utilization(suite: &SuiteRun) -> Table {
     for b in &suite.benchmarks {
         let r = &b.tcor64;
         let attr = r.structure("attr$").expect("attr$ present");
-        let bypass_rate = attr.stats.bypasses as f64
-            / (attr.stats.writes() + attr.stats.bypasses).max(1) as f64;
+        let bypass_rate =
+            attr.stats.bypasses as f64 / (attr.stats.writes() + attr.stats.bypasses).max(1) as f64;
         t.push_row(vec![
             b.profile.alias.to_string(),
             f3(r.attr_buffer_utilization),

@@ -1,0 +1,41 @@
+//! Belady's optimality on the real workloads: simulated OPT (driven by
+//! `annotate_next_use` oracles) never misses more than LRU on any
+//! seeded Table II Parameter Buffer trace.
+
+use tcor_cache::policy::{Lru, Opt};
+use tcor_cache::profile::simulate_policy;
+use tcor_cache::Indexing;
+use tcor_common::CacheParams;
+use tcor_runner::ArtifactStore;
+use tcor_sim::misscurves::suite_traces;
+use tcor_workloads::prims_capacity;
+
+#[test]
+fn opt_never_misses_more_than_lru_on_any_benchmark() {
+    let store = ArtifactStore::new();
+    let traces = suite_traces(&store);
+    assert_eq!(traces.len(), 10, "Table II has ten benchmarks");
+    let cap = prims_capacity(64 << 10);
+    // Fully associative (the paper's Fig. 1/11 setting) and the 4-way
+    // Attribute Cache geometry (Fig. 13).
+    for ways in [0u32, 4] {
+        let lines = if ways == 0 {
+            cap as u64
+        } else {
+            (cap as u64 / ways as u64).max(1) * ways as u64
+        };
+        let params = CacheParams::new(lines, 1, ways, 1);
+        for b in traces.iter() {
+            let opt = simulate_policy(&b.trace, params, Indexing::Modulo, Opt::new(), true);
+            let lru = simulate_policy(&b.trace, params, Indexing::Modulo, Lru::new(), false);
+            assert!(
+                opt.misses() <= lru.misses(),
+                "{}: OPT {} > LRU {} ({}-way)",
+                b.alias,
+                opt.misses(),
+                lru.misses(),
+                ways
+            );
+        }
+    }
+}

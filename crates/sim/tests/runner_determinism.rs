@@ -1,0 +1,44 @@
+//! The runner's core guarantee: parallel execution is bit-identical to
+//! the serial reference path, whatever the schedule.
+
+use tcor_runner::{ArtifactStore, Telemetry};
+use tcor_sim::orchestrate::ExecMode;
+use tcor_sim::run_experiments;
+
+/// Renders a reduced experiment set (every graph tier: pure tables,
+/// calibrated scenes, dependent experiments) to one string.
+fn rendered(mode: ExecMode) -> String {
+    let ids: Vec<String> = ["table1", "fig10", "scaling"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let store = ArtifactStore::new();
+    let telemetry = Telemetry::new();
+    let results = run_experiments(&ids, mode, &store, &telemetry).expect("valid ids");
+    // Experiments come back in input order regardless of completion
+    // order.
+    assert_eq!(
+        results
+            .iter()
+            .map(|(id, _)| id.as_str())
+            .collect::<Vec<_>>(),
+        ["table1", "fig10", "scaling"]
+    );
+    results
+        .iter()
+        .flat_map(|(_, tables)| tables)
+        .map(|t| t.render() + &t.to_csv())
+        .collect()
+}
+
+#[test]
+fn parallel_output_is_bit_identical_to_serial() {
+    let serial = rendered(ExecMode::Serial);
+    for workers in [2, 4] {
+        assert_eq!(
+            serial,
+            rendered(ExecMode::Parallel(workers)),
+            "divergence with {workers} workers"
+        );
+    }
+}

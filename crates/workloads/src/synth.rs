@@ -12,9 +12,7 @@
 //! locality comes from consecutive primitives touching the same tiles.
 
 use crate::profile::BenchmarkProfile;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use tcor_common::{TileGrid, Tri2};
+use tcor_common::{SmallRng, TileGrid, Tri2};
 use tcor_gpu::{Scene, ScenePrimitive};
 
 /// Attribute-count distribution with mean 3.0 ("an average primitive has
@@ -93,8 +91,8 @@ pub fn calibrate(profile: &BenchmarkProfile, grid: &TileGrid) -> CalibratedScene
             break;
         }
         // Invert the bbox model around the measured point.
-        let correction = (32.0 * (target.sqrt() - 1.0).max(0.05))
-            / (32.0 * (measured.sqrt() - 1.0).max(0.05));
+        let correction =
+            (32.0 * (target.sqrt() - 1.0).max(0.05)) / (32.0 * (measured.sqrt() - 1.0).max(0.05));
         side = (side * correction.clamp(0.25, 4.0)).clamp(1.0, 600.0);
         best = build(profile, grid, num_prims, side, 0.0);
     }
@@ -121,10 +119,7 @@ fn build(
 ) -> CalibratedScene {
     let mut rng = SmallRng::seed_from_u64(profile.seed);
     let mut scene = Scene::new();
-    let (w, h) = (
-        grid.screen_width() as f32,
-        grid.screen_height() as f32,
-    );
+    let (w, h) = (grid.screen_width() as f32, grid.screen_height() as f32);
     let num_objects = num_prims.div_ceil(TRIS_PER_OBJECT);
     'outer: for _obj in 0..num_objects {
         // Object origin: uniform over the screen with a small margin,
@@ -142,7 +137,7 @@ fn build(
         // (perspective for 3D, sprite variety for 2D).
         let spread = if profile.is_3d {
             // Log-uniform in [0.4, 2.5] around the mean.
-            (0.4f64 * (2.5f64 / 0.4).powf(rng.random::<f64>())) as f32
+            (0.4f64 * (2.5f64 / 0.4).powf(rng.random_f64())) as f32
         } else {
             rng.random_range(0.7..1.3f64) as f32
         };

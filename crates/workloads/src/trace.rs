@@ -26,8 +26,7 @@ pub fn prims_capacity(bytes: u64) -> usize {
 /// compulsory writes in binning order, then reads in tile traversal
 /// order. The trace key is the primitive id.
 pub fn primitive_trace(frame: &BinnedFrame, order: &TraversalOrder) -> Trace {
-    let mut trace =
-        Vec::with_capacity(frame.num_primitives() + frame.total_pmds());
+    let mut trace = Vec::with_capacity(frame.num_primitives() + frame.total_pmds());
     for p in frame.primitives() {
         trace.push(Access::write(BlockAddr(p.id.0 as u64)));
     }
@@ -47,7 +46,10 @@ pub fn primitive_trace(frame: &BinnedFrame, order: &TraversalOrder) -> Trace {
 /// Feeding these to the engine's OPT policy instead of exact next-access
 /// positions quantifies the D1 design decision (OPT Numbers approximate
 /// Belady's timestamps at tile granularity).
-pub fn opt_number_annotations(frame: &BinnedFrame, order: &tcor_common::TraversalOrder) -> Vec<u64> {
+pub fn opt_number_annotations(
+    frame: &BinnedFrame,
+    order: &tcor_common::TraversalOrder,
+) -> Vec<u64> {
     let mut out = Vec::with_capacity(frame.num_primitives() + frame.total_pmds());
     for p in frame.primitives() {
         out.push(p.first_use().value() as u64);

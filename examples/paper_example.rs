@@ -31,8 +31,8 @@ fn main() {
     let t = |i: u32| TileId(i);
     let frame = BinnedFrame::new(
         &[
-            (3, vec![t(0), t(3), t(6)]), // prim 0
-            (3, vec![t(1), t(2)]),       // prim 1
+            (3, vec![t(0), t(3), t(6)]),       // prim 0
+            (3, vec![t(1), t(2)]),             // prim 1
             (3, vec![t(4), t(5), t(7), t(8)]), // prim 2
         ],
         &order,
@@ -60,7 +60,11 @@ fn main() {
     println!("=== Polygon List Builder writes ===");
     for p in frame.primitives() {
         // LRU: write-allocate; dirty evictions write to L2.
-        let out = lru.access(BlockAddr(p.id.0 as u64), AccessKind::Write, AccessMeta::NONE);
+        let out = lru.access(
+            BlockAddr(p.id.0 as u64),
+            AccessKind::Write,
+            AccessMeta::NONE,
+        );
         let lru_note = match out.evicted {
             Some(e) if e.dirty => {
                 lru_l2_writes += 1;
@@ -140,5 +144,8 @@ fn main() {
         opt_l2_reads < lru_l2_reads,
         "the paper's example: OPT avoids LRU's re-fetches"
     );
-    println!("\nOPT avoids {} L2 reads — exactly the Fig. 10 story.", lru_l2_reads - opt_l2_reads);
+    println!(
+        "\nOPT avoids {} L2 reads — exactly the Fig. 10 story.",
+        lru_l2_reads - opt_l2_reads
+    );
 }

@@ -50,7 +50,11 @@ fn small_pb_benchmarks_eliminate_mm_traffic_like_the_paper() {
     let dds = &rs[1];
     // Fig. 16: SoD's PB main-memory accesses go to zero; DDS's (1.8 MiB
     // PB vs a 1 MiB L2) cannot, but still drop by roughly half.
-    assert_eq!(sod.tcor64.pb_mm_accesses(), 0, "SoD eliminates PB MM traffic");
+    assert_eq!(
+        sod.tcor64.pb_mm_accesses(),
+        0,
+        "SoD eliminates PB MM traffic"
+    );
     let dds_norm = dds.tcor64.pb_mm_accesses() as f64 / dds.base64.pb_mm_accesses() as f64;
     assert!(
         (0.25..0.85).contains(&dds_norm),

@@ -1,0 +1,38 @@
+//! Golden-result regression, tier 1: the abstract's headline numbers
+//! must match the committed goldens bit-for-bit.
+//!
+//! The goldens live under `results/golden/` with an fxhash64 manifest;
+//! re-record them (after an intentional change) with
+//! `cargo run --release -p tcor-sim -- all --update-golden`.
+
+use tcor_runner::{ArtifactStore, GoldenStatus, GoldenStore, Telemetry};
+use tcor_sim::orchestrate::ExecMode;
+use tcor_sim::run_experiments;
+
+#[test]
+fn headline_matches_committed_golden() {
+    let golden = GoldenStore::new(concat!(env!("CARGO_MANIFEST_DIR"), "/results/golden"));
+    let store = ArtifactStore::new();
+    let telemetry = Telemetry::new();
+    let ids = vec!["headline".to_string()];
+    let workers = tcor_runner::default_workers();
+    let results = run_experiments(&ids, ExecMode::Parallel(workers), &store, &telemetry)
+        .expect("headline is a valid id");
+    let table = &results[0].1[0];
+    match golden.check("headline", &table.to_csv()) {
+        GoldenStatus::Match => {}
+        GoldenStatus::Missing => panic!(
+            "no golden recorded; run `cargo run --release -p tcor-sim -- all --update-golden`"
+        ),
+        GoldenStatus::Corrupt => {
+            panic!("results/golden/headline.csv does not match MANIFEST.txt — golden edited by hand?")
+        }
+        GoldenStatus::Mismatch {
+            line,
+            expected,
+            actual,
+        } => panic!(
+            "headline drifted from the golden at line {line}:\n  golden:  {expected}\n  current: {actual}"
+        ),
+    }
+}

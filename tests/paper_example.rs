@@ -49,7 +49,11 @@ fn third_write_is_writeback_for_lru_but_bypass_for_opt() {
     });
 
     for (i, p) in frame.primitives().iter().enumerate() {
-        let lru_out = lru.access(BlockAddr(p.id.0 as u64), AccessKind::Write, AccessMeta::NONE);
+        let lru_out = lru.access(
+            BlockAddr(p.id.0 as u64),
+            AccessKind::Write,
+            AccessMeta::NONE,
+        );
         let opt_out = opt.write(p.id, p.attr_count, p.first_use());
         if i < 2 {
             assert!(lru_out.evicted.is_none());
@@ -84,7 +88,11 @@ fn opt_avoids_lru_rereads_and_evicts_dead_primitives() {
         write_bypass: true,
     });
     for p in frame.primitives() {
-        lru.access(BlockAddr(p.id.0 as u64), AccessKind::Write, AccessMeta::NONE);
+        lru.access(
+            BlockAddr(p.id.0 as u64),
+            AccessKind::Write,
+            AccessMeta::NONE,
+        );
         let _ = opt.write(p.id, p.attr_count, p.first_use());
     }
 

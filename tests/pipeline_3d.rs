@@ -4,9 +4,7 @@
 
 use tcor::{BaselineSystem, SystemConfig, TcorSystem};
 use tcor_common::{TileGrid, Traversal};
-use tcor_gpu::{
-    bin_scene_with, transform_scene, Mat4, OverlapTest, Scene, Vec3, WorldPrimitive,
-};
+use tcor_gpu::{bin_scene_with, transform_scene, Mat4, OverlapTest, Scene, Vec3, WorldPrimitive};
 
 /// A grid of ground-plane quads receding toward the horizon.
 fn world() -> Vec<WorldPrimitive> {

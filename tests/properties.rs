@@ -1,43 +1,54 @@
 //! Cross-crate property tests: the paper's analytical invariants must
 //! hold on arbitrary generated frames, not just the calibrated suite.
 
-use proptest::prelude::*;
 use tcor_cache::profile::{opt_misses, LruStackProfiler};
-use tcor_common::{TileGrid, TileId, Traversal};
+use tcor_common::{SmallRng, TileGrid, TileId, Traversal};
 use tcor_pbuf::BinnedFrame;
 use tcor_workloads::trace::{lower_bound_misses, primitive_trace};
 
-/// Strategy: a random binned frame on a 8x8-tile screen.
-fn arb_frame() -> impl Strategy<Value = BinnedFrame> {
-    let prim = (1u8..=5, proptest::collection::vec(0u32..64, 1..6));
-    proptest::collection::vec(prim, 1..40).prop_map(|prims| {
-        let grid = TileGrid::new(256, 256, 32);
-        let order = Traversal::ZOrder.order(&grid);
-        let prims: Vec<(u8, Vec<TileId>)> = prims
-            .into_iter()
-            .map(|(a, ts)| (a, ts.into_iter().map(TileId).collect()))
-            .collect();
-        BinnedFrame::new(&prims, &order)
-    })
+const CASES: usize = 128;
+
+/// A random binned frame on an 8x8-tile screen (seeded local PRNG — the
+/// retired proptest strategy, deterministic).
+fn random_frame(rng: &mut SmallRng) -> BinnedFrame {
+    let grid = TileGrid::new(256, 256, 32);
+    let order = Traversal::ZOrder.order(&grid);
+    let prims: Vec<(u8, Vec<TileId>)> = (0..rng.random_range(1..40usize))
+        .map(|_| {
+            let attrs = rng.random_range(1..6u32) as u8;
+            let tiles: Vec<TileId> = (0..rng.random_range(1..6usize))
+                .map(|_| TileId(rng.random_range(0..64u32)))
+                .collect();
+            (attrs, tiles)
+        })
+        .collect();
+    BinnedFrame::new(&prims, &order)
 }
 
-proptest! {
-    /// §V.A's lower bound really lower-bounds OPT (hence every policy)
-    /// at every capacity, on every frame.
-    #[test]
-    fn lower_bound_holds(frame in arb_frame(), cap in 1usize..64) {
+/// §V.A's lower bound really lower-bounds OPT (hence every policy)
+/// at every capacity, on every frame.
+#[test]
+fn lower_bound_holds() {
+    let mut rng = SmallRng::seed_from_u64(0xF00D_0001);
+    for _case in 0..CASES {
+        let frame = random_frame(&mut rng);
+        let cap = rng.random_range(1..64usize);
         let grid = TileGrid::new(256, 256, 32);
         let order = Traversal::ZOrder.order(&grid);
         let trace = primitive_trace(&frame, &order);
         let lb = lower_bound_misses(frame.num_primitives(), cap);
         let opt = opt_misses(&trace, cap);
-        prop_assert!(lb <= opt, "LB {lb} > OPT {opt} at capacity {cap}");
+        assert!(lb <= opt, "LB {lb} > OPT {opt} at capacity {cap}");
     }
+}
 
-    /// Belady's optimality over the PB stream: OPT ≤ LRU at every
-    /// capacity (fully associative).
-    #[test]
-    fn opt_never_worse_than_lru(frame in arb_frame()) {
+/// Belady's optimality over the PB stream: OPT ≤ LRU at every
+/// capacity (fully associative).
+#[test]
+fn opt_never_worse_than_lru() {
+    let mut rng = SmallRng::seed_from_u64(0xF00D_0002);
+    for _case in 0..CASES {
+        let frame = random_frame(&mut rng);
         let grid = TileGrid::new(256, 256, 32);
         let order = Traversal::ZOrder.order(&grid);
         let trace = primitive_trace(&frame, &order);
@@ -46,38 +57,50 @@ proptest! {
             prof.record(a.addr);
         }
         for cap in [1usize, 2, 4, 8, 16, 32] {
-            prop_assert!(opt_misses(&trace, cap) <= prof.misses_at(cap));
+            assert!(opt_misses(&trace, cap) <= prof.misses_at(cap));
         }
     }
+}
 
-    /// With capacity for every primitive, misses are exactly the
-    /// compulsory writes (TP) under OPT — the LB's flat region.
-    #[test]
-    fn compulsory_only_at_full_capacity(frame in arb_frame()) {
+/// With capacity for every primitive, misses are exactly the
+/// compulsory writes (TP) under OPT — the LB's flat region.
+#[test]
+fn compulsory_only_at_full_capacity() {
+    let mut rng = SmallRng::seed_from_u64(0xF00D_0003);
+    for _case in 0..CASES {
+        let frame = random_frame(&mut rng);
         let grid = TileGrid::new(256, 256, 32);
         let order = Traversal::ZOrder.order(&grid);
         let trace = primitive_trace(&frame, &order);
         let tp = frame.num_primitives();
-        prop_assert_eq!(opt_misses(&trace, tp.max(1)), tp as u64);
+        assert_eq!(opt_misses(&trace, tp.max(1)), tp as u64);
     }
+}
 
-    /// Every PMD the Polygon List Builder writes is read exactly once by
-    /// the Tile Fetcher: reads in the trace equal total binned pairs.
-    #[test]
-    fn trace_access_counts(frame in arb_frame()) {
+/// Every PMD the Polygon List Builder writes is read exactly once by
+/// the Tile Fetcher: reads in the trace equal total binned pairs.
+#[test]
+fn trace_access_counts() {
+    let mut rng = SmallRng::seed_from_u64(0xF00D_0004);
+    for _case in 0..CASES {
+        let frame = random_frame(&mut rng);
         let grid = TileGrid::new(256, 256, 32);
         let order = Traversal::ZOrder.order(&grid);
         let trace = primitive_trace(&frame, &order);
         let writes = trace.iter().filter(|a| a.kind.is_write()).count();
         let reads = trace.len() - writes;
-        prop_assert_eq!(writes, frame.num_primitives());
-        prop_assert_eq!(reads, frame.total_pmds());
+        assert_eq!(writes, frame.num_primitives());
+        assert_eq!(reads, frame.total_pmds());
     }
+}
 
-    /// OPT numbers are consistent: walking a primitive's uses through
-    /// `next_use_after` visits exactly its tile ranks in order.
-    #[test]
-    fn opt_number_chain_visits_all_uses(frame in arb_frame()) {
+/// OPT numbers are consistent: walking a primitive's uses through
+/// `next_use_after` visits exactly its tile ranks in order.
+#[test]
+fn opt_number_chain_visits_all_uses() {
+    let mut rng = SmallRng::seed_from_u64(0xF00D_0005);
+    for _case in 0..CASES {
+        let frame = random_frame(&mut rng);
         for p in frame.primitives() {
             let mut visited = vec![p.first_use()];
             loop {
@@ -87,7 +110,7 @@ proptest! {
                 }
                 visited.push(next);
             }
-            prop_assert_eq!(&visited, &p.tile_ranks);
+            assert_eq!(&visited, &p.tile_ranks);
         }
     }
 }

@@ -65,18 +65,19 @@ fn warm_start_approximates_steady_state_fills() {
     let mut session = TcorSession::new(SystemConfig::paper_tcor_64k().with_raster(rp));
     session.run_frame(&scene); // cold
     let steady = session.run_frame(&scene); // steady state, same scene
-    let oneshot = TcorSystem::new(SystemConfig::paper_tcor_64k().with_raster(rp))
-        .run_frame(&scene);
+    let oneshot = TcorSystem::new(SystemConfig::paper_tcor_64k().with_raster(rp)).run_frame(&scene);
 
     // The one-shot warm model fully absorbs PB fills; the steady state
     // keeps a small residue — partial-write fills of blocks whose dead
     // lines were evicted by texture traffic during the previous frame
     // (reads of dead data the write then overwrites; see DESIGN.md).
-    assert_eq!(oneshot.pb_mm_reads(), 0, "warm one-shot PB fills hit the L2");
-    let base_ref = BaselineSystem::new(
-        SystemConfig::paper_baseline_64k().with_raster(rp),
-    )
-    .run_frame(&scene);
+    assert_eq!(
+        oneshot.pb_mm_reads(),
+        0,
+        "warm one-shot PB fills hit the L2"
+    );
+    let base_ref =
+        BaselineSystem::new(SystemConfig::paper_baseline_64k().with_raster(rp)).run_frame(&scene);
     assert!(
         steady.pb_mm_accesses() * 5 < base_ref.pb_mm_accesses(),
         "steady-state residue {} should stay far below baseline {}",
@@ -118,9 +119,7 @@ fn steady_state_tcor_still_eliminates_pb_dram_traffic() {
         let anim = Animation::new(&p, &grid);
         let rp = p.raster_params();
         let mut tcor = TcorSession::new(SystemConfig::paper_tcor_64k().with_raster(rp));
-        let mut base = BaselineSession::new(
-            SystemConfig::paper_baseline_64k().with_raster(rp),
-        );
+        let mut base = BaselineSession::new(SystemConfig::paper_baseline_64k().with_raster(rp));
         for f in 0..3 {
             let scene = anim.frame(&grid, f as f64);
             let r = tcor.run_frame(&scene);
