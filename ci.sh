@@ -26,4 +26,26 @@ cargo test --workspace -q
 echo "== golden check (headline)"
 cargo run --release -q -p tcor-sim -- headline --check --telemetry /tmp/tcor-ci-telemetry.jsonl >/dev/null
 
+echo "== fault-injection smoke (inject, then resume + golden check)"
+# Seed 42 deterministically panics one scene job: the run must contain
+# the failure (exit 3, the cell-failure code) while independent
+# experiments complete, and the clean resumed run must re-execute only
+# the missing experiments and still match the goldens bit-for-bit.
+SMOKE_MANIFEST=/tmp/tcor-ci-manifest.txt
+rm -f "$SMOKE_MANIFEST"
+set +e
+cargo run --release -q -p tcor-sim -- all --inject-faults 42 \
+  --manifest "$SMOKE_MANIFEST" --telemetry /tmp/tcor-ci-telemetry.jsonl \
+  >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 3 ]; then
+  echo "ci: FAIL: injected-fault run exited $code, expected 3 (cell failure)" >&2
+  exit 1
+fi
+cargo run --release -q -p tcor-sim -- all --resume --check \
+  --manifest "$SMOKE_MANIFEST" --telemetry /tmp/tcor-ci-telemetry.jsonl \
+  >/dev/null
+rm -f "$SMOKE_MANIFEST"
+
 echo "ci: all green"

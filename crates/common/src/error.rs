@@ -1,0 +1,187 @@
+//! The workspace-wide typed error: every fallible operation in the
+//! experiment engine returns [`TcorError`] instead of a bare `String`
+//! or a panic.
+//!
+//! An error carries a [`ErrorKind`] (the failure *class*, which maps
+//! one-to-one onto the CLI's exit codes), a human context line, and an
+//! optional source chain. The classes mirror the failure model in
+//! `DESIGN.md` §"Failure model & recovery": configuration mistakes are
+//! the caller's to fix, cell failures are contained per job, golden
+//! drift is a regression signal, and corruption means on-disk or
+//! in-store state can no longer be trusted.
+
+use std::error::Error;
+use std::fmt;
+
+/// The failure class of a [`TcorError`]. Each class has a distinct
+/// process exit code so CI and scripts can branch on *why* a run
+/// failed without parsing stderr.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Invalid configuration or CLI usage (unknown experiment id, bad
+    /// flag value). Exit code 2.
+    Config,
+    /// A job/cell failed — a contained panic or an error returned from
+    /// a job body. Exit code 3.
+    Execution,
+    /// Output drifted from the recorded golden baseline. Exit code 4.
+    Drift,
+    /// State that should be trustworthy is not: a golden file that
+    /// fails its manifest hash, an artifact-store key holding a value
+    /// of the wrong type, a malformed telemetry log. Exit code 5.
+    Corruption,
+    /// A filesystem or I/O failure. Exit code 1 (generic failure).
+    Io,
+}
+
+impl ErrorKind {
+    /// The process exit code for this failure class.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Io => 1,
+            ErrorKind::Config => 2,
+            ErrorKind::Execution => 3,
+            ErrorKind::Drift => 4,
+            ErrorKind::Corruption => 5,
+        }
+    }
+
+    /// Stable lowercase name ("config", "execution", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Config => "config",
+            ErrorKind::Execution => "execution",
+            ErrorKind::Drift => "drift",
+            ErrorKind::Corruption => "corruption",
+            ErrorKind::Io => "io",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The workspace error type: kind + context + optional source chain.
+#[derive(Debug)]
+pub struct TcorError {
+    kind: ErrorKind,
+    context: String,
+    source: Option<Box<dyn Error + Send + Sync + 'static>>,
+}
+
+/// Workspace-wide result alias.
+pub type TcorResult<T> = Result<T, TcorError>;
+
+impl TcorError {
+    /// An error of `kind` with a human context line.
+    pub fn new(kind: ErrorKind, context: impl Into<String>) -> Self {
+        TcorError {
+            kind,
+            context: context.into(),
+            source: None,
+        }
+    }
+
+    /// An error of `kind` wrapping an underlying cause.
+    pub fn with_source(
+        kind: ErrorKind,
+        context: impl Into<String>,
+        source: impl Error + Send + Sync + 'static,
+    ) -> Self {
+        TcorError {
+            kind,
+            context: context.into(),
+            source: Some(Box::new(source)),
+        }
+    }
+
+    /// A [`ErrorKind::Config`] error.
+    pub fn config(context: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Config, context)
+    }
+
+    /// A [`ErrorKind::Execution`] error.
+    pub fn execution(context: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Execution, context)
+    }
+
+    /// A [`ErrorKind::Drift`] error.
+    pub fn drift(context: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Drift, context)
+    }
+
+    /// A [`ErrorKind::Corruption`] error.
+    pub fn corruption(context: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Corruption, context)
+    }
+
+    /// An [`ErrorKind::Io`] error wrapping `source`, with `context`
+    /// naming the operation ("writing results/golden/fig14.csv").
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Self::with_source(ErrorKind::Io, context, source)
+    }
+
+    /// The failure class.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The context line (without the source chain).
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// The exit code of the failure class ([`ErrorKind::exit_code`]).
+    pub fn exit_code(&self) -> u8 {
+        self.kind.exit_code()
+    }
+}
+
+impl fmt::Display for TcorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.context)?;
+        if let Some(src) = &self.source {
+            write!(f, ": {src}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for TcorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_deref().map(|e| e as &(dyn Error + 'static))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let codes = [
+            ErrorKind::Io,
+            ErrorKind::Config,
+            ErrorKind::Execution,
+            ErrorKind::Drift,
+            ErrorKind::Corruption,
+        ]
+        .map(ErrorKind::exit_code);
+        assert_eq!(codes, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn display_includes_source_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = TcorError::io("reading manifest", io);
+        assert_eq!(e.kind(), ErrorKind::Io);
+        assert_eq!(e.to_string(), "reading manifest: gone");
+        assert!(e.source().is_some());
+        let plain = TcorError::config("unknown experiment `figx`");
+        assert_eq!(plain.to_string(), "unknown experiment `figx`");
+        assert!(plain.source().is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Crash-safe filesystem writes.
+//!
+//! Every durable artifact the harness produces (goldens, manifests,
+//! result CSVs) goes through [`write_atomic`]: the bytes land in a
+//! `*.tmp` sibling first and are `rename`d over the destination only
+//! once fully written. On POSIX the rename is atomic within a
+//! filesystem, so a crash mid-write can leave a stale `*.tmp` behind
+//! but never a half-written destination — the previous version stays
+//! readable.
+
+use crate::error::{TcorError, TcorResult};
+use std::path::{Path, PathBuf};
+
+/// The temporary sibling `write_atomic` stages into: same directory,
+/// file name extended with `.tmp` (so the rename never crosses a
+/// filesystem boundary).
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `contents` to `path` atomically (stage to `*.tmp`, then
+/// rename), creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns an [`ErrorKind::Io`](crate::ErrorKind::Io) error naming the
+/// path on any filesystem failure; on error the previous contents of
+/// `path`, if any, are untouched.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> TcorResult<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| TcorError::io(format!("creating {}", parent.display()), e))?;
+        }
+    }
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, contents)
+        .map_err(|e| TcorError::io(format!("writing {}", tmp.display()), e))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        // Best effort: do not leave the orphan around on failure.
+        let _ = std::fs::remove_file(&tmp);
+        TcorError::io(
+            format!("renaming {} over {}", tmp.display(), path.display()),
+            e,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tcor-fsio-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = temp_path("basic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let file = dir.join("nested").join("out.csv");
+        write_atomic(&file, b"v1").unwrap();
+        assert_eq!(std::fs::read(&file).unwrap(), b"v1");
+        write_atomic(&file, b"v2").unwrap();
+        assert_eq!(std::fs::read(&file).unwrap(), b"v2");
+        // No staging residue.
+        assert!(!tmp_sibling(&file).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_sibling_stays_in_the_same_directory() {
+        let p = Path::new("/a/b/c.csv");
+        assert_eq!(tmp_sibling(p), Path::new("/a/b/c.csv.tmp"));
+    }
+
+    #[test]
+    fn failure_leaves_previous_contents() {
+        let dir = temp_path("fail");
+        let _ = std::fs::remove_dir_all(&dir);
+        let file = dir.join("out.csv");
+        write_atomic(&file, b"v1").unwrap();
+        // A directory squatting on the tmp path forces the staging
+        // write to fail; the destination must be untouched.
+        std::fs::create_dir_all(tmp_sibling(&file)).unwrap();
+        let err = write_atomic(&file, b"v2").unwrap_err();
+        assert_eq!(err.kind(), crate::ErrorKind::Io);
+        assert_eq!(std::fs::read(&file).unwrap(), b"v1");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

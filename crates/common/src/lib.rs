@@ -25,6 +25,8 @@
 //! ```
 
 pub mod config;
+pub mod error;
+pub mod fsio;
 pub mod geom;
 pub mod grid;
 pub mod hash;
@@ -34,6 +36,8 @@ pub mod stats;
 pub mod traversal;
 
 pub use config::{CacheParams, GpuConfig, MemoryParams, TileCacheOrg};
+pub use error::{ErrorKind, TcorError, TcorResult};
+pub use fsio::write_atomic;
 pub use geom::{Rect, Tri2};
 pub use grid::TileGrid;
 pub use hash::{fxhash64, hash_hex, FxHasher64};

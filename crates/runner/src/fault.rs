@@ -1,0 +1,193 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] decides, purely from a seed and a stable key, which
+//! operations fail and how: jobs can be made to panic or stall, and
+//! durable writes (golden updates, manifests) can be made to return an
+//! injected I/O error. The decision for a given `(seed, key)` pair
+//! never changes — the same plan replays the same faults on every run,
+//! whatever the schedule — so every recovery path in the executor,
+//! golden store and resume protocol can be exercised in ordinary unit
+//! tests and in CI (`tcor-sim all --inject-faults <seed>`).
+//!
+//! Keys are job labels (`"cell:CCS/tcor64"`) and I/O operation tags
+//! (`"golden:fig14"`): identities that are stable across runs, unlike
+//! worker indices or wall clocks. Draws go through the workspace
+//! xoshiro256++ generator seeded by `seed ^ fxhash64(domain) ^
+//! fxhash64(key)`.
+
+use std::time::Duration;
+use tcor_common::{fxhash64, Xoshiro256pp};
+
+/// What an injected job fault does to the job body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobFault {
+    /// The job panics before running (exercises containment and
+    /// dependent skipping).
+    Panic,
+    /// The job stalls for this long before running (exercises the
+    /// watchdog).
+    Delay(Duration),
+}
+
+/// A seeded, deterministic plan of injected faults.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Percent of jobs that panic.
+    panic_pct: u64,
+    /// Percent of jobs that stall (drawn after the panic band).
+    delay_pct: u64,
+    /// Percent of tagged I/O operations that fail.
+    io_pct: u64,
+    /// Labels forced to panic regardless of the dice (test hook).
+    forced_panics: Vec<String>,
+    /// I/O tags forced to fail regardless of the dice (test hook).
+    forced_io: Vec<String>,
+}
+
+impl FaultPlan {
+    /// The plan the CLI builds for `--inject-faults <seed>`: a few
+    /// percent of jobs panic, a few stall briefly, and roughly one in
+    /// ten tagged writes fails.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_pct: 4,
+            delay_pct: 8,
+            io_pct: 10,
+            forced_panics: Vec::new(),
+            forced_io: Vec::new(),
+        }
+    }
+
+    /// A quiet plan that panics exactly the jobs whose label equals
+    /// `label` and injects nothing else (deterministic test hook).
+    pub fn panic_on(label: impl Into<String>) -> Self {
+        FaultPlan {
+            seed: 0,
+            panic_pct: 0,
+            delay_pct: 0,
+            io_pct: 0,
+            forced_panics: vec![label.into()],
+            forced_io: Vec::new(),
+        }
+    }
+
+    /// A quiet plan that fails exactly the I/O operations tagged `tag`
+    /// (deterministic test hook).
+    pub fn fail_io_on(tag: impl Into<String>) -> Self {
+        FaultPlan {
+            seed: 0,
+            panic_pct: 0,
+            delay_pct: 0,
+            io_pct: 0,
+            forced_panics: Vec::new(),
+            forced_io: vec![tag.into()],
+        }
+    }
+
+    /// Overrides the per-class injection rates (percentages, clamped
+    /// to 100 in total draw space).
+    pub fn with_rates(mut self, panic_pct: u64, delay_pct: u64, io_pct: u64) -> Self {
+        self.panic_pct = panic_pct;
+        self.delay_pct = delay_pct;
+        self.io_pct = io_pct;
+        self
+    }
+
+    /// The seed the plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// One deterministic draw in `[0, 100)` for `(domain, key)`.
+    fn roll(&self, domain: &str, key: &str) -> u64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(
+            self.seed ^ fxhash64(domain.as_bytes()) ^ fxhash64(key.as_bytes()),
+        );
+        rng.random_range(0..100u64)
+    }
+
+    /// The fault, if any, to inject into the job labelled `label`.
+    pub fn job_fault(&self, label: &str) -> Option<JobFault> {
+        if self.forced_panics.iter().any(|l| l == label) {
+            return Some(JobFault::Panic);
+        }
+        if self.panic_pct == 0 && self.delay_pct == 0 {
+            return None;
+        }
+        let roll = self.roll("job", label);
+        if roll < self.panic_pct {
+            Some(JobFault::Panic)
+        } else if roll < self.panic_pct + self.delay_pct {
+            // 5–20ms: long enough for a tight watchdog budget to flag,
+            // short enough not to slow a CI smoke run noticeably.
+            let ms = 5 + self.roll("delay", label) % 16;
+            Some(JobFault::Delay(Duration::from_millis(ms)))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the I/O operation tagged `tag` should fail with an
+    /// injected error.
+    pub fn io_fault(&self, tag: &str) -> bool {
+        if self.forced_io.iter().any(|t| t == tag) {
+            return true;
+        }
+        self.io_pct > 0 && self.roll("io", tag) < self.io_pct
+    }
+
+    /// The injected-I/O error for `tag` (what fault-aware writers
+    /// return when [`io_fault`](Self::io_fault) fires).
+    pub fn io_error(&self, tag: &str) -> tcor_common::TcorError {
+        tcor_common::TcorError::io(
+            format!("injected fault (seed {}) in {tag}", self.seed),
+            std::io::Error::other("fault injection"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_key_sensitive() {
+        let plan = FaultPlan::seeded(42);
+        let again = FaultPlan::seeded(42);
+        let other = FaultPlan::seeded(43);
+        let labels: Vec<String> = (0..200).map(|i| format!("cell:{i}")).collect();
+        let faults: Vec<_> = labels.iter().map(|l| plan.job_fault(l)).collect();
+        let replay: Vec<_> = labels.iter().map(|l| again.job_fault(l)).collect();
+        assert_eq!(faults, replay);
+        let reseeded: Vec<_> = labels.iter().map(|l| other.job_fault(l)).collect();
+        assert_ne!(faults, reseeded);
+    }
+
+    #[test]
+    fn default_rates_inject_a_minority_of_jobs() {
+        let plan = FaultPlan::seeded(7);
+        let n = 1000;
+        let panics = (0..n)
+            .filter(|i| plan.job_fault(&format!("job:{i}")) == Some(JobFault::Panic))
+            .count();
+        let total_faulted = (0..n)
+            .filter(|i| plan.job_fault(&format!("job:{i}")).is_some())
+            .count();
+        assert!((10..100).contains(&panics), "panics={panics}");
+        assert!(total_faulted < n / 4, "faulted={total_faulted}");
+    }
+
+    #[test]
+    fn forced_hooks_override_the_dice() {
+        let plan = FaultPlan::panic_on("cell:CCS/tcor64");
+        assert_eq!(plan.job_fault("cell:CCS/tcor64"), Some(JobFault::Panic));
+        assert_eq!(plan.job_fault("cell:CCS/base64"), None);
+        assert!(!plan.io_fault("golden:fig14"));
+        let io = FaultPlan::fail_io_on("golden:fig14");
+        assert!(io.io_fault("golden:fig14"));
+        assert!(!io.io_fault("golden:fig15"));
+        assert_eq!(io.job_fault("cell:CCS/tcor64"), None);
+    }
+}

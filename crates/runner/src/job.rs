@@ -7,7 +7,7 @@
 //! them in sequence).
 
 use crate::store::ArtifactStore;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Identifier of a job within one [`JobGraph`]; doubles as the index of
 /// the job's slot in the executor's result vector.
@@ -38,7 +38,9 @@ impl<'s> JobCtx<'s> {
     /// Reports a named counter (simulated accesses, misses, …) for this
     /// job's telemetry record. Repeated names accumulate.
     pub fn counter(&self, name: &str, value: u64) {
-        let mut c = self.counters.lock().expect("counter lock");
+        // Poisoning is recoverable: entries are pushed/updated in one
+        // step, so a panicking job cannot leave the list inconsistent.
+        let mut c = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(entry) = c.iter_mut().find(|(n, _)| n == name) {
             entry.1 += value;
         } else {
@@ -48,7 +50,7 @@ impl<'s> JobCtx<'s> {
 
     /// Drains the recorded counters (executor-side).
     pub(crate) fn take_counters(&self) -> Vec<(String, u64)> {
-        std::mem::take(&mut self.counters.lock().expect("counter lock"))
+        std::mem::take(&mut self.counters.lock().unwrap_or_else(PoisonError::into_inner))
     }
 }
 
@@ -111,6 +113,12 @@ impl<'a, T> JobGraph<'a, T> {
     /// Number of jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// The labels of all jobs, indexed by [`JobId`] — snapshot them
+    /// before execution to attribute failures and skips afterwards.
+    pub fn labels(&self) -> Vec<String> {
+        self.jobs.iter().map(|j| j.label.clone()).collect()
     }
 
     /// Whether the graph has no jobs.

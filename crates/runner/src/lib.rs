@@ -24,17 +24,26 @@
 //! - **Observability** — [`Telemetry`] records per-job wall time and
 //!   user counters as JSON-lines; [`golden`] diffs experiment output
 //!   against committed golden results.
+//! - **Fault isolation** — a panicking job is contained
+//!   ([`JobOutcome::Failed`]) and its dependents skipped while
+//!   independent jobs complete; a [`FaultPlan`] injects deterministic
+//!   panics, stalls and I/O errors to exercise every recovery path;
+//!   the [`RunManifest`] makes partial runs resumable.
 
 pub mod executor;
+pub mod fault;
 pub mod golden;
 pub mod job;
 pub mod json;
+pub mod manifest;
 pub mod store;
 pub mod telemetry;
 
-pub use executor::{default_workers, execute, execute_serial};
-pub use golden::{GoldenStatus, GoldenStore};
+pub use executor::{default_workers, execute, execute_serial, ExecOptions, JobOutcome, RunReport};
+pub use fault::{FaultPlan, JobFault};
+pub use golden::{GoldenStatus, GoldenStore, LineDiff};
 pub use job::{Job, JobCtx, JobGraph, JobId};
 pub use json::Json;
+pub use manifest::{RunManifest, RunStatus};
 pub use store::ArtifactStore;
-pub use telemetry::{JobRecord, Telemetry};
+pub use telemetry::{load_jsonl, JobRecord, Telemetry, TelemetryLog};

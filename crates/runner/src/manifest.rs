@@ -1,0 +1,266 @@
+//! The run manifest: a durable record of which experiments a run
+//! completed, and the content hash of every table they produced.
+//!
+//! The artifact store is in-memory only, so after a partially failed
+//! run the *tables* are gone — but the manifest survives (it is
+//! written atomically after every experiment). `--resume` consults it
+//! to re-execute only the experiments that failed, were skipped, or
+//! were never attempted; experiments recorded `ok` are trusted via
+//! their content hashes, which `--check` compares directly against the
+//! golden manifest without recomputation.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use tcor_common::{write_atomic, TcorError, TcorResult};
+
+/// How an experiment ended in the recorded run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Completed; its table hashes are recorded.
+    Ok,
+    /// Its job (or a cell beneath it) panicked.
+    Failed,
+    /// Skipped because a dependency failed.
+    Skipped,
+}
+
+impl RunStatus {
+    fn name(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Failed => "failed",
+            RunStatus::Skipped => "skipped",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(RunStatus::Ok),
+            "failed" => Some(RunStatus::Failed),
+            "skipped" => Some(RunStatus::Skipped),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    status: Option<RunStatus>,
+    /// `(table id, fxhash64 hex of the CSV rendering)` — the same
+    /// hash the golden manifest pins, so the two compare directly.
+    tables: Vec<(String, String)>,
+}
+
+/// A manifest of one (possibly resumed) run, persisted at `path`.
+///
+/// Format: plain text, one record per line —
+/// `experiment <id> <ok|failed|skipped>` or
+/// `table <experiment id> <table id> <hash>` — diffable and
+/// hand-inspectable like the golden manifest.
+#[derive(Debug)]
+pub struct RunManifest {
+    path: PathBuf,
+    entries: BTreeMap<String, Entry>,
+}
+
+impl RunManifest {
+    /// An empty manifest that will persist at `path` (a fresh,
+    /// non-resumed run).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        RunManifest {
+            path: path.into(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Loads the manifest at `path`; a missing file is an empty run
+    /// (nothing to resume), not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a corruption error for a malformed record — a manifest
+    /// that cannot be trusted must not silently shrink the rerun set.
+    pub fn load(path: impl Into<PathBuf>) -> TcorResult<Self> {
+        let path = path.into();
+        let mut entries: BTreeMap<String, Entry> = BTreeMap::new();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(RunManifest { path, entries });
+            }
+            Err(e) => return Err(TcorError::io(format!("reading {}", path.display()), e)),
+        };
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = || {
+                TcorError::corruption(format!(
+                    "{}: line {}: malformed run-manifest record `{line}`",
+                    path.display(),
+                    n + 1
+                ))
+            };
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("experiment") => {
+                    let id = parts.next().ok_or_else(bad)?;
+                    let status = parts.next().and_then(RunStatus::parse).ok_or_else(bad)?;
+                    entries.entry(id.to_string()).or_default().status = Some(status);
+                }
+                Some("table") => {
+                    let exp = parts.next().ok_or_else(bad)?;
+                    let table = parts.next().ok_or_else(bad)?;
+                    let hash = parts.next().ok_or_else(bad)?;
+                    entries
+                        .entry(exp.to_string())
+                        .or_default()
+                        .tables
+                        .push((table.to_string(), hash.to_string()));
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(RunManifest { path, entries })
+    }
+
+    /// Where the manifest persists.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records a completed experiment with its table hashes.
+    pub fn record_ok(&mut self, id: &str, tables: Vec<(String, String)>) {
+        self.entries.insert(
+            id.to_string(),
+            Entry {
+                status: Some(RunStatus::Ok),
+                tables,
+            },
+        );
+    }
+
+    /// Records a failed or skipped experiment (its tables, if any,
+    /// are dropped — they cannot be trusted).
+    pub fn record_status(&mut self, id: &str, status: RunStatus) {
+        self.entries.insert(
+            id.to_string(),
+            Entry {
+                status: Some(status),
+                tables: Vec::new(),
+            },
+        );
+    }
+
+    /// The recorded status of `id`, if it was attempted.
+    pub fn status(&self, id: &str) -> Option<RunStatus> {
+        self.entries.get(id).and_then(|e| e.status)
+    }
+
+    /// Whether a resumed run must re-execute `id` (anything but a
+    /// recorded `ok`).
+    pub fn needs_rerun(&self, id: &str) -> bool {
+        self.status(id) != Some(RunStatus::Ok)
+    }
+
+    /// The `(table id, hash)` pairs recorded for a completed `id`.
+    pub fn table_hashes(&self, id: &str) -> &[(String, String)] {
+        self.entries
+            .get(id)
+            .map(|e| e.tables.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Persists the manifest atomically (stage + rename): a crash mid
+    /// save leaves the previous manifest intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self) -> TcorResult<()> {
+        let mut out = String::new();
+        for (id, entry) in &self.entries {
+            if let Some(status) = entry.status {
+                out.push_str(&format!("experiment {id} {}\n", status.name()));
+            }
+            for (table, hash) in &entry.tables {
+                out.push_str(&format!("table {id} {table} {hash}\n"));
+            }
+        }
+        write_atomic(&self.path, out.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tcor-manifest-{tag}-{}.txt", std::process::id()))
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_run() {
+        let m = RunManifest::load(temp_path("nope-never-created")).unwrap();
+        assert!(m.needs_rerun("fig14"));
+        assert_eq!(m.status("fig14"), None);
+        assert!(m.table_hashes("fig14").is_empty());
+    }
+
+    #[test]
+    fn roundtrips_statuses_and_hashes() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut m = RunManifest::load(&path).unwrap();
+        m.record_ok(
+            "fig13",
+            vec![
+                ("fig13_ccs".into(), "00aa".into()),
+                ("fig13_mc".into(), "00bb".into()),
+            ],
+        );
+        m.record_status("fig14", RunStatus::Failed);
+        m.record_status("fig15", RunStatus::Skipped);
+        m.save().unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back.status("fig13"), Some(RunStatus::Ok));
+        assert!(!back.needs_rerun("fig13"));
+        assert!(back.needs_rerun("fig14"));
+        assert!(back.needs_rerun("fig15"));
+        assert!(back.needs_rerun("fig16"), "unattempted id must rerun");
+        assert_eq!(
+            back.table_hashes("fig13"),
+            &[
+                ("fig13_ccs".to_string(), "00aa".to_string()),
+                ("fig13_mc".to_string(), "00bb".to_string()),
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rerun_after_failure_upgrades_the_record() {
+        let path = temp_path("upgrade");
+        let _ = std::fs::remove_file(&path);
+        let mut m = RunManifest::load(&path).unwrap();
+        m.record_status("fig14", RunStatus::Failed);
+        m.save().unwrap();
+        let mut m = RunManifest::load(&path).unwrap();
+        m.record_ok("fig14", vec![("fig14".into(), "cafe".into())]);
+        m.save().unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert!(!back.needs_rerun("fig14"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_records_are_a_corruption_error() {
+        let path = temp_path("malformed");
+        std::fs::write(&path, "experiment fig14 ok\nwhat is this\n").unwrap();
+        let err = RunManifest::load(&path).unwrap_err();
+        assert_eq!(err.kind(), tcor_common::ErrorKind::Corruption);
+        assert!(err.to_string().contains("line 2"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

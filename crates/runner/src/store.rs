@@ -6,11 +6,21 @@
 //! concurrent requester for the same key blocks on the winner's
 //! `OnceLock` and shares the resulting `Arc` — each artifact is built
 //! exactly once per process regardless of schedule.
+//!
+//! Failure model: a key that resolves to a value of a different type
+//! than requested is a key-collision bug at some call site; it is
+//! reported as a typed [`ErrorKind::Corruption`] error, never a panic,
+//! so one bad cell cannot tear down the suite. Lock poisoning is
+//! recovered with [`PoisonError::into_inner`]: the map holds only
+//! `Arc<OnceLock>` slots whose insertion is a single `entry().or_default()`
+//! step, so a thread that panicked while holding the lock cannot have
+//! left the map half-updated.
 
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use tcor_common::{TcorError, TcorResult};
 
 type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
 
@@ -23,6 +33,14 @@ pub struct ArtifactStore {
     computes: AtomicU64,
 }
 
+fn type_confusion(key: u64, requested: &str) -> TcorError {
+    TcorError::corruption(format!(
+        "artifact store key {key:#018x} holds a value of a different type \
+         than the requested `{requested}` — key collision or type confusion \
+         at a call site"
+    ))
+}
+
 impl ArtifactStore {
     /// An empty store.
     pub fn new() -> Self {
@@ -31,19 +49,22 @@ impl ArtifactStore {
 
     /// Returns the artifact under `key`, computing it with `f` if
     /// absent. Concurrent calls with the same key compute once and
-    /// share; the loser blocks until the artifact exists.
+    /// share; the loser blocks until the artifact exists. If `f`
+    /// panics the slot stays empty (the panic is propagated to — and
+    /// contained by — the executor) and a later caller retries.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `key` already holds an artifact of a different type —
-    /// that is a key-collision bug at the call site, never silent.
-    pub fn get_or_compute<A, F>(&self, key: u64, f: F) -> Arc<A>
+    /// Returns an [`ErrorKind::Corruption`](tcor_common::ErrorKind)
+    /// error if `key` already holds an artifact of a different type —
+    /// a key-collision bug at the call site, never silent.
+    pub fn get_or_compute<A, F>(&self, key: u64, f: F) -> TcorResult<Arc<A>>
     where
         A: Send + Sync + 'static,
         F: FnOnce() -> A,
     {
         let slot: Slot = {
-            let mut map = self.map.lock().expect("store lock");
+            let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
             map.entry(key).or_default().clone()
         };
         let mut computed = false;
@@ -58,26 +79,36 @@ impl ArtifactStore {
         }
         Arc::clone(erased)
             .downcast::<A>()
-            .unwrap_or_else(|_| panic!("artifact key {key:#018x} holds a different type"))
+            .map_err(|_| type_confusion(key, std::any::type_name::<A>()))
     }
 
     /// Returns the artifact under `key` if (and only if) it has been
     /// computed, without blocking on in-flight computation by others.
-    pub fn get<A: Send + Sync + 'static>(&self, key: u64) -> Option<Arc<A>> {
-        let slot = self.map.lock().expect("store lock").get(&key).cloned()?;
-        let erased = slot.get()?;
-        Some(
-            Arc::clone(erased)
-                .downcast::<A>()
-                .unwrap_or_else(|_| panic!("artifact key {key:#018x} holds a different type")),
-        )
+    ///
+    /// # Errors
+    ///
+    /// Returns a corruption error on type confusion, like
+    /// [`get_or_compute`](Self::get_or_compute).
+    pub fn get<A: Send + Sync + 'static>(&self, key: u64) -> TcorResult<Option<Arc<A>>> {
+        let slot = {
+            let map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+            map.get(&key).cloned()
+        };
+        let Some(slot) = slot else { return Ok(None) };
+        let Some(erased) = slot.get() else {
+            return Ok(None);
+        };
+        Arc::clone(erased)
+            .downcast::<A>()
+            .map(Some)
+            .map_err(|_| type_confusion(key, std::any::type_name::<A>()))
     }
 
     /// Number of keys with a completed artifact.
     pub fn len(&self) -> usize {
         self.map
             .lock()
-            .expect("store lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .filter(|s| s.get().is_some())
             .count()
@@ -108,14 +139,18 @@ mod tests {
     fn computes_once_and_shares() {
         let store = ArtifactStore::new();
         let calls = AtomicUsize::new(0);
-        let a: Arc<Vec<u32>> = store.get_or_compute(1, || {
-            calls.fetch_add(1, Ordering::SeqCst);
-            vec![1, 2, 3]
-        });
-        let b: Arc<Vec<u32>> = store.get_or_compute(1, || {
-            calls.fetch_add(1, Ordering::SeqCst);
-            vec![9, 9, 9]
-        });
+        let a: Arc<Vec<u32>> = store
+            .get_or_compute(1, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                vec![1, 2, 3]
+            })
+            .unwrap();
+        let b: Arc<Vec<u32>> = store
+            .get_or_compute(1, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                vec![9, 9, 9]
+            })
+            .unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(store.computes(), 1);
@@ -125,8 +160,8 @@ mod tests {
     #[test]
     fn distinct_keys_are_independent() {
         let store = ArtifactStore::new();
-        let a: Arc<u64> = store.get_or_compute(10, || 100);
-        let b: Arc<u64> = store.get_or_compute(11, || 200);
+        let a: Arc<u64> = store.get_or_compute(10, || 100).unwrap();
+        let b: Arc<u64> = store.get_or_compute(11, || 200).unwrap();
         assert_eq!((*a, *b), (100, 200));
         assert_eq!(store.len(), 2);
     }
@@ -134,17 +169,27 @@ mod tests {
     #[test]
     fn get_sees_only_completed() {
         let store = ArtifactStore::new();
-        assert!(store.get::<u64>(5).is_none());
+        assert!(store.get::<u64>(5).unwrap().is_none());
         let _ = store.get_or_compute(5, || 7u64);
-        assert_eq!(*store.get::<u64>(5).expect("present"), 7);
+        assert_eq!(*store.get::<u64>(5).unwrap().expect("present"), 7);
     }
 
     #[test]
-    #[should_panic(expected = "different type")]
-    fn type_collision_is_loud() {
+    fn type_collision_is_a_typed_corruption_error() {
         let store = ArtifactStore::new();
         let _ = store.get_or_compute(3, || 1u64);
-        let _: Arc<String> = store.get_or_compute(3, || "oops".to_string());
+        let err = store
+            .get_or_compute::<String, _>(3, || "oops".to_string())
+            .unwrap_err();
+        assert_eq!(err.kind(), tcor_common::ErrorKind::Corruption);
+        let msg = err.to_string();
+        assert!(msg.contains("0x0000000000000003"), "{msg}");
+        assert!(msg.contains("String"), "{msg}");
+        // The blocking-free getter reports the same way.
+        let err = store.get::<String>(3).unwrap_err();
+        assert_eq!(err.kind(), tcor_common::ErrorKind::Corruption);
+        // The store itself is still usable and the original intact.
+        assert_eq!(*store.get::<u64>(3).unwrap().expect("original"), 1);
     }
 
     #[test]
@@ -154,16 +199,30 @@ mod tests {
         std::thread::scope(|s| {
             for _ in 0..8 {
                 s.spawn(|| {
-                    let v: Arc<u64> = store.get_or_compute(42, || {
-                        calls.fetch_add(1, Ordering::SeqCst);
-                        // Widen the race window.
-                        std::thread::sleep(std::time::Duration::from_millis(5));
-                        99
-                    });
+                    let v: Arc<u64> = store
+                        .get_or_compute(42, || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window.
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            99
+                        })
+                        .unwrap();
                     assert_eq!(*v, 99);
                 });
             }
         });
         assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn panicked_initialization_leaves_the_slot_retryable() {
+        let store = ArtifactStore::new();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = store.get_or_compute::<u64, _>(9, || panic!("boom"));
+        }));
+        assert!(attempt.is_err());
+        // The slot was not filled; a clean retry succeeds.
+        let v = store.get_or_compute(9, || 5u64).unwrap();
+        assert_eq!(*v, 5);
     }
 }

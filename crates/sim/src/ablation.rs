@@ -13,7 +13,7 @@ use tcor::{SystemConfig, TcorSystem};
 use tcor_cache::policy::Opt;
 use tcor_cache::profile::simulate_policy;
 use tcor_cache::{AccessMeta, Cache, Indexing};
-use tcor_common::{CacheParams, TileGrid, Traversal};
+use tcor_common::{CacheParams, TcorResult, TileGrid, Traversal};
 use tcor_gpu::bin_scene;
 use tcor_pbuf::ListsScheme;
 use tcor_runner::ArtifactStore;
@@ -21,7 +21,11 @@ use tcor_workloads::trace::opt_number_annotations;
 use tcor_workloads::{primitive_trace, prims_capacity, suite};
 
 /// Runs all four ablations over the suite and tabulates the outcome.
-pub fn ablation(store: &ArtifactStore) -> Table {
+///
+/// # Errors
+///
+/// Propagates store corruption from the scene lookups.
+pub fn ablation(store: &ArtifactStore) -> TcorResult<Table> {
     let grid = TileGrid::new(1960, 768, 32);
     let order = Traversal::ZOrder.order(&grid);
     let mut t = Table::new(
@@ -38,7 +42,7 @@ pub fn ablation(store: &ArtifactStore) -> Table {
         ],
     );
     for b in suite() {
-        let cal = calibrated_scene(store, &b, &grid);
+        let cal = calibrated_scene(store, &b, &grid)?;
         let scene = &cal.scene;
         let rp = b.raster_params();
 
@@ -85,7 +89,7 @@ pub fn ablation(store: &ArtifactStore) -> Table {
             f3(hw.stats().miss_ratio()),
         ]);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]

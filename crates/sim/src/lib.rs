@@ -36,7 +36,9 @@ pub mod tables;
 pub mod traversal_study;
 pub mod utilization;
 
-pub use orchestrate::{run_experiments, ExecMode};
+pub use orchestrate::{
+    run_experiments, run_experiments_strict, ExecMode, ExperimentOutcome, RunOptions, RunOutcome,
+};
 pub use output::Table;
 pub use suite::{run_suite, BenchmarkRun, SuiteRun};
 
@@ -75,43 +77,44 @@ pub const EXPERIMENTS: [&str; 25] = [
 ///
 /// # Errors
 ///
-/// Returns an error listing the valid ids on an unknown id.
+/// Returns a config error listing the valid ids on an unknown id, and
+/// propagates typed store errors from the shared-artifact lookups.
 pub fn try_run_experiment(
     store: &tcor_runner::ArtifactStore,
     id: &str,
-) -> Result<Vec<Table>, String> {
+) -> tcor_common::TcorResult<Vec<Table>> {
     let suite = || orchestrate::suite_from_store(store);
     Ok(match id {
         "table1" => vec![tables::table1()],
-        "table2" => vec![tables::table2(&suite())],
-        "fig1" => vec![misscurves::fig1(store)],
+        "table2" => vec![tables::table2(&*suite()?)],
+        "fig1" => vec![misscurves::fig1(store)?],
         "fig10" => vec![example::fig10()],
-        "fig11" => vec![misscurves::fig11(store)],
-        "fig12" => misscurves::fig12(store),
-        "fig13" => vec![misscurves::fig13(store)],
-        "fig13x" => vec![misscurves::fig13x(store)],
-        "fig14" => vec![figures::fig14_15(&suite(), false)],
-        "fig15" => vec![figures::fig14_15(&suite(), true)],
-        "fig16" => vec![figures::fig16_17(&suite(), false)],
-        "fig17" => vec![figures::fig16_17(&suite(), true)],
-        "fig18" => vec![figures::fig18_19(&suite(), false)],
-        "fig19" => vec![figures::fig18_19(&suite(), true)],
-        "fig20" => vec![figures::fig20_21(&suite(), false)],
-        "fig21" => vec![figures::fig20_21(&suite(), true)],
-        "fig22" => vec![figures::fig22(&suite())],
-        "fig23" => vec![figures::fig23_24(&suite(), false)],
-        "fig24" => vec![figures::fig23_24(&suite(), true)],
-        "headline" => vec![figures::headline(&suite())],
-        "ablation" => vec![ablation::ablation(store)],
-        "scaling" => vec![scaling::scaling(store)],
-        "sweep" => vec![sweep::sweep(store)],
-        "traversal" => vec![traversal_study::traversal_study(store)],
-        "utilization" => vec![utilization::utilization(&suite())],
+        "fig11" => vec![misscurves::fig11(store)?],
+        "fig12" => misscurves::fig12(store)?,
+        "fig13" => vec![misscurves::fig13(store)?],
+        "fig13x" => vec![misscurves::fig13x(store)?],
+        "fig14" => vec![figures::fig14_15(&*suite()?, false)],
+        "fig15" => vec![figures::fig14_15(&*suite()?, true)],
+        "fig16" => vec![figures::fig16_17(&*suite()?, false)],
+        "fig17" => vec![figures::fig16_17(&*suite()?, true)],
+        "fig18" => vec![figures::fig18_19(&*suite()?, false)],
+        "fig19" => vec![figures::fig18_19(&*suite()?, true)],
+        "fig20" => vec![figures::fig20_21(&*suite()?, false)],
+        "fig21" => vec![figures::fig20_21(&*suite()?, true)],
+        "fig22" => vec![figures::fig22(&*suite()?)],
+        "fig23" => vec![figures::fig23_24(&*suite()?, false)],
+        "fig24" => vec![figures::fig23_24(&*suite()?, true)],
+        "headline" => vec![figures::headline(&*suite()?)],
+        "ablation" => vec![ablation::ablation(store)?],
+        "scaling" => vec![scaling::scaling(store)?],
+        "sweep" => vec![sweep::sweep(store)?],
+        "traversal" => vec![traversal_study::traversal_study(store)?],
+        "utilization" => vec![utilization::utilization(&*suite()?)],
         other => {
-            return Err(format!(
+            return Err(tcor_common::TcorError::config(format!(
                 "unknown experiment `{other}`\nvalid experiments: {}",
                 EXPERIMENTS.join(", ")
-            ))
+            )))
         }
     })
 }

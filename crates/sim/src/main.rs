@@ -7,31 +7,58 @@
 //! tcor-sim all --csv DIR         also write one CSV per table into DIR
 //! tcor-sim all --jobs N          run on N worker threads (default: all cores)
 //! tcor-sim all --serial          reference single-thread path
-//! tcor-sim all --check           compare against results/golden, exit 1 on drift
+//! tcor-sim all --check           compare against results/golden, exit 4 on drift
 //! tcor-sim all --update-golden   (re)record the golden results
+//! tcor-sim all --job-timeout MS  flag jobs running longer than MS milliseconds
+//! tcor-sim all --inject-faults S deterministically inject faults from seed S
+//! tcor-sim all --resume          re-run only experiments the run manifest
+//!                                records as failed, skipped or unattempted
 //! tcor-sim trace <alias> FILE    export a benchmark's PB trace as CSV
 //! tcor-sim bench-runner          time serial vs parallel, write BENCH_runner.json
 //! ```
 //!
-//! Every run writes a JSON-lines telemetry log (per-job wall time,
-//! simulated counters) to `results/telemetry.jsonl` and prints a
-//! summary of the slowest jobs to stderr.
+//! Every run streams a JSON-lines telemetry log (per-job wall time,
+//! simulated counters, failures) to `results/telemetry.jsonl` — flushed
+//! per event, so a crashed run leaves a readable prefix — and records a
+//! run manifest (`results/run-manifest.txt`) that `--resume` consults.
+//!
+//! Exit codes: `0` success, `1` I/O error, `2` configuration error,
+//! `3` experiment/cell failure, `4` golden drift, `5` corruption
+//! (tampered golden or manifest).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tcor_runner::{default_workers, GoldenStatus, GoldenStore, Json, Telemetry};
+use std::time::Duration;
+use tcor_common::{fxhash64, hash_hex, TcorError};
+use tcor_runner::{
+    default_workers, FaultPlan, GoldenStatus, GoldenStore, Json, RunManifest, RunStatus, Telemetry,
+};
 use tcor_sim::orchestrate::ExecMode;
-use tcor_sim::{run_experiments, Table, EXPERIMENTS};
+use tcor_sim::{
+    run_experiments, run_experiments_strict, ExperimentOutcome, RunOptions, EXPERIMENTS,
+};
+
+/// Exit code for golden drift (`--check` found mismatching tables).
+const EXIT_DRIFT: u8 = 4;
+/// Exit code for corruption (tampered golden or malformed manifest).
+const EXIT_CORRUPTION: u8 = 5;
+/// Exit code for a failed or skipped experiment.
+const EXIT_CELL_FAILURE: u8 = 3;
 
 fn usage() {
     eprintln!(
         "usage: tcor-sim <experiment>... | all \
          [--csv DIR] [--jobs N] [--serial] [--check] [--update-golden] [--golden DIR] \
-         [--telemetry FILE] [--list]"
+         [--telemetry FILE] [--job-timeout MS] [--inject-faults SEED] [--resume] \
+         [--manifest FILE] [--list]"
     );
     eprintln!("       tcor-sim trace <alias> <file>   export a PB trace as CSV");
     eprintln!("       tcor-sim bench-runner [FILE]    serial-vs-parallel timing -> FILE");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+}
+
+fn exit_for(e: &TcorError) -> ExitCode {
+    ExitCode::from(e.kind().exit_code())
 }
 
 /// `tcor-sim trace <alias> <file>`: export the primitive-granularity
@@ -43,7 +70,7 @@ fn export_trace(alias: &str, path: &str) -> ExitCode {
         .find(|b| b.alias == alias)
     else {
         eprintln!("unknown benchmark `{alias}`");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let grid = TileGrid::new(1960, 768, 32);
     let order = Traversal::ZOrder.order(&grid);
@@ -65,13 +92,16 @@ fn export_trace(alias: &str, path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Rendered output, per-experiment wall times, total wall time.
+type TimedRun = (String, Vec<(String, f64)>, f64);
+
 /// Runs the whole experiment set once and returns the rendered output
 /// plus per-experiment wall times, for [`bench_runner`].
-fn timed_full_run(mode: ExecMode) -> (String, Vec<(String, f64)>, f64) {
+fn timed_full_run(mode: ExecMode) -> tcor_common::TcorResult<TimedRun> {
     let ids: Vec<String> = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     let store = tcor_runner::ArtifactStore::new();
     let telemetry = Telemetry::new();
-    let results = run_experiments(&ids, mode, &store, &telemetry).expect("all ids are valid");
+    let results = run_experiments_strict(&ids, mode, &store, &telemetry)?;
     let wall_ms = telemetry.elapsed_ms();
     let mut rendered = String::new();
     for (_, tables) in &results {
@@ -85,7 +115,7 @@ fn timed_full_run(mode: ExecMode) -> (String, Vec<(String, f64)>, f64) {
         .filter(|r| r.label.starts_with("exp:"))
         .map(|r| (r.label["exp:".len()..].to_string(), r.wall_ms))
         .collect();
-    (rendered, per_exp, wall_ms)
+    Ok((rendered, per_exp, wall_ms))
 }
 
 /// `tcor-sim bench-runner [FILE]`: run the full experiment set serially
@@ -94,9 +124,22 @@ fn timed_full_run(mode: ExecMode) -> (String, Vec<(String, f64)>, f64) {
 fn bench_runner(path: &str) -> ExitCode {
     let cores = default_workers();
     eprintln!("bench-runner: serial pass...");
-    let (serial_out, serial_exps, serial_ms) = timed_full_run(ExecMode::Serial);
+    let (serial_out, serial_exps, serial_ms) = match timed_full_run(ExecMode::Serial) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-runner: serial pass failed: {e}");
+            return exit_for(&e);
+        }
+    };
     eprintln!("bench-runner: parallel pass ({cores} workers)...");
-    let (parallel_out, parallel_exps, parallel_ms) = timed_full_run(ExecMode::Parallel(cores));
+    let (parallel_out, parallel_exps, parallel_ms) = match timed_full_run(ExecMode::Parallel(cores))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-runner: parallel pass failed: {e}");
+            return exit_for(&e);
+        }
+    };
     if serial_out != parallel_out {
         eprintln!("bench-runner: FATAL: parallel output differs from serial output");
         return ExitCode::FAILURE;
@@ -138,7 +181,7 @@ fn main() -> ExitCode {
             (Some(alias), Some(path)) => export_trace(alias, path),
             _ => {
                 usage();
-                ExitCode::FAILURE
+                ExitCode::from(2)
             }
         };
     }
@@ -150,9 +193,13 @@ fn main() -> ExitCode {
     let mut csv_dir: Option<PathBuf> = None;
     let mut golden_dir = PathBuf::from("results/golden");
     let mut telemetry_path = PathBuf::from("results/telemetry.jsonl");
+    let mut manifest_path = PathBuf::from("results/run-manifest.txt");
     let mut mode = ExecMode::Parallel(default_workers());
     let mut check = false;
     let mut update_golden = false;
+    let mut resume = false;
+    let mut job_timeout: Option<Duration> = None;
+    let mut fault_plan: Option<FaultPlan> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -165,22 +212,39 @@ fn main() -> ExitCode {
             "--serial" => mode = ExecMode::Serial,
             "--check" => check = true,
             "--update-golden" => update_golden = true,
-            flag @ ("--csv" | "--jobs" | "--golden" | "--telemetry") => {
+            "--resume" => resume = true,
+            flag @ ("--csv" | "--jobs" | "--golden" | "--telemetry" | "--manifest"
+            | "--job-timeout" | "--inject-faults") => {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("{flag} needs a value");
                     usage();
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(2);
                 };
                 match flag {
                     "--csv" => csv_dir = Some(PathBuf::from(value)),
                     "--golden" => golden_dir = PathBuf::from(value),
                     "--telemetry" => telemetry_path = PathBuf::from(value),
+                    "--manifest" => manifest_path = PathBuf::from(value),
+                    "--job-timeout" => match value.parse::<u64>() {
+                        Ok(ms) if ms >= 1 => job_timeout = Some(Duration::from_millis(ms)),
+                        _ => {
+                            eprintln!("--job-timeout needs milliseconds >= 1, got `{value}`");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--inject-faults" => match value.parse::<u64>() {
+                        Ok(seed) => fault_plan = Some(FaultPlan::seeded(seed)),
+                        _ => {
+                            eprintln!("--inject-faults needs an integer seed, got `{value}`");
+                            return ExitCode::from(2);
+                        }
+                    },
                     _ => match value.parse::<usize>() {
                         Ok(n) if n >= 1 => mode = ExecMode::Parallel(n),
                         _ => {
                             eprintln!("--jobs needs a positive integer, got `{value}`");
-                            return ExitCode::FAILURE;
+                            return ExitCode::from(2);
                         }
                     },
                 }
@@ -192,90 +256,204 @@ fn main() -> ExitCode {
     }
     if ids.is_empty() {
         usage();
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
+    }
+
+    // The run manifest: resumed runs keep the previous record and only
+    // re-execute what it marks failed/skipped/unattempted; fresh runs
+    // start a new record.
+    let mut manifest = if resume {
+        match RunManifest::load(&manifest_path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot resume: {e}");
+                return exit_for(&e);
+            }
+        }
+    } else {
+        RunManifest::new(&manifest_path)
+    };
+    let (run_ids, reuse_ids): (Vec<String>, Vec<String>) = ids
+        .iter()
+        .cloned()
+        .partition(|id| !resume || manifest.needs_rerun(id) || !EXPERIMENTS.contains(&id.as_str()));
+    if resume && !reuse_ids.is_empty() {
+        eprintln!(
+            "resume: {} experiment(s) recorded ok in {}, re-running {}",
+            reuse_ids.len(),
+            manifest_path.display(),
+            run_ids.len()
+        );
     }
 
     let store = tcor_runner::ArtifactStore::new();
     let telemetry = Telemetry::new();
-    let results = match run_experiments(&ids, mode, &store, &telemetry) {
-        Ok(r) => r,
+    // Stream telemetry from the start: every event is flushed as it is
+    // recorded, so even a hard crash leaves a readable log.
+    if let Err(e) = telemetry.stream_to(&telemetry_path) {
+        eprintln!("telemetry streaming disabled: {e}");
+    }
+
+    let opts = RunOptions {
+        mode,
+        job_timeout,
+        fault_plan: fault_plan.clone(),
+    };
+    let outcome = match run_experiments(&run_ids, &opts, &store, &telemetry) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return exit_for(&e);
         }
     };
 
-    let tables: Vec<&Table> = results.iter().flat_map(|(_, ts)| ts).collect();
-    let golden = GoldenStore::new(&golden_dir);
+    let mut golden = GoldenStore::new(&golden_dir);
+    if let Some(plan) = &fault_plan {
+        golden = golden.with_fault_plan(plan.clone());
+    }
     let mut drifted = 0usize;
-    for table in &tables {
-        println!("{}", table.render());
-        if let Some(dir) = &csv_dir {
-            if let Err(e) = table.write_csv(dir) {
-                eprintln!("failed to write {}/{}.csv: {e}", dir.display(), table.id);
-                return ExitCode::FAILURE;
+    let mut corrupt = 0usize;
+    let mut golden_count = 0usize;
+    for (id, exp) in &outcome.experiments {
+        let tables = match exp {
+            ExperimentOutcome::Tables(tables) => {
+                manifest.record_ok(
+                    id,
+                    tables
+                        .iter()
+                        .map(|t| (t.id.clone(), hash_hex(fxhash64(t.to_csv().as_bytes()))))
+                        .collect(),
+                );
+                tables
             }
-        }
-        if update_golden {
-            if let Err(e) = golden.update(&table.id, &table.to_csv()) {
-                eprintln!("failed to record golden {}: {e}", table.id);
-                return ExitCode::FAILURE;
+            ExperimentOutcome::Failed { .. } => {
+                manifest.record_status(id, RunStatus::Failed);
+                continue;
             }
-        } else if check {
-            match golden.check(&table.id, &table.to_csv()) {
-                GoldenStatus::Match => eprintln!("golden {}: ok", table.id),
-                GoldenStatus::Missing => {
-                    drifted += 1;
-                    eprintln!(
-                        "golden {}: MISSING (run with --update-golden to record)",
-                        table.id
-                    );
+            ExperimentOutcome::Skipped { .. } => {
+                manifest.record_status(id, RunStatus::Skipped);
+                continue;
+            }
+        };
+        for table in tables {
+            println!("{}", table.render());
+            if let Some(dir) = &csv_dir {
+                if let Err(e) = table.write_csv(dir) {
+                    eprintln!("failed to write {}/{}.csv: {e}", dir.display(), table.id);
+                    return exit_for(&e);
                 }
-                GoldenStatus::Corrupt => {
-                    drifted += 1;
-                    eprintln!(
-                        "golden {}: CORRUPT ({}/{}.csv does not match MANIFEST.txt)",
-                        table.id,
-                        golden_dir.display(),
-                        table.id
-                    );
+            }
+            if update_golden {
+                if let Err(e) = golden.update(&table.id, &table.to_csv()) {
+                    eprintln!("failed to record golden {}: {e}", table.id);
+                    return exit_for(&e);
                 }
-                GoldenStatus::Mismatch {
-                    line,
-                    expected,
-                    actual,
-                } => {
-                    drifted += 1;
-                    eprintln!("golden {}: MISMATCH at line {line}", table.id);
-                    eprintln!("  golden:  {expected}");
-                    eprintln!("  current: {actual}");
+                golden_count += 1;
+            } else if check {
+                match golden.check(&table.id, &table.to_csv()) {
+                    GoldenStatus::Match => eprintln!("golden {}: ok", table.id),
+                    GoldenStatus::Missing => {
+                        drifted += 1;
+                        eprintln!(
+                            "golden {}: MISSING (run with --update-golden to record)",
+                            table.id
+                        );
+                    }
+                    GoldenStatus::Corrupt => {
+                        corrupt += 1;
+                        eprintln!(
+                            "golden {}: CORRUPT ({}/{}.csv does not match MANIFEST.txt)",
+                            table.id,
+                            golden_dir.display(),
+                            table.id
+                        );
+                    }
+                    GoldenStatus::Mismatch { diffs, total } => {
+                        drifted += 1;
+                        eprintln!("golden {}: MISMATCH on {total} line(s)", table.id);
+                        for d in diffs.iter().take(5) {
+                            eprintln!("  line {}:", d.line);
+                            eprintln!("    golden:  {}", d.expected);
+                            eprintln!("    current: {}", d.actual);
+                        }
+                        if total > 5 {
+                            eprintln!("  ... and {} more differing line(s)", total - 5);
+                        }
+                    }
                 }
             }
         }
     }
+
+    // Experiments the manifest already records as ok (resume path):
+    // their tables were not recomputed, but their recorded content
+    // hashes can still be validated against the golden manifest.
+    for id in &reuse_ids {
+        if !check {
+            eprintln!("resume: `{id}` previously completed, skipped");
+            continue;
+        }
+        for (table_id, hash) in manifest.table_hashes(id) {
+            match golden.recorded_hash(table_id) {
+                Some(recorded) if recorded == *hash => {
+                    eprintln!("golden {table_id}: ok (from run manifest)");
+                }
+                Some(_) => {
+                    drifted += 1;
+                    eprintln!("golden {table_id}: MISMATCH (run-manifest hash differs)");
+                }
+                None => {
+                    drifted += 1;
+                    eprintln!("golden {table_id}: MISSING from the golden manifest");
+                }
+            }
+        }
+    }
+
     if update_golden {
         eprintln!(
-            "recorded {} goldens under {}",
-            tables.len(),
+            "recorded {golden_count} goldens under {}",
             golden_dir.display()
         );
     }
-
-    if let Err(e) = telemetry.save_jsonl(&telemetry_path) {
-        eprintln!("failed to write {}: {e}", telemetry_path.display());
-    } else {
-        eprintln!("telemetry: {}", telemetry_path.display());
+    if let Err(e) = manifest.save() {
+        eprintln!("failed to write {}: {e}", manifest_path.display());
     }
+
+    eprintln!("telemetry: {}", telemetry_path.display());
     eprint!("{}", telemetry.summary(5));
     eprintln!(
         "artifact store: {} computed, {} shared",
         store.computes(),
         store.hits()
     );
+    if !outcome.timed_out.is_empty() {
+        eprintln!(
+            "watchdog: {} job(s) exceeded the {}ms budget: {}",
+            outcome.timed_out.len(),
+            job_timeout.map_or(0, |d| d.as_millis() as u64),
+            outcome.timed_out.join(", ")
+        );
+    }
 
+    if !outcome.all_ok() {
+        eprintln!(
+            "run FAILED: {} experiment(s) did not complete",
+            outcome.failed_ids().len()
+        );
+        if let Some(summary) = &outcome.failure_summary {
+            eprint!("{summary}");
+        }
+        eprintln!("(re-run with --resume to re-execute only the failed experiments)");
+        return ExitCode::from(EXIT_CELL_FAILURE);
+    }
+    if corrupt > 0 {
+        eprintln!("--check: {corrupt} golden table(s) are corrupt (tampered or damaged)");
+        return ExitCode::from(EXIT_CORRUPTION);
+    }
     if check && drifted > 0 {
         eprintln!("--check: {drifted} table(s) drifted from the goldens");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_DRIFT);
     }
     ExitCode::SUCCESS
 }

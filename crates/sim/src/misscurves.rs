@@ -11,7 +11,7 @@ use std::sync::Arc;
 use tcor_cache::policy::{by_name, Opt};
 use tcor_cache::profile::{opt_misses, simulate_policy, LruStackProfiler};
 use tcor_cache::{Indexing, Trace};
-use tcor_common::CacheParams;
+use tcor_common::{CacheParams, TcorResult};
 use tcor_gpu::bin_scene;
 use tcor_runner::ArtifactStore;
 use tcor_workloads::{primitive_trace, prims_capacity, suite};
@@ -28,23 +28,30 @@ pub struct BenchTrace {
 
 /// Builds the suite's traces (deterministic), memoized in `store` and
 /// sharing each benchmark's calibrated scene with the full-system cells.
-pub fn suite_traces(store: &ArtifactStore) -> Arc<Vec<BenchTrace>> {
-    store.get_or_compute(artifact_key(TRACES_DESC), || {
-        let grid = paper_grid();
-        let order = tcor_common::Traversal::ZOrder.order(&grid);
-        suite()
-            .iter()
-            .map(|b| {
-                let cal = calibrated_scene(store, b, &grid);
-                let frame = bin_scene(&cal.scene, &grid, &order);
-                BenchTrace {
-                    alias: b.alias,
-                    total_prims: frame.binned.num_primitives(),
-                    trace: primitive_trace(&frame.binned, &order),
-                }
-            })
-            .collect()
-    })
+///
+/// # Errors
+///
+/// Propagates store corruption from the scene lookups.
+pub fn suite_traces(store: &ArtifactStore) -> TcorResult<Arc<Vec<BenchTrace>>> {
+    let key = artifact_key(TRACES_DESC);
+    if let Some(traces) = store.get::<Vec<BenchTrace>>(key)? {
+        return Ok(traces);
+    }
+    // Build fallibly outside the memoizing closure so scene-lookup
+    // errors propagate as typed results instead of panics.
+    let grid = paper_grid();
+    let order = tcor_common::Traversal::ZOrder.order(&grid);
+    let mut built = Vec::new();
+    for b in &suite() {
+        let cal = calibrated_scene(store, b, &grid)?;
+        let frame = bin_scene(&cal.scene, &grid, &order);
+        built.push(BenchTrace {
+            alias: b.alias,
+            total_prims: frame.binned.num_primitives(),
+            trace: primitive_trace(&frame.binned, &order),
+        });
+    }
+    store.get_or_compute(key, move || built)
 }
 
 /// Aggregate LRU miss ratio at each capacity: one Mattson pass per
@@ -133,8 +140,12 @@ fn kb_sizes(from_kb: usize, to_kb: usize, step_kb: usize) -> Vec<usize> {
 }
 
 /// Figure 1: LRU vs OPT, fully associative, 8–152 KB.
-pub fn fig1(store: &ArtifactStore) -> Table {
-    let traces = suite_traces(store);
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn fig1(store: &ArtifactStore) -> TcorResult<Table> {
+    let traces = suite_traces(store)?;
     let sizes = kb_sizes(8, 152, 8);
     let caps: Vec<usize> = sizes
         .iter()
@@ -150,12 +161,16 @@ pub fn fig1(store: &ArtifactStore) -> Table {
     for ((kb, l), o) in sizes.iter().zip(&lru).zip(&opt) {
         t.push_row(vec![kb.to_string(), format!("{l:.4}"), format!("{o:.4}")]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 11: adds the lower bound and extends to 456 KB.
-pub fn fig11(store: &ArtifactStore) -> Table {
-    let traces = suite_traces(store);
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn fig11(store: &ArtifactStore) -> TcorResult<Table> {
+    let traces = suite_traces(store)?;
     let sizes = kb_sizes(8, 456, 16);
     let caps: Vec<usize> = sizes
         .iter()
@@ -177,12 +192,16 @@ pub fn fig11(store: &ArtifactStore) -> Table {
             format!("{o:.4}"),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 12: LRU and OPT across associativities (two tables).
-pub fn fig12(store: &ArtifactStore) -> Vec<Table> {
-    let traces = suite_traces(store);
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn fig12(store: &ArtifactStore) -> TcorResult<Vec<Table>> {
+    let traces = suite_traces(store)?;
     let sizes = kb_sizes(8, 152, 16);
     let caps: Vec<usize> = sizes
         .iter()
@@ -217,13 +236,17 @@ pub fn fig12(store: &ArtifactStore) -> Vec<Table> {
         }
         out.push(t);
     }
-    out
+    Ok(out)
 }
 
 /// Figure 13: LRU, MRU, DRRIP and OPT in a 4-way cache, plus the lower
 /// bound.
-pub fn fig13(store: &ArtifactStore) -> Table {
-    let traces = suite_traces(store);
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn fig13(store: &ArtifactStore) -> TcorResult<Table> {
+    let traces = suite_traces(store)?;
     let sizes = kb_sizes(40, 160, 8);
     let caps: Vec<usize> = sizes
         .iter()
@@ -245,14 +268,18 @@ pub fn fig13(store: &ArtifactStore) -> Table {
         row.extend(curves.iter().map(|c| format!("{:.4}", c[i])));
         t.push_row(row);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 13 extended: every policy in the toolbox (including the
 /// LIP/BIP/DIP insertion family and the PC-less Hawkeye) against OPT and
 /// the lower bound, 4-way.
-pub fn fig13x(store: &ArtifactStore) -> Table {
-    let traces = suite_traces(store);
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn fig13x(store: &ArtifactStore) -> TcorResult<Table> {
+    let traces = suite_traces(store)?;
     let sizes = kb_sizes(48, 144, 32);
     let caps: Vec<usize> = sizes
         .iter()
@@ -300,7 +327,7 @@ pub fn fig13x(store: &ArtifactStore) -> Table {
         row.push(format!("{:.4}", opt[i]));
         t.push_row(row);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]

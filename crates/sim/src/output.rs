@@ -1,8 +1,8 @@
 //! Pretty-printed and CSV table output.
 
 use std::fmt::Write as _;
-use std::io;
 use std::path::Path;
+use tcor_common::{write_atomic, TcorError, TcorResult};
 
 /// A result table: a title, column headers and string rows.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,14 +97,19 @@ impl Table {
         out
     }
 
-    /// Writes `<dir>/<id>.csv`.
+    /// Writes `<dir>/<id>.csv` atomically (stage + rename), so a crash
+    /// mid-write never leaves a truncated result file.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    pub fn write_csv(&self, dir: &Path) -> TcorResult<()> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| TcorError::io(format!("creating {}", dir.display()), e))?;
+        write_atomic(
+            &dir.join(format!("{}.csv", self.id)),
+            self.to_csv().as_bytes(),
+        )
     }
 }
 

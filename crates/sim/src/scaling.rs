@@ -11,20 +11,24 @@
 use crate::orchestrate::calibrated_scene;
 use crate::output::Table;
 use tcor::{BaselineSystem, SystemConfig, TcorSystem};
-use tcor_common::TileGrid;
+use tcor_common::{TcorResult, TileGrid};
 use tcor_energy::EnergyModel;
 use tcor_runner::ArtifactStore;
 use tcor_workloads::suite;
 
 /// FPS of baseline and TCOR as fragment-shading throughput scales
 /// (1×..8× the Table I configuration), on a raster-heavy benchmark.
-pub fn scaling(store: &ArtifactStore) -> Table {
+///
+/// # Errors
+///
+/// Propagates store corruption from the scene lookup.
+pub fn scaling(store: &ArtifactStore) -> TcorResult<Table> {
     let grid = TileGrid::new(1960, 768, 32);
     let profile = suite()
         .into_iter()
         .find(|b| b.alias == "Snp")
         .expect("Snp in suite");
-    let cal = calibrated_scene(store, &profile, &grid);
+    let cal = calibrated_scene(store, &profile, &grid)?;
     let scene = &cal.scene;
     let rp = profile.raster_params();
     let model = EnergyModel::default();
@@ -63,7 +67,7 @@ pub fn scaling(store: &ArtifactStore) -> Table {
             format!("{fetch_bound:.2}"),
         ]);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -72,7 +76,7 @@ mod tests {
 
     #[test]
     fn tcor_fps_advantage_grows_with_raster_throughput() {
-        let t = scaling(&ArtifactStore::new());
+        let t = scaling(&ArtifactStore::new()).unwrap();
         assert_eq!(t.rows.len(), 4);
         let gain =
             |row: &Vec<String>| -> f64 { row[3].trim_end_matches('%').parse::<f64>().unwrap() };

@@ -10,7 +10,7 @@
 use crate::orchestrate::calibrated_scene;
 use crate::output::Table;
 use tcor::{BaselineSystem, SystemConfig, TcorSystem};
-use tcor_common::{CacheParams, GpuConfig, TileCacheOrg, TileGrid, LINE_SIZE};
+use tcor_common::{CacheParams, GpuConfig, TcorResult, TileCacheOrg, TileGrid, LINE_SIZE};
 use tcor_mem::L2Mode;
 use tcor_runner::ArtifactStore;
 use tcor_workloads::suite;
@@ -45,7 +45,11 @@ fn tcor_cfg(total_kib: u64) -> SystemConfig {
 
 /// PB L2 accesses across Tile Cache budgets, for a small-PB and a
 /// large-PB benchmark.
-pub fn sweep(store: &ArtifactStore) -> Table {
+///
+/// # Errors
+///
+/// Propagates store corruption from the scene lookups.
+pub fn sweep(store: &ArtifactStore) -> TcorResult<Table> {
     let grid = TileGrid::new(1960, 768, 32);
     let all = suite();
     let picks: Vec<_> = ["CCS", "DDS"]
@@ -66,7 +70,7 @@ pub fn sweep(store: &ArtifactStore) -> Table {
     let scenes: Vec<_> = picks
         .iter()
         .map(|b| calibrated_scene(store, b, &grid))
-        .collect();
+        .collect::<TcorResult<_>>()?;
     for kib in [32u64, 48, 64, 96, 128, 192, 256] {
         let mut row = vec![kib.to_string()];
         for (b, cal) in picks.iter().zip(&scenes) {
@@ -79,7 +83,7 @@ pub fn sweep(store: &ArtifactStore) -> Table {
         }
         t.push_row(row);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]

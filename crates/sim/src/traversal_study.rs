@@ -13,12 +13,16 @@
 
 use crate::output::{f3, Table};
 use tcor::{SystemConfig, TcorSystem};
-use tcor_common::Traversal;
+use tcor_common::{TcorResult, Traversal};
 use tcor_runner::ArtifactStore;
 use tcor_workloads::suite;
 
 /// PB L2 accesses and primitives/cycle per traversal order.
-pub fn traversal_study(store: &ArtifactStore) -> Table {
+///
+/// # Errors
+///
+/// Propagates store corruption from the scene lookups.
+pub fn traversal_study(store: &ArtifactStore) -> TcorResult<Table> {
     let grid = tcor_common::TileGrid::new(1960, 768, 32);
     let all = suite();
     let picks: Vec<_> = ["CCS", "TRu"]
@@ -31,7 +35,7 @@ pub fn traversal_study(store: &ArtifactStore) -> Table {
         &["bench", "order", "pb_l2", "ppc"],
     );
     for b in picks {
-        let cal = crate::orchestrate::calibrated_scene(store, b, &grid);
+        let cal = crate::orchestrate::calibrated_scene(store, b, &grid)?;
         let scene = &cal.scene;
         for (order, name) in [
             (Traversal::Scanline, "scanline"),
@@ -50,7 +54,7 @@ pub fn traversal_study(store: &ArtifactStore) -> Table {
             ]);
         }
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -59,7 +63,7 @@ mod tests {
 
     #[test]
     fn every_traversal_runs_and_zorder_is_listed() {
-        let t = traversal_study(&ArtifactStore::new());
+        let t = traversal_study(&ArtifactStore::new()).unwrap();
         assert_eq!(t.rows.len(), 8);
         assert!(t.rows.iter().any(|r| r[1] == "z-order"));
         // All traversals produce valid throughput.

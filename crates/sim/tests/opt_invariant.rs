@@ -13,7 +13,7 @@ use tcor_workloads::prims_capacity;
 #[test]
 fn opt_never_misses_more_than_lru_on_any_benchmark() {
     let store = ArtifactStore::new();
-    let traces = suite_traces(&store);
+    let traces = suite_traces(&store).expect("trace construction is infallible on a fresh store");
     assert_eq!(traces.len(), 10, "Table II has ten benchmarks");
     let cap = prims_capacity(64 << 10);
     // Fully associative (the paper's Fig. 1/11 setting) and the 4-way

@@ -3,7 +3,7 @@
 
 use tcor_runner::{ArtifactStore, Telemetry};
 use tcor_sim::orchestrate::ExecMode;
-use tcor_sim::run_experiments;
+use tcor_sim::run_experiments_strict;
 
 /// Renders a reduced experiment set (every graph tier: pure tables,
 /// calibrated scenes, dependent experiments) to one string.
@@ -14,7 +14,7 @@ fn rendered(mode: ExecMode) -> String {
         .collect();
     let store = ArtifactStore::new();
     let telemetry = Telemetry::new();
-    let results = run_experiments(&ids, mode, &store, &telemetry).expect("valid ids");
+    let results = run_experiments_strict(&ids, mode, &store, &telemetry).expect("valid ids");
     // Experiments come back in input order regardless of completion
     // order.
     assert_eq!(

@@ -7,7 +7,7 @@
 
 use tcor_runner::{ArtifactStore, GoldenStatus, GoldenStore, Telemetry};
 use tcor_sim::orchestrate::ExecMode;
-use tcor_sim::run_experiments;
+use tcor_sim::run_experiments_strict;
 
 #[test]
 fn headline_matches_committed_golden() {
@@ -16,8 +16,8 @@ fn headline_matches_committed_golden() {
     let telemetry = Telemetry::new();
     let ids = vec!["headline".to_string()];
     let workers = tcor_runner::default_workers();
-    let results = run_experiments(&ids, ExecMode::Parallel(workers), &store, &telemetry)
-        .expect("headline is a valid id");
+    let results = run_experiments_strict(&ids, ExecMode::Parallel(workers), &store, &telemetry)
+        .expect("headline is a valid id and must complete");
     let table = &results[0].1[0];
     match golden.check("headline", &table.to_csv()) {
         GoldenStatus::Match => {}
@@ -25,14 +25,17 @@ fn headline_matches_committed_golden() {
             "no golden recorded; run `cargo run --release -p tcor-sim -- all --update-golden`"
         ),
         GoldenStatus::Corrupt => {
-            panic!("results/golden/headline.csv does not match MANIFEST.txt — golden edited by hand?")
+            panic!(
+                "results/golden/headline.csv does not match MANIFEST.txt — golden edited by hand?"
+            )
         }
-        GoldenStatus::Mismatch {
-            line,
-            expected,
-            actual,
-        } => panic!(
-            "headline drifted from the golden at line {line}:\n  golden:  {expected}\n  current: {actual}"
-        ),
+        GoldenStatus::Mismatch { diffs, total } => {
+            let first = &diffs[0];
+            panic!(
+                "headline drifted from the golden on {total} line(s); first at line {}:\n  \
+                 golden:  {}\n  current: {}",
+                first.line, first.expected, first.actual
+            )
+        }
     }
 }
