@@ -26,6 +26,23 @@ cargo test --workspace -q
 echo "== golden check (headline)"
 cargo run --release -q -p tcor-sim -- headline --check --telemetry /tmp/tcor-ci-telemetry.jsonl >/dev/null
 
+echo "== metric-conservation audit (clean, then injected counter fault)"
+# The audit re-derives every headline counter from two independent
+# counting sites over all 60 suite cells (see crates/obs). A clean tree
+# must balance exactly; a deliberately tampered counter copy must be
+# caught and mapped to the corruption exit code (5).
+cargo run --release -q -p tcor-sim -- headline --audit \
+  --telemetry /tmp/tcor-ci-telemetry.jsonl >/dev/null
+set +e
+cargo run --release -q -p tcor-sim -- --audit --inject-audit-fault \
+  >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 5 ]; then
+  echo "ci: FAIL: injected audit fault exited $code, expected 5 (corruption)" >&2
+  exit 1
+fi
+
 echo "== fault-injection smoke (inject, then resume + golden check)"
 # Seed 42 deterministically panics one scene job: the run must contain
 # the failure (exit 3, the cell-failure code) while independent

@@ -132,6 +132,10 @@ impl<P: ReplacementPolicy> Cache<P> {
     /// victim; the displaced line is returned in the outcome so the caller
     /// can model the write-back (or drop it as dead).
     pub fn access(&mut self, addr: BlockAddr, kind: AccessKind, meta: AccessMeta) -> AccessOutcome {
+        // Entry-site probe count, deliberately separate from the hit/miss
+        // classification below: the audit layer cross-checks
+        // probes == hits + misses.
+        self.stats.probes += 1;
         let set = self.set_of(addr);
         if let Some(way) = self.find(set, addr) {
             match kind {
@@ -140,8 +144,9 @@ impl<P: ReplacementPolicy> Cache<P> {
             }
             let line = &mut self.lines[set * self.ways + way];
             line.dirty |= kind.is_write();
-            line.meta = meta;
-            self.policy.on_hit(set, way, &meta);
+            line.meta.merge(meta);
+            let merged = line.meta;
+            self.policy.on_hit(set, way, &merged);
             return AccessOutcome::hit();
         }
 
@@ -195,12 +200,14 @@ impl<P: ReplacementPolicy> Cache<P> {
     /// Installs `addr` as a clean line without touching the statistics —
     /// warm-start support (e.g. pre-loading the L2 with the previous
     /// frame's Parameter Buffer). A full set silently drops the policy's
-    /// victim; a resident line just has its metadata replaced.
+    /// victim; a resident line just has its metadata merged in.
     pub fn fill_clean(&mut self, addr: BlockAddr, meta: AccessMeta) {
         let set = self.set_of(addr);
         if let Some(way) = self.find(set, addr) {
-            self.lines[set * self.ways + way].meta = meta;
-            self.policy.on_hit(set, way, &meta);
+            let line = &mut self.lines[set * self.ways + way];
+            line.meta.merge(meta);
+            let merged = line.meta;
+            self.policy.on_hit(set, way, &merged);
             return;
         }
         let way = match self.lines[self.set_range(set)]
@@ -324,6 +331,57 @@ mod tests {
         );
         assert_eq!(c.stats().read_hits, 1);
         assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn none_meta_hit_preserves_stored_user_word() {
+        // Regression: a hit carrying AccessMeta::NONE used to overwrite the
+        // resident line's meta wholesale, erasing its PB tag (user word) and
+        // misclassifying live PB lines. The user word must survive; the
+        // future-use priority must still refresh.
+        let mut c = small();
+        c.access(
+            BlockAddr(0),
+            AccessKind::Write,
+            AccessMeta::with_user(7, 0xABC),
+        );
+        assert!(
+            c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE)
+                .hit
+        );
+        let m = c.peek_meta(BlockAddr(0)).unwrap();
+        assert_eq!(m.user, 0xABC, "NONE-meta hit must not erase the PB tag");
+        assert_eq!(m.next_use, u64::MAX, "priority refreshes from the request");
+        // A request that does carry a tag replaces the stored one.
+        c.access(
+            BlockAddr(0),
+            AccessKind::Read,
+            AccessMeta::with_user(3, 0xDEF),
+        );
+        assert_eq!(c.peek_meta(BlockAddr(0)).unwrap().user, 0xDEF);
+    }
+
+    #[test]
+    fn fill_clean_on_resident_line_preserves_user_word() {
+        let mut c = small();
+        c.access(
+            BlockAddr(0),
+            AccessKind::Read,
+            AccessMeta::with_user(7, 0xABC),
+        );
+        c.fill_clean(BlockAddr(0), AccessMeta::NONE);
+        assert_eq!(c.peek_meta(BlockAddr(0)).unwrap().user, 0xABC);
+    }
+
+    #[test]
+    fn probes_match_hits_plus_misses() {
+        let mut c = small();
+        c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE);
+        c.access(BlockAddr(0), AccessKind::Read, AccessMeta::NONE);
+        c.access(BlockAddr(2), AccessKind::Write, AccessMeta::NONE);
+        let s = c.stats();
+        assert_eq!(s.probes, 3);
+        assert_eq!(s.probes, s.hits() + s.misses());
     }
 
     #[test]

@@ -50,6 +50,22 @@ impl AccessMeta {
     pub fn with_user(next_use: u64, user: u64) -> Self {
         AccessMeta { next_use, user }
     }
+
+    /// Folds an incoming request's metadata into this stored line's.
+    ///
+    /// The future-use priority always refreshes — OPT replacement needs
+    /// the *current* request's next use, and `u64::MAX` is a legitimate
+    /// "never again". The user word only refreshes when the request
+    /// actually carries one: `0` is the "no information" encoding (what
+    /// [`AccessMeta::NONE`] and a `PbTag::NONE` both encode to), and a
+    /// requester without PB knowledge must not erase the tag a resident
+    /// line already carries.
+    pub fn merge(&mut self, incoming: AccessMeta) {
+        self.next_use = incoming.next_use;
+        if incoming.user != 0 {
+            self.user = incoming.user;
+        }
+    }
 }
 
 /// Result of one [`crate::Cache::access`] call.
@@ -92,5 +108,15 @@ mod tests {
         assert_eq!(AccessMeta::next_use(7).next_use, 7);
         let m = AccessMeta::with_user(7, 9);
         assert_eq!((m.next_use, m.user), (7, 9));
+    }
+
+    #[test]
+    fn merge_refreshes_priority_and_keeps_user_when_absent() {
+        let mut m = AccessMeta::with_user(5, 42);
+        m.merge(AccessMeta::NONE);
+        assert_eq!(m.user, 42, "zero user word must not erase the stored one");
+        assert_eq!(m.next_use, u64::MAX, "priority always follows the request");
+        m.merge(AccessMeta::with_user(9, 77));
+        assert_eq!((m.next_use, m.user), (9, 77));
     }
 }

@@ -132,6 +132,43 @@ mod tests {
         assert_eq!(out.evicted.unwrap().addr, BlockAddr(1));
     }
 
+    /// Tie-break property: when several lines share the greatest next-use,
+    /// the victim is always the **lowest way** holding it — deterministic
+    /// selection is what makes replacement auditable. Swept over several
+    /// fully-associative geometries, tie values, and positions of the
+    /// tying group.
+    #[test]
+    fn equal_next_use_ties_break_to_lowest_way() {
+        for ways in [2usize, 4, 8] {
+            for tie in [100u64, 4096, u64::MAX] {
+                for first_tying_way in 0..ways {
+                    let mut cache = Cache::new(
+                        CacheParams::new(ways as u64 * 64, 64, 0, 1),
+                        Indexing::Modulo,
+                        Opt::new(),
+                    );
+                    // Ways below `first_tying_way` get strictly nearer next
+                    // uses (w < ways <= 8 < tie); the rest all tie at `tie`.
+                    for w in 0..ways {
+                        let nu = if w < first_tying_way { w as u64 } else { tie };
+                        cache.access(
+                            BlockAddr(w as u64),
+                            AccessKind::Read,
+                            AccessMeta::next_use(nu),
+                        );
+                    }
+                    let out =
+                        cache.access(BlockAddr(999), AccessKind::Read, AccessMeta::next_use(0));
+                    assert_eq!(
+                        out.evicted.unwrap().addr,
+                        BlockAddr(first_tying_way as u64),
+                        "ways={ways} tie={tie} first_tying_way={first_tying_way}"
+                    );
+                }
+            }
+        }
+    }
+
     /// Belady's inequality: with exact next-use annotations, OPT never
     /// misses more than LRU on the same fully-associative geometry.
     #[test]

@@ -52,10 +52,24 @@ impl TileRank {
     /// Sentinel for "no further use": larger than every real rank.
     pub const NEVER: TileRank = TileRank(u32::MAX);
 
+    /// Largest rank representable in a stored OPT Number: the paper
+    /// allocates 12 bits for it (§III.C), so hardware saturates at 4095.
+    /// Ranks at or above this (including [`TileRank::NEVER`]) collapse to
+    /// "farthest representable future", which is safe: the grid in Table I
+    /// has 1488 tiles, and any rank beyond the screen is equally evictable.
+    pub const OPT_MAX: u32 = (1 << 12) - 1;
+
     /// The raw rank value.
     #[inline]
     pub fn value(self) -> u32 {
         self.0
+    }
+
+    /// This rank clamped to the 12-bit storable range — what hardware
+    /// actually writes into an OPT Number or PB tag field.
+    #[inline]
+    pub fn saturated(self) -> TileRank {
+        TileRank(self.0.min(Self::OPT_MAX))
     }
 
     /// True if this rank is the [`TileRank::NEVER`] sentinel.
@@ -182,6 +196,15 @@ mod tests {
         assert_eq!(Address(64).block(), BlockAddr(1));
         assert_eq!(Address(130).block_offset(), 2);
         assert_eq!(BlockAddr(3).base(), Address(192));
+    }
+
+    #[test]
+    fn tile_rank_saturates_at_twelve_bits() {
+        assert_eq!(TileRank::OPT_MAX, 4095);
+        assert_eq!(TileRank(0).saturated(), TileRank(0));
+        assert_eq!(TileRank(4095).saturated(), TileRank(4095));
+        assert_eq!(TileRank(4096).saturated(), TileRank(4095));
+        assert_eq!(TileRank::NEVER.saturated(), TileRank(4095));
     }
 
     #[test]

@@ -31,8 +31,10 @@ pub mod geom;
 pub mod grid;
 pub mod hash;
 pub mod ids;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 pub mod traversal;
 
 pub use config::{CacheParams, GpuConfig, MemoryParams, TileCacheOrg};
@@ -42,6 +44,8 @@ pub use geom::{Rect, Tri2};
 pub use grid::TileGrid;
 pub use hash::{fxhash64, hash_hex, FxHasher64};
 pub use ids::{Address, BlockAddr, PrimitiveId, TileId, TileRank, LINE_SIZE};
+pub use metrics::MetricRegistry;
 pub use rng::{SmallRng, SplitMix64, Xoshiro256pp};
 pub use stats::AccessStats;
+pub use trace::{FrameTrace, TraceEvent, TracePhase};
 pub use traversal::{Traversal, TraversalOrder};

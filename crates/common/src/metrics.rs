@@ -1,0 +1,163 @@
+//! The hierarchical metric registry — the uniform, labeled view over
+//! every counter the simulator accumulates.
+//!
+//! Hot paths keep their plain-`u64` accumulators (an [`crate::AccessStats`]
+//! bump is one add, no lookup); the registry is the *assembled* view: at
+//! reporting time each structure publishes its counters under a
+//! `/`-separated path, nested cache → set-class/region → event, e.g.
+//!
+//! ```text
+//! attr$/read_hit          l2/pb_lists/l2_read       l2/event/dead_drop
+//! ```
+//!
+//! The registry is atomic-free (it is built after simulation, on one
+//! thread) and forms a commutative monoid under [`MetricRegistry::merge`],
+//! so per-cell registries sum into suite aggregates. The audit layer in
+//! `tcor-obs` reads conservation invariants off these paths.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::stats::AccessStats;
+
+/// A tree of named counters, keyed by `/`-separated paths.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricRegistry {
+    counters: BTreeMap<String, u64>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter at `path`, creating it at zero first.
+    pub fn add(&mut self, path: &str, n: u64) {
+        *self.counters.entry(path.to_string()).or_insert(0) += n;
+    }
+
+    /// The counter at `path` (zero when absent).
+    pub fn get(&self, path: &str) -> u64 {
+        self.counters.get(path).copied().unwrap_or(0)
+    }
+
+    /// Sum of every counter whose path starts with `prefix` followed by
+    /// `/` (or equals `prefix` exactly) — the roll-up of one subtree.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| {
+                k.as_str() == prefix
+                    || (k.starts_with(prefix) && k.as_bytes().get(prefix.len()) == Some(&b'/'))
+            })
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Publishes one structure's [`AccessStats`] under `prefix`, one leaf
+    /// per event kind.
+    pub fn record_stats(&mut self, prefix: &str, s: &AccessStats) {
+        for (event, n) in [
+            ("probes", s.probes),
+            ("read_hit", s.read_hits),
+            ("read_miss", s.read_misses),
+            ("write_hit", s.write_hits),
+            ("write_miss", s.write_misses),
+            ("writeback", s.writebacks),
+            ("bypass", s.bypasses),
+            ("dead_drop", s.dead_drops),
+        ] {
+            if n > 0 {
+                self.add(&format!("{prefix}/{event}"), n);
+            }
+        }
+    }
+
+    /// Folds another registry into this one, path-wise.
+    pub fn merge(&mut self, other: &MetricRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates `(path, value)` in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the registry holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for MetricRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_and_prefix_rollup() {
+        let mut r = MetricRegistry::new();
+        r.add("l2/pb_lists/l2_read", 3);
+        r.add("l2/pb_lists/l2_write", 2);
+        r.add("l2/textures/l2_read", 5);
+        r.add("l2x/other", 100); // must NOT match the `l2` prefix
+        assert_eq!(r.get("l2/pb_lists/l2_read"), 3);
+        assert_eq!(r.get("missing"), 0);
+        assert_eq!(r.sum_prefix("l2/pb_lists"), 5);
+        assert_eq!(r.sum_prefix("l2"), 10);
+        assert_eq!(r.sum_prefix("l2x/other"), 100);
+    }
+
+    #[test]
+    fn record_stats_publishes_leaves() {
+        let mut s = AccessStats::new();
+        s.record_read(true);
+        s.record_read(false);
+        s.record_write(false);
+        s.probes = 3;
+        let mut r = MetricRegistry::new();
+        r.record_stats("attr$", &s);
+        assert_eq!(r.get("attr$/read_hit"), 1);
+        assert_eq!(r.get("attr$/read_miss"), 1);
+        assert_eq!(r.get("attr$/write_miss"), 1);
+        assert_eq!(r.get("attr$/probes"), 3);
+        assert_eq!(r.get("attr$/write_hit"), 0, "zero counters are omitted");
+    }
+
+    #[test]
+    fn merge_is_pathwise_sum() {
+        let mut a = MetricRegistry::new();
+        a.add("x/y", 1);
+        let mut b = MetricRegistry::new();
+        b.add("x/y", 2);
+        b.add("x/z", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x/y"), 3);
+        assert_eq!(a.get("x/z"), 7);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn display_lists_every_counter() {
+        let mut r = MetricRegistry::new();
+        r.add("a/b", 4);
+        assert_eq!(r.to_string(), "a/b = 4\n");
+    }
+}

@@ -25,6 +25,12 @@ pub struct AccessStats {
     /// Dirty lines dropped without write-back because they were dead
     /// (TCOR L2 enhancement, §III.D.2).
     pub dead_drops: u64,
+    /// Requests observed at the structure's entry point. Bumped at a code
+    /// site *independent* of the hit/miss classification so the audit
+    /// layer can check the conservation invariant
+    /// `probes == hits() + misses()`; `record_read`/`record_write` never
+    /// touch it. Zero means the owning model does not probe-count.
+    pub probes: u64,
 }
 
 impl AccessStats {
@@ -110,6 +116,7 @@ impl Add for AccessStats {
             writebacks: self.writebacks + rhs.writebacks,
             bypasses: self.bypasses + rhs.bypasses,
             dead_drops: self.dead_drops + rhs.dead_drops,
+            probes: self.probes + rhs.probes,
         }
     }
 }
@@ -181,11 +188,13 @@ mod tests {
             writebacks: 5,
             bypasses: 6,
             dead_drops: 7,
+            probes: 3,
         };
         let b = a;
         let c: AccessStats = [a, b].into_iter().sum();
         assert_eq!(c.read_hits, 2);
         assert_eq!(c.dead_drops, 14);
+        assert_eq!(c.probes, 6);
         assert_eq!(c.accesses(), 2 * a.accesses());
     }
 

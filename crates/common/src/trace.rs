@@ -1,0 +1,172 @@
+//! Structured event tracing of the Tiling Engine timeline.
+//!
+//! A [`FrameTrace`] collects [`TraceEvent`]s — tile fetch spans, phase
+//! markers, and sampled counters (MSHR occupancy, dead-line drops, L2
+//! misses) — during a traced frame. Timestamps are simulated cycles.
+//!
+//! The event vocabulary mirrors the Chrome trace-event format ("X"
+//! complete spans, "C" counters, "i" instants) so `tcor-obs` can render a
+//! collected trace straight to `chrome://tracing` JSON; this module stays
+//! dependency-free and does no JSON itself.
+//!
+//! Tracing is opt-in: every simulated frame threads a `FrameTrace`
+//! through, but the default [`FrameTrace::disabled`] collector drops
+//! events before formatting anything, so untraced runs pay one branch per
+//! event site and the golden results are untouched.
+
+/// The Chrome trace-event phase of an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A complete span ("X"): has a duration.
+    Complete,
+    /// A counter sample ("C"): `args` holds the sampled series.
+    Counter,
+    /// An instantaneous marker ("i").
+    Instant,
+}
+
+impl TracePhase {
+    /// The single-character phase code used by the Chrome trace format.
+    pub fn code(self) -> &'static str {
+        match self {
+            TracePhase::Complete => "X",
+            TracePhase::Counter => "C",
+            TracePhase::Instant => "i",
+        }
+    }
+}
+
+/// One timeline event, in simulated cycles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (tile id, counter series name, phase label).
+    pub name: String,
+    /// Category, e.g. `"fetch"`, `"mshr"`, `"l2"`.
+    pub cat: &'static str,
+    /// Chrome phase of the event.
+    pub phase: TracePhase,
+    /// Start timestamp in simulated cycles.
+    pub ts: u64,
+    /// Duration in cycles (complete spans only; zero otherwise).
+    pub dur: u64,
+    /// Named numeric arguments (counter values, metadata).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// Collector for one frame's trace; cheap no-op when disabled.
+#[derive(Clone, Debug, Default)]
+pub struct FrameTrace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl FrameTrace {
+    /// A collector that records events.
+    pub fn enabled() -> Self {
+        FrameTrace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// A collector that drops every event (the default for untraced runs).
+    pub fn disabled() -> Self {
+        FrameTrace::default()
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a complete span `[ts, ts+dur)`.
+    pub fn complete(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<String>,
+        ts: u64,
+        dur: u64,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                name: name.into(),
+                cat,
+                phase: TracePhase::Complete,
+                ts,
+                dur,
+                args,
+            });
+        }
+    }
+
+    /// Records a counter sample at `ts`.
+    pub fn counter(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<String>,
+        ts: u64,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                name: name.into(),
+                cat,
+                phase: TracePhase::Counter,
+                ts,
+                dur: 0,
+                args,
+            });
+        }
+    }
+
+    /// Records an instantaneous marker at `ts`.
+    pub fn instant(&mut self, cat: &'static str, name: impl Into<String>, ts: u64) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                name: name.into(),
+                cat,
+                phase: TracePhase::Instant,
+                ts,
+                dur: 0,
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_drops_events() {
+        let mut t = FrameTrace::disabled();
+        assert!(!t.is_enabled());
+        t.complete("fetch", "tile 0", 0, 10, vec![]);
+        t.counter("mshr", "outstanding", 5, vec![("value", 3)]);
+        t.instant("frame", "end", 20);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_collector_records_in_order() {
+        let mut t = FrameTrace::enabled();
+        assert!(t.is_enabled());
+        t.complete("fetch", "tile 7", 100, 40, vec![("misses", 2)]);
+        t.counter("mshr", "outstanding", 110, vec![("value", 4)]);
+        t.instant("frame", "end", 140);
+        let ev = t.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].phase, TracePhase::Complete);
+        assert_eq!(ev[0].dur, 40);
+        assert_eq!(ev[0].args, vec![("misses", 2)]);
+        assert_eq!(ev[1].phase.code(), "C");
+        assert_eq!(ev[2].phase.code(), "i");
+    }
+}

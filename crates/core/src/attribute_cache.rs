@@ -160,6 +160,14 @@ pub struct AttributeCache {
     occ_entries_sum: u64,
     occ_prims_sum: u64,
     stall_events: u64,
+    /// Attribute blocks evicted dirty (each becomes one L2 write in the
+    /// system driver), counted at the eviction site. Kept separate from
+    /// `stats.writebacks` so the energy model's inputs are untouched.
+    wb_blocks: u64,
+    /// OPT self-check failures: a selected victim that was not the
+    /// farthest-future eligible candidate (Hawkeye-style self-checking
+    /// oracle; always 0 unless victim selection regresses).
+    opt_violations: u64,
 }
 
 impl AttributeCache {
@@ -178,6 +186,8 @@ impl AttributeCache {
             occ_entries_sum: 0,
             occ_prims_sum: 0,
             stall_events: 0,
+            wb_blocks: 0,
+            opt_violations: 0,
         }
     }
 
@@ -227,6 +237,16 @@ impl AttributeCache {
     /// the Rasterizer).
     pub fn stall_events(&self) -> u64 {
         self.stall_events
+    }
+
+    /// Attribute blocks evicted dirty, counted at the eviction site.
+    pub fn writeback_blocks(&self) -> u64 {
+        self.wb_blocks
+    }
+
+    /// OPT self-check failures (0 in a correct run).
+    pub fn opt_violations(&self) -> u64 {
+        self.opt_violations
     }
 
     fn sample_occupancy(&mut self) {
@@ -280,6 +300,9 @@ impl AttributeCache {
     fn evict_line(&mut self, idx: usize) -> EvictedPrim {
         let line = self.lines[idx];
         debug_assert!(line.valid && !line.lock);
+        if line.dirty {
+            self.wb_blocks += line.attr_count as u64;
+        }
         self.free_chain(line.abp);
         self.lines[idx] = PbLine::default();
         self.resident -= 1;
@@ -297,6 +320,40 @@ impl AttributeCache {
             .max_by_key(|&i| self.lines[i].opt)
     }
 
+    /// OPT self-check over the set-scoped eviction: counts a violation if
+    /// an unlocked survivor of `set` will be used farther in the future
+    /// than the chosen victim. Re-derived with an independent scan, not
+    /// the selection code — call *before* `evict_line`.
+    fn audit_set_victim(&mut self, set: usize, chosen: usize) {
+        let chosen_opt = self.lines[chosen].opt;
+        let violated = self.set_range(set).any(|i| {
+            i != chosen
+                && self.lines[i].valid
+                && !self.lines[i].lock
+                && self.lines[i].opt > chosen_opt
+        });
+        if violated {
+            self.opt_violations += 1;
+        }
+    }
+
+    /// OPT self-check over a cache-wide eviction. `floor` restricts the
+    /// eligible candidates (the write path may only evict lines strictly
+    /// farther-future than the written primitive).
+    fn audit_global_victim(&mut self, chosen: usize, floor: Option<TileRank>) {
+        let chosen_opt = self.lines[chosen].opt;
+        let violated = (0..self.lines.len()).any(|i| {
+            i != chosen
+                && self.lines[i].valid
+                && !self.lines[i].lock
+                && floor.is_none_or(|f| self.lines[i].opt > f)
+                && self.lines[i].opt > chosen_opt
+        });
+        if violated {
+            self.opt_violations += 1;
+        }
+    }
+
     /// Frees Attribute Buffer space by evicting unlocked primitives
     /// cache-wide in OPT order until `needed` entries are free. Returns
     /// `false` (rolling nothing back — evicted lines were the
@@ -307,7 +364,10 @@ impl AttributeCache {
                 .filter(|&i| self.lines[i].valid && !self.lines[i].lock)
                 .max_by_key(|&i| self.lines[i].opt);
             match victim {
-                Some(i) => evicted.push(self.evict_line(i)),
+                Some(i) => {
+                    self.audit_global_victim(i, None);
+                    evicted.push(self.evict_line(i));
+                }
                 None => return false,
             }
         }
@@ -323,6 +383,9 @@ impl AttributeCache {
     /// the primitive is resident. `Stalled` means every candidate is
     /// locked; the caller must let the Rasterizer drain and retry.
     pub fn read(&mut self, prim: PrimitiveId, attr_count: u8, opt_number: TileRank) -> ReadResult {
+        // OPT Numbers are a 12-bit hardware field (§III.C): saturate the
+        // incoming rank exactly where hardware latches it.
+        let opt_number = opt_number.saturated();
         self.sample_occupancy();
         if let Some(idx) = self.find(prim) {
             self.stats.record_read(true);
@@ -332,6 +395,7 @@ impl AttributeCache {
                 self.locked_prims += 1;
             }
             line.opt = opt_number;
+            self.stats.probes += 1;
             return ReadResult::Hit;
         }
 
@@ -358,6 +422,7 @@ impl AttributeCache {
             Some(i) => i,
             None => {
                 let v = victim.expect("checked above");
+                self.audit_set_victim(set, v);
                 evicted.push(self.evict_line(v));
                 v
             }
@@ -379,12 +444,15 @@ impl AttributeCache {
         };
         self.resident += 1;
         self.locked_prims += 1;
+        self.stats.probes += 1;
         ReadResult::Miss { evicted }
     }
 
     /// Polygon List Builder write of a new primitive whose first use is
     /// the tile at rank `first_use` (§III.C.4).
     pub fn write(&mut self, prim: PrimitiveId, attr_count: u8, first_use: TileRank) -> WriteResult {
+        // Same 12-bit saturation as the read path (§III.C).
+        let first_use = first_use.saturated();
         self.sample_occupancy();
         debug_assert!(
             self.find(prim).is_none(),
@@ -398,7 +466,10 @@ impl AttributeCache {
             // farthest-future unlocked line unconditionally), falling
             // back to bypass only when locks leave no room.
             return match self.read_style_reserve(prim, attr_count, first_use) {
-                Some(evicted) => WriteResult::Allocated { evicted },
+                Some(evicted) => {
+                    self.stats.probes += 1;
+                    WriteResult::Allocated { evicted }
+                }
                 None => {
                     self.stats.bypasses += 1;
                     WriteResult::Bypassed
@@ -446,6 +517,7 @@ impl AttributeCache {
 
         let mut evicted = Vec::new();
         if self.lines[line_idx].valid {
+            self.audit_set_victim(set, line_idx);
             evicted.push(self.evict_line(line_idx));
         }
         // Free space evicting only strictly-farther-future primitives.
@@ -456,6 +528,7 @@ impl AttributeCache {
                 })
                 .max_by_key(|&i| self.lines[i].opt)
                 .expect("feasibility checked");
+            self.audit_global_victim(victim, Some(first_use));
             evicted.push(self.evict_line(victim));
         }
         self.stats.record_write(false); // every PLB write is a (compulsory) miss
@@ -470,6 +543,7 @@ impl AttributeCache {
             attr_count,
         };
         self.resident += 1;
+        self.stats.probes += 1;
         WriteResult::Allocated { evicted }
     }
 
@@ -500,6 +574,7 @@ impl AttributeCache {
             Some(i) => i,
             None => {
                 let v = victim.expect("checked above");
+                self.audit_set_victim(set, v);
                 evicted.push(self.evict_line(v));
                 v
             }
@@ -758,6 +833,88 @@ mod tests {
         let by_prim = |p: u32| drained.iter().find(|e| e.prim == PrimitiveId(p)).unwrap();
         assert!(by_prim(0).dirty);
         assert!(!by_prim(1).dirty);
+    }
+
+    #[test]
+    fn probes_count_only_classified_accesses() {
+        // Stalls and bypasses record neither hit nor miss — probes must
+        // match the classified accesses exactly (the audit invariant).
+        let mut c = example_cache();
+        c.write(PrimitiveId(0), 3, TileRank(0)); // allocated (write miss)
+        c.write(PrimitiveId(1), 3, TileRank(1)); // allocated
+        c.write(PrimitiveId(2), 3, TileRank(3)); // bypassed: no probe
+        assert_eq!(c.read(PrimitiveId(0), 3, TileRank(2)), ReadResult::Hit);
+        assert_eq!(c.read(PrimitiveId(1), 3, TileRank(2)), ReadResult::Hit);
+        assert_eq!(c.read(PrimitiveId(3), 3, TileRank(5)), ReadResult::Stalled); // no probe
+        let s = c.stats();
+        assert_eq!(s.probes, s.hits() + s.misses());
+        assert_eq!(s.probes, 4);
+        assert_eq!(s.bypasses, 1);
+        assert_eq!(c.stall_events(), 1);
+    }
+
+    #[test]
+    fn dirty_evictions_count_writeback_blocks() {
+        let mut c = example_cache();
+        c.write(PrimitiveId(0), 3, TileRank(5)); // dirty
+        c.write(PrimitiveId(1), 3, TileRank(9)); // dirty
+                                                 // Rank-2 write evicts prim 1 (3 dirty attribute blocks).
+        c.write(PrimitiveId(2), 3, TileRank(2));
+        assert_eq!(c.writeback_blocks(), 3);
+        // Clean (read-filled) evictions add nothing.
+        c.read(PrimitiveId(0), 3, TileRank(3));
+        c.unlock(PrimitiveId(0));
+        let drained = c.drain();
+        let dirty_attrs: u64 = drained
+            .iter()
+            .filter(|e| e.dirty)
+            .map(|e| e.attr_count as u64)
+            .sum();
+        assert_eq!(c.writeback_blocks(), 3 + dirty_attrs);
+    }
+
+    #[test]
+    fn opt_self_check_is_clean_under_churn() {
+        let mut c = cache(2, 8, 24);
+        for i in 0..500u32 {
+            let attrs = 1 + (i % 5) as u8;
+            let _ = c.write(PrimitiveId(i), attrs, TileRank(i % 40));
+            if i % 2 == 0 {
+                let _ = c.read(
+                    PrimitiveId(i / 2),
+                    1 + ((i / 2) % 5) as u8,
+                    TileRank(i % 40 + 1),
+                );
+            }
+            if i % 3 == 0 {
+                c.unlock(PrimitiveId(i / 3));
+            }
+        }
+        assert_eq!(c.opt_violations(), 0);
+    }
+
+    #[test]
+    fn opt_numbers_saturate_at_twelve_bits() {
+        let mut c = example_cache();
+        // A first use past the 12-bit field stores as 4095, exactly like
+        // a NEVER rank: the two become indistinguishable, as in hardware.
+        c.write(PrimitiveId(0), 3, TileRank(5000));
+        assert_eq!(c.peek_opt(PrimitiveId(0)), Some(TileRank(4095)));
+        c.read(PrimitiveId(0), 3, TileRank::NEVER);
+        assert_eq!(c.peek_opt(PrimitiveId(0)), Some(TileRank(4095)));
+        // Saturated residents still lose to nearer-future newcomers…
+        c.unlock(PrimitiveId(0));
+        c.write(PrimitiveId(1), 3, TileRank(4094));
+        match c.write(PrimitiveId(2), 3, TileRank(10)) {
+            WriteResult::Allocated { evicted } => {
+                assert_eq!(
+                    evicted[0].prim,
+                    PrimitiveId(0),
+                    "farthest (4095) goes first"
+                );
+            }
+            other => panic!("expected allocation, got {other:?}"),
+        }
     }
 
     #[test]

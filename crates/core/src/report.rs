@@ -1,8 +1,9 @@
 //! Per-frame measurement report — every counter the paper's evaluation
 //! figures plot.
 
-use tcor_common::AccessStats;
+use tcor_common::{AccessStats, MetricRegistry};
 use tcor_mem::TrafficMatrix;
+use tcor_pbuf::Region;
 
 /// Activity of one on-chip SRAM structure (an L1 cache or the L2), as
 //  input to the energy model.
@@ -34,6 +35,22 @@ pub struct FrameReport {
     pub mm_traffic: TrafficMatrix,
     /// Dirty L2 lines dropped dead without write-back (TCOR only).
     pub dead_drops: u64,
+    /// Blocks the hierarchy actually wrote back to DRAM, counted at the
+    /// disposal sites — the audit cross-checks
+    /// `l2_stats.writebacks == l2_wb_blocks + dead_drops`.
+    pub l2_wb_blocks: u64,
+    /// Parameter-Buffer blocks filled from DRAM on L2 read misses,
+    /// counted at the hierarchy's fill site — the audit cross-checks it
+    /// against the DRAM model's own PB read traffic (PB bytes from DRAM
+    /// == pb_fill_blocks × line size).
+    pub pb_fill_blocks: u64,
+    /// Attribute blocks the Attribute Cache evicted dirty (each becomes
+    /// one L2 write), counted at its eviction site (TCOR only).
+    pub attr_wb_blocks: u64,
+    /// Attribute Cache OPT self-check failures: victims that were *not*
+    /// the farthest-future unlocked candidate. Always 0 in a correct run
+    /// (TCOR only).
+    pub attr_opt_violations: u64,
     /// Tile Fetcher cycles (unbounded output queue, Figures 23–24).
     pub fetch_cycles: u64,
     /// Primitives the Tile Fetcher output (one per PMD consumed).
@@ -119,6 +136,39 @@ impl FrameReport {
     pub fn structure(&self, name: &str) -> Option<&StructureActivity> {
         self.structures.iter().find(|s| s.name == name)
     }
+
+    /// Assembles the uniform hierarchical metric view of this frame:
+    /// every counter the report holds, published under
+    /// `structure/…`, `l2/<region>/…` and `…/event/…` paths. This is
+    /// the surface the audit layer and metric dumps read.
+    pub fn metrics(&self) -> MetricRegistry {
+        let mut reg = MetricRegistry::new();
+        for s in &self.structures {
+            reg.record_stats(s.name, &s.stats);
+        }
+        reg.record_stats("l2", &self.l2_stats);
+        for region in Region::ALL {
+            let label = region.label();
+            let lt = self.l2_traffic.region(region);
+            let mt = self.mm_traffic.region(region);
+            for (event, n) in [
+                ("l2_read", lt.l2_reads),
+                ("l2_write", lt.l2_writes),
+                ("mm_read", mt.mm_reads),
+                ("mm_write", mt.mm_writes),
+            ] {
+                if n > 0 {
+                    reg.add(&format!("traffic/{label}/{event}"), n);
+                }
+            }
+        }
+        reg.add("l2/event/dead_drop", self.dead_drops);
+        reg.add("l2/event/wb_block", self.l2_wb_blocks);
+        reg.add("l2/event/pb_fill", self.pb_fill_blocks);
+        reg.add("attr$/event/wb_block", self.attr_wb_blocks);
+        reg.add("attr$/event/opt_violation", self.attr_opt_violations);
+        reg
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +188,10 @@ mod tests {
             l2_traffic: TrafficMatrix::default(),
             mm_traffic: TrafficMatrix::default(),
             dead_drops: 0,
+            l2_wb_blocks: 0,
+            pb_fill_blocks: 0,
+            attr_wb_blocks: 0,
+            attr_opt_violations: 0,
             fetch_cycles: 0,
             prims_fetched: 0,
             plb_cycles: 0,
@@ -163,6 +217,22 @@ mod tests {
         let r = empty_report();
         assert!(r.structure("tile$").is_some());
         assert!(r.structure("nope").is_none());
+    }
+
+    #[test]
+    fn metrics_view_mirrors_report_counters() {
+        let mut r = empty_report();
+        r.structures[0].stats.record_read(true);
+        r.l2_stats.record_read(false);
+        r.l2_traffic.record_l2_read(tcor_pbuf::Region::PbLists);
+        r.mm_traffic.record_mm_read(tcor_pbuf::Region::PbLists);
+        r.dead_drops = 3;
+        let m = r.metrics();
+        assert_eq!(m.get("tile$/read_hit"), 1);
+        assert_eq!(m.get("l2/read_miss"), 1);
+        assert_eq!(m.get("traffic/PB-Lists/l2_read"), 1);
+        assert_eq!(m.get("traffic/PB-Lists/mm_read"), 1);
+        assert_eq!(m.get("l2/event/dead_drop"), 3);
     }
 
     #[test]

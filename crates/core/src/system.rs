@@ -17,8 +17,8 @@ use std::collections::VecDeque;
 use tcor_cache::policy::Lru;
 use tcor_cache::{AccessKind, AccessMeta, Cache, Indexing};
 use tcor_common::{
-    BlockAddr, CacheParams, GpuConfig, PrimitiveId, TileCacheOrg, TileGrid, TraversalOrder,
-    LINE_SIZE,
+    BlockAddr, CacheParams, FrameTrace, GpuConfig, PrimitiveId, TileCacheOrg, TileGrid,
+    TraversalOrder, LINE_SIZE,
 };
 use tcor_gpu::{
     bin_scene_with, fetch_ops, plb_ops, FetchOp, Frame, GeometryPipeline, MshrTiming, OverlapTest,
@@ -348,6 +348,10 @@ fn build_report(
         l2_traffic: *hierarchy.l2_traffic(),
         mm_traffic: *hierarchy.mm_traffic(),
         dead_drops: hierarchy.dead_drops(),
+        l2_wb_blocks: hierarchy.writeback_blocks(),
+        pb_fill_blocks: hierarchy.pb_fill_blocks(),
+        attr_wb_blocks: 0,
+        attr_opt_violations: 0,
         fetch_cycles,
         prims_fetched,
         plb_cycles,
@@ -361,6 +365,57 @@ fn build_report(
         attr_line_utilization: 0.0,
         attr_stalls: 0,
     }
+}
+
+/// Emits one tile's fetch span plus the memory-side counter samples the
+/// timeline viewer plots: MSHR occupancy and the cumulative L2
+/// miss/writeback/dead-drop series. Timestamps are offset by
+/// `plb_cycles` so the Polygon List Builder phase and the Tile Fetcher
+/// phase lay out sequentially on one clock, matching the frame's actual
+/// two-phase execution.
+fn emit_tile_trace(
+    trace: &mut FrameTrace,
+    plb_cycles: u64,
+    span_start: u64,
+    timing: &MshrTiming,
+    hierarchy: &MemoryHierarchy,
+    tile: tcor_common::TileId,
+) {
+    let now = plb_cycles + timing.now();
+    trace.complete(
+        "fetch",
+        format!("tile {}", tile.index()),
+        plb_cycles + span_start,
+        timing.now().saturating_sub(span_start),
+        vec![("tile", tile.index() as u64)],
+    );
+    trace.counter(
+        "mshr",
+        "mshr_outstanding",
+        now,
+        vec![("in_flight", timing.outstanding() as u64)],
+    );
+    trace.counter(
+        "l2",
+        "l2_events",
+        now,
+        vec![
+            ("misses", hierarchy.l2_stats().misses()),
+            ("writebacks", hierarchy.l2_stats().writebacks),
+            ("dead_drops", hierarchy.dead_drops()),
+        ],
+    );
+}
+
+/// Emits the two Tiling Engine phase spans (PLB then Tile Fetcher) and
+/// the end-of-frame marker.
+fn emit_phase_trace(trace: &mut FrameTrace, plb_cycles: u64, fetch_cycles: u64) {
+    if !trace.is_enabled() {
+        return;
+    }
+    trace.complete("phase", "polygon list builder", 0, plb_cycles, vec![]);
+    trace.complete("phase", "tile fetcher", plb_cycles, fetch_cycles, vec![]);
+    trace.instant("phase", "end of frame", plb_cycles + fetch_cycles);
 }
 
 /// The baseline GPU: unified LRU Tile Cache, baseline layouts, LRU L2.
@@ -398,14 +453,37 @@ impl BaselineSystem {
             &mut l1s,
             &mut raster,
             true,
+            &mut FrameTrace::disabled(),
         )
+    }
+
+    /// Like [`run_frame`](Self::run_frame), but also records the Tiling
+    /// Engine timeline (per-tile fetch spans, MSHR occupancy, L2 event
+    /// series) for the trace exporter.
+    pub fn run_frame_traced(&self, scene: &Scene) -> (FrameReport, FrameTrace) {
+        let mut hierarchy = new_hierarchy(&self.cfg);
+        let mut l1s = OtherL1s::new(&self.cfg);
+        let mut raster = RasterTraffic::new(self.cfg.raster);
+        let mut trace = FrameTrace::enabled();
+        let report = baseline_frame(
+            &self.cfg,
+            scene,
+            &mut hierarchy,
+            &mut l1s,
+            &mut raster,
+            true,
+            &mut trace,
+        );
+        (report, trace)
     }
 }
 
 /// One baseline frame over the given (possibly persistent) memory-system
 /// components. `one_shot` selects cold-start semantics: apply the L2 warm
 /// start and dispose of the whole Parameter Buffer at frame end; steady
-/// state (`false`) keeps the L2 across frames.
+/// state (`false`) keeps the L2 across frames. `trace` collects the
+/// Tiling Engine timeline; pass [`FrameTrace::disabled`] for measurement
+/// runs (a disabled collector records nothing and perturbs nothing).
 fn baseline_frame(
     cfg: &SystemConfig,
     scene: &Scene,
@@ -413,6 +491,7 @@ fn baseline_frame(
     l1s: &mut OtherL1s,
     raster: &mut RasterTraffic,
     one_shot: bool,
+    trace: &mut FrameTrace,
 ) -> FrameReport {
     {
         let (grid, order, frame) = geometry_and_bin(cfg, scene, l1s, hierarchy);
@@ -495,8 +574,18 @@ fn baseline_frame(
                     hierarchy.tile_done();
                     // Fetch/raster coupling: this tile's rasterization
                     // cannot finish before its primitives were fetched.
+                    let span_start = tile_mark;
                     let fetch_t = timing.now().saturating_sub(tile_mark) as f64;
                     tile_mark = timing.now();
+                    if trace.is_enabled() {
+                        emit_tile_trace(trace, plb_cycles, span_start, &timing, hierarchy, tile);
+                        trace.counter(
+                            "tile$",
+                            "prims",
+                            plb_cycles + timing.now(),
+                            vec![("fetched", prims_fetched)],
+                        );
+                    }
                     let raster_t = frame.fragments_per_tile[tile.index()]
                         * cfg.raster.shader_instructions as f64
                         / (cfg.fragment_processors * cfg.simd_lanes) as f64
@@ -507,6 +596,7 @@ fn baseline_frame(
             }
         }
         let fetch_cycles = timing.finish();
+        emit_phase_trace(trace, plb_cycles, fetch_cycles);
 
         // --- End of frame.
         for wb in tc.drain_dirty() {
@@ -589,6 +679,7 @@ impl BaselineSession {
             &mut self.l1s,
             &mut self.raster,
             false,
+            &mut FrameTrace::disabled(),
         )
     }
 }
@@ -629,12 +720,34 @@ impl TcorSystem {
             &mut l1s,
             &mut raster,
             true,
+            &mut FrameTrace::disabled(),
         )
+    }
+
+    /// Like [`run_frame`](Self::run_frame), but also records the Tiling
+    /// Engine timeline (per-tile fetch spans, MSHR occupancy, L2 event
+    /// series, Attribute Cache occupancy) for the trace exporter.
+    pub fn run_frame_traced(&self, scene: &Scene) -> (FrameReport, FrameTrace) {
+        let mut hierarchy = new_hierarchy(&self.cfg);
+        let mut l1s = OtherL1s::new(&self.cfg);
+        let mut raster = RasterTraffic::new(self.cfg.raster);
+        let mut trace = FrameTrace::enabled();
+        let report = tcor_frame(
+            &self.cfg,
+            scene,
+            &mut hierarchy,
+            &mut l1s,
+            &mut raster,
+            true,
+            &mut trace,
+        );
+        (report, trace)
     }
 }
 
 /// One TCOR frame over the given (possibly persistent) memory-system
-/// components; see [`baseline_frame`] for the `one_shot` semantics.
+/// components; see [`baseline_frame`] for the `one_shot` and `trace`
+/// semantics.
 fn tcor_frame(
     cfg: &SystemConfig,
     scene: &Scene,
@@ -642,6 +755,7 @@ fn tcor_frame(
     l1s: &mut OtherL1s,
     raster: &mut RasterTraffic,
     one_shot: bool,
+    trace: &mut FrameTrace,
 ) -> FrameReport {
     {
         let (grid, order, frame) = geometry_and_bin(cfg, scene, l1s, hierarchy);
@@ -794,8 +908,22 @@ fn tcor_frame(
                     hierarchy.tile_done();
                     // Fetch/raster coupling: this tile's rasterization
                     // cannot finish before its primitives were fetched.
+                    let span_start = tile_mark;
                     let fetch_t = timing.now().saturating_sub(tile_mark) as f64;
                     tile_mark = timing.now();
+                    if trace.is_enabled() {
+                        emit_tile_trace(trace, plb_cycles, span_start, &timing, hierarchy, tile);
+                        trace.counter(
+                            "attr$",
+                            "attr_cache",
+                            plb_cycles + timing.now(),
+                            vec![
+                                ("resident", ac.resident_primitives() as u64),
+                                ("free_entries", ac.free_entries() as u64),
+                                ("locked", ac.locked_primitives()),
+                            ],
+                        );
+                    }
                     let raster_t = frame.fragments_per_tile[tile.index()]
                         * cfg.raster.shader_instructions as f64
                         / (cfg.fragment_processors * cfg.simd_lanes) as f64
@@ -809,6 +937,7 @@ fn tcor_frame(
             ac.unlock(p);
         }
         let fetch_cycles = timing.finish();
+        emit_phase_trace(trace, plb_cycles, fetch_cycles);
 
         // --- End of frame.
         let drained = ac.drain();
@@ -845,6 +974,7 @@ fn tcor_frame(
             ac.avg_line_utilization(),
             ac.stall_events(),
         );
+        let (attr_wb_blocks, attr_opt_violations) = (ac.writeback_blocks(), ac.opt_violations());
         let mut report = build_report(
             "tcor",
             structures,
@@ -862,6 +992,8 @@ fn tcor_frame(
         report.attr_buffer_utilization = buf_util;
         report.attr_line_utilization = line_util;
         report.attr_stalls = stalls;
+        report.attr_wb_blocks = attr_wb_blocks;
+        report.attr_opt_violations = attr_opt_violations;
         report
     }
 }
@@ -906,6 +1038,7 @@ impl TcorSession {
             &mut self.l1s,
             &mut self.raster,
             false,
+            &mut FrameTrace::disabled(),
         )
     }
 }
@@ -999,6 +1132,49 @@ mod tests {
         assert!(r.l2_traffic.region(Region::Textures).l2_reads > 0);
         assert!(r.mm_traffic.region(Region::FrameBuffer).mm_writes > 0);
         assert!(r.fragments > 0.0);
+    }
+
+    #[test]
+    fn traced_run_records_timeline_without_changing_the_report() {
+        let scene = test_scene(300);
+        let sys = TcorSystem::new(SystemConfig::paper_tcor_64k());
+        let plain = sys.run_frame(&scene);
+        let (traced, trace) = sys.run_frame_traced(&scene);
+        // Tracing is pure observation: every measured counter matches.
+        assert_eq!(plain.l2_stats.misses(), traced.l2_stats.misses());
+        assert_eq!(plain.fetch_cycles, traced.fetch_cycles);
+        assert_eq!(plain.total_mm_accesses(), traced.total_mm_accesses());
+        assert_eq!(plain.attr_wb_blocks, traced.attr_wb_blocks);
+        // And the timeline holds one fetch span per tile plus the two
+        // phase spans.
+        let spans = trace.events().iter().filter(|e| e.cat == "fetch").count();
+        assert!(spans > 0, "no per-tile fetch spans recorded");
+        assert!(trace.events().iter().any(|e| e.cat == "phase"));
+        assert!(trace.events().iter().any(|e| e.cat == "mshr"));
+        assert!(trace.events().iter().any(|e| e.cat == "attr$"));
+    }
+
+    #[test]
+    fn reports_satisfy_probe_conservation() {
+        let scene = test_scene(500);
+        for r in [
+            BaselineSystem::new(SystemConfig::paper_baseline_64k()).run_frame(&scene),
+            TcorSystem::new(SystemConfig::paper_tcor_64k()).run_frame(&scene),
+        ] {
+            for s in &r.structures {
+                assert_eq!(
+                    s.stats.probes,
+                    s.stats.hits() + s.stats.misses(),
+                    "{}: probes diverge from classified accesses",
+                    s.name
+                );
+            }
+            assert_eq!(
+                r.l2_stats.writebacks,
+                r.l2_wb_blocks + r.dead_drops,
+                "L2 writeback disposal does not balance"
+            );
+        }
     }
 
     #[test]

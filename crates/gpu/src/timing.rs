@@ -36,15 +36,12 @@ pub struct MshrTiming {
 }
 
 impl MshrTiming {
-    /// Creates a timing model with `mshrs` miss registers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `mshrs` is zero (a cache always has at least one).
+    /// Creates a timing model with `mshrs` miss registers. A cache always
+    /// has at least one, so a zero request is clamped to one (a blocking
+    /// cache) instead of being a panic path.
     pub fn new(mshrs: usize) -> Self {
-        assert!(mshrs > 0, "need at least one MSHR");
         MshrTiming {
-            mshrs,
+            mshrs: mshrs.max(1),
             now: 0,
             outstanding: BinaryHeap::new(),
             issued_ops: 0,
@@ -125,6 +122,12 @@ impl MshrTiming {
     pub fn stall_cycles(&self) -> u64 {
         self.stall_cycles
     }
+
+    /// Fills currently in flight (MSHRs occupied) — the occupancy series
+    /// sampled by the timeline tracer.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
 }
 
 #[cfg(test)]
@@ -191,8 +194,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one MSHR")]
-    fn zero_mshrs_panics() {
-        MshrTiming::new(0);
+    fn zero_mshrs_clamps_to_blocking_cache() {
+        let mut zero = MshrTiming::new(0);
+        let mut one = MshrTiming::new(1);
+        for t in [&mut zero, &mut one] {
+            t.issue_miss(100);
+            t.issue_miss(100);
+        }
+        assert_eq!(zero.finish(), one.finish());
+    }
+
+    #[test]
+    fn outstanding_tracks_in_flight_fills() {
+        let mut t = MshrTiming::new(4);
+        assert_eq!(t.outstanding(), 0);
+        t.issue_miss(100);
+        t.issue_miss(100);
+        assert_eq!(t.outstanding(), 2);
+        t.bubble(200);
+        assert_eq!(t.outstanding(), 0);
     }
 }

@@ -30,6 +30,15 @@ pub struct MemoryHierarchy {
     watermark: Rc<Cell<u64>>,
     traffic: TrafficMatrix,
     dead_drops: u64,
+    /// Blocks actually written back to DRAM at the two disposal sites
+    /// (eviction and end-of-frame drain). Counted independently of the L2
+    /// engine's `writebacks` stat so the audit can check
+    /// `l2 writebacks == wb_blocks + dead_drops`.
+    wb_blocks: u64,
+    /// Parameter-Buffer blocks filled from DRAM on L2 read misses —
+    /// counted at the fill site, independently of the DRAM model's own
+    /// traffic matrix, so the audit can cross-check PB bytes from DRAM.
+    pb_fill_blocks: u64,
     l2_latency: u32,
 }
 
@@ -52,6 +61,8 @@ impl MemoryHierarchy {
             watermark,
             traffic: TrafficMatrix::default(),
             dead_drops: 0,
+            wb_blocks: 0,
+            pb_fill_blocks: 0,
             l2_latency: l2_params.latency,
         }
     }
@@ -80,6 +91,9 @@ impl MemoryHierarchy {
             // Read miss: fill from main memory. (Write misses allocate
             // without a fill read: PB writes are full-line.)
             latency += self.mem.read(block);
+            if matches!(region, Region::PbLists | Region::PbAttributes) {
+                self.pb_fill_blocks += 1;
+            }
         }
         if let Some(ev) = out.evicted {
             if ev.dirty {
@@ -88,6 +102,7 @@ impl MemoryHierarchy {
                     self.dead_drops += 1;
                 } else {
                     self.mem.write(ev.addr);
+                    self.wb_blocks += 1;
                 }
             }
         }
@@ -136,6 +151,8 @@ impl MemoryHierarchy {
         self.traffic = TrafficMatrix::default();
         self.mem.reset_counters();
         self.dead_drops = 0;
+        self.wb_blocks = 0;
+        self.pb_fill_blocks = 0;
     }
 
     /// End of frame: every remaining dirty L2 line is disposed of — the
@@ -152,6 +169,7 @@ impl MemoryHierarchy {
                     self.dead_drops += 1;
                 } else {
                     self.mem.write(ev.addr);
+                    self.wb_blocks += 1;
                 }
             }
         }
@@ -176,6 +194,16 @@ impl MemoryHierarchy {
     /// Dirty lines dropped dead without write-back (TCOR only).
     pub fn dead_drops(&self) -> u64 {
         self.dead_drops
+    }
+
+    /// Blocks written back to DRAM, counted at the disposal sites.
+    pub fn writeback_blocks(&self) -> u64 {
+        self.wb_blocks
+    }
+
+    /// Parameter-Buffer blocks filled from DRAM, counted at the fill site.
+    pub fn pb_fill_blocks(&self) -> u64 {
+        self.pb_fill_blocks
     }
 
     /// The main-memory model.
@@ -288,6 +316,58 @@ mod tests {
             assert_eq!(h.dead_drops(), expect_drops, "{mode:?}");
             assert_eq!(h.completed_tiles(), 0);
         }
+    }
+
+    #[test]
+    fn disposal_counters_balance_engine_writebacks() {
+        // The conservation invariant the audit layer checks: every dirty
+        // eviction the engine counts is either written to DRAM (wb_blocks)
+        // or dropped dead (dead_drops) — in both modes.
+        for mode in [L2Mode::Baseline, L2Mode::TcorEnhanced] {
+            let mut h = hierarchy(mode);
+            for i in 0..12 {
+                h.access(
+                    pb_block(i),
+                    AccessKind::Write,
+                    PbTag::attributes(TileRank(i as u32 % 3)),
+                );
+            }
+            h.tile_done();
+            h.tile_done(); // ranks 0 and 1 now dead
+            for i in 12..16 {
+                h.access(pb_block(i), AccessKind::Read, PbTag::NONE);
+            }
+            h.end_frame();
+            assert_eq!(
+                h.l2_stats().writebacks,
+                h.writeback_blocks() + h.dead_drops(),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pb_fill_site_matches_dram_traffic() {
+        let mut h = hierarchy(L2Mode::TcorEnhanced);
+        for i in 0..5 {
+            h.access(
+                pb_block(i),
+                AccessKind::Read,
+                PbTag::attributes(TileRank(1)),
+            );
+        }
+        h.access(
+            pb_block(0),
+            AccessKind::Read,
+            PbTag::attributes(TileRank(1)),
+        ); // hit: no fill
+        let fb = tcor_common::Address(bases::FRAME_BUFFER).block();
+        h.access(fb, AccessKind::Read, PbTag::NONE); // non-PB fill: not counted
+        assert_eq!(h.pb_fill_blocks(), 5);
+        assert_eq!(
+            h.pb_fill_blocks(),
+            h.mm_traffic().parameter_buffer().mm_reads
+        );
     }
 
     #[test]

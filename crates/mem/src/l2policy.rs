@@ -102,14 +102,17 @@ impl ReplacementPolicy for L2Policy {
     }
 
     fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
+        // An empty candidate slice cannot happen (the engine only asks for
+        // a victim in a full set), but way 0 is a safe infallible answer —
+        // no panic path survives in victim selection.
         let base = set * self.ways;
         match self.mode {
             L2PolicyMode::BaselineLru => (0..lines.len())
                 .min_by_key(|&w| self.last_touch[base + w])
-                .expect("victim called on empty set"),
+                .unwrap_or(0),
             L2PolicyMode::DeadLinePriority => (0..lines.len())
                 .min_by_key(|&w| (self.class(&lines[w]), self.last_touch[base + w]))
-                .expect("victim called on empty set"),
+                .unwrap_or(0),
         }
     }
 }
@@ -158,6 +161,74 @@ mod tests {
         wm.set(1);
         let out = l2.access(BlockAddr(5), AccessKind::Read, meta(PbTag::NONE));
         assert_eq!(out.evicted.unwrap().addr, BlockAddr(1));
+    }
+
+    #[test]
+    fn dead_line_boundary_at_watermark() {
+        // A PB line with last_use == watermark is LIVE (its tile has not
+        // completed yet); only last_use < watermark is dead. Guards the
+        // audit's OPT/deadness invariants at the off-by-one boundary.
+        let wm = Rc::new(Cell::new(0));
+        let mut l2 = tcor_l2(wm.clone());
+        l2.access(
+            BlockAddr(1),
+            AccessKind::Write,
+            meta(PbTag::attributes(TileRank(3))),
+        );
+        l2.access(
+            BlockAddr(2),
+            AccessKind::Write,
+            meta(PbTag::attributes(TileRank(4))),
+        );
+        l2.access(BlockAddr(3), AccessKind::Read, meta(PbTag::NONE));
+        l2.access(BlockAddr(4), AccessKind::Read, meta(PbTag::NONE));
+        // Tiles 0..=3 complete: rank 3 is below the watermark (dead), rank 4
+        // sits exactly on it (live).
+        wm.set(4);
+        let out = l2.access(BlockAddr(5), AccessKind::Read, meta(PbTag::NONE));
+        assert_eq!(
+            out.evicted.unwrap().addr,
+            BlockAddr(1),
+            "rank 3 < 4 is dead"
+        );
+        // Next eviction must take a non-PB line, NOT the rank-4 line: if the
+        // boundary were `<=`, block 2 would be class 0 and go first.
+        let out = l2.access(BlockAddr(6), AccessKind::Read, meta(PbTag::NONE));
+        assert_eq!(
+            out.evicted.unwrap().addr,
+            BlockAddr(3),
+            "rank == watermark must be live"
+        );
+        assert!(l2.contains(BlockAddr(2)));
+    }
+
+    #[test]
+    fn none_meta_hit_keeps_line_classified_as_pb() {
+        // Regression for the hit-path meta clobber: a requester with no PB
+        // knowledge (user word 0) hitting a tagged line must not strip its
+        // tag; the line still turns dead when its tile completes.
+        let wm = Rc::new(Cell::new(0));
+        let mut l2 = tcor_l2(wm.clone());
+        l2.access(
+            BlockAddr(1),
+            AccessKind::Write,
+            meta(PbTag::attributes(TileRank(0))),
+        );
+        l2.access(BlockAddr(2), AccessKind::Read, meta(PbTag::NONE));
+        l2.access(BlockAddr(3), AccessKind::Read, meta(PbTag::NONE));
+        l2.access(BlockAddr(4), AccessKind::Read, meta(PbTag::NONE));
+        // Tag-blind hit on the PB line (AccessMeta::NONE has user == 0).
+        assert!(
+            l2.access(BlockAddr(1), AccessKind::Read, AccessMeta::NONE)
+                .hit
+        );
+        wm.set(1);
+        let out = l2.access(BlockAddr(5), AccessKind::Read, meta(PbTag::NONE));
+        assert_eq!(
+            out.evicted.unwrap().addr,
+            BlockAddr(1),
+            "the line must still be a dead PB line, not recently-touched non-PB"
+        );
     }
 
     #[test]

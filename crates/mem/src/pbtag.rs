@@ -70,16 +70,20 @@ impl PbTag {
         }
     }
 
-    /// Packs into the engine's per-line user word.
+    /// Packs into the engine's per-line user word, exactly as the hardware
+    /// tag stores it: 2-bit kind above a 12-bit last-use tile. Ranks
+    /// beyond [`TileRank::OPT_MAX`] saturate (§III.C) — hardware has no
+    /// wider field, and anything past the screen is equally far away.
+    /// `PbTag::NONE` encodes to 0, the "no information" user word.
     pub fn encode(self) -> u64 {
-        (self.kind.code() << 32) | self.last_use.value() as u64
+        (self.kind.code() << 12) | self.last_use.saturated().value() as u64
     }
 
     /// Unpacks from the user word.
     pub fn decode(user: u64) -> Self {
         PbTag {
-            kind: PbKind::from_code(user >> 32),
-            last_use: TileRank((user & 0xFFFF_FFFF) as u32),
+            kind: PbKind::from_code((user >> 12) & 0b11),
+            last_use: TileRank((user & 0xFFF) as u32),
         }
     }
 
@@ -105,6 +109,30 @@ mod tests {
         ] {
             assert_eq!(PbTag::decode(tag.encode()), tag);
         }
+    }
+
+    #[test]
+    fn encode_saturates_at_twelve_bit_boundary() {
+        // 4095 is the last representable rank; 4096 and NEVER collapse to it.
+        assert_eq!(
+            PbTag::lists(TileRank(4095)).encode(),
+            PbTag::lists(TileRank(4096)).encode()
+        );
+        assert_eq!(
+            PbTag::decode(PbTag::attributes(TileRank::NEVER).encode()),
+            PbTag::attributes(TileRank(4095))
+        );
+        // 4094 is still distinct from the saturation point.
+        assert_ne!(
+            PbTag::lists(TileRank(4094)).encode(),
+            PbTag::lists(TileRank(4095)).encode()
+        );
+        // The kind field must survive a saturated rank (no bit overlap).
+        assert_eq!(
+            PbTag::decode(PbTag::lists(TileRank(4096)).encode()).kind,
+            PbKind::Lists
+        );
+        assert_eq!(PbTag::NONE.encode(), 0, "NONE must stay the zero word");
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//! Observability for the simulator: metric-conservation audits and
+//! Chrome-trace export of the Tiling Engine timeline.
+//!
+//! Simulators rot silently: a counter bumped at the wrong site keeps
+//! producing plausible tables. The audit module re-derives every headline
+//! quantity from two *independent* counting sites (engine-side vs
+//! hierarchy-side vs DRAM-side) and reports any imbalance as a
+//! [`Violation`] — surfaced by `tcor-sim --audit` as
+//! [`tcor_common::ErrorKind::Corruption`].
+//!
+//! The trace module renders a [`tcor_common::FrameTrace`] — collected by
+//! `run_frame_traced` — as Chrome trace-event JSON (load in
+//! `chrome://tracing` or Perfetto), via `tcor-sim --trace-out`.
+
+pub mod audit;
+pub mod chrome;
+
+pub use audit::{audit_report, Violation};
+pub use chrome::chrome_trace_json;

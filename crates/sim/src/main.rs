@@ -13,9 +13,21 @@
 //! tcor-sim all --inject-faults S deterministically inject faults from seed S
 //! tcor-sim all --resume          re-run only experiments the run manifest
 //!                                records as failed, skipped or unattempted
+//! tcor-sim all --audit           check metric-conservation invariants over
+//!                                every suite cell; violations exit 5
+//! tcor-sim --trace-out FILE      export a Chrome trace of one traced frame
 //! tcor-sim trace <alias> FILE    export a benchmark's PB trace as CSV
 //! tcor-sim bench-runner          time serial vs parallel, write BENCH_runner.json
 //! ```
+//!
+//! `--audit` re-derives every headline counter from two independent
+//! counting sites (see `tcor-obs`) after the requested experiments ran;
+//! any imbalance is corruption (exit 5). `--inject-audit-fault` tampers
+//! one counter copy first — the CI negative test that proves the audit
+//! can fail. `--trace-out` runs one additional traced frame (first
+//! benchmark, full TCOR, 64 KiB) and writes its Tiling Engine timeline
+//! as Chrome trace-event JSON for `chrome://tracing` / Perfetto; it can
+//! run standalone, with no experiments requested.
 //!
 //! Every run streams a JSON-lines telemetry log (per-job wall time,
 //! simulated counters, failures) to `results/telemetry.jsonl` — flushed
@@ -50,8 +62,9 @@ fn usage() {
         "usage: tcor-sim <experiment>... | all \
          [--csv DIR] [--jobs N] [--serial] [--check] [--update-golden] [--golden DIR] \
          [--telemetry FILE] [--job-timeout MS] [--inject-faults SEED] [--resume] \
-         [--manifest FILE] [--list]"
+         [--manifest FILE] [--audit] [--inject-audit-fault] [--trace-out FILE] [--list]"
     );
+    eprintln!("       tcor-sim --trace-out <file>     export a Chrome trace of one traced frame");
     eprintln!("       tcor-sim trace <alias> <file>   export a PB trace as CSV");
     eprintln!("       tcor-sim bench-runner [FILE]    serial-vs-parallel timing -> FILE");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
@@ -90,6 +103,71 @@ fn export_trace(alias: &str, path: &str) -> ExitCode {
     }
     eprintln!("wrote {} accesses to {path}", trace.len());
     ExitCode::SUCCESS
+}
+
+/// `--audit`: re-check every conservation invariant over all 60 suite
+/// cells (memoized — cells already computed by the experiments are
+/// reused). With `inject_fault`, one cell's counter *copy* is tampered
+/// first, so CI can prove the audit actually fails on imbalance; the
+/// simulator's own state is never touched. Returns the violation count.
+fn run_audit(
+    store: &tcor_runner::ArtifactStore,
+    inject_fault: bool,
+) -> tcor_common::TcorResult<usize> {
+    let suite = tcor_sim::orchestrate::suite_from_store(store)?;
+    let mut violations = Vec::new();
+    let mut cells = 0usize;
+    for b in &suite.benchmarks {
+        for (cfg, report) in b.cells() {
+            cells += 1;
+            violations.extend(tcor_obs::audit_report(
+                &format!("{}/{cfg}", b.profile.alias),
+                report,
+            ));
+        }
+    }
+    if inject_fault {
+        let b = &suite.benchmarks[0];
+        let mut tampered = b.tcor64.clone();
+        // A simulated bookkeeping bug: one hit recorded without a probe.
+        tampered.l2_stats.read_hits += 1;
+        violations.extend(tcor_obs::audit_report(
+            &format!("{}/tcor64 (injected fault)", b.profile.alias),
+            &tampered,
+        ));
+    }
+    for v in &violations {
+        eprintln!("audit: VIOLATION {v}");
+    }
+    eprintln!(
+        "audit: {cells} cells checked, {} violation(s)",
+        violations.len()
+    );
+    Ok(violations.len())
+}
+
+/// `--trace-out FILE`: run one traced frame (first Table II benchmark,
+/// full TCOR at the 64 KiB budget) and write its Tiling Engine timeline
+/// as Chrome trace-event JSON.
+fn export_chrome_trace(
+    store: &tcor_runner::ArtifactStore,
+    path: &std::path::Path,
+) -> tcor_common::TcorResult<()> {
+    use tcor::{SystemConfig, TcorSystem};
+    let grid = tcor_sim::orchestrate::paper_grid();
+    let profile = tcor_workloads::suite()[0];
+    let cal = tcor_sim::orchestrate::calibrated_scene(store, &profile, &grid)?;
+    let cfg = SystemConfig::paper_tcor_64k().with_raster(profile.raster_params());
+    let (report, trace) = TcorSystem::new(cfg).run_frame_traced(&cal.scene);
+    tcor_common::write_atomic(path, tcor_obs::chrome_trace_json(&trace).as_bytes())?;
+    eprintln!(
+        "trace: wrote {} events ({}/tcor64, {} cycles) to {}",
+        trace.events().len(),
+        profile.alias,
+        report.plb_cycles + report.fetch_cycles,
+        path.display()
+    );
+    Ok(())
 }
 
 /// Rendered output, per-experiment wall times, total wall time.
@@ -198,6 +276,9 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut update_golden = false;
     let mut resume = false;
+    let mut audit = false;
+    let mut inject_audit_fault = false;
+    let mut trace_out: Option<PathBuf> = None;
     let mut job_timeout: Option<Duration> = None;
     let mut fault_plan: Option<FaultPlan> = None;
     let mut i = 0;
@@ -213,8 +294,10 @@ fn main() -> ExitCode {
             "--check" => check = true,
             "--update-golden" => update_golden = true,
             "--resume" => resume = true,
+            "--audit" => audit = true,
+            "--inject-audit-fault" => inject_audit_fault = true,
             flag @ ("--csv" | "--jobs" | "--golden" | "--telemetry" | "--manifest"
-            | "--job-timeout" | "--inject-faults") => {
+            | "--job-timeout" | "--inject-faults" | "--trace-out") => {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("{flag} needs a value");
@@ -223,6 +306,7 @@ fn main() -> ExitCode {
                 };
                 match flag {
                     "--csv" => csv_dir = Some(PathBuf::from(value)),
+                    "--trace-out" => trace_out = Some(PathBuf::from(value)),
                     "--golden" => golden_dir = PathBuf::from(value),
                     "--telemetry" => telemetry_path = PathBuf::from(value),
                     "--manifest" => manifest_path = PathBuf::from(value),
@@ -255,8 +339,33 @@ fn main() -> ExitCode {
         i += 1;
     }
     if ids.is_empty() {
-        usage();
-        return ExitCode::from(2);
+        // `--trace-out` / `--audit` work standalone: no experiments, no
+        // run manifest — just the memoized cells they need.
+        if trace_out.is_none() && !audit {
+            usage();
+            return ExitCode::from(2);
+        }
+        let store = tcor_runner::ArtifactStore::new();
+        if let Some(path) = &trace_out {
+            if let Err(e) = export_chrome_trace(&store, path) {
+                eprintln!("{e}");
+                return exit_for(&e);
+            }
+        }
+        if audit {
+            match run_audit(&store, inject_audit_fault) {
+                Ok(0) => {}
+                Ok(n) => {
+                    eprintln!("--audit: {n} conservation violation(s) — counters are corrupt");
+                    return ExitCode::from(EXIT_CORRUPTION);
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return exit_for(&e);
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     // The run manifest: resumed runs keep the previous record and only
@@ -446,6 +555,26 @@ fn main() -> ExitCode {
         }
         eprintln!("(re-run with --resume to re-execute only the failed experiments)");
         return ExitCode::from(EXIT_CELL_FAILURE);
+    }
+    if let Some(path) = &trace_out {
+        if let Err(e) = export_chrome_trace(&store, path) {
+            eprintln!("{e}");
+            return exit_for(&e);
+        }
+    }
+    let mut audit_violations = 0usize;
+    if audit {
+        match run_audit(&store, inject_audit_fault) {
+            Ok(n) => audit_violations = n,
+            Err(e) => {
+                eprintln!("{e}");
+                return exit_for(&e);
+            }
+        }
+    }
+    if audit_violations > 0 {
+        eprintln!("--audit: {audit_violations} conservation violation(s) — counters are corrupt");
+        return ExitCode::from(EXIT_CORRUPTION);
     }
     if corrupt > 0 {
         eprintln!("--check: {corrupt} golden table(s) are corrupt (tampered or damaged)");

@@ -30,6 +30,21 @@ pub struct BenchmarkRun {
     pub tcor128: FrameReport,
 }
 
+impl BenchmarkRun {
+    /// The six cell reports paired with their [`CELL_CONFIGS`] names, in
+    /// field order — the iteration surface of the audit layer.
+    pub fn cells(&self) -> [(&'static str, &FrameReport); 6] {
+        [
+            ("base64", &self.base64),
+            ("tcor_nol2_64", &self.tcor_nol2_64),
+            ("tcor64", &self.tcor64),
+            ("base128", &self.base128),
+            ("tcor_nol2_128", &self.tcor_nol2_128),
+            ("tcor128", &self.tcor128),
+        ]
+    }
+}
+
 /// The whole suite.
 #[derive(Clone, Debug)]
 pub struct SuiteRun {
