@@ -26,6 +26,14 @@ cargo test --workspace -q
 echo "== golden check (headline)"
 cargo run --release -q -p tcor-sim -- headline --check --telemetry /tmp/tcor-ci-telemetry.jsonl >/dev/null
 
+echo "== golden check (miss curves, single-pass engine)"
+# The single-pass miss-curve engine (OPT stack profiling + banked
+# policy simulation, see DESIGN.md) must reproduce every miss-curve
+# figure bit-for-bit against the goldens recorded under the
+# per-capacity replay engine. Drift exits 4.
+cargo run --release -q -p tcor-sim -- fig1 fig11 fig12 fig13 fig13x --check \
+  --telemetry /tmp/tcor-ci-telemetry.jsonl >/dev/null
+
 echo "== metric-conservation audit (clean, then injected counter fault)"
 # The audit re-derives every headline counter from two independent
 # counting sites over all 60 suite cells (see crates/obs). A clean tree

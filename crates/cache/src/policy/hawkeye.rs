@@ -17,8 +17,7 @@
 use super::ReplacementPolicy;
 use crate::cache::Line;
 use crate::meta::AccessMeta;
-use std::collections::HashMap;
-use tcor_common::BlockAddr;
+use tcor_common::{BlockAddr, FxHashMap};
 
 /// Length of the per-set OPTgen history window (in set accesses).
 const WINDOW: usize = 64;
@@ -37,7 +36,7 @@ struct OptGen {
     /// Occupancy at each quantum of the window (older entries first).
     occupancy: Vec<u8>,
     /// Last window position each block was accessed at, by block.
-    last_access: HashMap<BlockAddr, usize>,
+    last_access: FxHashMap<BlockAddr, usize>,
     /// Monotonic access count for this set.
     time: usize,
 }
@@ -85,7 +84,7 @@ impl OptGen {
 pub struct Hawkeye {
     optgen: Vec<OptGen>,
     /// Region (addr >> 6) -> saturating friendliness counter.
-    predictor: HashMap<u64, i8>,
+    predictor: FxHashMap<u64, i8>,
     /// Per-line age (RRIP-like) and training region.
     age: Vec<u8>,
     region: Vec<u64>,
@@ -182,6 +181,28 @@ pub fn simulate_hawkeye(
         cache.access(a.addr, a.kind, AccessMeta::with_user(u64::MAX, a.addr.0));
     }
     *cache.stats()
+}
+
+/// Streams one trace through a bank of independent Hawkeye caches — one
+/// per geometry — in a single pass, returning the stats in geometry
+/// order. Each instance sees exactly the access sequence
+/// [`simulate_hawkeye`] would feed it, so the results are bit-identical;
+/// only the trace iteration is shared.
+pub fn simulate_hawkeye_bank(
+    trace: &[crate::trace::Access],
+    geometries: &[tcor_common::CacheParams],
+) -> Vec<tcor_common::AccessStats> {
+    let mut caches: Vec<_> = geometries
+        .iter()
+        .map(|&p| crate::cache::Cache::new(p, crate::index::Indexing::Modulo, Hawkeye::new()))
+        .collect();
+    for a in trace {
+        let meta = AccessMeta::with_user(u64::MAX, a.addr.0);
+        for cache in &mut caches {
+            cache.access(a.addr, a.kind, meta);
+        }
+    }
+    caches.iter().map(|c| *c.stats()).collect()
 }
 
 #[cfg(test)]

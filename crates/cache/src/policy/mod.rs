@@ -24,7 +24,7 @@ mod rrip;
 
 pub use dip::{Bip, Dip, Lip};
 pub use fifo::Fifo;
-pub use hawkeye::{simulate_hawkeye, Hawkeye};
+pub use hawkeye::{simulate_hawkeye, simulate_hawkeye_bank, Hawkeye};
 pub use lru::{Lru, Mru};
 pub use nru::Nru;
 pub use opt::Opt;

@@ -2,15 +2,25 @@
 //!
 //! * [`LruStackProfiler`] — Mattson's stack algorithm: one pass over the
 //!   trace yields the LRU miss count for *every* capacity simultaneously.
-//! * [`opt_miss_curve`] / [`opt_misses`] — exact fully-associative
-//!   Belady-OPT simulation per capacity (O(n log n) each).
-//! * [`simulate_policy`] — direct simulation of any policy on any geometry
-//!   (used for the set-associative sweeps of Figs. 12–13).
+//! * [`OptStackProfiler`] — the same single-pass trick for Belady-OPT
+//!   (also a stack algorithm under its fixed priority order).
+//! * [`opt_misses`] / [`opt_misses_annotated`] — exact fully-associative
+//!   Belady-OPT replay, one capacity per pass (the retained reference
+//!   implementation the profiler is tested against).
+//! * [`simulate_policy`] / [`simulate_policy_annotated`] — direct
+//!   simulation of any policy on any geometry.
+//! * [`simulate_policy_bank`] — one trace pass through a bank of cache
+//!   instances (all capacities of one policy per pass), for the
+//!   set-associative sweeps of Figs. 12–13.
 
 mod opt;
+mod optstack;
 mod stack;
 
-pub use opt::{opt_miss_curve, opt_misses};
+#[allow(deprecated)]
+pub use opt::opt_miss_curve;
+pub use opt::{opt_misses, opt_misses_annotated};
+pub use optstack::OptStackProfiler;
 pub use stack::LruStackProfiler;
 
 use crate::cache::Cache;
@@ -24,7 +34,9 @@ use tcor_common::{AccessStats, CacheParams};
 /// `policy`, returning the statistics.
 ///
 /// When `oracle` is `true`, every access carries its exact next-use
-/// position (required for OPT; harmless for history-based policies).
+/// position (required for OPT; harmless for history-based policies). The
+/// annotation is computed here; callers that already hold one should use
+/// [`simulate_policy_annotated`].
 pub fn simulate_policy<P: ReplacementPolicy>(
     trace: &[Access],
     params: CacheParams,
@@ -32,18 +44,68 @@ pub fn simulate_policy<P: ReplacementPolicy>(
     policy: P,
     oracle: bool,
 ) -> AccessStats {
-    let mut cache = Cache::new(params, indexing, policy);
     if oracle {
-        let next = annotate_next_use(trace);
-        for (a, nu) in trace.iter().zip(&next) {
-            cache.access(a.addr, a.kind, AccessMeta::next_use(*nu));
-        }
+        simulate_policy_annotated(trace, &annotate_next_use(trace), params, indexing, policy)
     } else {
+        let mut cache = Cache::new(params, indexing, policy);
         for a in trace {
             cache.access(a.addr, a.kind, AccessMeta::NONE);
         }
+        *cache.stats()
+    }
+}
+
+/// [`simulate_policy`] in oracle mode with a precomputed
+/// [`annotate_next_use`] annotation — the per-capacity loops of the miss
+/// curve experiments annotate each benchmark once and share it.
+pub fn simulate_policy_annotated<P: ReplacementPolicy>(
+    trace: &[Access],
+    next: &[u64],
+    params: CacheParams,
+    indexing: Indexing,
+    policy: P,
+) -> AccessStats {
+    debug_assert_eq!(trace.len(), next.len(), "annotation must match trace");
+    let mut cache = Cache::new(params, indexing, policy);
+    for (a, nu) in trace.iter().zip(next) {
+        cache.access(a.addr, a.kind, AccessMeta::next_use(*nu));
     }
     *cache.stats()
+}
+
+/// Streams one trace through a bank of independent caches — one per
+/// geometry, each with a fresh policy from `make_policy` — in a single
+/// pass, returning stats in geometry order.
+///
+/// Each instance sees exactly the access/metadata sequence
+/// [`simulate_policy`] would feed it (`next = None` ≙ `oracle = false`),
+/// so results are bit-identical; only the trace iteration and the
+/// annotation are shared. This turns the per-(policy, capacity) replays
+/// of `policy_curve` into one pass per policy.
+pub fn simulate_policy_bank<P: ReplacementPolicy>(
+    trace: &[Access],
+    next: Option<&[u64]>,
+    geometries: &[CacheParams],
+    indexing: Indexing,
+    mut make_policy: impl FnMut() -> P,
+) -> Vec<AccessStats> {
+    if let Some(next) = next {
+        debug_assert_eq!(trace.len(), next.len(), "annotation must match trace");
+    }
+    let mut caches: Vec<_> = geometries
+        .iter()
+        .map(|&p| Cache::new(p, indexing, make_policy()))
+        .collect();
+    for (i, a) in trace.iter().enumerate() {
+        let meta = match next {
+            Some(next) => AccessMeta::next_use(next[i]),
+            None => AccessMeta::NONE,
+        };
+        for cache in &mut caches {
+            cache.access(a.addr, a.kind, meta);
+        }
+    }
+    caches.iter().map(|c| *c.stats()).collect()
 }
 
 #[cfg(test)]
@@ -185,6 +247,103 @@ mod tests {
             }
             for w in opt.windows(2) {
                 assert!(w[0] >= w[1]);
+            }
+        }
+    }
+
+    /// Tentpole equivalence: the single-pass OPT stack profiler matches
+    /// the retained per-capacity replay pointwise at *every* capacity,
+    /// across ≥ 100 randomized traces (including write-mixed ones — OPT
+    /// profiling is kind-blind under write-allocate).
+    #[test]
+    fn prop_opt_stack_profiler_equals_replay_everywhere() {
+        let mut rng = SmallRng::seed_from_u64(0x0971);
+        let mut checked = 0usize;
+        for mut trace in random_traces(0x57ACC, 128, 24, 250) {
+            // Flip ~1/4 of accesses to writes.
+            for a in trace.iter_mut() {
+                if rng.random_range(0..4u32) == 0 {
+                    *a = Access::write(a.addr);
+                }
+            }
+            let next = annotate_next_use(&trace);
+            let prof = OptStackProfiler::profile(&trace, &next);
+            let distinct = crate::trace::distinct_blocks(&trace);
+            for c in 0..=(distinct + 2) {
+                assert_eq!(
+                    prof.misses_at(c),
+                    opt::opt_misses_annotated(&trace, &next, c),
+                    "capacity {c}"
+                );
+            }
+            assert_eq!(prof.total_accesses(), trace.len() as u64);
+            assert_eq!(prof.distinct_blocks(), distinct);
+            checked += 1;
+        }
+        assert!(checked >= 100, "property needs >= 100 randomized traces");
+    }
+
+    /// Tentpole equivalence: the batched multi-geometry driver produces
+    /// bit-identical stats to per-config [`simulate_policy`] for both
+    /// oracle (OPT) and history (LRU/DRRIP) policies, across ≥ 100
+    /// randomized traces.
+    #[test]
+    fn prop_bank_equals_per_config() {
+        let geoms: Vec<CacheParams> = [(1u64, 1u32), (4, 2), (8, 4), (8, 0), (16, 4), (32, 0)]
+            .iter()
+            .map(|&(lines, ways)| params(lines, ways))
+            .collect();
+        let mut checked = 0usize;
+        for trace in random_traces(0xBA2B, 112, 20, 200) {
+            let next = annotate_next_use(&trace);
+            let banked_opt =
+                simulate_policy_bank(&trace, Some(&next), &geoms, Indexing::Modulo, Opt::new);
+            let banked_lru = simulate_policy_bank(&trace, None, &geoms, Indexing::Modulo, Lru::new);
+            let banked_drrip = simulate_policy_bank(&trace, None, &geoms, Indexing::Modulo, || {
+                crate::policy::by_name("drrip")
+            });
+            for (g, &p) in geoms.iter().enumerate() {
+                let solo_opt = simulate_policy(&trace, p, Indexing::Modulo, Opt::new(), true);
+                let solo_lru = simulate_policy(&trace, p, Indexing::Modulo, Lru::new(), false);
+                let solo_drrip = simulate_policy(
+                    &trace,
+                    p,
+                    Indexing::Modulo,
+                    crate::policy::by_name("drrip"),
+                    false,
+                );
+                assert_eq!(banked_opt[g], solo_opt, "opt geometry {g}");
+                assert_eq!(banked_lru[g], solo_lru, "lru geometry {g}");
+                assert_eq!(banked_drrip[g], solo_drrip, "drrip geometry {g}");
+            }
+            checked += 1;
+        }
+        assert!(checked >= 100, "property needs >= 100 randomized traces");
+    }
+
+    /// Belady optimality through the new single-pass path: OPT ≤ LRU at
+    /// every capacity, both sides read off their stack profilers.
+    #[test]
+    fn prop_profiler_opt_below_profiler_lru() {
+        for trace in random_traces(0x0BE1ADE, 64, 18, 200) {
+            let next = annotate_next_use(&trace);
+            let opt = OptStackProfiler::profile(&trace, &next);
+            let mut lru = LruStackProfiler::new();
+            for a in &trace {
+                lru.record(a.addr);
+            }
+            for c in 1..=20usize {
+                assert!(
+                    opt.misses_at(c) <= lru.misses_at(c),
+                    "OPT {} > LRU {} at capacity {c}",
+                    opt.misses_at(c),
+                    lru.misses_at(c)
+                );
+            }
+            let caps: Vec<usize> = (1..=20).collect();
+            let curve: Vec<u64> = caps.iter().map(|&c| opt.misses_at(c)).collect();
+            for w in curve.windows(2) {
+                assert!(w[0] >= w[1], "OPT profiler curve must be non-increasing");
             }
         }
     }

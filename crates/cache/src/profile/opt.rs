@@ -12,11 +12,24 @@ use tcor_common::BlockAddr;
 /// future; never-again lines first).
 ///
 /// Returns `trace.len()` for zero capacity.
+///
+/// Annotates the trace internally; callers that already hold the
+/// annotation (or need several capacities) should use
+/// [`opt_misses_annotated`] or [`super::OptStackProfiler`].
 pub fn opt_misses(trace: &[Access], capacity_lines: usize) -> u64 {
     if capacity_lines == 0 {
         return trace.len() as u64;
     }
-    let next = annotate_next_use(trace);
+    opt_misses_annotated(trace, &annotate_next_use(trace), capacity_lines)
+}
+
+/// [`opt_misses`] with a precomputed [`annotate_next_use`] annotation, so
+/// multi-capacity callers annotate once instead of once per capacity.
+pub fn opt_misses_annotated(trace: &[Access], next: &[u64], capacity_lines: usize) -> u64 {
+    debug_assert_eq!(trace.len(), next.len(), "annotation must match trace");
+    if capacity_lines == 0 {
+        return trace.len() as u64;
+    }
     // Resident set keyed by (next_use, block): max element = farthest.
     let mut resident: BTreeSet<(u64, BlockAddr)> = BTreeSet::new();
     let mut misses = 0u64;
@@ -38,10 +51,22 @@ pub fn opt_misses(trace: &[Access], capacity_lines: usize) -> u64 {
     misses
 }
 
-/// OPT miss counts for several capacities (in lines). Convenience wrapper
-/// over [`opt_misses`].
+/// OPT miss counts for several capacities (in lines).
+///
+/// Annotates the trace once and replays per capacity (it used to
+/// re-annotate for every capacity). Kept for API compatibility, but a
+/// single [`super::OptStackProfiler`] pass computes the same curve for
+/// *all* capacities at once.
+#[deprecated(
+    since = "0.4.0",
+    note = "use OptStackProfiler: one pass yields every capacity"
+)]
 pub fn opt_miss_curve(trace: &[Access], capacities: &[usize]) -> Vec<u64> {
-    capacities.iter().map(|&c| opt_misses(trace, c)).collect()
+    let next = annotate_next_use(trace);
+    capacities
+        .iter()
+        .map(|&c| opt_misses_annotated(trace, &next, c))
+        .collect()
 }
 
 #[cfg(test)]
@@ -86,11 +111,21 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn curve_matches_pointwise() {
         let t = reads(&[1, 2, 3, 1, 2, 3]);
         assert_eq!(
             opt_miss_curve(&t, &[1, 2, 3]),
             vec![opt_misses(&t, 1), opt_misses(&t, 2), opt_misses(&t, 3)]
         );
+    }
+
+    #[test]
+    fn annotated_entry_point_matches_self_annotating_one() {
+        let t = reads(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]);
+        let next = annotate_next_use(&t);
+        for c in 0..8 {
+            assert_eq!(opt_misses_annotated(&t, &next, c), opt_misses(&t, c));
+        }
     }
 }

@@ -1,0 +1,491 @@
+//! Single-pass Belady-OPT stack profiling.
+//!
+//! OPT with a fixed priority order over blocks is a *stack algorithm* in
+//! Mattson's sense (the paper's ref \[27\]), exactly like LRU: the content
+//! of a C-line fully-associative OPT cache is always a subset of the
+//! (C+1)-line one. So, as with [`super::LruStackProfiler`], one pass over
+//! the trace yields the exact miss count at **every** capacity
+//! simultaneously — replacing |capacities| independent replays.
+//!
+//! # The OPT stack
+//!
+//! Order blocks by the key `(next_use, addr)` — smaller is sooner/more
+//! valuable; eviction removes the maximum (the exact rule of
+//! [`super::opt_misses`], so the two agree bit-for-bit). Maintain the
+//! Mattson stack `b_1, b_2, …` where `b_C` is the unique block in
+//! `S_C \ S_{C-1}` (`S_C` = content of the C-line cache). An access to a
+//! block sitting at depth `d` hits in every cache with at least `d` lines
+//! and misses in the rest, so a histogram of access depths gives the whole
+//! miss curve.
+//!
+//! On an access to `x` at depth `d`, the stack updates by the classic
+//! priority-stack cascade: `x` moves to the top, a carry starts as the old
+//! top, and walking down to depth `d` every *prefix maximum* of the key
+//! sequence swaps with the carry; depth `d` receives the final carry. A
+//! cold miss cascades through the whole stack and appends the carry at the
+//! bottom.
+//!
+//! # Why runs
+//!
+//! The min/max cascade is one bubble-sort sweep per access, so the stack
+//! converges toward ascending key order — and in a sorted region *every*
+//! slot is a prefix maximum, making any slot-by-slot walk Θ(depth) per
+//! access (quadratic over a trace). This implementation therefore stores
+//! the stack as its sequence of **maximal ascending runs** (each a
+//! `BTreeSet` of packed keys), where the cascade is cheap in exactly the
+//! regime that defeats the naive walk:
+//!
+//! * Within one ascending run, the prefix maxima that exceed the carry
+//!   are a contiguous suffix, and rotating the carry through them is
+//!   *insert carry, spill the run's max* — two O(log) set operations that
+//!   leave the run's size (hence every deeper slot index) unchanged.
+//! * Runs whose max is below the carry are skipped in O(1).
+//! * The accessed block's stored key is `(now, addr)` — necessarily the
+//!   **global minimum** live key (every other resident's next use is
+//!   later) — so `x` is always its run's minimum: its depth is just the
+//!   sum of the sizes of the runs above it, and removing it is
+//!   `pop_first`.
+//!
+//! A fully sorted stack is a single run (the cascade degenerates to one
+//! insert + one spill); a churning top creates and destroys small head
+//! runs. Each access costs O((runs + spills) · log n).
+//!
+//! # Dead keys are fungible
+//!
+//! A block whose next use is `u64::MAX` is never referenced again, so its
+//! key only ever acts as *ballast*: a dead key exceeds every live key, a
+//! cascading dead carry can displace only other dead keys, and a live
+//! key's depth is never affected by **which** dead key occupies a deeper
+//! slot. The tiebreak between dead keys is therefore ours to choose, and
+//! choosing badly fragments the stack: real addresses arrive in an order
+//! uncorrelated with stack order, minting a fresh singleton run per
+//! last-touch access. Instead dead keys are minted with a strictly
+//! *decreasing* synthetic sequence number: each new dead key is the
+//! smallest dead key so far (merging into the head run), and the spill
+//! chain sinks the largest dead keys downward (merging into the run above
+//! the destination), so the dead pile stays a handful of runs. Miss
+//! counts are bit-identical to the replay's real-address tiebreak.
+
+use std::collections::BTreeSet;
+use tcor_common::{BlockAddr, FxHashMap};
+
+/// Keys at or above this are dead: `(u64::MAX, _)`.
+const DEAD_MIN: u128 = (u64::MAX as u128) << 64;
+
+#[inline]
+fn pack(next_use: u64, addr: BlockAddr) -> u128 {
+    ((next_use as u128) << 64) | addr.0 as u128
+}
+
+#[inline]
+fn unpack_addr(key: u128) -> BlockAddr {
+    BlockAddr(key as u64)
+}
+
+/// Incremental Belady-OPT stack profiler: one [`record`] call per access
+/// (with its exact next-use annotation) yields [`misses_at`] for every
+/// capacity, mirroring the [`super::LruStackProfiler`] API.
+///
+/// `next_use` values must be the absolute trace positions produced by
+/// [`crate::trace::annotate_next_use`] (`u64::MAX` = never again),
+/// consistent with the profiler's own access counter.
+///
+/// ```
+/// use tcor_cache::profile::OptStackProfiler;
+/// use tcor_cache::{annotate_next_use, Access};
+/// use tcor_common::BlockAddr;
+///
+/// // Belady textbook: a b c a b in 2 lines -> 4 misses.
+/// let t: Vec<Access> = [1u64, 2, 3, 1, 2]
+///     .iter()
+///     .map(|&b| Access::read(BlockAddr(b)))
+///     .collect();
+/// let p = OptStackProfiler::profile(&t, &annotate_next_use(&t));
+/// assert_eq!(p.misses_at(2), 4);
+/// assert_eq!(p.misses_at(3), 3);
+/// ```
+///
+/// [`record`]: OptStackProfiler::record
+/// [`misses_at`]: OptStackProfiler::misses_at
+#[derive(Clone, Debug)]
+pub struct OptStackProfiler {
+    /// Run storage (slab; entries recycled through `free`).
+    runs: Vec<BTreeSet<u128>>,
+    /// Stack order: run ids top-to-bottom. Within a run, ascending key
+    /// order *is* stack order; between runs the key sequence descends.
+    order: Vec<u32>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
+    /// Live block -> id of the run currently holding its key. Dead keys
+    /// are untracked: they are never looked up again.
+    pos: FxHashMap<BlockAddr, u32>,
+    /// Next synthetic low-64 bits for a dead key; counts down so each
+    /// new dead key is the smallest dead key so far.
+    dead_seq: u64,
+    /// Histogram: `hist[d]` = accesses at stack depth exactly `d`
+    /// (index 0 unused; grown on demand).
+    hist: Vec<u64>,
+    /// Cold (first-touch) accesses.
+    cold: u64,
+    /// Total accesses recorded.
+    total: u64,
+    /// Diagnostic: widest run decomposition seen (should stay small).
+    max_runs: usize,
+}
+
+impl Default for OptStackProfiler {
+    fn default() -> Self {
+        Self {
+            runs: Vec::new(),
+            order: Vec::new(),
+            free: Vec::new(),
+            pos: FxHashMap::default(),
+            dead_seq: u64::MAX,
+            hist: Vec::new(),
+            cold: 0,
+            total: 0,
+            max_runs: 0,
+        }
+    }
+}
+
+impl OptStackProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Profiles a fully annotated trace in one pass.
+    pub fn profile(trace: &[crate::trace::Access], next: &[u64]) -> Self {
+        debug_assert_eq!(trace.len(), next.len(), "annotation must match trace");
+        let mut p = Self::new();
+        for (a, &nu) in trace.iter().zip(next) {
+            p.record(a.addr, nu);
+        }
+        p
+    }
+
+    /// Total accesses recorded so far.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Cold (compulsory) misses — first touches.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Number of distinct blocks seen (every first touch is one cold
+    /// miss).
+    pub fn distinct_blocks(&self) -> usize {
+        self.cold as usize
+    }
+
+    /// Diagnostic: the largest number of ascending runs the stack ever
+    /// decomposed into. Per-access cost is linear in this, so it should
+    /// stay far below the stack size.
+    pub fn max_runs(&self) -> usize {
+        self.max_runs
+    }
+
+    /// Allocates an empty run.
+    fn new_run(&mut self) -> u32 {
+        if let Some(id) = self.free.pop() {
+            id
+        } else {
+            self.runs.push(BTreeSet::new());
+            (self.runs.len() - 1) as u32
+        }
+    }
+
+    /// Inserts `key` into run `id`, tracking the owner block of live
+    /// keys (dead keys are never looked up again).
+    fn insert_into(&mut self, id: u32, key: u128) {
+        self.runs[id as usize].insert(key);
+        if key < DEAD_MIN {
+            self.pos.insert(unpack_addr(key), id);
+        }
+    }
+
+    /// Removes the top of the stack (the first run's minimum). Returns
+    /// the key; drops the run from the order if it emptied.
+    fn pop_top(&mut self) -> u128 {
+        let first = self.order[0];
+        let key = self.runs[first as usize]
+            .pop_first()
+            .expect("runs in order are nonempty");
+        if self.runs[first as usize].is_empty() {
+            self.order.remove(0);
+            self.free.push(first);
+        }
+        key
+    }
+
+    /// Cascades `carry` through the runs at order positions `0..end`:
+    /// each run whose max exceeds the carry absorbs it and spills its
+    /// max. Returns the final carry (the prefix maximum of the region).
+    fn cascade(&mut self, mut carry: u128, end: usize) -> u128 {
+        for i in 0..end {
+            let id = self.order[i];
+            if self.runs[id as usize]
+                .last()
+                .is_some_and(|&max| max > carry)
+            {
+                self.insert_into(id, carry);
+                carry = self.runs[id as usize].pop_last().expect("nonempty run");
+            }
+        }
+        carry
+    }
+
+    /// Places the new top-of-stack key: merge into the first run when
+    /// ascending order allows, else open a new head run.
+    fn place_top(&mut self, key: u128) {
+        match self.order.first() {
+            Some(&first)
+                if self.runs[first as usize]
+                    .first()
+                    .is_some_and(|&min| key < min) =>
+            {
+                self.insert_into(first, key);
+            }
+            _ => {
+                let id = self.new_run();
+                self.insert_into(id, key);
+                self.order.insert(0, id);
+            }
+        }
+    }
+
+    /// Places the cascade's final carry at the stack slot preceding the
+    /// remainder of the run at order position `idx` (the accessed
+    /// block's old slot): absorb into the neighboring run that keeps
+    /// ascending order, else open a run of its own there.
+    fn place_carry(&mut self, idx: usize, carry: u128) {
+        if idx > 0 {
+            let prev = self.order[idx - 1];
+            if self.runs[prev as usize]
+                .last()
+                .is_some_and(|&max| max < carry)
+            {
+                self.insert_into(prev, carry);
+                return;
+            }
+        }
+        if let Some(&next) = self.order.get(idx) {
+            if self.runs[next as usize]
+                .first()
+                .is_some_and(|&min| carry < min)
+            {
+                self.insert_into(next, carry);
+                return;
+            }
+        }
+        let id = self.new_run();
+        self.insert_into(id, carry);
+        self.order.insert(idx, id);
+    }
+
+    /// Records an access to `addr` whose next use is at absolute position
+    /// `next_use` (`u64::MAX` = never again).
+    pub fn record(&mut self, addr: BlockAddr, next_use: u64) {
+        self.total += 1;
+        self.max_runs = self.max_runs.max(self.order.len());
+        let hit = if next_use == u64::MAX {
+            // Last touch: the block leaves the live index and re-enters
+            // the stack as a fungible dead key (see module docs).
+            self.pos.remove(&addr)
+        } else {
+            self.pos.get(&addr).copied()
+        };
+        let new_key = if next_use == u64::MAX {
+            let key = pack(u64::MAX, BlockAddr(self.dead_seq));
+            self.dead_seq -= 1;
+            key
+        } else {
+            pack(next_use, addr)
+        };
+        match hit {
+            None => {
+                self.cold += 1;
+                if !self.order.is_empty() {
+                    let top = self.pop_top();
+                    let carry = self.cascade(top, self.order.len());
+                    // New bottom: the carry is the global maximum after a
+                    // full cascade, so it extends the last run.
+                    self.place_carry(self.order.len(), carry);
+                }
+                self.place_top(new_key);
+            }
+            Some(r) => {
+                let idx = self
+                    .order
+                    .iter()
+                    .position(|&id| id == r)
+                    .expect("tracked block's run is in the order");
+                // `addr`'s stored key is (now, addr) — the global minimum
+                // live key — so it is its run's minimum and its depth is
+                // the mass of the runs above plus one.
+                let depth = 1 + self.order[..idx]
+                    .iter()
+                    .map(|&id| self.runs[id as usize].len())
+                    .sum::<usize>();
+                if depth >= self.hist.len() {
+                    self.hist.resize(depth + 1, 0);
+                }
+                self.hist[depth] += 1;
+                if idx == 0 {
+                    // Top-of-stack hit: refresh in place.
+                    let old = self.pop_top();
+                    debug_assert_eq!(unpack_addr(old), addr, "top must be the accessed block");
+                } else {
+                    let top = self.pop_top();
+                    // The head run may have emptied and shifted us left.
+                    let idx = self
+                        .order
+                        .iter()
+                        .position(|&id| id == r)
+                        .expect("accessed run survives the top pop");
+                    let carry = self.cascade(top, idx);
+                    let old = self.runs[r as usize]
+                        .pop_first()
+                        .expect("accessed run is nonempty");
+                    debug_assert_eq!(unpack_addr(old), addr, "block must head its run");
+                    if self.runs[r as usize].is_empty() {
+                        self.order.remove(idx);
+                        self.free.push(r);
+                    }
+                    // Either way the carry lands at order position `idx`:
+                    // before the run's remainder, or where the run was.
+                    self.place_carry(idx, carry);
+                }
+                self.place_top(new_key);
+            }
+        }
+    }
+
+    /// Miss count of a fully-associative Belady-OPT cache with
+    /// `capacity_lines` lines over everything recorded so far.
+    pub fn misses_at(&self, capacity_lines: usize) -> u64 {
+        if capacity_lines == 0 {
+            return self.total;
+        }
+        let far: u64 = self.hist.iter().skip(capacity_lines + 1).sum();
+        self.cold + far
+    }
+
+    /// Miss ratio at `capacity_lines` (0.0 when no accesses recorded).
+    pub fn miss_ratio_at(&self, capacity_lines: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.misses_at(capacity_lines) as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::opt_misses;
+    use crate::trace::{annotate_next_use, Access};
+
+    fn reads(seq: &[u64]) -> Vec<Access> {
+        seq.iter().map(|&b| Access::read(BlockAddr(b))).collect()
+    }
+
+    fn profile(seq: &[u64]) -> OptStackProfiler {
+        let t = reads(seq);
+        OptStackProfiler::profile(&t, &annotate_next_use(&t))
+    }
+
+    #[test]
+    fn belady_textbook_example() {
+        let p = profile(&[1, 2, 3, 1, 2]);
+        assert_eq!(p.misses_at(1), 5);
+        assert_eq!(p.misses_at(2), 4);
+        assert_eq!(p.misses_at(3), 3);
+        assert_eq!(p.misses_at(100), 3);
+        assert_eq!(p.cold_misses(), 3);
+        assert_eq!(p.total_accesses(), 5);
+        assert_eq!(p.distinct_blocks(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_misses_everything() {
+        let p = profile(&[1, 1, 1]);
+        assert_eq!(p.misses_at(0), 3);
+        assert_eq!(p.misses_at(1), 1);
+    }
+
+    #[test]
+    fn empty_profiler() {
+        let p = OptStackProfiler::new();
+        assert_eq!(p.misses_at(4), 0);
+        assert_eq!(p.miss_ratio_at(4), 0.0);
+        assert_eq!(p.distinct_blocks(), 0);
+    }
+
+    #[test]
+    fn matches_replay_on_fixed_traces() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![1, 2, 3, 1, 2],
+            vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4],
+            (0..5u64).cycle().take(50).collect(),
+            // Scan-heavy: long dead tails in the bottom runs.
+            (0..100u64).chain(0..100u64).collect(),
+            // Pure scan: everything dead immediately.
+            (0..64u64).collect(),
+            // Write-then-read phases like the PB traces: sequential
+            // writes, then strided reads.
+            (0..50u64).chain((0..50u64).map(|i| (i * 7) % 50)).collect(),
+        ];
+        for seq in cases {
+            let t = reads(&seq);
+            let p = OptStackProfiler::profile(&t, &annotate_next_use(&t));
+            for c in 0..=(seq.len() + 1) {
+                assert_eq!(
+                    p.misses_at(c),
+                    opt_misses(&t, c),
+                    "capacity {c} on trace {seq:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn miss_ratio_is_misses_over_total() {
+        let p = profile(&[1, 2, 3, 1, 2]);
+        assert!((p.miss_ratio_at(2) - 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survives_large_footprints() {
+        // Enough distinct blocks and accesses to exercise run churn,
+        // slab recycling, and deep stacks.
+        let seq: Vec<u64> = (0..2000).map(|i| (i * i) % 307).collect();
+        let t = reads(&seq);
+        let p = OptStackProfiler::profile(&t, &annotate_next_use(&t));
+        for c in [1usize, 3, 17, 64, 100, 307, 400] {
+            assert_eq!(p.misses_at(c), opt_misses(&t, c), "capacity {c}");
+        }
+        // i^2 mod 307 only hits the quadratic residues (and 0).
+        assert_eq!(p.distinct_blocks(), crate::trace::distinct_blocks(&t));
+        assert!(p.distinct_blocks() > 64);
+    }
+
+    #[test]
+    fn incremental_and_batch_agree() {
+        let seq = [7u64, 3, 7, 1, 3, 9, 7, 1];
+        let t = reads(&seq);
+        let next = annotate_next_use(&t);
+        let batch = OptStackProfiler::profile(&t, &next);
+        let mut inc = OptStackProfiler::new();
+        for (a, &nu) in t.iter().zip(&next) {
+            inc.record(a.addr, nu);
+        }
+        for c in 0..10 {
+            assert_eq!(batch.misses_at(c), inc.misses_at(c));
+        }
+    }
+}

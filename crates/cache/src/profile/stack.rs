@@ -10,8 +10,7 @@
 //! Distances are computed in O(log n) per access with a Fenwick tree over
 //! trace positions, marking each block's most recent access.
 
-use std::collections::HashMap;
-use tcor_common::BlockAddr;
+use tcor_common::{BlockAddr, FxHashMap};
 
 /// Incremental LRU stack-distance profiler.
 ///
@@ -32,7 +31,7 @@ pub struct LruStackProfiler {
     /// Fenwick tree over positions: 1 where a block's latest access sits.
     tree: Vec<u64>,
     /// Block -> position of its latest access.
-    last_pos: HashMap<BlockAddr, usize>,
+    last_pos: FxHashMap<BlockAddr, usize>,
     /// Histogram: `hist[d]` = accesses with stack distance exactly `d`
     /// (index 0 unused; grown on demand).
     hist: Vec<u64>,

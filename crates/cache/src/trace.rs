@@ -6,8 +6,7 @@
 //! the oracle Belady-OPT consumes.
 
 use crate::meta::AccessKind;
-use std::collections::HashMap;
-use tcor_common::BlockAddr;
+use tcor_common::{BlockAddr, FxHashMap, FxHashSet};
 
 /// One trace record.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,7 +56,7 @@ pub type Trace = Vec<Access>;
 /// ```
 pub fn annotate_next_use(trace: &[Access]) -> Vec<u64> {
     let mut next = vec![u64::MAX; trace.len()];
-    let mut last_seen: HashMap<BlockAddr, u64> = HashMap::new();
+    let mut last_seen: FxHashMap<BlockAddr, u64> = FxHashMap::default();
     for (i, a) in trace.iter().enumerate().rev() {
         if let Some(&later) = last_seen.get(&a.addr) {
             next[i] = later;
@@ -120,9 +119,10 @@ pub fn read_csv<R: std::io::BufRead>(r: R) -> Result<Trace, String> {
 /// Number of distinct blocks in a trace — the cold-miss count of any
 /// write-allocate cache.
 pub fn distinct_blocks(trace: &[Access]) -> usize {
-    let mut seen: HashMap<BlockAddr, ()> = HashMap::with_capacity(trace.len() / 2);
+    let mut seen: FxHashSet<BlockAddr> =
+        FxHashSet::with_capacity_and_hasher(trace.len() / 2, Default::default());
     for a in trace {
-        seen.insert(a.addr, ());
+        seen.insert(a.addr);
     }
     seen.len()
 }

@@ -64,6 +64,32 @@ impl std::hash::Hasher for FxHasher64 {
     }
 }
 
+/// [`std::hash::BuildHasher`] producing [`FxHasher64`]s, so std's map and
+/// set types can use FxHash without the SipHash default. A unit struct
+/// (not `BuildHasherDefault`) keeps the type name readable in signatures
+/// and error messages.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxBuildHasher;
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher64;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher64 {
+        FxHasher64::new()
+    }
+}
+
+/// A [`std::collections::HashMap`] keyed by [`FxHasher64`] — the default
+/// map for profiling/trace hot loops, where SipHash's DoS resistance buys
+/// nothing and its latency dominates (`annotate_next_use`, the stack
+/// profilers' position maps, `distinct_blocks`).
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A [`std::collections::HashSet`] hashed by [`FxHasher64`]; see
+/// [`FxHashMap`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
 /// Hashes a byte slice to a stable 64-bit value.
 pub fn fxhash64(bytes: &[u8]) -> u64 {
     use std::hash::Hasher as _;
@@ -118,6 +144,23 @@ mod tests {
     fn hex_formatting() {
         assert_eq!(hash_hex(0xABC), "0000000000000abc");
         assert_eq!(hash_hex(u64::MAX), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn fx_map_and_set_behave_like_std() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 3) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&2997));
+        assert_eq!(m.remove(&0), Some(0));
+        assert!(!m.contains_key(&0));
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

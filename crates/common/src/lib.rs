@@ -42,7 +42,7 @@ pub use error::{ErrorKind, TcorError, TcorResult};
 pub use fsio::write_atomic;
 pub use geom::{Rect, Tri2};
 pub use grid::TileGrid;
-pub use hash::{fxhash64, hash_hex, FxHasher64};
+pub use hash::{fxhash64, hash_hex, FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
 pub use ids::{Address, BlockAddr, PrimitiveId, TileId, TileRank, LINE_SIZE};
 pub use metrics::MetricRegistry;
 pub use rng::{SmallRng, SplitMix64, Xoshiro256pp};

@@ -18,6 +18,8 @@
 //! tcor-sim --trace-out FILE      export a Chrome trace of one traced frame
 //! tcor-sim trace <alias> FILE    export a benchmark's PB trace as CSV
 //! tcor-sim bench-runner          time serial vs parallel, write BENCH_runner.json
+//! tcor-sim bench-misscurves      time replay vs single-pass miss-curve engines,
+//!                                write BENCH_misscurves.json
 //! ```
 //!
 //! `--audit` re-derives every headline counter from two independent
@@ -67,6 +69,7 @@ fn usage() {
     eprintln!("       tcor-sim --trace-out <file>     export a Chrome trace of one traced frame");
     eprintln!("       tcor-sim trace <alias> <file>   export a PB trace as CSV");
     eprintln!("       tcor-sim bench-runner [FILE]    serial-vs-parallel timing -> FILE");
+    eprintln!("       tcor-sim bench-misscurves [FILE] replay-vs-single-pass timing -> FILE");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
 }
 
@@ -252,6 +255,124 @@ fn bench_runner(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `tcor-sim bench-misscurves [FILE]`: run every miss-curve experiment
+/// under the legacy per-capacity replay engine and the single-pass
+/// engine against one shared store, assert the rendered tables are
+/// bit-identical, and record both wall times (plus suite trace-pass
+/// counts) as machine-readable JSON.
+fn bench_misscurves(path: &str) -> ExitCode {
+    use std::time::Instant;
+    use tcor_sim::misscurves::{self, CurveEngine};
+
+    let store = tcor_runner::ArtifactStore::new();
+    // Trace construction (and annotation) is shared by both engines;
+    // build it up front so neither side pays for it.
+    if let Err(e) = misscurves::suite_traces(&store) {
+        eprintln!("bench-misscurves: trace build failed: {e}");
+        return exit_for(&e);
+    }
+    type Rendered = tcor_common::TcorResult<(String, u64)>;
+    type EngineFn<'a> = Box<dyn Fn(CurveEngine) -> Rendered + 'a>;
+    let experiments: Vec<(&str, EngineFn)> = vec![
+        (
+            "fig1",
+            Box::new(|e| misscurves::fig1_engine(&store, e).map(|(t, p)| (t.render(), p))),
+        ),
+        (
+            "fig11",
+            Box::new(|e| misscurves::fig11_engine(&store, e).map(|(t, p)| (t.render(), p))),
+        ),
+        (
+            "fig12",
+            Box::new(|e| {
+                misscurves::fig12_engine(&store, e)
+                    .map(|(ts, p)| (ts.iter().map(tcor_sim::Table::render).collect(), p))
+            }),
+        ),
+        (
+            "fig13",
+            Box::new(|e| misscurves::fig13_engine(&store, e).map(|(t, p)| (t.render(), p))),
+        ),
+        (
+            "fig13x",
+            Box::new(|e| misscurves::fig13x_engine(&store, e).map(|(t, p)| (t.render(), p))),
+        ),
+    ];
+    let mut per_exp = Vec::new();
+    let (mut replay_total, mut engine_total) = (0.0f64, 0.0f64);
+    let mut all_identical = true;
+    for (id, run) in &experiments {
+        let t0 = Instant::now();
+        let (replay_out, replay_passes) = match run(CurveEngine::Replay) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench-misscurves: {id} replay failed: {e}");
+                return exit_for(&e);
+            }
+        };
+        let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let (engine_out, engine_passes) = match run(CurveEngine::SinglePass) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench-misscurves: {id} single-pass failed: {e}");
+                return exit_for(&e);
+            }
+        };
+        let engine_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let identical = replay_out == engine_out;
+        all_identical &= identical;
+        if !identical {
+            eprintln!("bench-misscurves: FATAL: {id} single-pass output differs from replay");
+        }
+        replay_total += replay_ms;
+        engine_total += engine_ms;
+        eprintln!(
+            "bench-misscurves: {id} replay {replay_ms:.1}ms ({replay_passes} passes), \
+             single-pass {engine_ms:.1}ms ({engine_passes} passes), {:.2}x",
+            replay_ms / engine_ms
+        );
+        per_exp.push((
+            id.to_string(),
+            Json::obj([
+                ("replay_ms", Json::Float(replay_ms)),
+                ("single_pass_ms", Json::Float(engine_ms)),
+                ("speedup", Json::Float(replay_ms / engine_ms)),
+                ("replay_passes", Json::UInt(replay_passes)),
+                ("single_pass_passes", Json::UInt(engine_passes)),
+                ("outputs_identical", Json::Bool(identical)),
+            ]),
+        ));
+    }
+    let doc = Json::obj([
+        ("bench", Json::str("misscurves")),
+        ("replay_ms", Json::Float(replay_total)),
+        ("single_pass_ms", Json::Float(engine_total)),
+        ("speedup", Json::Float(replay_total / engine_total)),
+        ("outputs_identical", Json::Bool(all_identical)),
+        ("experiments", Json::Obj(per_exp)),
+    ]);
+    if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench-misscurves: replay {replay_total:.0}ms, single-pass {engine_total:.0}ms \
+         ({:.2}x), {} -> {path}",
+        replay_total / engine_total,
+        if all_identical {
+            "identical output"
+        } else {
+            "OUTPUT DRIFT"
+        }
+    );
+    if all_identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
@@ -265,6 +386,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench-runner") {
         return bench_runner(args.get(1).map_or("BENCH_runner.json", String::as_str));
+    }
+    if args.first().map(String::as_str) == Some("bench-misscurves") {
+        return bench_misscurves(args.get(1).map_or("BENCH_misscurves.json", String::as_str));
     }
 
     let mut ids: Vec<String> = Vec::new();

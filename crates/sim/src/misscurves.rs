@@ -4,30 +4,72 @@
 //! the aggregated PB-Attributes access streams of the benchmark suite, at
 //! primitive granularity (§V.A's capacity conversion: a primitive
 //! averages 3 attributes × 64 B = 192 B).
+//!
+//! Since PR 4 the figures run on a **single-pass engine**: fully
+//! associative LRU/OPT come off Mattson stack profilers (one trace pass
+//! yields every capacity), set-associative sweeps stream each trace once
+//! through a bank of cache instances per policy, and each benchmark's
+//! next-use annotation is computed once and shared by every figure. The
+//! pre-engine per-(policy, capacity) replay is retained as
+//! [`CurveEngine::Replay`] — the reference that `bench-misscurves` and
+//! the equivalence tests pin the engine against, bit for bit.
 
 use crate::orchestrate::{artifact_key, calibrated_scene, paper_grid, TRACES_DESC};
 use crate::output::Table;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use tcor_cache::policy::{by_name, Opt};
-use tcor_cache::profile::{opt_misses, simulate_policy, LruStackProfiler};
-use tcor_cache::{Indexing, Trace};
+use tcor_cache::policy::{by_name, simulate_hawkeye, simulate_hawkeye_bank, Opt};
+use tcor_cache::profile::{
+    opt_misses, simulate_policy, simulate_policy_bank, LruStackProfiler, OptStackProfiler,
+};
+use tcor_cache::{annotate_next_use, Indexing, Trace};
 use tcor_common::{CacheParams, TcorResult};
 use tcor_gpu::bin_scene;
 use tcor_runner::ArtifactStore;
 use tcor_workloads::{primitive_trace, prims_capacity, suite};
 
-/// One benchmark's trace plus its primitive count.
+/// One benchmark's trace plus its primitive count and shared annotation.
 pub struct BenchTrace {
     /// Table II alias.
     pub alias: &'static str,
     /// The primitive-granularity PB-Attributes trace.
     pub trace: Trace,
+    /// [`annotate_next_use`] of `trace`, computed once and shared by
+    /// every figure that needs oracle metadata.
+    pub next_use: Vec<u64>,
     /// Total primitives (TP in the lower-bound formula).
     pub total_prims: usize,
 }
 
+impl BenchTrace {
+    /// Builds a benchmark trace, annotating it once.
+    pub fn new(alias: &'static str, trace: Trace, total_prims: usize) -> Self {
+        let next_use = annotate_next_use(&trace);
+        BenchTrace {
+            alias,
+            trace,
+            next_use,
+            total_prims,
+        }
+    }
+}
+
+/// Which computational engine drives the miss-curve experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CurveEngine {
+    /// Stack profilers plus banked simulation: one trace pass per policy
+    /// (the production path).
+    SinglePass,
+    /// One full replay per (policy, capacity), re-annotating where the
+    /// pre-engine code did. Retained as the reference implementation for
+    /// `bench-misscurves` and the equivalence tests.
+    Replay,
+}
+
 /// Builds the suite's traces (deterministic), memoized in `store` and
 /// sharing each benchmark's calibrated scene with the full-system cells.
+/// The memoized value includes each trace's next-use annotation, so
+/// fig1/fig11/fig12/fig13/fig13x annotate each benchmark exactly once.
 ///
 /// # Errors
 ///
@@ -45,18 +87,65 @@ pub fn suite_traces(store: &ArtifactStore) -> TcorResult<Arc<Vec<BenchTrace>>> {
     for b in &suite() {
         let cal = calibrated_scene(store, b, &grid)?;
         let frame = bin_scene(&cal.scene, &grid, &order);
-        built.push(BenchTrace {
-            alias: b.alias,
-            total_prims: frame.binned.num_primitives(),
-            trace: primitive_trace(&frame.binned, &order),
-        });
+        built.push(BenchTrace::new(
+            b.alias,
+            primitive_trace(&frame.binned, &order),
+            frame.binned.num_primitives(),
+        ));
     }
     store.get_or_compute(key, move || built)
 }
 
+fn passes_key(id: &str) -> u64 {
+    artifact_key(&format!("misscurves/passes/{id}"))
+}
+
+/// Publishes the suite-level trace-pass count of experiment `id` into the
+/// store, where the orchestrator picks it up as a telemetry counter.
+fn record_trace_passes(store: &ArtifactStore, id: &str, passes: u64) -> TcorResult<()> {
+    let cell = store.get_or_compute(passes_key(id), || AtomicU64::new(0))?;
+    cell.store(passes, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Trace passes recorded by the most recent run of experiment `id` in
+/// this store (one pass = one full streaming of every benchmark trace).
+pub fn trace_passes(store: &ArtifactStore, id: &str) -> Option<u64> {
+    store
+        .get::<AtomicU64>(passes_key(id))
+        .ok()
+        .flatten()
+        .map(|c| c.load(Ordering::Relaxed))
+}
+
+/// Set-associative geometry for a capacity of `c` primitives.
+///
+/// The line count rounds *down* to a whole number of sets. When
+/// `c < ways` the cache degenerates to a single `c`-way set — exactly the
+/// requested capacity — instead of silently inflating to one full set of
+/// `ways` lines as the pre-PR-4 rounding did. (The paper's sweeps never
+/// enter that region: their smallest capacity, 8 KB ≈ 42 primitives,
+/// exceeds every associativity studied.)
+fn geometry(c: usize, ways: u32) -> CacheParams {
+    let lines = c.max(1) as u64;
+    if ways == 0 {
+        CacheParams::new(lines, 1, 0, 1)
+    } else if lines <= ways as u64 {
+        CacheParams::new(lines, 1, lines as u32, 1)
+    } else {
+        CacheParams::new((lines / ways as u64) * ways as u64, 1, ways, 1)
+    }
+}
+
+fn total_accesses(traces: &[BenchTrace]) -> u64 {
+    traces.iter().map(|b| b.trace.len() as u64).sum()
+}
+
 /// Aggregate LRU miss ratio at each capacity: one Mattson pass per
-/// benchmark gives every size at once.
-fn lru_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
+/// benchmark gives every size at once (this was already single-pass
+/// before the engine; both engines share it).
+fn lru_curve(traces: &[BenchTrace], capacities: &[usize], passes: &mut u64) -> Vec<f64> {
+    *passes += 1;
     let profilers: Vec<LruStackProfiler> = traces
         .iter()
         .map(|b| {
@@ -67,7 +156,7 @@ fn lru_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
             p
         })
         .collect();
-    let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
+    let total = total_accesses(traces);
     capacities
         .iter()
         .map(|&c| {
@@ -77,21 +166,47 @@ fn lru_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
         .collect()
 }
 
-/// Aggregate exact-Belady miss ratio per capacity.
-fn opt_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
-    let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
-    capacities
-        .iter()
-        .map(|&c| {
-            let misses: u64 = traces.iter().map(|b| opt_misses(&b.trace, c)).sum();
-            misses as f64 / total as f64
-        })
-        .collect()
+/// Aggregate exact-Belady miss ratio per capacity: one OPT stack pass per
+/// benchmark, or (replay engine) one self-annotating replay per capacity.
+fn opt_curve(
+    traces: &[BenchTrace],
+    capacities: &[usize],
+    engine: CurveEngine,
+    passes: &mut u64,
+) -> Vec<f64> {
+    let total = total_accesses(traces);
+    match engine {
+        CurveEngine::SinglePass => {
+            *passes += 1;
+            let profilers: Vec<OptStackProfiler> = traces
+                .iter()
+                .map(|b| OptStackProfiler::profile(&b.trace, &b.next_use))
+                .collect();
+            capacities
+                .iter()
+                .map(|&c| {
+                    let misses: u64 = profilers.iter().map(|p| p.misses_at(c)).sum();
+                    misses as f64 / total as f64
+                })
+                .collect()
+        }
+        CurveEngine::Replay => {
+            *passes += capacities.len() as u64;
+            capacities
+                .iter()
+                .map(|&c| {
+                    let misses: u64 = traces.iter().map(|b| opt_misses(&b.trace, c)).sum();
+                    misses as f64 / total as f64
+                })
+                .collect()
+        }
+    }
 }
 
-/// Aggregate lower-bound ratio (§V.A) per capacity.
+/// Aggregate lower-bound ratio (§V.A) per capacity (arithmetic only — no
+/// trace pass).
 fn lb_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
-    let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
+    let total = total_accesses(traces);
     capacities
         .iter()
         .map(|&c| {
@@ -106,37 +221,135 @@ fn lb_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
 
 /// Aggregate miss ratio of a named policy on a set-associative geometry
 /// (capacity in primitives, `ways == 0` for fully associative).
-fn policy_curve(traces: &[BenchTrace], capacities: &[usize], ways: u32, policy: &str) -> Vec<f64> {
-    let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
-    capacities
-        .iter()
-        .map(|&c| {
-            // Round capacity down to a whole number of sets.
-            let lines = if ways == 0 {
-                c.max(1) as u64
-            } else {
-                ((c as u64 / ways as u64).max(1)) * ways as u64
-            };
-            let params = CacheParams::new(lines, 1, ways, 1);
-            let misses: u64 = traces
+///
+/// Single-pass engine: fully-associative LRU/OPT read straight off the
+/// stack profilers; every other case streams each trace once through a
+/// bank of caches, one per capacity. Replay engine: one simulation per
+/// (capacity, benchmark), re-annotating per capacity for OPT.
+fn policy_curve(
+    traces: &[BenchTrace],
+    capacities: &[usize],
+    ways: u32,
+    policy: &str,
+    engine: CurveEngine,
+    passes: &mut u64,
+) -> Vec<f64> {
+    let total = total_accesses(traces);
+    let geoms: Vec<CacheParams> = capacities.iter().map(|&c| geometry(c, ways)).collect();
+    match engine {
+        CurveEngine::Replay => {
+            *passes += capacities.len() as u64;
+            geoms
                 .iter()
-                .map(|b| {
-                    let oracle = policy == "opt";
-                    let stats = if oracle {
-                        simulate_policy(&b.trace, params, Indexing::Modulo, Opt::new(), true)
-                    } else {
-                        simulate_policy(&b.trace, params, Indexing::Modulo, by_name(policy), false)
-                    };
-                    stats.misses()
+                .map(|&params| {
+                    let misses: u64 = traces
+                        .iter()
+                        .map(|b| {
+                            let stats = if policy == "opt" {
+                                simulate_policy(
+                                    &b.trace,
+                                    params,
+                                    Indexing::Modulo,
+                                    Opt::new(),
+                                    true,
+                                )
+                            } else {
+                                simulate_policy(
+                                    &b.trace,
+                                    params,
+                                    Indexing::Modulo,
+                                    by_name(policy),
+                                    false,
+                                )
+                            };
+                            stats.misses()
+                        })
+                        .sum();
+                    misses as f64 / total as f64
                 })
-                .sum();
-            misses as f64 / total as f64
-        })
-        .collect()
+                .collect()
+        }
+        CurveEngine::SinglePass if ways == 0 && policy == "lru" => {
+            lru_curve(traces, capacities, passes)
+        }
+        CurveEngine::SinglePass if ways == 0 && policy == "opt" => {
+            opt_curve(traces, capacities, CurveEngine::SinglePass, passes)
+        }
+        CurveEngine::SinglePass => {
+            *passes += 1;
+            let mut miss_sums = vec![0u64; geoms.len()];
+            for b in traces {
+                let stats = if policy == "opt" {
+                    simulate_policy_bank(
+                        &b.trace,
+                        Some(&b.next_use),
+                        &geoms,
+                        Indexing::Modulo,
+                        Opt::new,
+                    )
+                } else {
+                    simulate_policy_bank(&b.trace, None, &geoms, Indexing::Modulo, || {
+                        by_name(policy)
+                    })
+                };
+                for (sum, s) in miss_sums.iter_mut().zip(&stats) {
+                    *sum += s.misses();
+                }
+            }
+            miss_sums.iter().map(|&m| m as f64 / total as f64).collect()
+        }
+    }
+}
+
+/// Aggregate Hawkeye miss ratio per capacity, 4-way (its dedicated
+/// driver carries the address training signal).
+fn hawkeye_curve(
+    traces: &[BenchTrace],
+    capacities: &[usize],
+    engine: CurveEngine,
+    passes: &mut u64,
+) -> Vec<f64> {
+    let total = total_accesses(traces);
+    let geoms: Vec<CacheParams> = capacities.iter().map(|&c| geometry(c, 4)).collect();
+    match engine {
+        CurveEngine::Replay => {
+            *passes += capacities.len() as u64;
+            geoms
+                .iter()
+                .map(|&params| {
+                    let misses: u64 = traces
+                        .iter()
+                        .map(|b| simulate_hawkeye(&b.trace, params).misses())
+                        .sum();
+                    misses as f64 / total as f64
+                })
+                .collect()
+        }
+        CurveEngine::SinglePass => {
+            *passes += 1;
+            let mut miss_sums = vec![0u64; geoms.len()];
+            for b in traces {
+                for (sum, s) in miss_sums
+                    .iter_mut()
+                    .zip(&simulate_hawkeye_bank(&b.trace, &geoms))
+                {
+                    *sum += s.misses();
+                }
+            }
+            miss_sums.iter().map(|&m| m as f64 / total as f64).collect()
+        }
+    }
 }
 
 fn kb_sizes(from_kb: usize, to_kb: usize, step_kb: usize) -> Vec<usize> {
     (from_kb..=to_kb).step_by(step_kb).collect()
+}
+
+fn prim_caps(sizes: &[usize]) -> Vec<usize> {
+    sizes
+        .iter()
+        .map(|kb| prims_capacity(*kb as u64 * 1024))
+        .collect()
 }
 
 /// Figure 1: LRU vs OPT, fully associative, 8–152 KB.
@@ -145,14 +358,24 @@ fn kb_sizes(from_kb: usize, to_kb: usize, step_kb: usize) -> Vec<usize> {
 ///
 /// Propagates store corruption.
 pub fn fig1(store: &ArtifactStore) -> TcorResult<Table> {
+    let (t, passes) = fig1_engine(store, CurveEngine::SinglePass)?;
+    record_trace_passes(store, "fig1", passes)?;
+    Ok(t)
+}
+
+/// [`fig1`] on an explicit engine, returning the table and its
+/// suite-level trace-pass count.
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn fig1_engine(store: &ArtifactStore, engine: CurveEngine) -> TcorResult<(Table, u64)> {
     let traces = suite_traces(store)?;
     let sizes = kb_sizes(8, 152, 8);
-    let caps: Vec<usize> = sizes
-        .iter()
-        .map(|kb| prims_capacity(*kb as u64 * 1024))
-        .collect();
-    let lru = lru_curve(&traces, &caps);
-    let opt = opt_curve(&traces, &caps);
+    let caps = prim_caps(&sizes);
+    let mut passes = 0u64;
+    let lru = lru_curve(&traces, &caps, &mut passes);
+    let opt = opt_curve(&traces, &caps, engine, &mut passes);
     let mut t = Table::new(
         "fig1",
         "LRU and OPT miss ratio, fully associative L1 (suite aggregate)",
@@ -161,7 +384,7 @@ pub fn fig1(store: &ArtifactStore) -> TcorResult<Table> {
     for ((kb, l), o) in sizes.iter().zip(&lru).zip(&opt) {
         t.push_row(vec![kb.to_string(), format!("{l:.4}"), format!("{o:.4}")]);
     }
-    Ok(t)
+    Ok((t, passes))
 }
 
 /// Figure 11: adds the lower bound and extends to 456 KB.
@@ -170,15 +393,25 @@ pub fn fig1(store: &ArtifactStore) -> TcorResult<Table> {
 ///
 /// Propagates store corruption.
 pub fn fig11(store: &ArtifactStore) -> TcorResult<Table> {
+    let (t, passes) = fig11_engine(store, CurveEngine::SinglePass)?;
+    record_trace_passes(store, "fig11", passes)?;
+    Ok(t)
+}
+
+/// [`fig11`] on an explicit engine, returning the table and its
+/// suite-level trace-pass count.
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn fig11_engine(store: &ArtifactStore, engine: CurveEngine) -> TcorResult<(Table, u64)> {
     let traces = suite_traces(store)?;
     let sizes = kb_sizes(8, 456, 16);
-    let caps: Vec<usize> = sizes
-        .iter()
-        .map(|kb| prims_capacity(*kb as u64 * 1024))
-        .collect();
+    let caps = prim_caps(&sizes);
+    let mut passes = 0u64;
     let lb = lb_curve(&traces, &caps);
-    let lru = lru_curve(&traces, &caps);
-    let opt = opt_curve(&traces, &caps);
+    let lru = lru_curve(&traces, &caps, &mut passes);
+    let opt = opt_curve(&traces, &caps, engine, &mut passes);
     let mut t = Table::new(
         "fig11",
         "Lower bound, LRU and OPT miss ratio, fully associative L1",
@@ -192,7 +425,7 @@ pub fn fig11(store: &ArtifactStore) -> TcorResult<Table> {
             format!("{o:.4}"),
         ]);
     }
-    Ok(t)
+    Ok((t, passes))
 }
 
 /// Figure 12: LRU and OPT across associativities (two tables).
@@ -201,12 +434,21 @@ pub fn fig11(store: &ArtifactStore) -> TcorResult<Table> {
 ///
 /// Propagates store corruption.
 pub fn fig12(store: &ArtifactStore) -> TcorResult<Vec<Table>> {
+    let (tables, passes) = fig12_engine(store, CurveEngine::SinglePass)?;
+    record_trace_passes(store, "fig12", passes)?;
+    Ok(tables)
+}
+
+/// [`fig12`] on an explicit engine, returning the tables and their
+/// suite-level trace-pass count.
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn fig12_engine(store: &ArtifactStore, engine: CurveEngine) -> TcorResult<(Vec<Table>, u64)> {
     let traces = suite_traces(store)?;
     let sizes = kb_sizes(8, 152, 16);
-    let caps: Vec<usize> = sizes
-        .iter()
-        .map(|kb| prims_capacity(*kb as u64 * 1024))
-        .collect();
+    let caps = prim_caps(&sizes);
     let lb = lb_curve(&traces, &caps);
     let assocs: [(u32, &str); 5] = [
         (1, "direct"),
@@ -215,6 +457,7 @@ pub fn fig12(store: &ArtifactStore) -> TcorResult<Vec<Table>> {
         (8, "assoc8"),
         (0, "full"),
     ];
+    let mut passes = 0u64;
     let mut out = Vec::new();
     for (policy, id) in [("lru", "fig12-lru"), ("opt", "fig12-opt")] {
         let mut cols = vec!["size_kb".to_string(), "lower_bound".to_string()];
@@ -227,7 +470,7 @@ pub fn fig12(store: &ArtifactStore) -> TcorResult<Vec<Table>> {
         };
         let curves: Vec<Vec<f64>> = assocs
             .iter()
-            .map(|(w, _)| policy_curve(&traces, &caps, *w, policy))
+            .map(|(w, _)| policy_curve(&traces, &caps, *w, policy, engine, &mut passes))
             .collect();
         for (i, kb) in sizes.iter().enumerate() {
             let mut row = vec![kb.to_string(), format!("{:.4}", lb[i])];
@@ -236,7 +479,7 @@ pub fn fig12(store: &ArtifactStore) -> TcorResult<Vec<Table>> {
         }
         out.push(t);
     }
-    Ok(out)
+    Ok((out, passes))
 }
 
 /// Figure 13: LRU, MRU, DRRIP and OPT in a 4-way cache, plus the lower
@@ -246,17 +489,27 @@ pub fn fig12(store: &ArtifactStore) -> TcorResult<Vec<Table>> {
 ///
 /// Propagates store corruption.
 pub fn fig13(store: &ArtifactStore) -> TcorResult<Table> {
+    let (t, passes) = fig13_engine(store, CurveEngine::SinglePass)?;
+    record_trace_passes(store, "fig13", passes)?;
+    Ok(t)
+}
+
+/// [`fig13`] on an explicit engine, returning the table and its
+/// suite-level trace-pass count.
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn fig13_engine(store: &ArtifactStore, engine: CurveEngine) -> TcorResult<(Table, u64)> {
     let traces = suite_traces(store)?;
     let sizes = kb_sizes(40, 160, 8);
-    let caps: Vec<usize> = sizes
-        .iter()
-        .map(|kb| prims_capacity(*kb as u64 * 1024))
-        .collect();
+    let caps = prim_caps(&sizes);
     let lb = lb_curve(&traces, &caps);
     let policies = ["mru", "drrip", "lru", "opt"];
+    let mut passes = 0u64;
     let curves: Vec<Vec<f64>> = policies
         .iter()
-        .map(|p| policy_curve(&traces, &caps, 4, p))
+        .map(|p| policy_curve(&traces, &caps, 4, p, engine, &mut passes))
         .collect();
     let mut t = Table::new(
         "fig13",
@@ -268,7 +521,7 @@ pub fn fig13(store: &ArtifactStore) -> TcorResult<Table> {
         row.extend(curves.iter().map(|c| format!("{:.4}", c[i])));
         t.push_row(row);
     }
-    Ok(t)
+    Ok((t, passes))
 }
 
 /// Figure 13 extended: every policy in the toolbox (including the
@@ -279,36 +532,34 @@ pub fn fig13(store: &ArtifactStore) -> TcorResult<Table> {
 ///
 /// Propagates store corruption.
 pub fn fig13x(store: &ArtifactStore) -> TcorResult<Table> {
+    let (t, passes) = fig13x_engine(store, CurveEngine::SinglePass)?;
+    record_trace_passes(store, "fig13x", passes)?;
+    Ok(t)
+}
+
+/// [`fig13x`] on an explicit engine, returning the table and its
+/// suite-level trace-pass count.
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn fig13x_engine(store: &ArtifactStore, engine: CurveEngine) -> TcorResult<(Table, u64)> {
     let traces = suite_traces(store)?;
     let sizes = kb_sizes(48, 144, 32);
-    let caps: Vec<usize> = sizes
-        .iter()
-        .map(|kb| prims_capacity(*kb as u64 * 1024))
-        .collect();
+    let caps = prim_caps(&sizes);
     let lb = lb_curve(&traces, &caps);
     let policies = [
         "random", "fifo", "mru", "nru", "plru", "lip", "bip", "dip", "srrip", "brrip", "drrip",
         "lru",
     ];
+    let mut passes = 0u64;
     let curves: Vec<Vec<f64>> = policies
         .iter()
-        .map(|p| policy_curve(&traces, &caps, 4, p))
+        .map(|p| policy_curve(&traces, &caps, 4, p, engine, &mut passes))
         .collect();
     // Hawkeye needs the address signal; use its dedicated driver.
-    let total: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
-    let hawkeye: Vec<f64> = caps
-        .iter()
-        .map(|&c| {
-            let lines = ((c as u64 / 4).max(1)) * 4;
-            let params = CacheParams::new(lines, 1, 4, 1);
-            let misses: u64 = traces
-                .iter()
-                .map(|b| tcor_cache::policy::simulate_hawkeye(&b.trace, params).misses())
-                .sum();
-            misses as f64 / total as f64
-        })
-        .collect();
-    let opt = policy_curve(&traces, &caps, 4, "opt");
+    let hawkeye = hawkeye_curve(&traces, &caps, engine, &mut passes);
+    let opt = policy_curve(&traces, &caps, 4, "opt", engine, &mut passes);
 
     let mut cols = vec!["size_kb".to_string(), "lower_bound".to_string()];
     cols.extend(policies.iter().map(|p| p.to_string()));
@@ -327,7 +578,7 @@ pub fn fig13x(store: &ArtifactStore) -> TcorResult<Table> {
         row.push(format!("{:.4}", opt[i]));
         t.push_row(row);
     }
-    Ok(t)
+    Ok((t, passes))
 }
 
 #[cfg(test)]
@@ -343,22 +594,28 @@ mod tests {
                 let scene = tcor_workloads::generate_scene(b, &grid);
                 let order = tcor_common::Traversal::ZOrder.order(&grid);
                 let frame = bin_scene(&scene, &grid, &order);
-                BenchTrace {
-                    alias: b.alias,
-                    total_prims: frame.binned.num_primitives(),
-                    trace: primitive_trace(&frame.binned, &order),
-                }
+                BenchTrace::new(
+                    b.alias,
+                    primitive_trace(&frame.binned, &order),
+                    frame.binned.num_primitives(),
+                )
             })
             .collect()
+    }
+
+    fn sp(traces: &[BenchTrace], caps: &[usize], ways: u32, policy: &str) -> Vec<f64> {
+        let mut p = 0;
+        policy_curve(traces, caps, ways, policy, CurveEngine::SinglePass, &mut p)
     }
 
     #[test]
     fn opt_dominates_lru_and_lb_dominates_opt() {
         let traces = mini_traces();
         let caps = vec![64, 128, 256, 512];
+        let mut passes = 0;
         let lb = lb_curve(&traces, &caps);
-        let lru = lru_curve(&traces, &caps);
-        let opt = opt_curve(&traces, &caps);
+        let lru = lru_curve(&traces, &caps, &mut passes);
+        let opt = opt_curve(&traces, &caps, CurveEngine::SinglePass, &mut passes);
         for i in 0..caps.len() {
             assert!(
                 lb[i] <= opt[i] + 1e-12,
@@ -381,7 +638,11 @@ mod tests {
     fn curves_fall_with_capacity() {
         let traces = mini_traces();
         let caps = vec![32, 128, 1024];
-        for curve in [lru_curve(&traces, &caps), opt_curve(&traces, &caps)] {
+        let mut passes = 0;
+        for curve in [
+            lru_curve(&traces, &caps, &mut passes),
+            opt_curve(&traces, &caps, CurveEngine::SinglePass, &mut passes),
+        ] {
             assert!(curve[0] >= curve[1] && curve[1] >= curve[2]);
         }
     }
@@ -391,8 +652,8 @@ mod tests {
         // At 4-way, OPT still beats LRU (Fig. 13's key shape).
         let traces = mini_traces();
         let caps = vec![256];
-        let lru4 = policy_curve(&traces, &caps, 4, "lru");
-        let opt4 = policy_curve(&traces, &caps, 4, "opt");
+        let lru4 = sp(&traces, &caps, 4, "lru");
+        let opt4 = sp(&traces, &caps, 4, "opt");
         assert!(opt4[0] <= lru4[0]);
     }
 
@@ -400,8 +661,100 @@ mod tests {
     fn mru_is_worst_at_moderate_capacity() {
         let traces = mini_traces();
         let caps = vec![256];
-        let mru = policy_curve(&traces, &caps, 4, "mru");
-        let lru = policy_curve(&traces, &caps, 4, "lru");
+        let mru = sp(&traces, &caps, 4, "mru");
+        let lru = sp(&traces, &caps, 4, "lru");
         assert!(mru[0] >= lru[0], "MRU {} < LRU {}", mru[0], lru[0]);
+    }
+
+    /// The single-pass engine reproduces the replay engine bit for bit —
+    /// miss counts are integers, so the f64 ratios must be *exactly*
+    /// equal, across associativities and policies (incl. oracle OPT and
+    /// the profiler-backed fully-associative columns).
+    #[test]
+    fn engines_agree_exactly() {
+        let traces = mini_traces();
+        let caps = vec![8, 64, 256, 513];
+        for ways in [0u32, 1, 2, 4, 8] {
+            for policy in ["lru", "opt", "mru", "drrip"] {
+                let (mut p1, mut p2) = (0, 0);
+                let fast = policy_curve(
+                    &traces,
+                    &caps,
+                    ways,
+                    policy,
+                    CurveEngine::SinglePass,
+                    &mut p1,
+                );
+                let slow = policy_curve(&traces, &caps, ways, policy, CurveEngine::Replay, &mut p2);
+                assert_eq!(fast, slow, "ways={ways} policy={policy}");
+                assert!(
+                    p1 <= p2,
+                    "single-pass must not stream more than replay ({p1} > {p2})"
+                );
+            }
+        }
+        let (mut p1, mut p2) = (0, 0);
+        assert_eq!(
+            opt_curve(&traces, &caps, CurveEngine::SinglePass, &mut p1),
+            opt_curve(&traces, &caps, CurveEngine::Replay, &mut p2),
+        );
+        assert_eq!(p1, 1, "OPT stack profiling is one pass");
+        assert_eq!(p2, caps.len() as u64, "replay is one pass per capacity");
+        let (mut p1, mut p2) = (0, 0);
+        assert_eq!(
+            hawkeye_curve(&traces, &caps, CurveEngine::SinglePass, &mut p1),
+            hawkeye_curve(&traces, &caps, CurveEngine::Replay, &mut p2),
+        );
+        assert_eq!((p1, p2), (1, caps.len() as u64));
+    }
+
+    /// Satellite fix: `geometry` must never *inflate* a capacity below
+    /// the associativity — `c = 2, ways = 4` is a 2-line single set, not
+    /// a full 4-line set.
+    #[test]
+    fn geometry_clamps_instead_of_inflating() {
+        let g = geometry(2, 4);
+        assert_eq!(g.num_lines(), 2, "c=2 ways=4 must stay 2 lines");
+        let g = geometry(0, 4);
+        assert_eq!(g.num_lines(), 1);
+        // At and above the associativity, round down to whole sets.
+        assert_eq!(geometry(4, 4).num_lines(), 4);
+        assert_eq!(geometry(43, 8).num_lines(), 40);
+        assert_eq!(geometry(43, 0).num_lines(), 43);
+    }
+
+    /// Behavioral boundary check for the clamp: a 2-line degenerate cache
+    /// holds exactly 2 blocks, so a 2-block loop hits and a 3-block loop
+    /// cannot fit (the inflated pre-fix geometry would have held it).
+    #[test]
+    fn clamped_geometry_has_requested_capacity() {
+        use tcor_cache::Access;
+        use tcor_common::BlockAddr;
+        let fits: Vec<Access> = (0..2u64)
+            .cycle()
+            .take(40)
+            .map(|b| Access::read(BlockAddr(b)))
+            .collect();
+        let thrash: Vec<Access> = (0..3u64)
+            .cycle()
+            .take(60)
+            .map(|b| Access::read(BlockAddr(b)))
+            .collect();
+        let g = geometry(2, 4);
+        let s = simulate_policy(&fits, g, Indexing::Modulo, by_name("lru"), false);
+        assert_eq!(s.misses(), 2, "2-block loop fits in the 2-line clamp");
+        let s = simulate_policy(&thrash, g, Indexing::Modulo, by_name("lru"), false);
+        assert_eq!(s.misses(), 60, "3-block LRU loop thrashes 2 lines");
+    }
+
+    #[test]
+    fn trace_passes_roundtrip_through_store() {
+        let store = ArtifactStore::new();
+        assert_eq!(trace_passes(&store, "fig1"), None);
+        record_trace_passes(&store, "fig1", 2).unwrap();
+        assert_eq!(trace_passes(&store, "fig1"), Some(2));
+        record_trace_passes(&store, "fig1", 7).unwrap();
+        assert_eq!(trace_passes(&store, "fig1"), Some(7));
+        assert_eq!(trace_passes(&store, "fig12"), None);
     }
 }

@@ -359,7 +359,13 @@ pub fn run_experiments(
         let id = id.clone();
         exp_jobs.push(
             g.add_job(format!("exp:{id}"), &deps, move |ctx: &JobCtx<'_>| {
-                crate::try_run_experiment(ctx.store(), &id).map(|tables| Some((idx, tables)))
+                let tables = crate::try_run_experiment(ctx.store(), &id)?;
+                // Miss-curve experiments publish how many times they
+                // streamed the suite; surface it on the job-end event.
+                if let Some(n) = misscurves::trace_passes(ctx.store(), &id) {
+                    ctx.counter("trace_passes", n);
+                }
+                Ok(Some((idx, tables)))
             }),
         );
     }
