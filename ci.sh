@@ -73,4 +73,43 @@ cargo run --release -q -p tcor-sim -- all --resume --check \
   >/dev/null
 rm -f "$SMOKE_MANIFEST"
 
+echo "== serve smoke (daemon up, golden table over loopback, graceful exit)"
+# The serving daemon must come up on an ephemeral port, answer a golden
+# experiment over loopback byte-identically to results/golden/, and
+# drain to exit 0 on POST /admin/shutdown.
+TCOR_SIM=target/release/tcor-sim
+PORT_FILE=/tmp/tcor-ci-serve-port
+SERVE_OUT=/tmp/tcor-ci-serve-fig10.csv
+rm -f "$PORT_FILE"
+"$TCOR_SIM" serve --port 0 --workers 2 --queue-depth 16 --port-file "$PORT_FILE" \
+  --telemetry /tmp/tcor-ci-serve-telemetry.jsonl >/dev/null 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "ci: FAIL: serve daemon never published its port" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+ADDR=$(cat "$PORT_FILE")
+"$TCOR_SIM" serve-req "$ADDR" GET /health >/dev/null
+"$TCOR_SIM" serve-req "$ADDR" GET /v1/table/fig10 > "$SERVE_OUT"
+if ! cmp -s "$SERVE_OUT" results/golden/fig10.csv; then
+  echo "ci: FAIL: served fig10 differs from results/golden/fig10.csv" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+"$TCOR_SIM" serve-req "$ADDR" POST /admin/shutdown >/dev/null
+set +e
+wait "$SERVE_PID"
+code=$?
+set -e
+if [ "$code" -ne 0 ]; then
+  echo "ci: FAIL: serve daemon exited $code after graceful shutdown, expected 0" >&2
+  exit 1
+fi
+rm -f "$PORT_FILE" "$SERVE_OUT"
+
 echo "ci: all green"

@@ -26,9 +26,9 @@
 //!
 //! [`profile::LruStackProfiler`] computes the *entire* LRU
 //! miss-ratio-vs-size curve in one pass (Mattson et al. \[27\] — the very
-//! paper that introduced OPT); [`profile::opt_miss_curve`] computes
-//! fully-associative Belady misses per capacity. These regenerate
-//! Figures 1, 11, 12 and 13 without re-simulating per point.
+//! paper that introduced OPT); [`profile::OptStackProfiler`] does the
+//! same for fully-associative Belady-OPT. These regenerate Figures 1,
+//! 11, 12 and 13 without re-simulating per point.
 //!
 //! ```
 //! use tcor_cache::{Cache, AccessKind, AccessMeta, Indexing, policy::Lru};

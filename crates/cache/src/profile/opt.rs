@@ -51,24 +51,6 @@ pub fn opt_misses_annotated(trace: &[Access], next: &[u64], capacity_lines: usiz
     misses
 }
 
-/// OPT miss counts for several capacities (in lines).
-///
-/// Annotates the trace once and replays per capacity (it used to
-/// re-annotate for every capacity). Kept for API compatibility, but a
-/// single [`super::OptStackProfiler`] pass computes the same curve for
-/// *all* capacities at once.
-#[deprecated(
-    since = "0.4.0",
-    note = "use OptStackProfiler: one pass yields every capacity"
-)]
-pub fn opt_miss_curve(trace: &[Access], capacities: &[usize]) -> Vec<u64> {
-    let next = annotate_next_use(trace);
-    capacities
-        .iter()
-        .map(|&c| opt_misses_annotated(trace, &next, c))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,16 +90,6 @@ mod tests {
     fn zero_capacity() {
         let t = reads(&[1, 1, 1]);
         assert_eq!(opt_misses(&t, 0), 3);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn curve_matches_pointwise() {
-        let t = reads(&[1, 2, 3, 1, 2, 3]);
-        assert_eq!(
-            opt_miss_curve(&t, &[1, 2, 3]),
-            vec![opt_misses(&t, 1), opt_misses(&t, 2), opt_misses(&t, 3)]
-        );
     }
 
     #[test]

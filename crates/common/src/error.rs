@@ -32,6 +32,10 @@ pub enum ErrorKind {
     Corruption,
     /// A filesystem or I/O failure. Exit code 1 (generic failure).
     Io,
+    /// A serving-plane failure: the daemon could not bind its port, a
+    /// peer sent an unparseable request, or a probe/loadgen client got
+    /// a non-success status. Exit code 6.
+    Serve,
 }
 
 impl ErrorKind {
@@ -43,6 +47,7 @@ impl ErrorKind {
             ErrorKind::Execution => 3,
             ErrorKind::Drift => 4,
             ErrorKind::Corruption => 5,
+            ErrorKind::Serve => 6,
         }
     }
 
@@ -54,6 +59,7 @@ impl ErrorKind {
             ErrorKind::Drift => "drift",
             ErrorKind::Corruption => "corruption",
             ErrorKind::Io => "io",
+            ErrorKind::Serve => "serve",
         }
     }
 }
@@ -118,6 +124,11 @@ impl TcorError {
         Self::new(ErrorKind::Corruption, context)
     }
 
+    /// A [`ErrorKind::Serve`] error.
+    pub fn serve(context: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Serve, context)
+    }
+
     /// An [`ErrorKind::Io`] error wrapping `source`, with `context`
     /// naming the operation ("writing results/golden/fig14.csv").
     pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
@@ -168,9 +179,10 @@ mod tests {
             ErrorKind::Execution,
             ErrorKind::Drift,
             ErrorKind::Corruption,
+            ErrorKind::Serve,
         ]
         .map(ErrorKind::exit_code);
-        assert_eq!(codes, [1, 2, 3, 4, 5]);
+        assert_eq!(codes, [1, 2, 3, 4, 5, 6]);
     }
 
     #[test]

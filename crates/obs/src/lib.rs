@@ -10,10 +10,14 @@
 //!
 //! The trace module renders a [`tcor_common::FrameTrace`] — collected by
 //! `run_frame_traced` — as Chrome trace-event JSON (load in
-//! `chrome://tracing` or Perfetto), via `tcor-sim --trace-out`.
+//! `chrome://tracing` or Perfetto), via `tcor-sim --trace-out`. The
+//! servetrace module renders the `tcor-serve` request timeline in the
+//! same dialect, via `tcor-sim serve --serve-trace`.
 
 pub mod audit;
 pub mod chrome;
+pub mod servetrace;
 
 pub use audit::{audit_report, Violation};
 pub use chrome::chrome_trace_json;
+pub use servetrace::{serve_timeline_json, RequestSpan};

@@ -1,0 +1,107 @@
+//! Chrome trace-event export of the serving-plane request timeline.
+//!
+//! `tcor-serve` records one [`RequestSpan`] per answered request; this
+//! module renders those spans in the same trace-event JSON dialect as
+//! [`super::chrome`] so a serving run loads into `chrome://tracing` or
+//! Perfetto next to a simulation timeline. Wall-clock milliseconds map
+//! onto the format's microsecond field; spans are filed under one
+//! thread per worker so queueing and coalescing are visible as lane
+//! structure.
+
+use tcor_runner::Json;
+
+/// Process id under which all serve events are filed.
+const PID: u64 = 2;
+
+/// One answered request, as the server's timeline records it.
+#[derive(Clone, Debug)]
+pub struct RequestSpan {
+    /// Request path ("/v1/cell/GTr/base64").
+    pub endpoint: String,
+    /// Worker index that answered it (trace lane).
+    pub worker: u64,
+    /// Start offset from server start, milliseconds.
+    pub start_ms: f64,
+    /// Wall time from accept to response written, milliseconds.
+    pub wall_ms: f64,
+    /// HTTP status sent.
+    pub status: u16,
+    /// How the body was produced: "compute", "cache", or "coalesced".
+    pub source: &'static str,
+}
+
+fn span_json(s: &RequestSpan) -> Json {
+    Json::obj([
+        ("name", Json::str(s.endpoint.clone())),
+        ("cat", Json::str("serve")),
+        ("ph", Json::str("X")),
+        ("ts", Json::UInt((s.start_ms * 1e3) as u64)),
+        ("dur", Json::UInt((s.wall_ms * 1e3).max(1.0) as u64)),
+        ("pid", Json::UInt(PID)),
+        ("tid", Json::UInt(s.worker)),
+        (
+            "args",
+            Json::obj([
+                ("status", Json::UInt(s.status as u64)),
+                ("source", Json::str(s.source)),
+            ]),
+        ),
+    ])
+}
+
+/// Renders the request spans as a Chrome trace-event JSON document.
+pub fn serve_timeline_json(spans: &[RequestSpan]) -> String {
+    let doc = Json::obj([
+        (
+            "traceEvents",
+            Json::Arr(spans.iter().map(span_json).collect()),
+        ),
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj([("timeUnit", Json::str("wall milliseconds"))]),
+        ),
+    ]);
+    doc.render() + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_spans_with_status_and_source() {
+        let spans = vec![
+            RequestSpan {
+                endpoint: "/v1/cell/GTr/base64".to_string(),
+                worker: 0,
+                start_ms: 1.5,
+                wall_ms: 20.0,
+                status: 200,
+                source: "compute",
+            },
+            RequestSpan {
+                endpoint: "/v1/cell/GTr/base64".to_string(),
+                worker: 1,
+                start_ms: 2.0,
+                wall_ms: 0.1,
+                status: 200,
+                source: "cache",
+            },
+        ];
+        let json = serve_timeline_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"cat\":\"serve\""));
+        assert!(json.contains("\"source\":\"compute\""));
+        assert!(json.contains("\"source\":\"cache\""));
+        assert!(json.contains("\"status\":200"));
+        // Sub-microsecond spans still render a visible nonzero duration.
+        assert!(json.contains("\"dur\":100"));
+    }
+
+    #[test]
+    fn empty_timeline_is_a_valid_document() {
+        assert!(serve_timeline_json(&[]).contains("\"traceEvents\":[]"));
+    }
+}

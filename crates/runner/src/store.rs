@@ -1,34 +1,71 @@
 //! Content-addressed, in-memory artifact memoization.
 //!
 //! Artifacts (a calibrated scene, a binned frame, an annotated trace, a
-//! whole `SuiteRun`) are keyed by a stable `fxhash64` of the
-//! configuration that produces them. The first requester computes; any
-//! concurrent requester for the same key blocks on the winner's
-//! `OnceLock` and shares the resulting `Arc` — each artifact is built
-//! exactly once per process regardless of schedule.
+//! whole `SuiteRun`, a rendered serve response) are keyed by a stable
+//! `fxhash64` of the configuration that produces them. The first
+//! requester computes; any concurrent requester for the same key blocks
+//! until the winner publishes and shares the resulting `Arc` — each
+//! artifact is built exactly once per process regardless of schedule.
 //!
 //! Failure model: a key that resolves to a value of a different type
 //! than requested is a key-collision bug at some call site; it is
 //! reported as a typed [`ErrorKind::Corruption`] error, never a panic,
-//! so one bad cell cannot tear down the suite. Lock poisoning is
-//! recovered with [`PoisonError::into_inner`]: the map holds only
-//! `Arc<OnceLock>` slots whose insertion is a single `entry().or_default()`
-//! step, so a thread that panicked while holding the lock cannot have
-//! left the map half-updated.
+//! so one bad cell cannot tear down the suite. Each slot is an explicit
+//! `Empty → InFlight → Ready` state machine guarded by its own
+//! mutex+condvar: a computation that panics *or* returns a typed error
+//! resets its slot to `Empty` and wakes every waiter, so a partial
+//! entry can never wedge concurrent readers — one of them simply
+//! becomes the next leader and retries. Lock poisoning is recovered
+//! with [`PoisonError::into_inner`]: state transitions are single
+//! assignments, so a thread that panicked while holding a lock cannot
+//! have left the slot half-updated.
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use tcor_common::{TcorError, TcorResult};
 
-type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+type Erased = Arc<dyn Any + Send + Sync>;
+
+/// Where one slot is in its lifecycle.
+enum SlotState {
+    /// Nothing computed; the next requester becomes the leader.
+    Empty,
+    /// A leader is computing; followers wait on the condvar.
+    InFlight,
+    /// The artifact is published.
+    Ready(Erased),
+}
+
+/// One key's state machine: mutex-guarded state plus the condvar the
+/// leader signals on every transition out of `InFlight`.
+struct Slot {
+    state: Mutex<SlotState>,
+    changed: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Empty),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
+        // Transitions are single assignments: a panicking holder cannot
+        // leave the state half-updated, so poisoning is recoverable.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 /// The shared store. Cheap to share by reference across the worker
 /// pool; all methods take `&self`.
 #[derive(Default)]
 pub struct ArtifactStore {
-    map: Mutex<HashMap<u64, Slot>>,
+    map: Mutex<HashMap<u64, Arc<Slot>>>,
     hits: AtomicU64,
     computes: AtomicU64,
 }
@@ -41,17 +78,29 @@ fn type_confusion(key: u64, requested: &str) -> TcorError {
     ))
 }
 
+fn downcast<A: Send + Sync + 'static>(key: u64, erased: Erased) -> TcorResult<Arc<A>> {
+    erased
+        .downcast::<A>()
+        .map_err(|_| type_confusion(key, std::any::type_name::<A>()))
+}
+
 impl ArtifactStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
     }
 
+    fn slot(&self, key: u64) -> Arc<Slot> {
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(Slot::new())))
+    }
+
     /// Returns the artifact under `key`, computing it with `f` if
     /// absent. Concurrent calls with the same key compute once and
-    /// share; the loser blocks until the artifact exists. If `f`
-    /// panics the slot stays empty (the panic is propagated to — and
-    /// contained by — the executor) and a later caller retries.
+    /// share; the losers block until the artifact exists. If `f`
+    /// panics the slot is reset to empty, every waiter is woken (one
+    /// of them retries as the new leader), and the panic is propagated
+    /// to — and contained by — the executor.
     ///
     /// # Errors
     ///
@@ -63,23 +112,77 @@ impl ArtifactStore {
         A: Send + Sync + 'static,
         F: FnOnce() -> A,
     {
-        let slot: Slot = {
-            let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
-            map.entry(key).or_default().clone()
-        };
-        let mut computed = false;
-        let erased = slot.get_or_init(|| {
-            computed = true;
-            Arc::new(f()) as Arc<dyn Any + Send + Sync>
-        });
-        if computed {
-            self.computes.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        self.get_or_try_compute(key, || Ok(f()))
+    }
+
+    /// The fallible, concurrency-hardened entry point (the serving
+    /// plane's get-or-compute): like [`get_or_compute`], but `f` may
+    /// return a typed error. An error is returned to the leader *and
+    /// leaves the slot empty* — waiters are woken and the first of
+    /// them retries the computation, so a transient failure (or a
+    /// panicking leader) never leaves a poisoned or partial entry
+    /// behind.
+    ///
+    /// Reentrancy: computing `key` from inside its own `f` deadlocks
+    /// (exactly like the `OnceLock`-based predecessor); keep artifact
+    /// dependencies acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error verbatim; returns a corruption error on
+    /// key type confusion.
+    pub fn get_or_try_compute<A, F>(&self, key: u64, f: F) -> TcorResult<Arc<A>>
+    where
+        A: Send + Sync + 'static,
+        F: FnOnce() -> TcorResult<A>,
+    {
+        let slot = self.slot(key);
+        {
+            let mut st = slot.lock();
+            loop {
+                match &*st {
+                    SlotState::Ready(v) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return downcast(key, Arc::clone(v));
+                    }
+                    SlotState::InFlight => {
+                        st = slot
+                            .changed
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    SlotState::Empty => {
+                        *st = SlotState::InFlight;
+                        break;
+                    }
+                }
+            }
         }
-        Arc::clone(erased)
-            .downcast::<A>()
-            .map_err(|_| type_confusion(key, std::any::type_name::<A>()))
+        // This thread is the leader; compute outside the slot lock so
+        // followers can park on the condvar, not the mutex.
+        let outcome = catch_unwind(AssertUnwindSafe(f));
+        let mut st = slot.lock();
+        match outcome {
+            Ok(Ok(value)) => {
+                let erased: Erased = Arc::new(value);
+                *st = SlotState::Ready(Arc::clone(&erased));
+                self.computes.fetch_add(1, Ordering::Relaxed);
+                slot.changed.notify_all();
+                drop(st);
+                downcast(key, erased)
+            }
+            Ok(Err(e)) => {
+                *st = SlotState::Empty;
+                slot.changed.notify_all();
+                Err(e)
+            }
+            Err(panic) => {
+                *st = SlotState::Empty;
+                slot.changed.notify_all();
+                drop(st);
+                resume_unwind(panic)
+            }
+        }
     }
 
     /// Returns the artifact under `key` if (and only if) it has been
@@ -95,22 +198,22 @@ impl ArtifactStore {
             map.get(&key).cloned()
         };
         let Some(slot) = slot else { return Ok(None) };
-        let Some(erased) = slot.get() else {
-            return Ok(None);
-        };
-        Arc::clone(erased)
-            .downcast::<A>()
-            .map(Some)
-            .map_err(|_| type_confusion(key, std::any::type_name::<A>()))
+        let st = slot.lock();
+        match &*st {
+            SlotState::Ready(v) => downcast(key, Arc::clone(v)).map(Some),
+            _ => Ok(None),
+        }
     }
 
     /// Number of keys with a completed artifact.
     pub fn len(&self) -> usize {
-        self.map
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .values()
-            .filter(|s| s.get().is_some())
+        let slots: Vec<Arc<Slot>> = {
+            let map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+            map.values().cloned().collect()
+        };
+        slots
+            .iter()
+            .filter(|s| matches!(&*s.lock(), SlotState::Ready(_)))
             .count()
     }
 
@@ -134,6 +237,7 @@ impl ArtifactStore {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
 
     #[test]
     fn computes_once_and_shares() {
@@ -212,6 +316,65 @@ mod tests {
             }
         });
         assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    /// The serving plane's regression: two callers racing through the
+    /// fallible entry point compute exactly once, and both get the
+    /// winner's artifact.
+    #[test]
+    fn racing_fallible_callers_compute_once() {
+        let store = ArtifactStore::new();
+        let calls = AtomicUsize::new(0);
+        let gate = Barrier::new(2);
+        std::thread::scope(|s| {
+            let run = || {
+                gate.wait();
+                let v: Arc<String> = store
+                    .get_or_try_compute(7, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        Ok("artifact".to_string())
+                    })
+                    .unwrap();
+                assert_eq!(*v, "artifact");
+            };
+            let t = s.spawn(run);
+            run();
+            t.join().unwrap();
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!((store.computes(), store.hits()), (1, 1));
+    }
+
+    /// A failed computation leaves the slot empty: the waiter that was
+    /// blocked on the failing leader is woken, retries as the new
+    /// leader, and succeeds — no poisoned/partial entry survives.
+    #[test]
+    fn failed_leader_wakes_waiter_who_retries() {
+        let store = ArtifactStore::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let loser = s.spawn(|| {
+                store.get_or_try_compute::<u64, _>(11, || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    Err(TcorError::execution("transient failure"))
+                })
+            });
+            // Give the loser time to become the leader, then pile on.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            let winner: Arc<u64> = store
+                .get_or_try_compute(11, || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Ok(5)
+                })
+                .unwrap();
+            assert_eq!(*winner, 5);
+            let err = loser.join().unwrap().unwrap_err();
+            assert_eq!(err.kind(), tcor_common::ErrorKind::Execution);
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "fail once, retry once");
+        assert_eq!(*store.get::<u64>(11).unwrap().expect("retried"), 5);
     }
 
     #[test]

@@ -72,6 +72,15 @@ enum Event {
         t_ms: f64,
         message: String,
     },
+    /// A caller-defined event: the serving plane logs
+    /// `request_received` / `request_coalesced` / `request_shed` /
+    /// `request_done` through this so its timeline shares one JSONL
+    /// stream with job events.
+    Custom {
+        t_ms: f64,
+        name: String,
+        fields: Vec<(String, Json)>,
+    },
 }
 
 impl Event {
@@ -153,6 +162,14 @@ impl Event {
                 ("t_ms", Json::Float(*t_ms)),
                 ("message", Json::str(message.clone())),
             ]),
+            Event::Custom { t_ms, name, fields } => {
+                let mut obj = vec![
+                    ("event".to_string(), Json::str(name.clone())),
+                    ("t_ms".to_string(), Json::Float(*t_ms)),
+                ];
+                obj.extend(fields.iter().cloned());
+                Json::Obj(obj)
+            }
         }
         .render()
     }
@@ -272,6 +289,19 @@ impl Telemetry {
         self.push(Event::Note {
             t_ms: self.elapsed_ms(),
             message: message.into(),
+        });
+    }
+
+    /// Records a caller-defined event with structured fields. The
+    /// rendered line is `{"event": <name>, "t_ms": <now>, ...fields}`,
+    /// so domain events (the serve plane's `request_received`,
+    /// `request_done`, …) interleave with job events in one stream and
+    /// flush with the same crash-safety guarantee.
+    pub fn event(&self, name: impl Into<String>, fields: Vec<(String, Json)>) {
+        self.push(Event::Custom {
+            t_ms: self.elapsed_ms(),
+            name: name.into(),
+            fields,
         });
     }
 
@@ -617,6 +647,25 @@ mod tests {
         let err = load_jsonl(&path).unwrap_err();
         assert_eq!(err.kind(), tcor_common::ErrorKind::Corruption);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn custom_events_render_name_and_fields() {
+        let t = Telemetry::new();
+        t.event(
+            "request_received",
+            vec![
+                ("endpoint".to_string(), Json::str("/v1/cell")),
+                ("key".to_string(), Json::UInt(7)),
+            ],
+        );
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"event\":\"request_received\""));
+        assert!(text.contains("\"endpoint\":\"/v1/cell\""));
+        assert!(text.contains("\"key\":7"));
+        assert!(text.contains("\"t_ms\":"));
     }
 
     #[test]

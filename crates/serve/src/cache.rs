@@ -1,0 +1,129 @@
+//! LRU response cache over content-addressed keys.
+//!
+//! Layered above the runner's artifact store in the request path: the
+//! store memoizes *simulation* artifacts per process, this caches the
+//! final *rendered responses* (JSON/CSV strings) so a warm hit never
+//! touches the simulator or the encoder at all. Plain LRU is the right
+//! policy here — unlike the simulated tile cache there is no future
+//! knowledge to exploit on the request stream.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A fixed-capacity LRU map from content key to shared value.
+pub struct LruCache<V> {
+    capacity: usize,
+    seq: u64,
+    /// key → (value, last-touch sequence number).
+    map: HashMap<u64, (Arc<V>, u64)>,
+    /// last-touch sequence → key; first entry is the LRU victim.
+    order: BTreeMap<u64, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> LruCache<V> {
+    /// A cache holding at most `capacity` responses.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            seq: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch(&mut self, key: u64, old_seq: u64) -> u64 {
+        self.order.remove(&old_seq);
+        self.seq += 1;
+        self.order.insert(self.seq, key);
+        self.seq
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<Arc<V>> {
+        let Some(&(_, old_seq)) = self.map.get(&key) else {
+            self.misses += 1;
+            return None;
+        };
+        let new_seq = self.touch(key, old_seq);
+        let entry = self.map.get_mut(&key).expect("present");
+        entry.1 = new_seq;
+        self.hits += 1;
+        Some(Arc::clone(&entry.0))
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry if at capacity.
+    pub fn insert(&mut self, key: u64, value: Arc<V>) {
+        if let Some(&(_, old_seq)) = self.map.get(&key) {
+            let new_seq = self.touch(key, old_seq);
+            self.map.insert(key, (value, new_seq));
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some((&victim_seq, &victim_key)) = self.order.iter().next() {
+                self.order.remove(&victim_seq);
+                self.map.remove(&victim_key);
+            }
+        }
+        self.seq += 1;
+        self.order.insert(self.seq, key);
+        self.map.insert(key, (value, self.seq));
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut c: LruCache<&str> = LruCache::new(2);
+        c.insert(1, Arc::new("a"));
+        c.insert(2, Arc::new("b"));
+        assert_eq!(*c.get(1).expect("hit"), "a"); // 1 is now MRU
+        c.insert(3, Arc::new("c")); // evicts 2, the LRU
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert(1, Arc::new(10));
+        c.insert(2, Arc::new(20));
+        c.insert(1, Arc::new(11));
+        assert_eq!(c.len(), 2);
+        assert_eq!(*c.get(1).expect("hit"), 11);
+        assert_eq!(*c.get(2).expect("not evicted"), 20);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c: LruCache<u32> = LruCache::new(1);
+        assert!(c.get(1).is_none());
+        c.insert(1, Arc::new(1));
+        assert!(c.get(1).is_some());
+        assert_eq!(c.stats(), (1, 1));
+    }
+}

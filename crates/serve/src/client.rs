@@ -1,0 +1,133 @@
+//! Blocking loopback HTTP client: CI probe and loadgen substrate.
+//!
+//! One request per connection, mirroring the server's
+//! `Connection: close` contract: write the request, read to EOF, parse.
+//! Used by `tcor-sim serve-req` (the ci.sh smoke probe) and
+//! `tcor-sim bench-serve` (the deterministic loadgen).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use tcor_common::{ErrorKind, TcorError, TcorResult};
+
+/// A parsed response.
+#[derive(Clone, Debug)]
+pub struct HttpReply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Lowercased header names with values.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes, as a string.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// First value of the (case-insensitively named) header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one `method path` request to `addr` ("127.0.0.1:8080") and
+/// reads the full response.
+///
+/// # Errors
+///
+/// Serve-class errors for connect/transport failures, timeout expiry,
+/// or an unparseable response.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> TcorResult<HttpReply> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| TcorError::with_source(ErrorKind::Serve, format!("connecting {addr}"), e))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| TcorError::with_source(ErrorKind::Serve, "setting socket timeouts", e))?;
+    let mut stream = stream;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| TcorError::with_source(ErrorKind::Serve, "writing request", e))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| TcorError::with_source(ErrorKind::Serve, "reading response", e))?;
+    parse_reply(&raw)
+}
+
+fn parse_reply(raw: &[u8]) -> TcorResult<HttpReply> {
+    let text = std::str::from_utf8(raw).map_err(|_| TcorError::serve("response is not UTF-8"))?;
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(TcorError::serve("response has no header/body separator"));
+    };
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| TcorError::serve(format!("bad status line `{status_line}`")))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(HttpReply {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// The `p`-th percentile (0–100) of `samples`, by nearest-rank on a
+/// sorted copy. Returns 0.0 for an empty slice.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_reply() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nX-Tcor-Cache: hit\r\n\r\nok\n";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("x-tcor-cache"), Some("hit"));
+        assert_eq!(reply.body, "ok\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_reply(b"not http").is_err());
+        assert!(parse_reply(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&s, 50.0), 5.0);
+        assert_eq!(percentile(&s, 95.0), 10.0);
+        assert_eq!(percentile(&s, 100.0), 10.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[3.0], 99.0), 3.0);
+    }
+}

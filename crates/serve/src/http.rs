@@ -1,0 +1,271 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! Just enough of RFC 9112 for a loopback result service: one request
+//! per connection (`Connection: close` on every response), explicit
+//! `Content-Length` bodies, hard limits on line, header-count and body
+//! sizes so a misbehaving peer cannot balloon memory. Anything outside
+//! that envelope is a typed [`ErrorKind::Serve`](tcor_common::ErrorKind)
+//! error, answered with a 400 by the caller.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use tcor_common::{TcorError, TcorResult};
+
+/// Longest accepted request/header line, bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most accepted header lines.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, bytes.
+const MAX_BODY: usize = 64 * 1024;
+
+/// A parsed request: method, path, headers, body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method ("GET", "POST").
+    pub method: String,
+    /// Request target as sent ("/v1/cell/GTr/base64").
+    pub path: String,
+    /// Lowercased header names with their values.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without a `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// First value of the (case-insensitively named) header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> TcorResult<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(TcorError::serve(format!(
+                        "request line exceeds {MAX_LINE} bytes"
+                    )));
+                }
+            }
+            Err(e) => {
+                return Err(TcorError::with_source(
+                    tcor_common::ErrorKind::Serve,
+                    "reading request line",
+                    e,
+                ))
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| TcorError::serve("request line is not UTF-8"))
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Returns a serve-class error for an empty/garbled request line, too
+/// many or too long headers, an oversized or short body, or transport
+/// failures (including read-timeout expiry).
+pub fn read_request<S: Read>(stream: S) -> TcorResult<Request> {
+    let mut reader = BufReader::new(stream);
+    let start = read_line(&mut reader)?;
+    let mut parts = start.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => {
+            return Err(TcorError::serve(format!(
+                "malformed request line `{start}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(TcorError::serve(format!("unsupported version `{version}`")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == MAX_HEADERS {
+            return Err(TcorError::serve(format!("more than {MAX_HEADERS} headers")));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(TcorError::serve(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| TcorError::serve(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(TcorError::serve(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| {
+        TcorError::with_source(tcor_common::ErrorKind::Serve, "reading request body", e)
+    })?;
+    let body = String::from_utf8(body).map_err(|_| TcorError::serve("body is not UTF-8"))?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// A response ready to serialize. Every response closes its connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) beyond the always-present ones.
+    pub headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header, builder-style.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// The standard reason phrase for the codes this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response (status line, headers, `Connection:
+    /// close`, body) onto `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors as serve-class errors.
+    pub fn write_to<W: Write>(&self, mut w: W) -> TcorResult<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())
+            .and_then(|()| w.write_all(self.body.as_bytes()))
+            .and_then(|()| w.flush())
+            .map_err(|e| {
+                TcorError::with_source(tcor_common::ErrorKind::Serve, "writing response", e)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_get_with_headers() {
+        let raw = "GET /health HTTP/1.1\r\nHost: localhost\r\nX-Probe: 1\r\n\r\n";
+        let req = read_request(raw.as_bytes()).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/health");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("X-Probe"), Some("1"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let raw = "POST /v1/run HTTP/1.1\r\nContent-Length: 14\r\n\r\nexperiment=fig10";
+        let req = read_request(raw.as_bytes()).unwrap();
+        assert_eq!(req.body, "experiment=fig"); // exactly 14 bytes
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(read_request("\r\n\r\n".as_bytes()).is_err());
+        assert!(read_request("GET /x SPDY/9\r\n\r\n".as_bytes()).is_err());
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = read_request(huge.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), tcor_common::ErrorKind::Serve);
+    }
+
+    #[test]
+    fn response_serializes_with_close_and_length() {
+        let mut buf = Vec::new();
+        Response::text(200, "ok\n")
+            .with_header("X-Tcor-Cache", "hit")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("X-Tcor-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+}

@@ -1,0 +1,46 @@
+//! `tcor-serve`: a dependency-free result-serving daemon for the TCOR
+//! simulator.
+//!
+//! The ROADMAP's north star is serving-scale: this crate turns the
+//! one-shot CLI into a queryable service with the full
+//! inference-serving request shape —
+//!
+//! * **admission control** — a bounded queue feeds a fixed worker
+//!   pool; at capacity, requests are shed at the door with 429 +
+//!   `Retry-After` ([`pool`]);
+//! * **deadlines** — each request carries an accept-time deadline,
+//!   checked when its job is dequeued and while awaiting a coalesced
+//!   result (504 on expiry), so queue waits cannot pin workers on
+//!   work nobody is waiting for;
+//! * **coalescing** — identical in-flight requests collapse onto one
+//!   computation ([`coalesce`]), TCOR's never-redundant-work thesis
+//!   applied to the request plane;
+//! * **content-addressed caching** — responses are keyed by the
+//!   `fxhash64` of the canonical request ([`router`]) and served from
+//!   an LRU ([`cache`]) so warm hits never touch the simulator;
+//! * **graceful shutdown** — `POST /admin/shutdown` or
+//!   SIGINT/SIGTERM ([`signal`]) stops admission, drains admitted
+//!   work, and exits 0.
+//!
+//! The crate is simulator-agnostic: the daemon calls a [`Backend`]
+//! trait; `tcor-sim serve` supplies the real simulator-backed
+//! implementation and the CLI flags.
+
+pub mod cache;
+pub mod client;
+pub mod coalesce;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod server;
+pub mod signal;
+
+pub use cache::LruCache;
+pub use client::{http_request, percentile, HttpReply};
+pub use coalesce::{FollowerHandle, Join, LeaderToken, Singleflight, Waited};
+pub use http::{read_request, Request, Response};
+pub use metrics::ServeMetrics;
+pub use pool::{BoundedQueue, Pushed};
+pub use router::{route, ApiCall, Route};
+pub use server::{start, ApiBody, Backend, ServeConfig, ServerHandle};

@@ -1,0 +1,84 @@
+//! Serving-plane counters, exported at `GET /metrics`.
+//!
+//! Lock-free atomics on the hot path; rendering goes through
+//! [`tcor_common::MetricRegistry`] so the text format (`path = value`
+//! lines, sorted) matches every other counter surface in the repo.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use tcor_common::MetricRegistry;
+
+/// The daemon's counters. All monotonic; relaxed ordering is enough
+/// (they are observability, not synchronization).
+#[derive(Default)]
+pub struct ServeMetrics {
+    /// API requests admitted past routing.
+    pub received: AtomicU64,
+    /// Requests that joined another request's computation.
+    pub coalesced: AtomicU64,
+    /// Requests refused at a full queue (429).
+    pub shed: AtomicU64,
+    /// Requests answered (any status).
+    pub done: AtomicU64,
+    /// Responses served from the LRU cache.
+    pub warm_hits: AtomicU64,
+    /// Responses that ran the simulator.
+    pub cold_computes: AtomicU64,
+    /// Requests that hit their deadline (504).
+    pub deadline_expired: AtomicU64,
+    /// Requests answered 5xx.
+    pub errors: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as a registry (sorted, mergeable, renderable).
+    pub fn registry(&self) -> MetricRegistry {
+        let mut reg = MetricRegistry::new();
+        for (path, counter) in [
+            ("serve/request_received", &self.received),
+            ("serve/request_coalesced", &self.coalesced),
+            ("serve/request_shed", &self.shed),
+            ("serve/request_done", &self.done),
+            ("serve/cache_warm_hits", &self.warm_hits),
+            ("serve/cold_computes", &self.cold_computes),
+            ("serve/deadline_expired", &self.deadline_expired),
+            ("serve/errors", &self.errors),
+        ] {
+            reg.add(path, counter.load(Ordering::Relaxed));
+        }
+        reg
+    }
+
+    /// The `GET /metrics` body.
+    pub fn text(&self) -> String {
+        self.registry().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_counter_as_registry_lines() {
+        let m = ServeMetrics::new();
+        ServeMetrics::bump(&m.received);
+        ServeMetrics::bump(&m.received);
+        ServeMetrics::bump(&m.warm_hits);
+        let text = m.text();
+        assert!(text.contains("serve/request_received = 2"));
+        assert!(text.contains("serve/cache_warm_hits = 1"));
+        assert!(text.contains("serve/request_shed = 0"));
+        assert_eq!(m.registry().get("serve/request_received"), 2);
+        assert_eq!(m.registry().sum_prefix("serve"), 3);
+    }
+}

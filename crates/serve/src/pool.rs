@@ -1,0 +1,143 @@
+//! Bounded admission queue feeding the worker pool.
+//!
+//! The queue is the server's only admission-control point: `try_push`
+//! never blocks the accept loop — at capacity it reports [`Pushed::Full`]
+//! and the caller sheds the request with a 429 instead of queueing
+//! unbounded work (the serving-plane analogue of the tile cache's
+//! bypass-on-no-reuse decision: work that would only wait past its
+//! deadline is cheaper to refuse at the door). Workers block in [`pop`]
+//! until an item or until the queue is closed *and* drained, which is
+//! exactly the graceful-shutdown contract: close, finish what was
+//! admitted, exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Outcome of a non-blocking push. Refusals hand the item back so the
+/// caller can answer the connection it failed to enqueue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pushed<T> {
+    /// Enqueued; a worker will pick it up.
+    Accepted,
+    /// At capacity — shed the request (429).
+    Full(T),
+    /// Queue closed — refuse the request (503).
+    ShuttingDown(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A capacity-bounded MPMC queue with explicit close-and-drain.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items at once.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Non-blocking admission: enqueue, or hand the item back with the
+    /// reason.
+    pub fn try_push(&self, item: T) -> Pushed<T> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Pushed::ShuttingDown(item);
+        }
+        if inner.items.len() >= self.capacity {
+            return Pushed::Full(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Pushed::Accepted
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed and fully drained (returning `None` — the worker's exit
+    /// signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: future pushes are refused, workers drain what
+    /// was already admitted and then exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued (racy; for metrics only).
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_to_capacity_then_sheds() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Pushed::Accepted);
+        assert_eq!(q.try_push(2), Pushed::Accepted);
+        assert_eq!(q.try_push(3), Pushed::Full(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Pushed::Accepted);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_releases_blocked_workers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(10);
+        q.try_push(11);
+        q.close();
+        assert_eq!(q.try_push(12), Pushed::ShuttingDown(12));
+        // Admitted work still drains in order...
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        // ...then workers get their exit signal.
+        assert_eq!(q.pop(), None);
+        // A worker blocked *before* close is released too.
+        let q2 = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,253 @@
+//! URL routing and content-addressed request keying.
+//!
+//! The router maps a parsed request onto either a control route
+//! (health, metrics, shutdown) answered inline, or an [`ApiCall`] — a
+//! *canonicalized* description of simulator work. Canonicalization is
+//! what makes coalescing and caching sound: two requests that mean the
+//! same computation (`POST /v1/run` with reordered parameters, or the
+//! equivalent `GET /v1/cell/...`) reduce to one canonical string, and
+//! its `fxhash64` is the shared cache/singleflight key — the same
+//! content-addressing discipline `tcor-runner` uses for artifacts.
+
+use crate::http::{Request, Response};
+use tcor_common::fxhash64;
+
+/// Where a request goes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /health` — liveness probe.
+    Health,
+    /// `GET /metrics` — text counters.
+    Metrics,
+    /// `POST /admin/shutdown` — graceful drain.
+    Shutdown,
+    /// Simulator work, keyed and coalesced.
+    Api(ApiCall),
+}
+
+/// One canonical unit of simulator work.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiCall {
+    /// Full experiment cell report for (workload alias, config name).
+    Cell {
+        /// Benchmark alias ("GTr").
+        workload: String,
+        /// Cell config name ("base64").
+        config: String,
+    },
+    /// Miss curve for (workload alias, replacement policy).
+    MissCurve {
+        /// Benchmark alias.
+        workload: String,
+        /// Policy name ("lru", "opt", ...).
+        policy: String,
+    },
+    /// A whole experiment's tables as CSV ("fig10").
+    Table {
+        /// Experiment id.
+        experiment: String,
+    },
+    /// Ad-hoc run described by sorted `key=value` parameters.
+    Run {
+        /// Parameters, sorted by key (canonical form).
+        params: Vec<(String, String)>,
+    },
+}
+
+impl ApiCall {
+    /// The canonical string: equal strings ⇔ equal computations.
+    pub fn canonical(&self) -> String {
+        match self {
+            ApiCall::Cell { workload, config } => format!("cell/{workload}/{config}"),
+            ApiCall::MissCurve { workload, policy } => format!("misscurve/{workload}/{policy}"),
+            ApiCall::Table { experiment } => format!("table/{experiment}"),
+            ApiCall::Run { params } => {
+                let kv: Vec<String> = params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("run?{}", kv.join("&"))
+            }
+        }
+    }
+
+    /// Content-addressed key shared by the response cache and the
+    /// singleflight map.
+    pub fn cache_key(&self) -> u64 {
+        fxhash64(self.canonical().as_bytes())
+    }
+
+    /// Endpoint label for metrics/telemetry ("/v1/cell", ...).
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            ApiCall::Cell { .. } => "/v1/cell",
+            ApiCall::MissCurve { .. } => "/v1/misscurve",
+            ApiCall::Table { .. } => "/v1/table",
+            ApiCall::Run { .. } => "/v1/run",
+        }
+    }
+}
+
+fn parse_params(body: &str) -> Result<Vec<(String, String)>, Response> {
+    let mut params = Vec::new();
+    for pair in body.split(['&', '\n']) {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = pair.split_once('=') else {
+            return Err(Response::text(
+                400,
+                format!("bad parameter `{pair}`: expected key=value\n"),
+            ));
+        };
+        params.push((k.trim().to_string(), v.trim().to_string()));
+    }
+    if params.is_empty() {
+        return Err(Response::text(
+            400,
+            "empty run request: POST key=value pairs (`experiment=fig10` or \
+             `workload=GTr&config=base64`)\n",
+        ));
+    }
+    params.sort();
+    params.dedup();
+    Ok(params)
+}
+
+/// Routes a request, or produces the error response (404 unknown path,
+/// 405 wrong method, 400 malformed run body) to send instead.
+#[allow(clippy::result_large_err)]
+pub fn route(req: &Request) -> Result<Route, Response> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let get = req.method == "GET";
+    let post = req.method == "POST";
+    match segments.as_slice() {
+        ["health"] if get => Ok(Route::Health),
+        ["metrics"] if get => Ok(Route::Metrics),
+        ["admin", "shutdown"] if post => Ok(Route::Shutdown),
+        ["v1", "cell", workload, config] if get => Ok(Route::Api(ApiCall::Cell {
+            workload: (*workload).to_string(),
+            config: (*config).to_string(),
+        })),
+        ["v1", "misscurve", workload, policy] if get => Ok(Route::Api(ApiCall::MissCurve {
+            workload: (*workload).to_string(),
+            policy: (*policy).to_string(),
+        })),
+        ["v1", "table", experiment] if get => Ok(Route::Api(ApiCall::Table {
+            experiment: (*experiment).to_string(),
+        })),
+        ["v1", "run"] if post => Ok(Route::Api(ApiCall::Run {
+            params: parse_params(&req.body)?,
+        })),
+        ["health" | "metrics"] | ["admin", "shutdown"] | ["v1", "run"] => Err(Response::text(
+            405,
+            format!("method {} not allowed on {}\n", req.method, req.path),
+        )),
+        ["v1", "cell" | "misscurve", ..] | ["v1", "table", ..] if !get => Err(Response::text(
+            405,
+            format!("method {} not allowed on {}\n", req.method, req.path),
+        )),
+        _ => Err(Response::text(404, format!("no route for {}\n", req.path))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.to_string(),
+        }
+    }
+
+    #[test]
+    fn routes_the_surface() {
+        assert_eq!(route(&req("GET", "/health", "")), Ok(Route::Health));
+        assert_eq!(route(&req("GET", "/metrics", "")), Ok(Route::Metrics));
+        assert_eq!(
+            route(&req("POST", "/admin/shutdown", "")),
+            Ok(Route::Shutdown)
+        );
+        assert_eq!(
+            route(&req("GET", "/v1/cell/GTr/base64", "")),
+            Ok(Route::Api(ApiCall::Cell {
+                workload: "GTr".into(),
+                config: "base64".into()
+            }))
+        );
+        assert_eq!(
+            route(&req("GET", "/v1/misscurve/SoD/lru", "")),
+            Ok(Route::Api(ApiCall::MissCurve {
+                workload: "SoD".into(),
+                policy: "lru".into()
+            }))
+        );
+        assert_eq!(
+            route(&req("GET", "/v1/table/fig10", "")),
+            Ok(Route::Api(ApiCall::Table {
+                experiment: "fig10".into()
+            }))
+        );
+    }
+
+    #[test]
+    fn unknown_is_404_and_wrong_method_is_405() {
+        assert_eq!(route(&req("GET", "/nope", "")).unwrap_err().status, 404);
+        assert_eq!(
+            route(&req("GET", "/v1/cell/GTr", "")).unwrap_err().status,
+            404
+        );
+        assert_eq!(route(&req("POST", "/health", "")).unwrap_err().status, 405);
+        assert_eq!(
+            route(&req("DELETE", "/v1/table/fig10", ""))
+                .unwrap_err()
+                .status,
+            405
+        );
+        assert_eq!(route(&req("GET", "/v1/run", "")).unwrap_err().status, 405);
+    }
+
+    #[test]
+    fn run_params_canonicalize_order() {
+        let a = route(&req("POST", "/v1/run", "workload=GTr&config=base64")).unwrap();
+        let b = route(&req("POST", "/v1/run", "config=base64\nworkload=GTr")).unwrap();
+        assert_eq!(a, b);
+        let (Route::Api(a), Route::Api(b)) = (a, b) else {
+            panic!("api routes")
+        };
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_eq!(a.canonical(), "run?config=base64&workload=GTr");
+    }
+
+    #[test]
+    fn equivalent_calls_share_keys_and_distinct_calls_do_not() {
+        let cell = ApiCall::Cell {
+            workload: "GTr".into(),
+            config: "base64".into(),
+        };
+        let same = ApiCall::Cell {
+            workload: "GTr".into(),
+            config: "base64".into(),
+        };
+        let other = ApiCall::Cell {
+            workload: "GTr".into(),
+            config: "tcor64".into(),
+        };
+        assert_eq!(cell.cache_key(), same.cache_key());
+        assert_ne!(cell.cache_key(), other.cache_key());
+        assert_eq!(cell.endpoint(), "/v1/cell");
+    }
+
+    #[test]
+    fn malformed_run_body_is_400() {
+        assert_eq!(route(&req("POST", "/v1/run", "")).unwrap_err().status, 400);
+        assert_eq!(
+            route(&req("POST", "/v1/run", "nonsense"))
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! The daemon: accept loop, worker pool, and the full request path.
+//!
+//! One nonblocking accept thread admits connections into the
+//! [`BoundedQueue`] (or sheds them at the door); `workers` threads pull
+//! connections, parse, route, and answer. The API path layers, in
+//! order: a per-request deadline (checked when the job is *dequeued*,
+//! so work that already overstayed its queue wait is aborted before it
+//! starts — the watchdog discipline from the runner), the LRU response
+//! cache (warm hits bypass the simulator entirely), and singleflight
+//! coalescing (concurrent identical requests ride one computation).
+//! Shutdown — admin route or signal — stops admission, drains what was
+//! admitted, joins every thread, and hands back the request timeline.
+
+use crate::cache::LruCache;
+use crate::coalesce::{Join, Singleflight, Waited};
+use crate::http::{read_request, Request, Response};
+use crate::metrics::ServeMetrics;
+use crate::pool::{BoundedQueue, Pushed};
+use crate::router::{route, ApiCall, Route};
+use crate::signal;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tcor_common::{ErrorKind, TcorError, TcorResult};
+use tcor_obs::RequestSpan;
+use tcor_runner::{Json, Telemetry};
+
+/// A computed API response body: what the backend produces, what the
+/// cache stores, what coalesced followers share.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApiBody {
+    /// `Content-Type` of the rendered body.
+    pub content_type: &'static str,
+    /// The rendered body (JSON or CSV text).
+    pub body: String,
+}
+
+/// The simulator behind the daemon. Implementations must be callable
+/// from any worker concurrently; expensive work should memoize through
+/// `tcor_runner::ArtifactStore` so coalesced *sequential* repeats stay
+/// cheap too.
+pub trait Backend: Send + Sync + 'static {
+    /// Computes the response body for one canonical call.
+    ///
+    /// # Errors
+    ///
+    /// `Config`-class errors map to 404 (unknown workload/config/...),
+    /// everything else to 500.
+    fn call(&self, call: &ApiCall) -> TcorResult<ApiBody>;
+}
+
+/// Daemon tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// TCP port on 127.0.0.1; 0 binds an ephemeral port.
+    pub port: u16,
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Bounded-queue depth; beyond it requests are shed with 429.
+    pub queue_depth: usize,
+    /// LRU response-cache capacity, entries.
+    pub cache_cap: usize,
+    /// Per-request deadline, accept to answer.
+    pub deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            workers: 4,
+            queue_depth: 64,
+            cache_cap: 256,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of a flight: the shared body, or the shared failure.
+type FlightOut = Result<Arc<ApiBody>, Arc<TcorError>>;
+
+struct Conn {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    queue: BoundedQueue<Conn>,
+    metrics: ServeMetrics,
+    cache: Mutex<LruCache<ApiBody>>,
+    flights: Singleflight<FlightOut>,
+    backend: Arc<dyn Backend>,
+    telemetry: Option<Arc<Telemetry>>,
+    deadline: Duration,
+    spans: Mutex<Vec<RequestSpan>>,
+    started: Instant,
+}
+
+/// Most request spans retained for the timeline export.
+const MAX_SPANS: usize = 65_536;
+/// Accept-loop poll period while idle. Short enough that connection
+/// admission never dominates a warm (cache-hit) response; the idle
+/// cost is ~2k no-op accept calls per second on one thread.
+const POLL: Duration = Duration::from_micros(500);
+/// Per-connection socket timeout (a stuck peer cannot pin a worker).
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long the accept thread will wait to drain a refused request.
+const REFUSE_DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
+
+impl Shared {
+    fn event(&self, name: &str, fields: Vec<(String, Json)>) {
+        if let Some(t) = &self.telemetry {
+            t.event(name, fields);
+        }
+    }
+
+    fn record_span(&self, span: RequestSpan) {
+        let mut spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+        if spans.len() < MAX_SPANS {
+            spans.push(span);
+        }
+    }
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `--port 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown (same path as `POST /admin/shutdown`).
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Current `GET /metrics` body, read in-process.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.text()
+    }
+
+    /// Blocks until the daemon has drained and every thread has
+    /// exited; returns the recorded request timeline.
+    pub fn wait(self) -> Vec<RequestSpan> {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        std::mem::take(
+            &mut self
+                .shared
+                .spans
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+}
+
+/// Binds 127.0.0.1:`port` and starts the accept loop and worker pool.
+///
+/// # Errors
+///
+/// A serve-class error if the port cannot be bound.
+pub fn start(
+    config: ServeConfig,
+    backend: Arc<dyn Backend>,
+    telemetry: Option<Arc<Telemetry>>,
+) -> TcorResult<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", config.port)).map_err(|e| {
+        TcorError::with_source(
+            ErrorKind::Serve,
+            format!("binding 127.0.0.1:{}", config.port),
+            e,
+        )
+    })?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| TcorError::with_source(ErrorKind::Serve, "reading bound address", e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| TcorError::with_source(ErrorKind::Serve, "setting listener nonblocking", e))?;
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        queue: BoundedQueue::new(config.queue_depth),
+        metrics: ServeMetrics::new(),
+        cache: Mutex::new(LruCache::new(config.cache_cap)),
+        flights: Singleflight::new(),
+        backend,
+        telemetry,
+        deadline: config.deadline,
+        spans: Mutex::new(Vec::new()),
+        started: Instant::now(),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&listener, &shared))
+    };
+    let workers = (0..config.workers.max(1))
+        .map(|w| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(w, &shared))
+        })
+        .collect();
+    Ok(ServerHandle {
+        addr,
+        accept,
+        workers,
+        shared,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || signal::requested() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+                let conn = Conn {
+                    stream,
+                    accepted: Instant::now(),
+                };
+                match shared.queue.try_push(conn) {
+                    Pushed::Accepted => {}
+                    Pushed::Full(conn) => {
+                        ServeMetrics::bump(&shared.metrics.shed);
+                        shared.event("request_shed", vec![]);
+                        let resp = Response::text(429, "queue full, retry shortly\n")
+                            .with_header("Retry-After", "1");
+                        refuse(&conn, &resp);
+                    }
+                    Pushed::ShuttingDown(conn) => {
+                        refuse(&conn, &Response::text(503, "shutting down\n"));
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // Stop admitting, let workers drain what was accepted, then exit.
+    shared.queue.close();
+}
+
+/// Answers a connection refused at admission. The pending request is
+/// drained first (under a short timeout so a slow peer cannot stall
+/// admission): closing with unread data in the receive buffer makes
+/// the kernel RST the connection and the peer would lose the 429/503
+/// we are about to send.
+fn refuse(conn: &Conn, response: &Response) {
+    let _ = conn.stream.set_read_timeout(Some(REFUSE_DRAIN_TIMEOUT));
+    let _ = read_request(&conn.stream);
+    let _ = response.write_to(&conn.stream);
+}
+
+fn worker_loop(worker: usize, shared: &Shared) {
+    while let Some(conn) = shared.queue.pop() {
+        handle_conn(shared, worker, conn);
+    }
+}
+
+fn handle_conn(shared: &Shared, worker: usize, conn: Conn) {
+    let req = match read_request(&conn.stream) {
+        Ok(req) => req,
+        Err(e) => {
+            let _ = Response::text(400, format!("{e}\n")).write_to(&conn.stream);
+            return;
+        }
+    };
+    let response = match route(&req) {
+        Err(resp) => resp,
+        Ok(Route::Health) => Response::text(200, "ok\n"),
+        Ok(Route::Metrics) => Response::text(200, shared.metrics.text()),
+        Ok(Route::Shutdown) => {
+            shared.stop.store(true, Ordering::SeqCst);
+            Response::text(200, "shutting down\n")
+        }
+        Ok(Route::Api(call)) => {
+            let (response, source) = answer_api(shared, &call, conn.accepted);
+            finish_api(shared, worker, &req, &conn, &response, source);
+            response
+        }
+    };
+    let _ = response.write_to(&conn.stream);
+}
+
+/// Bookkeeping common to every answered API request: counters, the
+/// `request_done` telemetry event, and the timeline span.
+fn finish_api(
+    shared: &Shared,
+    worker: usize,
+    req: &Request,
+    conn: &Conn,
+    response: &Response,
+    source: &'static str,
+) {
+    ServeMetrics::bump(&shared.metrics.done);
+    if response.status >= 500 {
+        ServeMetrics::bump(&shared.metrics.errors);
+    }
+    let wall_ms = conn.accepted.elapsed().as_secs_f64() * 1e3;
+    let start_ms = (conn.accepted - shared.started).as_secs_f64() * 1e3;
+    shared.event(
+        "request_done",
+        vec![
+            ("endpoint".to_string(), Json::str(req.path.clone())),
+            ("status".to_string(), Json::UInt(response.status as u64)),
+            ("wall_ms".to_string(), Json::Float(wall_ms)),
+            ("source".to_string(), Json::str(source)),
+        ],
+    );
+    shared.record_span(RequestSpan {
+        endpoint: req.path.clone(),
+        worker: worker as u64,
+        start_ms,
+        wall_ms,
+        status: response.status,
+        source,
+    });
+}
+
+fn error_response(e: &TcorError) -> Response {
+    let status = match e.kind() {
+        ErrorKind::Config => 404,
+        ErrorKind::Serve => 400,
+        _ => 500,
+    };
+    Response::text(status, format!("{}: {e}\n", e.kind()))
+}
+
+/// The API request path: deadline → cache → singleflight → backend.
+/// Returns the response plus how it was produced (for telemetry).
+fn answer_api(shared: &Shared, call: &ApiCall, accepted: Instant) -> (Response, &'static str) {
+    ServeMetrics::bump(&shared.metrics.received);
+    shared.event(
+        "request_received",
+        vec![
+            ("endpoint".to_string(), Json::str(call.endpoint())),
+            ("request".to_string(), Json::str(call.canonical())),
+        ],
+    );
+    // Deadline check at dequeue: a request that overstayed its queue
+    // wait is answered 504 without ever starting its job.
+    if accepted.elapsed() >= shared.deadline {
+        ServeMetrics::bump(&shared.metrics.deadline_expired);
+        return (
+            Response::text(504, "deadline expired while queued\n"),
+            "aborted",
+        );
+    }
+    let key = call.cache_key();
+    {
+        let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(body) = cache.get(key) {
+            ServeMetrics::bump(&shared.metrics.warm_hits);
+            return (ok_response(&body, "hit"), "cache");
+        }
+    }
+    match shared.flights.join(key) {
+        Join::Leader(token) => {
+            let outcome = catch_unwind(AssertUnwindSafe(|| shared.backend.call(call)));
+            match outcome {
+                Ok(Ok(body)) => {
+                    let body = Arc::new(body);
+                    shared
+                        .cache
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(key, Arc::clone(&body));
+                    ServeMetrics::bump(&shared.metrics.cold_computes);
+                    token.finish(Ok(Arc::clone(&body)));
+                    (ok_response(&body, "miss"), "compute")
+                }
+                Ok(Err(e)) => {
+                    let e = Arc::new(e);
+                    token.finish(Err(Arc::clone(&e)));
+                    (error_response(&e), "compute")
+                }
+                Err(_panic) => {
+                    // Dropping the token abandons the flight, waking
+                    // followers; the panic is contained to this request.
+                    drop(token);
+                    (
+                        Response::text(500, "computation panicked; see server log\n"),
+                        "compute",
+                    )
+                }
+            }
+        }
+        Join::Follower(handle) => {
+            ServeMetrics::bump(&shared.metrics.coalesced);
+            shared.event(
+                "request_coalesced",
+                vec![("request".to_string(), Json::str(call.canonical()))],
+            );
+            let remaining = shared
+                .deadline
+                .checked_sub(accepted.elapsed())
+                .unwrap_or(Duration::ZERO);
+            match handle.wait(Some(remaining)) {
+                Waited::Done(Ok(body)) => (ok_response(&body, "coalesced"), "coalesced"),
+                Waited::Done(Err(e)) => (error_response(&e), "coalesced"),
+                Waited::Abandoned => (
+                    Response::text(500, "leading computation failed; retry\n"),
+                    "coalesced",
+                ),
+                Waited::TimedOut => {
+                    ServeMetrics::bump(&shared.metrics.deadline_expired);
+                    (
+                        Response::text(504, "deadline expired awaiting coalesced result\n"),
+                        "coalesced",
+                    )
+                }
+            }
+        }
+    }
+}
+
+fn ok_response(body: &ApiBody, cache_state: &'static str) -> Response {
+    Response {
+        status: 200,
+        content_type: body.content_type,
+        headers: vec![("X-Tcor-Cache", cache_state.to_string())],
+        body: body.body.clone(),
+    }
+}

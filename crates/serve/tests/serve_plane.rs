@@ -1,0 +1,298 @@
+//! Serve-plane behavior over real loopback sockets: coalescing, load
+//! shedding, deadlines, warm-vs-cold responses, graceful shutdown, and
+//! the telemetry stream — all against a stub backend so the tests
+//! exercise the daemon, not the simulator.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tcor_runner::Telemetry;
+use tcor_serve::{http_request, ApiBody, ApiCall, Backend, ServeConfig};
+
+/// Counts calls per canonical request and sleeps a configurable time,
+/// standing in for the simulator.
+struct StubBackend {
+    delay: Duration,
+    calls: Mutex<HashMap<String, u64>>,
+}
+
+impl StubBackend {
+    fn new(delay: Duration) -> Self {
+        StubBackend {
+            delay,
+            calls: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn calls_for(&self, canonical: &str) -> u64 {
+        *self.calls.lock().unwrap().get(canonical).unwrap_or(&0)
+    }
+}
+
+impl Backend for StubBackend {
+    fn call(&self, call: &ApiCall) -> tcor_common::TcorResult<ApiBody> {
+        *self
+            .calls
+            .lock()
+            .unwrap()
+            .entry(call.canonical())
+            .or_insert(0) += 1;
+        std::thread::sleep(self.delay);
+        Ok(ApiBody {
+            content_type: "application/json",
+            body: format!("{{\"request\":\"{}\"}}", call.canonical()),
+        })
+    }
+}
+
+fn config(workers: usize, queue_depth: usize, deadline: Duration) -> ServeConfig {
+    ServeConfig {
+        port: 0,
+        workers,
+        queue_depth,
+        cache_cap: 32,
+        deadline,
+    }
+}
+
+fn get(addr: &str, path: &str) -> tcor_serve::HttpReply {
+    http_request(addr, "GET", path, None, Duration::from_secs(10)).expect("request")
+}
+
+fn metric(metrics_text: &str, path: &str) -> u64 {
+    metrics_text
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{path} = ")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no metric {path} in:\n{metrics_text}"))
+}
+
+#[test]
+fn health_and_metrics_answer_inline() {
+    let backend = Arc::new(StubBackend::new(Duration::ZERO));
+    let server = tcor_serve::start(config(2, 8, Duration::from_secs(5)), backend, None).unwrap();
+    let addr = server.addr().to_string();
+    assert_eq!(get(&addr, "/health").body, "ok\n");
+    let metrics = get(&addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("serve/request_received = 0"));
+    assert_eq!(get(&addr, "/no/such/route").status, 404);
+    server.stop();
+    server.wait();
+}
+
+/// N identical concurrent requests run ONE simulation; the rest
+/// coalesce onto it and all get the same body.
+#[test]
+fn identical_concurrent_requests_coalesce_to_one_compute() {
+    let backend = Arc::new(StubBackend::new(Duration::from_millis(150)));
+    let server = tcor_serve::start(
+        config(8, 32, Duration::from_secs(10)),
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        None,
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let bodies: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let reply = get(&addr, "/v1/cell/GTr/base64");
+                    assert_eq!(reply.status, 200);
+                    reply.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(backend.calls_for("cell/GTr/base64"), 1, "one simulation");
+    assert!(bodies.windows(2).all(|w| w[0] == w[1]), "one shared body");
+    let metrics = server.metrics_text();
+    assert_eq!(metric(&metrics, "serve/request_received"), 8);
+    assert_eq!(metric(&metrics, "serve/cold_computes"), 1);
+    assert_eq!(
+        metric(&metrics, "serve/request_coalesced") + metric(&metrics, "serve/cache_warm_hits"),
+        7,
+        "everyone else rode the flight or the cache it filled"
+    );
+    server.stop();
+    server.wait();
+}
+
+/// With one worker and a one-slot queue, a burst must shed: refused
+/// requests get 429 with a Retry-After hint and never reach the
+/// backend.
+#[test]
+fn full_queue_sheds_with_429_and_retry_after() {
+    let backend = Arc::new(StubBackend::new(Duration::from_millis(300)));
+    let server = tcor_serve::start(
+        config(1, 1, Duration::from_secs(10)),
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        None,
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let replies: Vec<tcor_serve::HttpReply> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                let addr = addr.clone();
+                // Distinct keys so nothing coalesces away the pressure.
+                s.spawn(move || get(&addr, &format!("/v1/table/fig{i}")))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let statuses: Vec<u16> = replies.iter().map(|r| r.status).collect();
+    let shed = statuses.iter().filter(|&&s| s == 429).count();
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    assert!(
+        shed > 0,
+        "a 12-deep burst into depth-1 must shed: {statuses:?}"
+    );
+    assert!(ok > 0, "admitted work still completes: {statuses:?}");
+    assert_eq!(shed + ok, statuses.len(), "nothing lost: {statuses:?}");
+    assert_eq!(
+        metric(&server.metrics_text(), "serve/request_shed"),
+        shed as u64
+    );
+    // Every shed reply carried the retry hint; shed requests never
+    // reached the backend (12 keys, `shed` of them refused).
+    for reply in replies.iter().filter(|r| r.status == 429) {
+        assert_eq!(reply.header("retry-after"), Some("1"));
+    }
+    let backend_calls: u64 = (0..12)
+        .map(|i| backend.calls_for(&format!("table/fig{i}")))
+        .sum();
+    assert_eq!(backend_calls, ok as u64, "shed work never ran");
+    server.stop();
+    server.wait();
+}
+
+/// A request that overstays its deadline in the queue is answered 504
+/// and its job is never started.
+#[test]
+fn deadline_expiry_in_queue_aborts_the_job_with_504() {
+    let backend = Arc::new(StubBackend::new(Duration::from_millis(400)));
+    let server = tcor_serve::start(
+        config(1, 8, Duration::from_millis(120)),
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        None,
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    // Occupy the single worker well past the victim's deadline.
+    let blocker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || get(&addr, "/v1/table/slow"))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    let victim = get(&addr, "/v1/cell/GTr/base64");
+    assert_eq!(victim.status, 504, "queued past its deadline");
+    assert_eq!(
+        backend.calls_for("cell/GTr/base64"),
+        0,
+        "aborted before the job ever started"
+    );
+    let _ = blocker.join();
+    assert_eq!(metric(&server.metrics_text(), "serve/deadline_expired"), 1);
+    server.stop();
+    server.wait();
+}
+
+/// A follower whose leader outlives the follower's deadline gets 504;
+/// the leader still completes and fills the cache.
+#[test]
+fn coalesced_follower_times_out_while_leader_completes() {
+    let backend = Arc::new(StubBackend::new(Duration::from_millis(400)));
+    let server = tcor_serve::start(
+        config(4, 8, Duration::from_millis(150)),
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        None,
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let leader = {
+        let addr = addr.clone();
+        std::thread::spawn(move || get(&addr, "/v1/cell/SoD/tcor64"))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    let follower = get(&addr, "/v1/cell/SoD/tcor64");
+    assert_eq!(follower.status, 504, "follower deadline < leader runtime");
+    // The leader ran over its own deadline check only at *dequeue*; it
+    // completes and publishes.
+    assert_eq!(leader.join().unwrap().status, 200);
+    assert_eq!(backend.calls_for("cell/SoD/tcor64"), 1);
+    // The flight's result is cached: an immediate retry is warm.
+    let retry = get(&addr, "/v1/cell/SoD/tcor64");
+    assert_eq!(retry.status, 200);
+    assert_eq!(retry.header("x-tcor-cache"), Some("hit"));
+    server.stop();
+    server.wait();
+}
+
+/// Warm and cold responses are byte-identical bodies; only the cache
+/// header distinguishes them.
+#[test]
+fn warm_response_is_byte_identical_to_cold() {
+    let backend = Arc::new(StubBackend::new(Duration::from_millis(30)));
+    let server = tcor_serve::start(
+        config(2, 8, Duration::from_secs(5)),
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        None,
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let cold = get(&addr, "/v1/misscurve/GTr/lru");
+    let warm = get(&addr, "/v1/misscurve/GTr/lru");
+    assert_eq!(cold.status, 200);
+    assert_eq!(warm.status, 200);
+    assert_eq!(cold.body, warm.body, "byte-identical bodies");
+    assert_eq!(cold.header("x-tcor-cache"), Some("miss"));
+    assert_eq!(warm.header("x-tcor-cache"), Some("hit"));
+    assert_eq!(backend.calls_for("misscurve/GTr/lru"), 1);
+    let metrics = server.metrics_text();
+    assert_eq!(metric(&metrics, "serve/cache_warm_hits"), 1);
+    assert_eq!(metric(&metrics, "serve/cold_computes"), 1);
+    server.stop();
+    server.wait();
+}
+
+/// `POST /admin/shutdown` answers 200, drains, and every thread exits;
+/// afterwards the port no longer accepts work.
+#[test]
+fn admin_shutdown_drains_and_exits() {
+    let telemetry = Arc::new(Telemetry::new());
+    let backend = Arc::new(StubBackend::new(Duration::from_millis(20)));
+    let server = tcor_serve::start(
+        config(2, 8, Duration::from_secs(5)),
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        Some(Arc::clone(&telemetry)),
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    assert_eq!(get(&addr, "/v1/cell/GTr/base64").status, 200);
+    let bye = http_request(
+        &addr,
+        "POST",
+        "/admin/shutdown",
+        None,
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    assert_eq!(bye.status, 200);
+    let spans = server.wait(); // joins accept + workers: must not hang
+    assert_eq!(spans.len(), 1, "one API request answered");
+    assert_eq!(spans[0].endpoint, "/v1/cell/GTr/base64");
+    assert_eq!(spans[0].status, 200);
+    // The daemon is really gone.
+    let after = http_request(&addr, "GET", "/health", None, Duration::from_millis(500));
+    assert!(after.is_err(), "port must be closed after shutdown");
+    // The telemetry stream carries the serving timeline events.
+    let mut jsonl = Vec::new();
+    telemetry.write_jsonl(&mut jsonl).unwrap();
+    let jsonl = String::from_utf8(jsonl).unwrap();
+    assert!(jsonl.contains("\"event\":\"request_received\""));
+    assert!(jsonl.contains("\"event\":\"request_done\""));
+    assert!(jsonl.contains("\"source\":\"compute\""));
+}

@@ -29,7 +29,9 @@ pub mod figures;
 pub mod misscurves;
 pub mod orchestrate;
 pub mod output;
+pub mod report_json;
 pub mod scaling;
+pub mod serve_backend;
 pub mod suite;
 pub mod sweep;
 pub mod tables;
@@ -40,6 +42,7 @@ pub use orchestrate::{
     run_experiments, run_experiments_strict, ExecMode, ExperimentOutcome, RunOptions, RunOutcome,
 };
 pub use output::Table;
+pub use serve_backend::SimBackend;
 pub use suite::{run_suite, BenchmarkRun, SuiteRun};
 
 /// Every experiment id, in presentation order.

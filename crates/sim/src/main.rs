@@ -20,6 +20,13 @@
 //! tcor-sim bench-runner          time serial vs parallel, write BENCH_runner.json
 //! tcor-sim bench-misscurves      time replay vs single-pass miss-curve engines,
 //!                                write BENCH_misscurves.json
+//! tcor-sim serve                 stand up the result-serving daemon on loopback
+//! tcor-sim cell <alias> <cfg>    print one cell report as JSON (the serve
+//!                                byte-parity reference)
+//! tcor-sim serve-req ADDR M P    one-shot HTTP client (CI probe; exit 6 on
+//!                                a non-2xx answer)
+//! tcor-sim bench-serve           drive a loopback daemon cold/warm/burst,
+//!                                write BENCH_serve.json
 //! ```
 //!
 //! `--audit` re-derives every headline counter from two independent
@@ -70,6 +77,13 @@ fn usage() {
     eprintln!("       tcor-sim trace <alias> <file>   export a PB trace as CSV");
     eprintln!("       tcor-sim bench-runner [FILE]    serial-vs-parallel timing -> FILE");
     eprintln!("       tcor-sim bench-misscurves [FILE] replay-vs-single-pass timing -> FILE");
+    eprintln!(
+        "       tcor-sim serve [--port N] [--workers K] [--queue-depth D] [--cache-cap C] \
+         [--deadline-ms MS] [--telemetry FILE] [--serve-trace FILE] [--port-file FILE]"
+    );
+    eprintln!("       tcor-sim cell <alias> <config>  print one cell report as JSON");
+    eprintln!("       tcor-sim serve-req <addr> <method> <path> [body]  one-shot HTTP client");
+    eprintln!("       tcor-sim bench-serve [FILE]     cold/warm/burst serving timings -> FILE");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
 }
 
@@ -373,6 +387,332 @@ fn bench_misscurves(path: &str) -> ExitCode {
     }
 }
 
+/// `tcor-sim serve`: stand up the result-serving daemon on loopback
+/// and block until `POST /admin/shutdown` or SIGINT/SIGTERM drains it.
+fn serve_cmd(args: &[String]) -> ExitCode {
+    use std::sync::Arc;
+    let mut cfg = tcor_serve::ServeConfig::default();
+    let mut telemetry_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut port_file: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("{flag} needs a value");
+            usage();
+            return ExitCode::from(2);
+        };
+        let bad = |what: &str| {
+            eprintln!("{flag} needs {what}, got `{value}`");
+            ExitCode::from(2)
+        };
+        match flag {
+            "--port" => match value.parse::<u16>() {
+                Ok(p) => cfg.port = p,
+                Err(_) => return bad("a port number"),
+            },
+            "--workers" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.workers = n,
+                _ => return bad("a positive integer"),
+            },
+            "--queue-depth" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.queue_depth = n,
+                _ => return bad("a positive integer"),
+            },
+            "--cache-cap" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.cache_cap = n,
+                _ => return bad("a positive integer"),
+            },
+            "--deadline-ms" => match value.parse::<u64>() {
+                Ok(ms) if ms >= 1 => cfg.deadline = Duration::from_millis(ms),
+                _ => return bad("milliseconds >= 1"),
+            },
+            "--telemetry" => telemetry_path = Some(PathBuf::from(value)),
+            "--serve-trace" => trace_path = Some(PathBuf::from(value)),
+            "--port-file" => port_file = Some(PathBuf::from(value)),
+            other => {
+                eprintln!("unknown serve flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+        i += 2;
+    }
+    tcor_serve::signal::install();
+    let telemetry = Arc::new(Telemetry::new());
+    if let Some(path) = &telemetry_path {
+        if let Err(e) = telemetry.stream_to(path) {
+            eprintln!("telemetry streaming disabled: {e}");
+        }
+    }
+    let (workers, depth, deadline) = (cfg.workers, cfg.queue_depth, cfg.deadline);
+    let backend = Arc::new(tcor_sim::SimBackend::new());
+    let server = match tcor_serve::start(cfg, backend, Some(Arc::clone(&telemetry))) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return exit_for(&e);
+        }
+    };
+    let addr = server.addr().to_string();
+    // The bound address, machine-readable: stdout for humans and
+    // scripts, `--port-file` for supervisors that started us with
+    // `--port 0` and a detached stdout.
+    println!("{addr}");
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    if let Some(path) = &port_file {
+        if let Err(e) = tcor_common::write_atomic(path, addr.as_bytes()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            server.stop();
+            server.wait();
+            return exit_for(&e);
+        }
+    }
+    eprintln!(
+        "tcor-serve: listening on {addr} ({workers} workers, queue depth {depth}, \
+         deadline {}ms)",
+        deadline.as_millis()
+    );
+    let spans = server.wait();
+    if let Some(path) = &trace_path {
+        if let Err(e) =
+            tcor_common::write_atomic(path, tcor_obs::serve_timeline_json(&spans).as_bytes())
+        {
+            eprintln!("cannot write {}: {e}", path.display());
+            return exit_for(&e);
+        }
+        eprintln!(
+            "tcor-serve: wrote {} request span(s) to {}",
+            spans.len(),
+            path.display()
+        );
+    }
+    eprintln!("tcor-serve: drained after {} request(s), bye", spans.len());
+    ExitCode::SUCCESS
+}
+
+/// `tcor-sim cell <alias> <config>`: print one cell report as JSON —
+/// the same encoder the daemon uses, so serve-vs-CLI byte parity is a
+/// `cmp`, not a claim.
+fn cell_cmd(workload: &str, config: &str) -> ExitCode {
+    let backend = tcor_sim::SimBackend::new();
+    let call = tcor_serve::ApiCall::Cell {
+        workload: workload.to_string(),
+        config: config.to_string(),
+    };
+    match tcor_serve::Backend::call(&backend, &call) {
+        Ok(body) => {
+            print!("{}", body.body);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            exit_for(&e)
+        }
+    }
+}
+
+/// `tcor-sim serve-req <addr> <method> <path> [body]`: a dependency-free
+/// one-shot HTTP client for CI probes. Prints the response body; any
+/// non-2xx answer (or transport failure) exits with the serve code 6.
+fn serve_req(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(method), Some(path)) = (args.first(), args.get(1), args.get(2)) else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let body = args.get(3).map(String::as_str);
+    match tcor_serve::http_request(addr, method, path, body, Duration::from_secs(120)) {
+        Ok(reply) => {
+            print!("{}", reply.body);
+            if (200..300).contains(&reply.status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("serve-req: {method} {path} -> {}", reply.status);
+                ExitCode::from(tcor_common::ErrorKind::Serve.exit_code())
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            exit_for(&e)
+        }
+    }
+}
+
+/// `tcor-sim bench-serve [FILE]`: drive an in-process daemon through a
+/// cold phase (every target computes), a warm phase (every target is a
+/// cache hit, asserted byte-identical to cold), and a coalescing burst
+/// (8 concurrent clients on one uncached key), then record latencies
+/// and daemon counters as machine-readable JSON.
+fn bench_serve(path: &str) -> ExitCode {
+    use std::sync::Arc;
+    use std::time::Instant;
+    use tcor_serve::percentile;
+
+    let backend = Arc::new(tcor_sim::SimBackend::new());
+    let cfg = tcor_serve::ServeConfig {
+        port: 0,
+        workers: 4,
+        queue_depth: 64,
+        cache_cap: 256,
+        deadline: Duration::from_secs(600),
+    };
+    let server = match tcor_serve::start(cfg, backend, None) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-serve: {e}");
+            return exit_for(&e);
+        }
+    };
+    let addr = server.addr().to_string();
+    // Every target runs real simulation work cold (a full-system cell
+    // or a trace-profiling sweep), so cold-vs-warm measures the cache,
+    // not loopback overhead.
+    let targets = [
+        "/v1/cell/GTr/base64",
+        "/v1/cell/GTr/tcor64",
+        "/v1/cell/SoD/base64",
+        "/v1/cell/SoD/tcor64",
+        "/v1/misscurve/SoD/opt",
+    ];
+    let request = |path: &str| -> tcor_common::TcorResult<(f64, String)> {
+        let t0 = Instant::now();
+        let reply = tcor_serve::http_request(&addr, "GET", path, None, Duration::from_secs(600))?;
+        if reply.status != 200 {
+            return Err(TcorError::serve(format!("GET {path} -> {}", reply.status)));
+        }
+        Ok((t0.elapsed().as_secs_f64() * 1e3, reply.body))
+    };
+
+    eprintln!("bench-serve: cold phase ({} targets)...", targets.len());
+    let mut cold = Vec::new();
+    let mut cold_bodies = Vec::new();
+    for t in targets {
+        match request(t) {
+            Ok((ms, body)) => {
+                cold.push(ms);
+                cold_bodies.push(body);
+            }
+            Err(e) => {
+                eprintln!("bench-serve: cold {t} failed: {e}");
+                return exit_for(&e);
+            }
+        }
+    }
+
+    const WARM_ROUNDS: usize = 10;
+    eprintln!(
+        "bench-serve: warm phase ({WARM_ROUNDS} rounds x {} targets)...",
+        targets.len()
+    );
+    let mut warm = Vec::new();
+    let warm_t0 = Instant::now();
+    for _ in 0..WARM_ROUNDS {
+        for (i, t) in targets.iter().enumerate() {
+            match request(t) {
+                Ok((ms, body)) => {
+                    if body != cold_bodies[i] {
+                        eprintln!("bench-serve: FATAL: warm {t} differs from its cold body");
+                        return ExitCode::FAILURE;
+                    }
+                    warm.push(ms);
+                }
+                Err(e) => {
+                    eprintln!("bench-serve: warm {t} failed: {e}");
+                    return exit_for(&e);
+                }
+            }
+        }
+    }
+    let warm_wall_s = warm_t0.elapsed().as_secs_f64();
+
+    // Coalescing burst: 8 concurrent clients on a key nothing has
+    // computed yet — one simulation, seven followers.
+    let burst_target = "/v1/misscurve/GTr/srrip";
+    eprintln!("bench-serve: coalescing burst (8 clients on {burst_target})...");
+    let burst_ok = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8).map(|_| s.spawn(|| request(burst_target))).collect();
+        handles
+            .into_iter()
+            .all(|h| h.join().map(|r| r.is_ok()).unwrap_or(false))
+    });
+    if !burst_ok {
+        eprintln!("bench-serve: FATAL: a burst request failed");
+        return ExitCode::FAILURE;
+    }
+
+    let metrics = server.metrics_text();
+    let counter = |p: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{p} = ")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let (warm_hits, cold_computes) = (
+        counter("serve/cache_warm_hits"),
+        counter("serve/cold_computes"),
+    );
+    let coalesced = counter("serve/request_coalesced");
+    let bye = tcor_serve::http_request(
+        &addr,
+        "POST",
+        "/admin/shutdown",
+        None,
+        Duration::from_secs(10),
+    );
+    if !matches!(&bye, Ok(r) if r.status == 200) {
+        eprintln!("bench-serve: FATAL: shutdown request failed");
+        return ExitCode::FAILURE;
+    }
+    let spans = server.wait();
+
+    let (cold_p50, warm_p50) = (percentile(&cold, 50.0), percentile(&warm, 50.0));
+    let speedup = cold_p50 / warm_p50.max(1e-9);
+    let doc = Json::obj([
+        ("bench", Json::str("serve")),
+        (
+            "targets",
+            Json::Arr(targets.iter().map(|&t| Json::str(t)).collect()),
+        ),
+        ("requests", Json::UInt(spans.len() as u64)),
+        (
+            "cold_ms",
+            Json::obj([
+                ("p50", Json::Float(cold_p50)),
+                ("p95", Json::Float(percentile(&cold, 95.0))),
+                ("p99", Json::Float(percentile(&cold, 99.0))),
+            ]),
+        ),
+        (
+            "warm_ms",
+            Json::obj([
+                ("p50", Json::Float(warm_p50)),
+                ("p95", Json::Float(percentile(&warm, 95.0))),
+                ("p99", Json::Float(percentile(&warm, 99.0))),
+            ]),
+        ),
+        ("warm_speedup_p50", Json::Float(speedup)),
+        (
+            "warm_throughput_rps",
+            Json::Float(warm.len() as f64 / warm_wall_s),
+        ),
+        ("cache_warm_hits", Json::UInt(warm_hits)),
+        ("cold_computes", Json::UInt(cold_computes)),
+        ("coalesced_requests", Json::UInt(coalesced)),
+        ("warm_equals_cold", Json::Bool(true)),
+    ]);
+    if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench-serve: cold p50 {cold_p50:.1}ms, warm p50 {warm_p50:.3}ms ({speedup:.0}x), \
+         {coalesced} coalesced -> {path}"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
@@ -389,6 +729,24 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench-misscurves") {
         return bench_misscurves(args.get(1).map_or("BENCH_misscurves.json", String::as_str));
+    }
+    if args.first().map(String::as_str) == Some("bench-serve") {
+        return bench_serve(args.get(1).map_or("BENCH_serve.json", String::as_str));
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve-req") {
+        return serve_req(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("cell") {
+        return match (args.get(1), args.get(2)) {
+            (Some(alias), Some(cfg)) => cell_cmd(alias, cfg),
+            _ => {
+                usage();
+                ExitCode::from(2)
+            }
+        };
     }
 
     let mut ids: Vec<String> = Vec::new();

@@ -23,7 +23,7 @@ use tcor_cache::profile::{
     opt_misses, simulate_policy, simulate_policy_bank, LruStackProfiler, OptStackProfiler,
 };
 use tcor_cache::{annotate_next_use, Indexing, Trace};
-use tcor_common::{CacheParams, TcorResult};
+use tcor_common::{CacheParams, TcorError, TcorResult};
 use tcor_gpu::bin_scene;
 use tcor_runner::ArtifactStore;
 use tcor_workloads::{primitive_trace, prims_capacity, suite};
@@ -94,6 +94,87 @@ pub fn suite_traces(store: &ArtifactStore) -> TcorResult<Arc<Vec<BenchTrace>>> {
         ));
     }
     store.get_or_compute(key, move || built)
+}
+
+/// Replacement policies the serving plane accepts for
+/// `/v1/misscurve/{workload}/{policy}`: every name
+/// [`by_name`] resolves, plus the PC-free Hawkeye variant.
+pub const SERVE_POLICIES: [&str; 14] = [
+    "lru", "mru", "fifo", "random", "plru", "nru", "lip", "bip", "dip", "srrip", "brrip", "drrip",
+    "opt", "hawkeye",
+];
+
+/// One benchmark's trace, memoized in `store` under its own key so a
+/// single-workload query (the serving plane's unit of work) never
+/// builds the other nine scenes the way [`suite_traces`] does. Shares
+/// the calibrated scene with the full-system cells.
+///
+/// # Errors
+///
+/// Returns a config error listing the valid aliases on an unknown
+/// workload, and propagates store corruption from the scene lookup.
+pub fn workload_trace(store: &ArtifactStore, alias: &str) -> TcorResult<Arc<BenchTrace>> {
+    let Some(profile) = suite().into_iter().find(|b| b.alias == alias) else {
+        let known: Vec<&str> = suite().iter().map(|b| b.alias).collect();
+        return Err(TcorError::config(format!(
+            "unknown workload `{alias}` (expected one of {})",
+            known.join(", ")
+        )));
+    };
+    let key = artifact_key(&format!("trace/{alias}/zorder"));
+    if let Some(trace) = store.get::<BenchTrace>(key)? {
+        return Ok(trace);
+    }
+    let grid = paper_grid();
+    let order = tcor_common::Traversal::ZOrder.order(&grid);
+    let cal = calibrated_scene(store, &profile, &grid)?;
+    let frame = bin_scene(&cal.scene, &grid, &order);
+    let built = BenchTrace::new(
+        profile.alias,
+        primitive_trace(&frame.binned, &order),
+        frame.binned.num_primitives(),
+    );
+    store.get_or_compute(key, move || built)
+}
+
+/// The serving plane's miss curve: one workload, one policy, the
+/// paper's 8–152 KB capacity sweep. Fully associative for every
+/// [`by_name`] policy (the single-pass profilers answer LRU/OPT in one
+/// trace pass); Hawkeye runs on its native 4-way geometry. Returns
+/// `(size_kb, miss_ratio)` columns.
+///
+/// # Errors
+///
+/// Returns a config error for an unknown workload or policy.
+pub fn workload_curve(
+    store: &ArtifactStore,
+    alias: &str,
+    policy: &str,
+) -> TcorResult<(Vec<usize>, Vec<f64>)> {
+    if !SERVE_POLICIES.contains(&policy) {
+        return Err(TcorError::config(format!(
+            "unknown policy `{policy}` (expected one of {})",
+            SERVE_POLICIES.join(", ")
+        )));
+    }
+    let bt = workload_trace(store, alias)?;
+    let traces = std::slice::from_ref(bt.as_ref());
+    let sizes = kb_sizes(8, 152, 8);
+    let caps = prim_caps(&sizes);
+    let mut passes = 0u64;
+    let curve = match policy {
+        "hawkeye" => hawkeye_curve(traces, &caps, CurveEngine::SinglePass, &mut passes),
+        "lru" => lru_curve(traces, &caps, &mut passes),
+        _ => policy_curve(
+            traces,
+            &caps,
+            0,
+            policy,
+            CurveEngine::SinglePass,
+            &mut passes,
+        ),
+    };
+    Ok((sizes, curve))
 }
 
 fn passes_key(id: &str) -> u64 {

@@ -1,0 +1,202 @@
+//! The simulator-backed [`Backend`] for `tcor-serve`.
+//!
+//! `tcor-serve` owns the request plane (sockets, queueing, coalescing,
+//! caching); this module owns the meaning of a request. Every
+//! [`ApiCall`] is validated *before* it reaches the simulator — the
+//! cell and policy entry points panic on unknown names, so the backend
+//! converts bad identity into typed config errors (served as 404) and
+//! malformed run parameters into serve errors (served as 400). All
+//! computation is memoized in the shared [`ArtifactStore`], so repeated
+//! cold requests for overlapping artifacts (the same workload under
+//! two configs, say) share scenes and cells exactly like the CLI runs
+//! do — and the store's own get-or-compute coalescing backs up the
+//! request-level singleflight.
+
+use crate::misscurves::{workload_curve, SERVE_POLICIES};
+use crate::orchestrate::{calibrated_scene, cell_report, paper_grid};
+use crate::report_json::{frame_report_json, misscurve_json};
+use crate::suite::CELL_CONFIGS;
+use tcor_common::{TcorError, TcorResult};
+use tcor_runner::ArtifactStore;
+use tcor_serve::{ApiBody, ApiCall, Backend};
+use tcor_workloads::BenchmarkProfile;
+
+/// [`Backend`] implementation over the real simulator.
+#[derive(Default)]
+pub struct SimBackend {
+    store: ArtifactStore,
+}
+
+impl SimBackend {
+    /// A backend with a fresh artifact store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The artifact store backing this backend (for observability).
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    fn profile(&self, workload: &str) -> TcorResult<BenchmarkProfile> {
+        tcor_workloads::suite()
+            .into_iter()
+            .find(|b| b.alias == workload)
+            .ok_or_else(|| {
+                let known: Vec<&str> = tcor_workloads::suite().iter().map(|b| b.alias).collect();
+                TcorError::config(format!(
+                    "unknown workload `{workload}` (expected one of {})",
+                    known.join(", ")
+                ))
+            })
+    }
+
+    fn cell(&self, workload: &str, config: &str) -> TcorResult<ApiBody> {
+        let profile = self.profile(workload)?;
+        if !CELL_CONFIGS.contains(&config) {
+            return Err(TcorError::config(format!(
+                "unknown cell config `{config}` (expected one of {})",
+                CELL_CONFIGS.join(", ")
+            )));
+        }
+        let grid = paper_grid();
+        let scene = calibrated_scene(&self.store, &profile, &grid)?;
+        let report = cell_report(&self.store, &profile, &scene, config)?;
+        Ok(ApiBody {
+            content_type: "application/json",
+            body: frame_report_json(workload, config, &report).render() + "\n",
+        })
+    }
+
+    fn misscurve(&self, workload: &str, policy: &str) -> TcorResult<ApiBody> {
+        let (sizes, curve) = workload_curve(&self.store, workload, policy)?;
+        Ok(ApiBody {
+            content_type: "application/json",
+            body: misscurve_json(workload, policy, &sizes, &curve).render() + "\n",
+        })
+    }
+
+    fn table(&self, experiment: &str) -> TcorResult<ApiBody> {
+        let tables = crate::try_run_experiment(&self.store, experiment)?;
+        Ok(ApiBody {
+            content_type: "text/csv; charset=utf-8",
+            body: tables.iter().map(crate::Table::to_csv).collect(),
+        })
+    }
+
+    /// `POST /v1/run` dispatch: `experiment=ID`, `workload=A&config=C`,
+    /// or `workload=A&policy=P` — the same computations as the GET
+    /// endpoints, so equal work coalesces across both spellings.
+    fn run(&self, params: &[(String, String)]) -> TcorResult<ApiBody> {
+        let get = |key: &str| {
+            params
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+        };
+        for (k, _) in params {
+            if !matches!(k.as_str(), "experiment" | "workload" | "config" | "policy") {
+                return Err(TcorError::serve(format!(
+                    "unknown run parameter `{k}` (expected experiment, workload, config, policy)"
+                )));
+            }
+        }
+        match (
+            get("experiment"),
+            get("workload"),
+            get("config"),
+            get("policy"),
+        ) {
+            (Some(id), None, None, None) => self.table(id),
+            (None, Some(w), Some(c), None) => self.cell(w, c),
+            (None, Some(w), None, Some(p)) => self.misscurve(w, p),
+            _ => Err(TcorError::serve(format!(
+                "a run needs `experiment=ID`, `workload=A&config=C` (configs: {}) or \
+                 `workload=A&policy=P` (policies: {})",
+                CELL_CONFIGS.join(", "),
+                SERVE_POLICIES.join(", ")
+            ))),
+        }
+    }
+}
+
+impl Backend for SimBackend {
+    fn call(&self, call: &ApiCall) -> TcorResult<ApiBody> {
+        match call {
+            ApiCall::Cell { workload, config } => self.cell(workload, config),
+            ApiCall::MissCurve { workload, policy } => self.misscurve(workload, policy),
+            ApiCall::Table { experiment } => self.table(experiment),
+            ApiCall::Run { params } => self.run(params),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_identity_is_a_config_error() {
+        let b = SimBackend::new();
+        let call = ApiCall::Cell {
+            workload: "nope".into(),
+            config: "base64".into(),
+        };
+        let err = b.call(&call).unwrap_err();
+        assert_eq!(err.kind(), tcor_common::ErrorKind::Config);
+        let call = ApiCall::Cell {
+            workload: "GTr".into(),
+            config: "nope".into(),
+        };
+        let err = b.call(&call).unwrap_err();
+        assert_eq!(err.kind(), tcor_common::ErrorKind::Config);
+        let call = ApiCall::MissCurve {
+            workload: "GTr".into(),
+            policy: "clock".into(),
+        };
+        let err = b.call(&call).unwrap_err();
+        assert_eq!(err.kind(), tcor_common::ErrorKind::Config);
+    }
+
+    #[test]
+    fn malformed_run_parameters_are_serve_errors() {
+        let b = SimBackend::new();
+        let run = |pairs: &[(&str, &str)]| {
+            b.call(&ApiCall::Run {
+                params: pairs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            })
+        };
+        let err = run(&[("workload", "GTr")]).unwrap_err();
+        assert_eq!(err.kind(), tcor_common::ErrorKind::Serve);
+        let err = run(&[("frobnicate", "1")]).unwrap_err();
+        assert_eq!(err.kind(), tcor_common::ErrorKind::Serve);
+        let err = run(&[("experiment", "fig10"), ("workload", "GTr")]).unwrap_err();
+        assert_eq!(err.kind(), tcor_common::ErrorKind::Serve);
+    }
+
+    #[test]
+    fn run_experiment_matches_the_table_endpoint_byte_for_byte() {
+        let b = SimBackend::new();
+        let via_table = b
+            .call(&ApiCall::Table {
+                experiment: "fig10".into(),
+            })
+            .unwrap();
+        let via_run = b
+            .call(&ApiCall::Run {
+                params: vec![("experiment".into(), "fig10".into())],
+            })
+            .unwrap();
+        assert_eq!(via_table.body, via_run.body);
+        assert_eq!(via_table.content_type, "text/csv; charset=utf-8");
+        let direct: String = crate::try_run_experiment(&ArtifactStore::new(), "fig10")
+            .unwrap()
+            .iter()
+            .map(crate::Table::to_csv)
+            .collect();
+        assert_eq!(via_table.body, direct);
+    }
+}
