@@ -112,4 +112,81 @@ if [ "$code" -ne 0 ]; then
 fi
 rm -f "$PORT_FILE" "$SERVE_OUT"
 
+echo "== restart-warm smoke (persistent cache survives a daemon restart)"
+# Two daemon generations over one --cache-dir. Generation 1 computes a
+# golden table into the persistent cache and dies; generation 2 must
+# answer the same request from the DISK tier (X-Tcor-Cache: disk,
+# asserted by serve-req --expect-cache) byte-identically to both
+# generation 1's body and results/golden/ — a result computed before a
+# crash is never recomputed, and never silently different, after it.
+CACHE_DIR=/tmp/tcor-ci-pcache
+RESTART_OUT=/tmp/tcor-ci-restart-fig10.csv
+rm -rf "$CACHE_DIR"
+rm -f "$PORT_FILE"
+"$TCOR_SIM" serve --port 0 --workers 2 --queue-depth 16 --port-file "$PORT_FILE" \
+  --cache-dir "$CACHE_DIR" \
+  --telemetry /tmp/tcor-ci-serve-telemetry.jsonl >/dev/null 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "ci: FAIL: generation-1 daemon never published its port" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+ADDR=$(cat "$PORT_FILE")
+"$TCOR_SIM" serve-req "$ADDR" GET /v1/table/fig10 --expect-cache miss > "$SERVE_OUT"
+"$TCOR_SIM" serve-req "$ADDR" POST /admin/shutdown >/dev/null
+set +e
+wait "$SERVE_PID"
+code=$?
+set -e
+if [ "$code" -ne 0 ]; then
+  echo "ci: FAIL: generation-1 daemon exited $code, expected 0" >&2
+  exit 1
+fi
+rm -f "$PORT_FILE"
+"$TCOR_SIM" serve --port 0 --workers 2 --queue-depth 16 --port-file "$PORT_FILE" \
+  --cache-dir "$CACHE_DIR" \
+  --telemetry /tmp/tcor-ci-serve-telemetry.jsonl >/dev/null 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "ci: FAIL: restarted daemon never published its port" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+ADDR=$(cat "$PORT_FILE")
+if ! "$TCOR_SIM" serve-req "$ADDR" GET /v1/table/fig10 --expect-cache disk > "$RESTART_OUT"; then
+  echo "ci: FAIL: restarted daemon did not answer fig10 from the disk tier" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+if ! cmp -s "$RESTART_OUT" results/golden/fig10.csv; then
+  echo "ci: FAIL: disk-tier fig10 differs from results/golden/fig10.csv" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+if ! cmp -s "$RESTART_OUT" "$SERVE_OUT"; then
+  echo "ci: FAIL: disk-tier fig10 differs from generation 1's body" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+"$TCOR_SIM" serve-req "$ADDR" POST /admin/shutdown >/dev/null
+set +e
+wait "$SERVE_PID"
+code=$?
+set -e
+if [ "$code" -ne 0 ]; then
+  echo "ci: FAIL: restarted daemon exited $code after graceful shutdown, expected 0" >&2
+  exit 1
+fi
+rm -rf "$CACHE_DIR"
+rm -f "$PORT_FILE" "$SERVE_OUT" "$RESTART_OUT"
+
 echo "ci: all green"

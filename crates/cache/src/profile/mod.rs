@@ -28,22 +28,6 @@ use crate::policy::ReplacementPolicy;
 use crate::trace::{annotate_next_use, Access};
 use tcor_common::{AccessStats, CacheParams};
 
-/// OPT miss counts for several capacities (in lines).
-///
-/// Deprecated compatibility shim: now a thin wrapper over a single
-/// [`OptStackProfiler`] pass (which yields *every* capacity at once),
-/// kept only so external callers of the old per-capacity API keep
-/// compiling. New code should hold the profiler and query
-/// [`OptStackProfiler::misses_at`] directly.
-#[deprecated(
-    since = "0.4.0",
-    note = "use OptStackProfiler: one pass yields every capacity"
-)]
-pub fn opt_miss_curve(trace: &[Access], capacities: &[usize]) -> Vec<u64> {
-    let prof = OptStackProfiler::profile(trace, &annotate_next_use(trace));
-    capacities.iter().map(|&c| prof.misses_at(c)).collect()
-}
-
 /// Simulates `trace` through a fresh cache of the given geometry under
 /// `policy`, returning the statistics.
 ///

@@ -48,6 +48,44 @@ pub fn write_atomic(path: &Path, contents: &[u8]) -> TcorResult<()> {
     })
 }
 
+/// Like [`write_atomic`], but stages into a tmp sibling whose name is
+/// unique to this process and call (`<name>.<pid>.<seq>.tmp`), so
+/// *concurrent* writers to the same destination — two daemons sharing
+/// one cache directory — never interleave inside one staging file.
+/// Whichever rename lands last wins with a whole file; the loser's
+/// bytes are simply replaced, never mixed.
+///
+/// # Errors
+///
+/// Same contract as [`write_atomic`]: an I/O error naming the path,
+/// with the previous destination contents untouched.
+pub fn write_atomic_unique(path: &Path, contents: &[u8]) -> TcorResult<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| TcorError::io(format!("creating {}", parent.display()), e))?;
+        }
+    }
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(name);
+    std::fs::write(&tmp, contents)
+        .map_err(|e| TcorError::io(format!("writing {}", tmp.display()), e))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        TcorError::io(
+            format!("renaming {} over {}", tmp.display(), path.display()),
+            e,
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +105,32 @@ mod tests {
         assert_eq!(std::fs::read(&file).unwrap(), b"v2");
         // No staging residue.
         assert!(!tmp_sibling(&file).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unique_staging_parallel_writers_never_tear() {
+        let dir = temp_path("unique");
+        let _ = std::fs::remove_dir_all(&dir);
+        let file = dir.join("contested.bin");
+        let mut threads = Vec::new();
+        for byte in [b'a', b'b', b'c', b'd'] {
+            let file = file.clone();
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    write_atomic_unique(&file, &[byte; 512]).unwrap();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let got = std::fs::read(&file).unwrap();
+        assert_eq!(got.len(), 512);
+        assert!(
+            got.iter().all(|&b| b == got[0]),
+            "destination is one writer's bytes, whole"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -39,7 +39,7 @@ pub mod traversal;
 
 pub use config::{CacheParams, GpuConfig, MemoryParams, TileCacheOrg};
 pub use error::{ErrorKind, TcorError, TcorResult};
-pub use fsio::write_atomic;
+pub use fsio::{write_atomic, write_atomic_unique};
 pub use geom::{Rect, Tri2};
 pub use grid::TileGrid;
 pub use hash::{fxhash64, hash_hex, FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};

@@ -26,7 +26,10 @@ pub struct RequestSpan {
     pub wall_ms: f64,
     /// HTTP status sent.
     pub status: u16,
-    /// How the body was produced: "compute", "cache", or "coalesced".
+    /// How the body was produced: "compute" (simulated fresh),
+    /// "cache" (memory-tier hit), "disk" (persistent-tier hit after a
+    /// restart, promoted to memory), or "coalesced" (followed another
+    /// in-flight request for the same key).
     pub source: &'static str,
 }
 
@@ -88,6 +91,14 @@ mod tests {
                 status: 200,
                 source: "cache",
             },
+            RequestSpan {
+                endpoint: "/v1/cell/GTr/base64".to_string(),
+                worker: 0,
+                start_ms: 3.0,
+                wall_ms: 0.4,
+                status: 200,
+                source: "disk",
+            },
         ];
         let json = serve_timeline_json(&spans);
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -95,6 +106,7 @@ mod tests {
         assert!(json.contains("\"cat\":\"serve\""));
         assert!(json.contains("\"source\":\"compute\""));
         assert!(json.contains("\"source\":\"cache\""));
+        assert!(json.contains("\"source\":\"disk\""));
         assert!(json.contains("\"status\":200"));
         // Sub-microsecond spans still render a visible nonzero duration.
         assert!(json.contains("\"dur\":100"));

@@ -1,0 +1,154 @@
+//! The in-process session tier: a fixed-capacity LRU.
+//!
+//! This absorbs the serve plane's former `LruCache` — same recency
+//! bookkeeping (a monotonic touch sequence plus an ordered
+//! sequence→key map whose first entry is the victim), now keyed by
+//! [`CacheKey`] and holding shared [`CachedBody`]s so it composes with
+//! the disk tier. Plain LRU is the right policy here: unlike the
+//! simulated tile cache there is no future knowledge to exploit on the
+//! request stream.
+
+use crate::body::CachedBody;
+use crate::key::CacheKey;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A fixed-capacity LRU map from cache key to shared body.
+pub struct MemTier {
+    capacity: usize,
+    seq: u64,
+    /// key → (body, last-touch sequence number).
+    map: HashMap<CacheKey, (Arc<CachedBody>, u64)>,
+    /// last-touch sequence → key; first entry is the LRU victim.
+    order: BTreeMap<u64, CacheKey>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl MemTier {
+    /// A tier holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        MemTier {
+            capacity: capacity.max(1),
+            seq: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn touch(&mut self, key: CacheKey, old_seq: u64) -> u64 {
+        self.order.remove(&old_seq);
+        self.seq += 1;
+        self.order.insert(self.seq, key);
+        self.seq
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<CachedBody>> {
+        let Some(&(_, old_seq)) = self.map.get(key) else {
+            self.misses += 1;
+            return None;
+        };
+        let new_seq = self.touch(*key, old_seq);
+        let entry = self.map.get_mut(key).expect("present");
+        entry.1 = new_seq;
+        self.hits += 1;
+        Some(Arc::clone(&entry.0))
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry if at capacity.
+    pub fn put(&mut self, key: &CacheKey, body: Arc<CachedBody>) {
+        if let Some(&(_, old_seq)) = self.map.get(key) {
+            let new_seq = self.touch(*key, old_seq);
+            self.map.insert(*key, (body, new_seq));
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some((&victim_seq, &victim_key)) = self.order.iter().next() {
+                self.order.remove(&victim_seq);
+                self.map.remove(&victim_key);
+                self.evictions += 1;
+            }
+        }
+        self.seq += 1;
+        self.order.insert(self.seq, *key);
+        self.map.insert(*key, (body, self.seq));
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(id: u64) -> CacheKey {
+        CacheKey::new(id, 1)
+    }
+
+    fn b(text: &str) -> Arc<CachedBody> {
+        Arc::new(CachedBody::text("text/plain; charset=utf-8", text))
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut c = MemTier::new(2);
+        c.put(&k(1), b("a"));
+        c.put(&k(2), b("b"));
+        assert_eq!(c.get(&k(1)).expect("hit").bytes, b"a"); // 1 is now MRU
+        c.put(&k(3), b("c")); // evicts 2, the LRU
+        assert!(c.get(&k(2)).is_none());
+        assert!(c.get(&k(1)).is_some());
+        assert!(c.get(&k(3)).is_some());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.counters().2, 1, "one eviction");
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c = MemTier::new(2);
+        c.put(&k(1), b("10"));
+        c.put(&k(2), b("20"));
+        c.put(&k(1), b("11"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&k(1)).expect("hit").bytes, b"11");
+        assert_eq!(c.get(&k(2)).expect("not evicted").bytes, b"20");
+    }
+
+    #[test]
+    fn distinct_versions_are_distinct_entries() {
+        let mut c = MemTier::new(4);
+        c.put(&CacheKey::new(7, 1), b("old"));
+        c.put(&CacheKey::new(7, 2), b("new"));
+        assert_eq!(c.get(&CacheKey::new(7, 1)).expect("v1").bytes, b"old");
+        assert_eq!(c.get(&CacheKey::new(7, 2)).expect("v2").bytes, b"new");
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut c = MemTier::new(1);
+        assert!(c.get(&k(1)).is_none());
+        c.put(&k(1), b("x"));
+        assert!(c.get(&k(1)).is_some());
+        assert_eq!(c.counters(), (1, 1, 0));
+        assert!(!c.is_empty());
+    }
+}

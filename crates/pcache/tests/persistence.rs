@@ -1,0 +1,200 @@
+//! Crash, corruption and concurrency behavior of the persistent tier.
+//!
+//! These are the negative paths the crate exists for: a restarted
+//! process must serve exactly the bytes it persisted, and anything
+//! less than exact — truncation, bit rot, a stale build's entries, a
+//! torn index, a sibling process scribbling in the same directory —
+//! must be evicted and recomputed, never served.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tcor_pcache::{CacheKey, CachedBody, ResultCache, Tier, TieredCache};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcor-pcache-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &Path) -> TieredCache {
+    TieredCache::open(8, Some((dir.to_path_buf(), 1 << 20))).expect("open cache dir")
+}
+
+fn body(text: &str) -> Arc<CachedBody> {
+    Arc::new(CachedBody::text("application/json", text))
+}
+
+fn object_path(dir: &Path, key: &CacheKey) -> PathBuf {
+    dir.join(format!("{}.tcpc", key.file_stem()))
+}
+
+#[test]
+fn restart_serves_byte_identical_results_from_disk() {
+    let dir = tmp("restart");
+    let keys: Vec<CacheKey> = (1..=5).map(|id| CacheKey::new(id, 0xC0DE)).collect();
+    let payloads: Vec<String> = keys
+        .iter()
+        .map(|k| format!("{{\"identity\":{},\"rows\":[1,2,3]}}\n", k.identity))
+        .collect();
+    {
+        let cache = open(&dir);
+        for (k, p) in keys.iter().zip(&payloads) {
+            cache.put(k, &body(p));
+        }
+    } // process one "dies"; Drop persists the index
+    let cache = open(&dir);
+    let (valid, evicted) = cache.warm_start(0xC0DE);
+    assert_eq!((valid, evicted), (5, 0));
+    for (k, p) in keys.iter().zip(&payloads) {
+        let (got, tier) = cache.get(k).expect("survives restart");
+        assert_eq!(tier, Tier::Disk, "first post-restart hit is the disk tier");
+        assert_eq!(got.bytes, p.as_bytes(), "byte-identical across restart");
+        assert_eq!(got.content_type, "application/json");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_entry_is_evicted_and_request_goes_cold() {
+    let dir = tmp("corrupt");
+    let key = CacheKey::new(0x11, 1);
+    open(&dir).put(&key, &body("{\"trusted\":true}"));
+    // Bit-rot one payload byte on disk.
+    let path = object_path(&dir, &key);
+    let mut raw = std::fs::read(&path).unwrap();
+    let last = raw.len() - 1;
+    raw[last] ^= 0x40;
+    std::fs::write(&path, &raw).unwrap();
+
+    let cache = open(&dir);
+    assert!(cache.get(&key).is_none(), "corrupt bytes are never served");
+    let stats = cache.stats();
+    assert_eq!(stats.evicted_corrupt, 1, "typed eviction counter");
+    assert!(!path.exists(), "offending file deleted");
+    // The recomputed result repopulates cleanly.
+    cache.put(&key, &body("{\"trusted\":true}"));
+    assert!(cache.get(&key).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_entry_is_evicted_not_served() {
+    let dir = tmp("trunc");
+    let key = CacheKey::new(0x22, 1);
+    open(&dir).put(&key, &body("{\"rows\":[4,5,6,7,8,9]}"));
+    let path = object_path(&dir, &key);
+    let raw = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &raw[..raw.len() / 2]).unwrap(); // torn write
+    let cache = open(&dir);
+    assert!(cache.get(&key).is_none());
+    assert_eq!(cache.stats().evicted_corrupt, 1);
+    assert!(!path.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_mismatch_is_evicted_with_its_own_counter() {
+    let dir = tmp("stale");
+    let old = CacheKey::new(0x33, 100);
+    open(&dir).put(&old, &body("{\"built_by\":\"v100\"}"));
+    let cache = open(&dir);
+    // Same computation, newer build.
+    let new = CacheKey::new(0x33, 101);
+    assert!(cache.get(&new).is_none(), "stale build output not served");
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.evicted_version, stats.evicted_corrupt),
+        (1, 0),
+        "staleness and corruption are distinct counters"
+    );
+    assert!(
+        !object_path(&dir, &new).exists(),
+        "stale entry reclaimed, not leaked"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_garbage_in_the_cache_dir_is_ignored() {
+    let dir = tmp("foreign");
+    let key = CacheKey::new(0x44, 1);
+    open(&dir).put(&key, &body("real"));
+    std::fs::write(dir.join("README.txt"), b"not a cache entry").unwrap();
+    std::fs::write(dir.join("zzzz.tcpc"), b"short").unwrap(); // bad stem
+    let cache = open(&dir);
+    assert!(cache.get(&key).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 6: two handles over one directory — the "two daemons,
+/// one --cache-dir" scenario. Last-writer-wins must never serve
+/// corrupt or mixed bytes, and each side must observe the other's
+/// completed writes via the path probe.
+#[test]
+fn two_processes_sharing_a_dir_stay_consistent() {
+    let dir = tmp("shared");
+    let a = open(&dir);
+    let b = open(&dir); // second "daemon", its own index view
+
+    // A writes; B — whose index never saw it — finds it by path probe.
+    let key = CacheKey::new(0x55, 1);
+    a.put(&key, &body("from-a"));
+    let (got, tier) = b.get(&key).expect("cross-process visibility");
+    assert_eq!(
+        (got.bytes.as_slice(), tier),
+        (b"from-a".as_slice(), Tier::Disk)
+    );
+
+    // Both race interleaved writes over the same keys; whichever wins,
+    // every subsequent read must be one writer's intact bytes.
+    for round in 0..10u64 {
+        let k = CacheKey::new(0x100 + round % 3, 1);
+        a.put(&k, &body(&format!("a-{round}")));
+        b.put(&k, &body(&format!("b-{round}")));
+    }
+    let c = open(&dir); // fresh third view, trusts only the disk
+    for id in 0x100..0x103u64 {
+        let k = CacheKey::new(id, 1);
+        let (got, _) = c.get(&k).expect("entry present and valid");
+        let text = String::from_utf8(got.bytes.clone()).unwrap();
+        assert!(
+            text.starts_with("a-") || text.starts_with("b-"),
+            "bytes are one writer's, whole: {text}"
+        );
+    }
+    assert_eq!(c.stats().evicted_corrupt, 0, "no torn entries created");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Threaded hammering of one shared directory from two handles —
+/// the closest a unit test gets to two daemons under load.
+#[test]
+fn concurrent_handles_hammering_shared_dir_never_corrupt() {
+    let dir = tmp("hammer");
+    let a = Arc::new(open(&dir));
+    let b = Arc::new(open(&dir));
+    let mut threads = Vec::new();
+    for (tag, cache) in [("a", Arc::clone(&a)), ("b", Arc::clone(&b))] {
+        threads.push(std::thread::spawn(move || {
+            for i in 0..50u64 {
+                let k = CacheKey::new(i % 7, 1);
+                cache.put(&k, &body(&format!("{tag}-{i}")));
+                if let Some((got, _)) = cache.get(&k) {
+                    let text = String::from_utf8(got.bytes.clone()).unwrap();
+                    assert!(
+                        text.starts_with("a-") || text.starts_with("b-"),
+                        "read tore: {text}"
+                    );
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let fresh = open(&dir);
+    let (valid, evicted) = fresh.warm_start(1);
+    assert_eq!(evicted, 0, "no entry failed validation after the race");
+    assert!(valid > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -140,8 +140,9 @@ pub fn read_request<S: Read>(stream: S) -> TcorResult<Request> {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// `Content-Type` value.
-    pub content_type: &'static str,
+    /// `Content-Type` value. Owned: disk-restored cache entries carry
+    /// their content type as data, not as a compile-time constant.
+    pub content_type: String,
     /// Extra headers (name, value) beyond the always-present ones.
     pub headers: Vec<(&'static str, String)>,
     /// Response body.
@@ -153,7 +154,7 @@ impl Response {
     pub fn text(status: u16, body: impl Into<String>) -> Self {
         Response {
             status,
-            content_type: "text/plain; charset=utf-8",
+            content_type: "text/plain; charset=utf-8".to_string(),
             headers: Vec::new(),
             body: body.into(),
         }
@@ -163,7 +164,7 @@ impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Self {
         Response {
             status,
-            content_type: "application/json",
+            content_type: "application/json".to_string(),
             headers: Vec::new(),
             body: body.into(),
         }

@@ -16,8 +16,11 @@
 //!   computation ([`coalesce`]), TCOR's never-redundant-work thesis
 //!   applied to the request plane;
 //! * **content-addressed caching** — responses are keyed by the
-//!   `fxhash64` of the canonical request ([`router`]) and served from
-//!   an LRU ([`cache`]) so warm hits never touch the simulator;
+//!   `fxhash64` of the canonical request ([`router`]) plus the
+//!   backend's version hash, and served from the tiered result cache
+//!   (`tcor-pcache`: an in-memory session LRU over an optional
+//!   persistent disk tier) so warm hits never touch the simulator and
+//!   a restarted daemon answers from disk, not cold;
 //! * **graceful shutdown** — `POST /admin/shutdown` or
 //!   SIGINT/SIGTERM ([`signal`]) stops admission, drains admitted
 //!   work, and exits 0.
@@ -26,7 +29,6 @@
 //! trait; `tcor-sim serve` supplies the real simulator-backed
 //! implementation and the CLI flags.
 
-pub mod cache;
 pub mod client;
 pub mod coalesce;
 pub mod http;
@@ -36,11 +38,10 @@ pub mod router;
 pub mod server;
 pub mod signal;
 
-pub use cache::LruCache;
 pub use client::{http_request, percentile, HttpReply};
 pub use coalesce::{FollowerHandle, Join, LeaderToken, Singleflight, Waited};
 pub use http::{read_request, Request, Response};
 pub use metrics::ServeMetrics;
 pub use pool::{BoundedQueue, Pushed};
 pub use router::{route, ApiCall, Route};
-pub use server::{start, ApiBody, Backend, ServeConfig, ServerHandle};
+pub use server::{start, start_with_cache, ApiBody, Backend, ServeConfig, ServerHandle};

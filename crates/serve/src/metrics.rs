@@ -19,8 +19,12 @@ pub struct ServeMetrics {
     pub shed: AtomicU64,
     /// Requests answered (any status).
     pub done: AtomicU64,
-    /// Responses served from the LRU cache.
+    /// Responses served from either cache tier (mem + disk).
     pub warm_hits: AtomicU64,
+    /// Responses served from the in-memory session tier.
+    pub mem_hits: AtomicU64,
+    /// Responses restored from the persistent disk tier.
+    pub disk_hits: AtomicU64,
     /// Responses that ran the simulator.
     pub cold_computes: AtomicU64,
     /// Requests that hit their deadline (504).
@@ -49,6 +53,8 @@ impl ServeMetrics {
             ("serve/request_shed", &self.shed),
             ("serve/request_done", &self.done),
             ("serve/cache_warm_hits", &self.warm_hits),
+            ("serve/cache_mem_hits", &self.mem_hits),
+            ("serve/cache_disk_hits", &self.disk_hits),
             ("serve/cold_computes", &self.cold_computes),
             ("serve/deadline_expired", &self.deadline_expired),
             ("serve/errors", &self.errors),

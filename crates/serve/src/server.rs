@@ -5,13 +5,14 @@
 //! connections, parse, route, and answer. The API path layers, in
 //! order: a per-request deadline (checked when the job is *dequeued*,
 //! so work that already overstayed its queue wait is aborted before it
-//! starts — the watchdog discipline from the runner), the LRU response
-//! cache (warm hits bypass the simulator entirely), and singleflight
-//! coalescing (concurrent identical requests ride one computation).
-//! Shutdown — admin route or signal — stops admission, drains what was
-//! admitted, joins every thread, and hands back the request timeline.
+//! starts — the watchdog discipline from the runner), the tiered
+//! result cache (a memory hit bypasses the simulator entirely; a disk
+//! hit restores a previous session's bytes and promotes them), and
+//! singleflight coalescing (concurrent identical requests ride one
+//! computation). Shutdown — admin route or signal — stops admission,
+//! drains what was admitted, joins every thread, and hands back the
+//! request timeline.
 
-use crate::cache::LruCache;
 use crate::coalesce::{Join, Singleflight, Waited};
 use crate::http::{read_request, Request, Response};
 use crate::metrics::ServeMetrics;
@@ -20,22 +21,41 @@ use crate::router::{route, ApiCall, Route};
 use crate::signal;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tcor_common::{ErrorKind, TcorError, TcorResult};
 use tcor_obs::RequestSpan;
+use tcor_pcache::{CacheKey, CachedBody, ResultCache, Tier, TieredCache};
 use tcor_runner::{Json, Telemetry};
 
-/// A computed API response body: what the backend produces, what the
-/// cache stores, what coalesced followers share.
+/// A computed API response body: what the backend produces, what
+/// coalesced followers share. Cached (in either tier) as a
+/// [`CachedBody`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ApiBody {
     /// `Content-Type` of the rendered body.
-    pub content_type: &'static str,
+    pub content_type: String,
     /// The rendered body (JSON or CSV text).
     pub body: String,
+}
+
+impl ApiBody {
+    /// The cacheable form of this body.
+    pub fn to_cached(&self) -> CachedBody {
+        CachedBody::text(self.content_type.clone(), self.body.clone())
+    }
+
+    /// Restores a body from its cached form. Total: cached bodies were
+    /// written from strings, and integrity-validated on load.
+    pub fn from_cached(body: &CachedBody) -> Self {
+        ApiBody {
+            content_type: body.content_type.clone(),
+            body: String::from_utf8_lossy(&body.bytes).into_owned(),
+        }
+    }
 }
 
 /// The simulator behind the daemon. Implementations must be callable
@@ -50,10 +70,18 @@ pub trait Backend: Send + Sync + 'static {
     /// `Config`-class errors map to 404 (unknown workload/config/...),
     /// everything else to 500.
     fn call(&self, call: &ApiCall) -> TcorResult<ApiBody>;
+
+    /// A hash of the producing code and result schema, folded into
+    /// every cache key so a rebuilt simulator never serves a previous
+    /// build's persisted bytes. The default (0) is fine for backends
+    /// that never persist.
+    fn version(&self) -> u64 {
+        0
+    }
 }
 
 /// Daemon tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// TCP port on 127.0.0.1; 0 binds an ephemeral port.
     pub port: u16,
@@ -61,10 +89,15 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded-queue depth; beyond it requests are shed with 429.
     pub queue_depth: usize,
-    /// LRU response-cache capacity, entries.
+    /// Memory-tier response-cache capacity, entries.
     pub cache_cap: usize,
     /// Per-request deadline, accept to answer.
     pub deadline: Duration,
+    /// Persistent-tier directory (`--cache-dir`); `None` disables
+    /// persistence and the daemon behaves exactly as before it existed.
+    pub cache_dir: Option<PathBuf>,
+    /// Persistent-tier byte budget (`--cache-disk-bytes`).
+    pub cache_disk_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -75,12 +108,14 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_cap: 256,
             deadline: Duration::from_secs(30),
+            cache_dir: None,
+            cache_disk_bytes: 256 << 20,
         }
     }
 }
 
 /// Outcome of a flight: the shared body, or the shared failure.
-type FlightOut = Result<Arc<ApiBody>, Arc<TcorError>>;
+type FlightOut = Result<Arc<CachedBody>, Arc<TcorError>>;
 
 struct Conn {
     stream: TcpStream,
@@ -91,7 +126,7 @@ struct Shared {
     stop: AtomicBool,
     queue: BoundedQueue<Conn>,
     metrics: ServeMetrics,
-    cache: Mutex<LruCache<ApiBody>>,
+    cache: Arc<dyn ResultCache>,
     flights: Singleflight<FlightOut>,
     backend: Arc<dyn Backend>,
     telemetry: Option<Arc<Telemetry>>,
@@ -124,6 +159,14 @@ impl Shared {
             spans.push(span);
         }
     }
+
+    /// The `GET /metrics` body: serve-plane counters plus the result
+    /// cache's per-tier counters under `pcache/`.
+    fn metrics_text(&self) -> String {
+        let mut reg = self.metrics.registry();
+        reg.merge(&self.cache.stats().registry("pcache"));
+        reg.to_string()
+    }
 }
 
 /// A running daemon.
@@ -147,7 +190,7 @@ impl ServerHandle {
 
     /// Current `GET /metrics` body, read in-process.
     pub fn metrics_text(&self) -> String {
-        self.shared.metrics.text()
+        self.shared.metrics_text()
     }
 
     /// Blocks until the daemon has drained and every thread has
@@ -167,15 +210,45 @@ impl ServerHandle {
     }
 }
 
-/// Binds 127.0.0.1:`port` and starts the accept loop and worker pool.
+/// Binds 127.0.0.1:`port` and starts the accept loop and worker pool,
+/// building the result cache from `config` (`cache_dir` attaches the
+/// persistent tier).
 ///
 /// # Errors
 ///
-/// A serve-class error if the port cannot be bound.
+/// A serve-class error if the port cannot be bound, or an I/O error if
+/// the cache directory cannot be opened.
 pub fn start(
     config: ServeConfig,
     backend: Arc<dyn Backend>,
     telemetry: Option<Arc<Telemetry>>,
+) -> TcorResult<ServerHandle> {
+    let disk = config
+        .cache_dir
+        .clone()
+        .map(|dir| (dir, config.cache_disk_bytes));
+    let cache: Arc<dyn ResultCache> = Arc::new(TieredCache::open(config.cache_cap, disk)?);
+    start_with_cache(config, backend, telemetry, cache)
+}
+
+/// [`start`] with a caller-supplied result cache — the path that lets
+/// the daemon and its backend share one cache (`tcor-sim serve` hands
+/// the same tiers to `SimBackend` so rendered results persist whether
+/// they were requested over HTTP or computed inside the simulator).
+///
+/// Before accepting traffic, runs the cache's warm-start pass against
+/// the backend's version: persisted entries are re-validated (stale or
+/// corrupt ones evicted) so a restarted daemon serves its working set
+/// from disk at warm latency, starting with the very first request.
+///
+/// # Errors
+///
+/// A serve-class error if the port cannot be bound.
+pub fn start_with_cache(
+    config: ServeConfig,
+    backend: Arc<dyn Backend>,
+    telemetry: Option<Arc<Telemetry>>,
+    cache: Arc<dyn ResultCache>,
 ) -> TcorResult<ServerHandle> {
     let listener = TcpListener::bind(("127.0.0.1", config.port)).map_err(|e| {
         TcorError::with_source(
@@ -190,11 +263,12 @@ pub fn start(
     listener
         .set_nonblocking(true)
         .map_err(|e| TcorError::with_source(ErrorKind::Serve, "setting listener nonblocking", e))?;
+    let (warm_valid, warm_evicted) = cache.warm_start(backend.version());
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
         queue: BoundedQueue::new(config.queue_depth),
         metrics: ServeMetrics::new(),
-        cache: Mutex::new(LruCache::new(config.cache_cap)),
+        cache,
         flights: Singleflight::new(),
         backend,
         telemetry,
@@ -202,6 +276,15 @@ pub fn start(
         spans: Mutex::new(Vec::new()),
         started: Instant::now(),
     });
+    if warm_valid > 0 || warm_evicted > 0 {
+        shared.event(
+            "cache_warm_start",
+            vec![
+                ("valid".to_string(), Json::UInt(warm_valid as u64)),
+                ("evicted".to_string(), Json::UInt(warm_evicted as u64)),
+            ],
+        );
+    }
     let accept = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || accept_loop(&listener, &shared))
@@ -286,7 +369,7 @@ fn handle_conn(shared: &Shared, worker: usize, conn: Conn) {
     let response = match route(&req) {
         Err(resp) => resp,
         Ok(Route::Health) => Response::text(200, "ok\n"),
-        Ok(Route::Metrics) => Response::text(200, shared.metrics.text()),
+        Ok(Route::Metrics) => Response::text(200, shared.metrics_text()),
         Ok(Route::Shutdown) => {
             shared.stop.store(true, Ordering::SeqCst);
             Response::text(200, "shutting down\n")
@@ -364,25 +447,28 @@ fn answer_api(shared: &Shared, call: &ApiCall, accepted: Instant) -> (Response, 
             "aborted",
         );
     }
-    let key = call.cache_key();
-    {
-        let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(body) = cache.get(key) {
-            ServeMetrics::bump(&shared.metrics.warm_hits);
-            return (ok_response(&body, "hit"), "cache");
+    let key = CacheKey::new(call.cache_key(), shared.backend.version());
+    if let Some((body, tier)) = shared.cache.get(&key) {
+        ServeMetrics::bump(&shared.metrics.warm_hits);
+        match tier {
+            Tier::Mem => ServeMetrics::bump(&shared.metrics.mem_hits),
+            Tier::Disk => ServeMetrics::bump(&shared.metrics.disk_hits),
         }
+        // The span source distinguishes the tiers ("cache" = memory,
+        // "disk" = restored from the persistent tier and promoted).
+        let source = match tier {
+            Tier::Mem => "cache",
+            Tier::Disk => "disk",
+        };
+        return (ok_response(&body, tier.label()), source);
     }
-    match shared.flights.join(key) {
+    match shared.flights.join(key.identity) {
         Join::Leader(token) => {
             let outcome = catch_unwind(AssertUnwindSafe(|| shared.backend.call(call)));
             match outcome {
                 Ok(Ok(body)) => {
-                    let body = Arc::new(body);
-                    shared
-                        .cache
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .insert(key, Arc::clone(&body));
+                    let body = Arc::new(body.to_cached());
+                    shared.cache.put(&key, &body);
                     ServeMetrics::bump(&shared.metrics.cold_computes);
                     token.finish(Ok(Arc::clone(&body)));
                     (ok_response(&body, "miss"), "compute")
@@ -432,11 +518,13 @@ fn answer_api(shared: &Shared, call: &ApiCall, accepted: Instant) -> (Response, 
     }
 }
 
-fn ok_response(body: &ApiBody, cache_state: &'static str) -> Response {
+/// A 200 carrying a cached body, labeled with which tier (or miss)
+/// produced it: `X-Tcor-Cache: mem|disk|miss`.
+fn ok_response(body: &CachedBody, cache_state: &'static str) -> Response {
     Response {
         status: 200,
-        content_type: body.content_type,
+        content_type: body.content_type.clone(),
         headers: vec![("X-Tcor-Cache", cache_state.to_string())],
-        body: body.body.clone(),
+        body: String::from_utf8_lossy(&body.bytes).into_owned(),
     }
 }

@@ -39,7 +39,7 @@ impl Backend for StubBackend {
             .or_insert(0) += 1;
         std::thread::sleep(self.delay);
         Ok(ApiBody {
-            content_type: "application/json",
+            content_type: "application/json".to_string(),
             body: format!("{{\"request\":\"{}\"}}", call.canonical()),
         })
     }
@@ -52,6 +52,7 @@ fn config(workers: usize, queue_depth: usize, deadline: Duration) -> ServeConfig
         queue_depth,
         cache_cap: 32,
         deadline,
+        ..ServeConfig::default()
     }
 }
 
@@ -226,7 +227,7 @@ fn coalesced_follower_times_out_while_leader_completes() {
     // The flight's result is cached: an immediate retry is warm.
     let retry = get(&addr, "/v1/cell/SoD/tcor64");
     assert_eq!(retry.status, 200);
-    assert_eq!(retry.header("x-tcor-cache"), Some("hit"));
+    assert_eq!(retry.header("x-tcor-cache"), Some("mem"));
     server.stop();
     server.wait();
 }
@@ -249,13 +250,72 @@ fn warm_response_is_byte_identical_to_cold() {
     assert_eq!(warm.status, 200);
     assert_eq!(cold.body, warm.body, "byte-identical bodies");
     assert_eq!(cold.header("x-tcor-cache"), Some("miss"));
-    assert_eq!(warm.header("x-tcor-cache"), Some("hit"));
+    assert_eq!(warm.header("x-tcor-cache"), Some("mem"));
     assert_eq!(backend.calls_for("misscurve/GTr/lru"), 1);
     let metrics = server.metrics_text();
     assert_eq!(metric(&metrics, "serve/cache_warm_hits"), 1);
+    assert_eq!(metric(&metrics, "serve/cache_mem_hits"), 1);
+    assert_eq!(metric(&metrics, "serve/cache_disk_hits"), 0);
     assert_eq!(metric(&metrics, "serve/cold_computes"), 1);
+    assert_eq!(metric(&metrics, "pcache/mem_hits"), 1);
     server.stop();
     server.wait();
+}
+
+/// A daemon restarted over the same `--cache-dir` serves the previous
+/// process's results from the disk tier — byte-identical, never
+/// touching the backend — and promotes them so the next hit is `mem`.
+#[test]
+fn restarted_daemon_answers_from_the_disk_tier() {
+    let dir = std::env::temp_dir().join(format!("tcor-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let with_disk = |mut cfg: ServeConfig| {
+        cfg.cache_dir = Some(dir.clone());
+        cfg.cache_disk_bytes = 1 << 20;
+        cfg
+    };
+    let cold_body = {
+        let backend = Arc::new(StubBackend::new(Duration::ZERO));
+        let server = tcor_serve::start(
+            with_disk(config(2, 8, Duration::from_secs(5))),
+            backend,
+            None,
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let cold = get(&addr, "/v1/cell/GTr/base64");
+        assert_eq!(cold.status, 200);
+        assert_eq!(cold.header("x-tcor-cache"), Some("miss"));
+        server.stop();
+        server.wait(); // daemon one "dies"
+        cold.body
+    };
+    let backend = Arc::new(StubBackend::new(Duration::ZERO));
+    let server = tcor_serve::start(
+        with_disk(config(2, 8, Duration::from_secs(5))),
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        None,
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let warm_disk = get(&addr, "/v1/cell/GTr/base64");
+    assert_eq!(warm_disk.status, 200);
+    assert_eq!(
+        warm_disk.header("x-tcor-cache"),
+        Some("disk"),
+        "first post-restart hit restores from disk"
+    );
+    assert_eq!(warm_disk.body, cold_body, "byte-identical across restart");
+    assert_eq!(backend.calls_for("cell/GTr/base64"), 0, "never recomputed");
+    let warm_mem = get(&addr, "/v1/cell/GTr/base64");
+    assert_eq!(warm_mem.header("x-tcor-cache"), Some("mem"), "promoted");
+    let metrics = server.metrics_text();
+    assert_eq!(metric(&metrics, "serve/cache_disk_hits"), 1);
+    assert_eq!(metric(&metrics, "serve/cache_mem_hits"), 1);
+    assert_eq!(metric(&metrics, "pcache/disk_hits"), 1);
+    server.stop();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// `POST /admin/shutdown` answers 200, drains, and every thread exits;

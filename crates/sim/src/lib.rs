@@ -42,7 +42,7 @@ pub use orchestrate::{
     run_experiments, run_experiments_strict, ExecMode, ExperimentOutcome, RunOptions, RunOutcome,
 };
 pub use output::Table;
-pub use serve_backend::SimBackend;
+pub use serve_backend::{sim_version, SimBackend};
 pub use suite::{run_suite, BenchmarkRun, SuiteRun};
 
 /// Every experiment id, in presentation order.

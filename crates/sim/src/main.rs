@@ -79,11 +79,19 @@ fn usage() {
     eprintln!("       tcor-sim bench-misscurves [FILE] replay-vs-single-pass timing -> FILE");
     eprintln!(
         "       tcor-sim serve [--port N] [--workers K] [--queue-depth D] [--cache-cap C] \
-         [--deadline-ms MS] [--telemetry FILE] [--serve-trace FILE] [--port-file FILE]"
+         [--deadline-ms MS] [--cache-dir DIR] [--cache-disk-bytes B] \
+         [--telemetry FILE] [--serve-trace FILE] [--port-file FILE]"
     );
-    eprintln!("       tcor-sim cell <alias> <config>  print one cell report as JSON");
-    eprintln!("       tcor-sim serve-req <addr> <method> <path> [body]  one-shot HTTP client");
-    eprintln!("       tcor-sim bench-serve [FILE]     cold/warm/burst serving timings -> FILE");
+    eprintln!(
+        "       tcor-sim cell <alias> <config> [--cache-dir DIR]  print one cell report as JSON"
+    );
+    eprintln!(
+        "       tcor-sim serve-req <addr> <method> <path> [body] [--expect-cache TIER]  \
+         one-shot HTTP client"
+    );
+    eprintln!(
+        "       tcor-sim bench-serve [FILE]     cold/warm-mem/warm-disk serving timings -> FILE"
+    );
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
 }
 
@@ -428,6 +436,11 @@ fn serve_cmd(args: &[String]) -> ExitCode {
                 Ok(ms) if ms >= 1 => cfg.deadline = Duration::from_millis(ms),
                 _ => return bad("milliseconds >= 1"),
             },
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value)),
+            "--cache-disk-bytes" => match value.parse::<u64>() {
+                Ok(n) if n >= 1 => cfg.cache_disk_bytes = n,
+                _ => return bad("a positive byte count"),
+            },
             "--telemetry" => telemetry_path = Some(PathBuf::from(value)),
             "--serve-trace" => trace_path = Some(PathBuf::from(value)),
             "--port-file" => port_file = Some(PathBuf::from(value)),
@@ -447,14 +460,32 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         }
     }
     let (workers, depth, deadline) = (cfg.workers, cfg.queue_depth, cfg.deadline);
-    let backend = Arc::new(tcor_sim::SimBackend::new());
-    let server = match tcor_serve::start(cfg, backend, Some(Arc::clone(&telemetry))) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return exit_for(&e);
-        }
-    };
+    // One tiered cache shared by the daemon's response path and the
+    // backend's artifact persistence: results land on disk whichever
+    // plane computed them, and a restart serves them back warm.
+    let disk = cfg.cache_dir.clone().map(|dir| (dir, cfg.cache_disk_bytes));
+    let persistent = disk.is_some();
+    let cache: Arc<dyn tcor_pcache::ResultCache> =
+        match tcor_pcache::TieredCache::open(cfg.cache_cap, disk) {
+            Ok(c) => Arc::new(c),
+            Err(e) => {
+                eprintln!("{e}");
+                return exit_for(&e);
+            }
+        };
+    let backend = Arc::new(if persistent {
+        tcor_sim::SimBackend::with_cache(Arc::clone(&cache))
+    } else {
+        tcor_sim::SimBackend::new()
+    });
+    let server =
+        match tcor_serve::start_with_cache(cfg, backend, Some(Arc::clone(&telemetry)), cache) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return exit_for(&e);
+            }
+        };
     let addr = server.addr().to_string();
     // The bound address, machine-readable: stdout for humans and
     // scripts, `--port-file` for supervisors that started us with
@@ -471,8 +502,9 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     }
     eprintln!(
         "tcor-serve: listening on {addr} ({workers} workers, queue depth {depth}, \
-         deadline {}ms)",
-        deadline.as_millis()
+         deadline {}ms{})",
+        deadline.as_millis(),
+        if persistent { ", persistent cache" } else { "" }
     );
     let spans = server.wait();
     if let Some(path) = &trace_path {
@@ -492,11 +524,50 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `tcor-sim cell <alias> <config>`: print one cell report as JSON —
-/// the same encoder the daemon uses, so serve-vs-CLI byte parity is a
-/// `cmp`, not a claim.
-fn cell_cmd(workload: &str, config: &str) -> ExitCode {
-    let backend = tcor_sim::SimBackend::new();
+/// `tcor-sim cell <alias> <config> [--cache-dir DIR [--cache-disk-bytes N]]`:
+/// print one cell report as JSON — the same encoder the daemon uses,
+/// so serve-vs-CLI byte parity is a `cmp`, not a claim. With
+/// `--cache-dir` the result is persisted through (and served from) the
+/// same disk tier the daemon uses: a CLI run warms the daemon and vice
+/// versa.
+fn cell_cmd(workload: &str, config: &str, rest: &[String]) -> ExitCode {
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut cache_disk_bytes: u64 = 256 << 20;
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let Some(value) = rest.get(i + 1) else {
+            eprintln!("{flag} needs a value");
+            usage();
+            return ExitCode::from(2);
+        };
+        match flag {
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value)),
+            "--cache-disk-bytes" => match value.parse::<u64>() {
+                Ok(n) if n >= 1 => cache_disk_bytes = n,
+                _ => {
+                    eprintln!("--cache-disk-bytes needs a positive byte count, got `{value}`");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown cell flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+        i += 2;
+    }
+    let backend = match cache_dir {
+        None => tcor_sim::SimBackend::new(),
+        Some(dir) => match tcor_pcache::TieredCache::open(256, Some((dir, cache_disk_bytes))) {
+            Ok(cache) => tcor_sim::SimBackend::with_cache(std::sync::Arc::new(cache)),
+            Err(e) => {
+                eprintln!("{e}");
+                return exit_for(&e);
+            }
+        },
+    };
     let call = tcor_serve::ApiCall::Cell {
         workload: workload.to_string(),
         config: config.to_string(),
@@ -516,21 +587,48 @@ fn cell_cmd(workload: &str, config: &str) -> ExitCode {
 /// `tcor-sim serve-req <addr> <method> <path> [body]`: a dependency-free
 /// one-shot HTTP client for CI probes. Prints the response body; any
 /// non-2xx answer (or transport failure) exits with the serve code 6.
+/// `--expect-cache TIER` additionally asserts the `X-Tcor-Cache`
+/// response header (`mem`, `disk`, or `miss`) so CI can prove *where*
+/// an answer came from, not just that one arrived.
 fn serve_req(args: &[String]) -> ExitCode {
-    let (Some(addr), Some(method), Some(path)) = (args.first(), args.get(1), args.get(2)) else {
+    let mut expect_cache: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--expect-cache" {
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("--expect-cache needs a value (mem, disk, or miss)");
+                return ExitCode::from(2);
+            };
+            expect_cache = Some(value.clone());
+            i += 2;
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    let (Some(addr), Some(method), Some(path)) =
+        (positional.first(), positional.get(1), positional.get(2))
+    else {
         usage();
         return ExitCode::from(2);
     };
-    let body = args.get(3).map(String::as_str);
+    let body = positional.get(3).map(|s| s.as_str());
     match tcor_serve::http_request(addr, method, path, body, Duration::from_secs(120)) {
         Ok(reply) => {
             print!("{}", reply.body);
-            if (200..300).contains(&reply.status) {
-                ExitCode::SUCCESS
-            } else {
+            if !(200..300).contains(&reply.status) {
                 eprintln!("serve-req: {method} {path} -> {}", reply.status);
-                ExitCode::from(tcor_common::ErrorKind::Serve.exit_code())
+                return ExitCode::from(tcor_common::ErrorKind::Serve.exit_code());
             }
+            if let Some(want) = expect_cache {
+                let got = reply.header("x-tcor-cache").unwrap_or("<absent>");
+                if got != want {
+                    eprintln!("serve-req: {method} {path} X-Tcor-Cache = {got}, expected {want}");
+                    return ExitCode::from(tcor_common::ErrorKind::Serve.exit_code());
+                }
+            }
+            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("{e}");
@@ -541,14 +639,18 @@ fn serve_req(args: &[String]) -> ExitCode {
 
 /// `tcor-sim bench-serve [FILE]`: drive an in-process daemon through a
 /// cold phase (every target computes), a warm phase (every target is a
-/// cache hit, asserted byte-identical to cold), and a coalescing burst
-/// (8 concurrent clients on one uncached key), then record latencies
-/// and daemon counters as machine-readable JSON.
+/// memory-tier hit, asserted byte-identical to cold), and a coalescing
+/// burst (8 concurrent clients on one uncached key); then *restart* the
+/// daemon over the same persistent cache directory and measure the
+/// disk-tier first hits — three latency tiers (cold / warm-disk /
+/// warm-mem) recorded as machine-readable JSON.
 fn bench_serve(path: &str) -> ExitCode {
     use std::sync::Arc;
     use std::time::Instant;
     use tcor_serve::percentile;
 
+    let cache_dir = std::env::temp_dir().join(format!("tcor-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
     let backend = Arc::new(tcor_sim::SimBackend::new());
     let cfg = tcor_serve::ServeConfig {
         port: 0,
@@ -556,8 +658,10 @@ fn bench_serve(path: &str) -> ExitCode {
         queue_depth: 64,
         cache_cap: 256,
         deadline: Duration::from_secs(600),
+        cache_dir: Some(cache_dir.clone()),
+        cache_disk_bytes: 256 << 20,
     };
-    let server = match tcor_serve::start(cfg, backend, None) {
+    let server = match tcor_serve::start(cfg.clone(), backend, None) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bench-serve: {e}");
@@ -575,21 +679,25 @@ fn bench_serve(path: &str) -> ExitCode {
         "/v1/cell/SoD/tcor64",
         "/v1/misscurve/SoD/opt",
     ];
-    let request = |path: &str| -> tcor_common::TcorResult<(f64, String)> {
+    let request = |addr: &str, path: &str| -> tcor_common::TcorResult<(f64, String, String)> {
         let t0 = Instant::now();
-        let reply = tcor_serve::http_request(&addr, "GET", path, None, Duration::from_secs(600))?;
+        let reply = tcor_serve::http_request(addr, "GET", path, None, Duration::from_secs(600))?;
         if reply.status != 200 {
             return Err(TcorError::serve(format!("GET {path} -> {}", reply.status)));
         }
-        Ok((t0.elapsed().as_secs_f64() * 1e3, reply.body))
+        let tier = reply
+            .header("x-tcor-cache")
+            .unwrap_or("<absent>")
+            .to_string();
+        Ok((t0.elapsed().as_secs_f64() * 1e3, reply.body, tier))
     };
 
     eprintln!("bench-serve: cold phase ({} targets)...", targets.len());
     let mut cold = Vec::new();
     let mut cold_bodies = Vec::new();
     for t in targets {
-        match request(t) {
-            Ok((ms, body)) => {
+        match request(&addr, t) {
+            Ok((ms, body, _)) => {
                 cold.push(ms);
                 cold_bodies.push(body);
             }
@@ -609,10 +717,14 @@ fn bench_serve(path: &str) -> ExitCode {
     let warm_t0 = Instant::now();
     for _ in 0..WARM_ROUNDS {
         for (i, t) in targets.iter().enumerate() {
-            match request(t) {
-                Ok((ms, body)) => {
+            match request(&addr, t) {
+                Ok((ms, body, tier)) => {
                     if body != cold_bodies[i] {
                         eprintln!("bench-serve: FATAL: warm {t} differs from its cold body");
+                        return ExitCode::FAILURE;
+                    }
+                    if tier != "mem" {
+                        eprintln!("bench-serve: FATAL: warm {t} served from `{tier}`, not mem");
                         return ExitCode::FAILURE;
                     }
                     warm.push(ms);
@@ -631,7 +743,9 @@ fn bench_serve(path: &str) -> ExitCode {
     let burst_target = "/v1/misscurve/GTr/srrip";
     eprintln!("bench-serve: coalescing burst (8 clients on {burst_target})...");
     let burst_ok = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..8).map(|_| s.spawn(|| request(burst_target))).collect();
+        let handles: Vec<_> = (0..8)
+            .map(|_| s.spawn(|| request(&addr, burst_target)))
+            .collect();
         handles
             .into_iter()
             .all(|h| h.join().map(|r| r.is_ok()).unwrap_or(false))
@@ -667,8 +781,70 @@ fn bench_serve(path: &str) -> ExitCode {
     }
     let spans = server.wait();
 
+    // Restart phase: a fresh daemon (fresh backend, empty memory tier)
+    // over the same cache directory. The first request per target must
+    // come back from the disk tier, byte-identical to its cold body —
+    // this is the persistence win the cache exists for, measured.
+    eprintln!(
+        "bench-serve: restart phase ({} disk-tier hits)...",
+        targets.len()
+    );
+    let backend2 = Arc::new(tcor_sim::SimBackend::new());
+    let server2 = match tcor_serve::start(cfg, backend2, None) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-serve: restart: {e}");
+            return exit_for(&e);
+        }
+    };
+    let addr2 = server2.addr().to_string();
+    let mut warm_disk = Vec::new();
+    for (i, t) in targets.iter().enumerate() {
+        match request(&addr2, t) {
+            Ok((ms, body, tier)) => {
+                if body != cold_bodies[i] {
+                    eprintln!("bench-serve: FATAL: restarted {t} differs from its cold body");
+                    return ExitCode::FAILURE;
+                }
+                if tier != "disk" {
+                    eprintln!("bench-serve: FATAL: restarted {t} served from `{tier}`, not disk");
+                    return ExitCode::FAILURE;
+                }
+                warm_disk.push(ms);
+            }
+            Err(e) => {
+                eprintln!("bench-serve: restart {t} failed: {e}");
+                return exit_for(&e);
+            }
+        }
+    }
+    let metrics2 = server2.metrics_text();
+    let counter2 = |p: &str| -> u64 {
+        metrics2
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{p} = ")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let disk_hits = counter2("serve/cache_disk_hits");
+    let bye2 = tcor_serve::http_request(
+        &addr2,
+        "POST",
+        "/admin/shutdown",
+        None,
+        Duration::from_secs(10),
+    );
+    if !matches!(&bye2, Ok(r) if r.status == 200) {
+        eprintln!("bench-serve: FATAL: restart shutdown request failed");
+        return ExitCode::FAILURE;
+    }
+    server2.wait();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     let (cold_p50, warm_p50) = (percentile(&cold, 50.0), percentile(&warm, 50.0));
+    let disk_p50 = percentile(&warm_disk, 50.0);
     let speedup = cold_p50 / warm_p50.max(1e-9);
+    let disk_speedup = cold_p50 / disk_p50.max(1e-9);
     let doc = Json::obj([
         ("bench", Json::str("serve")),
         (
@@ -685,30 +861,41 @@ fn bench_serve(path: &str) -> ExitCode {
             ]),
         ),
         (
-            "warm_ms",
+            "warm_mem_ms",
             Json::obj([
                 ("p50", Json::Float(warm_p50)),
                 ("p95", Json::Float(percentile(&warm, 95.0))),
                 ("p99", Json::Float(percentile(&warm, 99.0))),
             ]),
         ),
-        ("warm_speedup_p50", Json::Float(speedup)),
+        (
+            "warm_disk_ms",
+            Json::obj([
+                ("p50", Json::Float(disk_p50)),
+                ("p95", Json::Float(percentile(&warm_disk, 95.0))),
+                ("p99", Json::Float(percentile(&warm_disk, 99.0))),
+            ]),
+        ),
+        ("warm_mem_speedup_p50", Json::Float(speedup)),
+        ("warm_disk_speedup_p50", Json::Float(disk_speedup)),
         (
             "warm_throughput_rps",
             Json::Float(warm.len() as f64 / warm_wall_s),
         ),
         ("cache_warm_hits", Json::UInt(warm_hits)),
+        ("cache_disk_hits", Json::UInt(disk_hits)),
         ("cold_computes", Json::UInt(cold_computes)),
         ("coalesced_requests", Json::UInt(coalesced)),
         ("warm_equals_cold", Json::Bool(true)),
+        ("restart_equals_cold", Json::Bool(true)),
     ]);
     if let Err(e) = std::fs::write(path, doc.render() + "\n") {
         eprintln!("cannot write {path}: {e}");
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "bench-serve: cold p50 {cold_p50:.1}ms, warm p50 {warm_p50:.3}ms ({speedup:.0}x), \
-         {coalesced} coalesced -> {path}"
+        "bench-serve: cold p50 {cold_p50:.1}ms, warm-mem p50 {warm_p50:.3}ms ({speedup:.0}x), \
+         warm-disk p50 {disk_p50:.3}ms ({disk_speedup:.0}x), {coalesced} coalesced -> {path}"
     );
     ExitCode::SUCCESS
 }
@@ -741,7 +928,7 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("cell") {
         return match (args.get(1), args.get(2)) {
-            (Some(alias), Some(cfg)) => cell_cmd(alias, cfg),
+            (Some(alias), Some(cfg)) => cell_cmd(alias, cfg, &args[3..]),
             _ => {
                 usage();
                 ExitCode::from(2)

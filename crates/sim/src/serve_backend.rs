@@ -10,27 +10,55 @@
 //! cold requests for overlapping artifacts (the same workload under
 //! two configs, say) share scenes and cells exactly like the CLI runs
 //! do — and the store's own get-or-compute coalescing backs up the
-//! request-level singleflight.
+//! request-level singleflight. With a result cache attached
+//! ([`SimBackend::with_cache`]) the rendered body of every successful
+//! call is additionally persisted through
+//! [`ArtifactStore::get_or_try_compute_persisted`], keyed by the call's
+//! canonical hash plus [`sim_version`], so results survive the process
+//! and are shared with the daemon's own response cache (same keys →
+//! the disk tier dedups the double put).
 
 use crate::misscurves::{workload_curve, SERVE_POLICIES};
 use crate::orchestrate::{calibrated_scene, cell_report, paper_grid};
 use crate::report_json::{frame_report_json, misscurve_json};
 use crate::suite::CELL_CONFIGS;
-use tcor_common::{TcorError, TcorResult};
+use std::sync::Arc;
+use tcor_common::{fxhash64, TcorError, TcorResult};
+use tcor_pcache::ResultCache;
 use tcor_runner::ArtifactStore;
 use tcor_serve::{ApiBody, ApiCall, Backend};
 use tcor_workloads::BenchmarkProfile;
+
+/// The version hash folded into every persisted cache key: the crate
+/// version plus a schema tag. Bump the tag whenever rendered output
+/// changes without a version bump — persisted entries from older
+/// schemas are then evicted on sight instead of served.
+pub fn sim_version() -> u64 {
+    const SCHEMA_TAG: &str = "tcor-results-v1";
+    fxhash64(format!("{}|{}", env!("CARGO_PKG_VERSION"), SCHEMA_TAG).as_bytes())
+}
 
 /// [`Backend`] implementation over the real simulator.
 #[derive(Default)]
 pub struct SimBackend {
     store: ArtifactStore,
+    cache: Option<Arc<dyn ResultCache>>,
 }
 
 impl SimBackend {
-    /// A backend with a fresh artifact store.
+    /// A backend with a fresh artifact store and no persistence.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A backend that persists every rendered result through `cache` —
+    /// pass the same cache the daemon serves from and the two planes
+    /// share one set of entries.
+    pub fn with_cache(cache: Arc<dyn ResultCache>) -> Self {
+        SimBackend {
+            store: ArtifactStore::new(),
+            cache: Some(cache),
+        }
     }
 
     /// The artifact store backing this backend (for observability).
@@ -63,7 +91,7 @@ impl SimBackend {
         let scene = calibrated_scene(&self.store, &profile, &grid)?;
         let report = cell_report(&self.store, &profile, &scene, config)?;
         Ok(ApiBody {
-            content_type: "application/json",
+            content_type: "application/json".to_string(),
             body: frame_report_json(workload, config, &report).render() + "\n",
         })
     }
@@ -71,7 +99,7 @@ impl SimBackend {
     fn misscurve(&self, workload: &str, policy: &str) -> TcorResult<ApiBody> {
         let (sizes, curve) = workload_curve(&self.store, workload, policy)?;
         Ok(ApiBody {
-            content_type: "application/json",
+            content_type: "application/json".to_string(),
             body: misscurve_json(workload, policy, &sizes, &curve).render() + "\n",
         })
     }
@@ -79,7 +107,7 @@ impl SimBackend {
     fn table(&self, experiment: &str) -> TcorResult<ApiBody> {
         let tables = crate::try_run_experiment(&self.store, experiment)?;
         Ok(ApiBody {
-            content_type: "text/csv; charset=utf-8",
+            content_type: "text/csv; charset=utf-8".to_string(),
             body: tables.iter().map(crate::Table::to_csv).collect(),
         })
     }
@@ -120,14 +148,35 @@ impl SimBackend {
     }
 }
 
-impl Backend for SimBackend {
-    fn call(&self, call: &ApiCall) -> TcorResult<ApiBody> {
+impl SimBackend {
+    fn compute(&self, call: &ApiCall) -> TcorResult<ApiBody> {
         match call {
             ApiCall::Cell { workload, config } => self.cell(workload, config),
             ApiCall::MissCurve { workload, policy } => self.misscurve(workload, policy),
             ApiCall::Table { experiment } => self.table(experiment),
             ApiCall::Run { params } => self.run(params),
         }
+    }
+}
+
+impl Backend for SimBackend {
+    fn call(&self, call: &ApiCall) -> TcorResult<ApiBody> {
+        let Some(cache) = &self.cache else {
+            return self.compute(call);
+        };
+        let body: Arc<ApiBody> = self.store.get_or_try_compute_persisted(
+            call.cache_key(),
+            cache.as_ref(),
+            self.version(),
+            ApiBody::to_cached,
+            |cached| Some(ApiBody::from_cached(cached)),
+            || self.compute(call),
+        )?;
+        Ok((*body).clone())
+    }
+
+    fn version(&self) -> u64 {
+        sim_version()
     }
 }
 

@@ -24,6 +24,7 @@ fn serve_api_end_to_end_over_the_real_simulator() {
             queue_depth: 16,
             cache_cap: 64,
             deadline: Duration::from_secs(600),
+            ..Default::default()
         },
         backend,
         None,
@@ -82,7 +83,7 @@ fn serve_api_end_to_end_over_the_real_simulator() {
     .unwrap();
     assert_eq!(cell.body, cli.body, "serve JSON == CLI JSON");
     let warm = get(&addr, "/v1/cell/GTr/base64");
-    assert_eq!(warm.header("x-tcor-cache"), Some("hit"));
+    assert_eq!(warm.header("x-tcor-cache"), Some("mem"));
     assert_eq!(warm.body, cell.body, "warm == cold, byte for byte");
 
     // `POST /v1/run` is the same computation under another spelling.
