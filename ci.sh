@@ -189,4 +189,25 @@ fi
 rm -rf "$CACHE_DIR"
 rm -f "$PORT_FILE" "$SERVE_OUT" "$RESTART_OUT"
 
+echo "== chaos (disk-fault schedule: breaker must open, probe, and close)"
+# A seeded disk-fault schedule (every read and write errors until its
+# budget runs out) against a cache-cap-1 daemon: the circuit breaker
+# must trip open, half-open probe while the faults last, and close once
+# the budget is exhausted — while every answered body stays
+# byte-identical and the daemon drains to exit 0.
+"$TCOR_SIM" chaos --seed 7 --rounds 3 --cache-cap 1 \
+  --fault-spec 'pcache/read=100#6,pcache/write=100#4' \
+  --breaker-threshold 3 --breaker-cooldown-ms 250 \
+  --expect-breaker --retries 4 --backoff-ms 40 2>/dev/null
+
+echo "== chaos (kill/restart + serve faults: retried to byte-identical bodies)"
+# SIGKILL the daemon every 3 answered requests while the serve plane
+# drops connections mid-body, corrupts responses (caught by the
+# X-Tcor-Body-Hash check), and stalls reads. The retrying client must
+# still get byte-identical bodies for every request, and the final
+# generation must drain to exit 0. Writes BENCH_chaos.json.
+"$TCOR_SIM" chaos --seed 1337 --rounds 6 --kill-every 3 \
+  --fault-spec 'serve/drop_conn=45@30,serve/corrupt_response=35,serve/stall_read=25@60' \
+  --retries 6 --backoff-ms 40 --bench-out BENCH_chaos.json 2>/dev/null
+
 echo "ci: all green"

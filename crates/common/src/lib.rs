@@ -26,6 +26,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod fsio;
 pub mod geom;
 pub mod grid;
@@ -39,6 +40,7 @@ pub mod traversal;
 
 pub use config::{CacheParams, GpuConfig, MemoryParams, TileCacheOrg};
 pub use error::{ErrorKind, TcorError, TcorResult};
+pub use fault::FaultInjector;
 pub use fsio::{write_atomic, write_atomic_unique};
 pub use geom::{Rect, Tri2};
 pub use grid::TileGrid;

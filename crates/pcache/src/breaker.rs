@@ -1,0 +1,267 @@
+//! Disk-tier circuit breaker.
+//!
+//! The disk tier is an accelerator: every I/O failure already degrades
+//! to a miss, but a *dying* disk (every read erroring, every write
+//! timing out) would still tax each request with a doomed syscall. The
+//! breaker bounds that tax with the classic three-state machine:
+//!
+//! * **Closed** — normal service. Consecutive I/O errors are counted;
+//!   reaching the threshold trips the breaker **Open**.
+//! * **Open** — disk operations are skipped outright (counted, not
+//!   attempted) until a cooldown elapses.
+//! * **Half-open** — after the cooldown, exactly one *probe* operation
+//!   is let through. Success closes the breaker; failure re-opens it
+//!   for another cooldown.
+//!
+//! A miss without an I/O error (file absent, entry stale) is a
+//! *success* for the breaker — the disk answered, just not with a
+//! body. While any state other than Closed is active the owning cache
+//! reports itself `degraded`, which the serve plane surfaces in
+//! `/health` and `/metrics`.
+
+use std::time::{Duration, Instant};
+
+/// Breaker tuning: how many consecutive I/O errors trip it and how
+/// long it stays open before probing.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive I/O errors that trip Closed → Open.
+    pub threshold: u32,
+    /// How long Open lasts before a half-open probe is allowed.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 5,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+struct Inner {
+    state: State,
+    consecutive: u32,
+    opened_at: Instant,
+    probe_in_flight: bool,
+    opens: u64,
+    closes: u64,
+    probes: u64,
+    skipped: u64,
+}
+
+/// The three-state breaker; internally synchronized, shared by every
+/// worker touching the disk tier.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: std::sync::Mutex<Inner>,
+}
+
+/// Counter/state snapshot for metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// 0 = closed, 1 = half-open, 2 = open.
+    pub state: u64,
+    /// Times the breaker tripped open (including probe failures).
+    pub opens: u64,
+    /// Times a successful probe closed it again.
+    pub closes: u64,
+    /// Half-open probe operations attempted.
+    pub probes: u64,
+    /// Disk operations skipped while open / probing.
+    pub skipped: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `cfg` tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg: BreakerConfig {
+                threshold: cfg.threshold.max(1),
+                cooldown: cfg.cooldown,
+            },
+            inner: std::sync::Mutex::new(Inner {
+                state: State::Closed,
+                consecutive: 0,
+                opened_at: Instant::now(),
+                probe_in_flight: false,
+                opens: 0,
+                closes: 0,
+                probes: 0,
+                skipped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Asks permission for one disk operation. `false` means skip it
+    /// (and the skip has been counted). A `true` answer obliges the
+    /// caller to report the outcome via [`record`].
+    ///
+    /// [`record`]: CircuitBreaker::record
+    pub fn allow(&self) -> bool {
+        let mut s = self.lock();
+        match s.state {
+            State::Closed => true,
+            State::Open => {
+                if s.opened_at.elapsed() >= self.cfg.cooldown {
+                    s.state = State::HalfOpen;
+                    s.probe_in_flight = true;
+                    s.probes += 1;
+                    true
+                } else {
+                    s.skipped += 1;
+                    false
+                }
+            }
+            State::HalfOpen => {
+                if s.probe_in_flight {
+                    s.skipped += 1;
+                    false
+                } else {
+                    s.probe_in_flight = true;
+                    s.probes += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Reports the outcome of an allowed operation: `io_error = true`
+    /// counts toward tripping (or re-opens a half-open breaker);
+    /// `false` resets the streak (and closes a half-open breaker).
+    pub fn record(&self, io_error: bool) {
+        let mut s = self.lock();
+        match s.state {
+            State::Closed => {
+                if io_error {
+                    s.consecutive += 1;
+                    if s.consecutive >= self.cfg.threshold {
+                        s.state = State::Open;
+                        s.opened_at = Instant::now();
+                        s.opens += 1;
+                    }
+                } else {
+                    s.consecutive = 0;
+                }
+            }
+            State::HalfOpen => {
+                s.probe_in_flight = false;
+                if io_error {
+                    s.state = State::Open;
+                    s.opened_at = Instant::now();
+                    s.opens += 1;
+                } else {
+                    s.state = State::Closed;
+                    s.consecutive = 0;
+                    s.closes += 1;
+                }
+            }
+            // An operation admitted before the trip may report late;
+            // the open timer already covers it.
+            State::Open => {}
+        }
+    }
+
+    /// Whether the breaker is anything other than Closed.
+    pub fn degraded(&self) -> bool {
+        self.lock().state != State::Closed
+    }
+
+    /// Counter/state snapshot.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let s = self.lock();
+        BreakerSnapshot {
+            state: match s.state {
+                State::Closed => 0,
+                State::HalfOpen => 1,
+                State::Open => 2,
+            },
+            opens: s.opens,
+            closes: s.closes,
+            probes: s.probes,
+            skipped: s.skipped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32, cooldown_ms: u64) -> BreakerConfig {
+        BreakerConfig {
+            threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_errors_only() {
+        let b = CircuitBreaker::new(cfg(3, 60_000));
+        for _ in 0..2 {
+            assert!(b.allow());
+            b.record(true);
+        }
+        // A success resets the streak.
+        assert!(b.allow());
+        b.record(false);
+        for _ in 0..2 {
+            assert!(b.allow());
+            b.record(true);
+        }
+        assert!(!b.degraded(), "2 errors after a reset: still closed");
+        assert!(b.allow());
+        b.record(true);
+        assert!(b.degraded(), "3rd consecutive error trips");
+        assert_eq!(b.snapshot().state, 2);
+        assert_eq!(b.snapshot().opens, 1);
+        assert!(!b.allow(), "open: operations are skipped");
+        assert_eq!(b.snapshot().skipped, 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = CircuitBreaker::new(cfg(1, 10));
+        assert!(b.allow());
+        b.record(true);
+        assert!(!b.allow(), "cooldown not elapsed");
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(b.allow(), "cooldown elapsed: probe admitted");
+        assert_eq!(b.snapshot().state, 1, "half-open while probing");
+        assert!(!b.allow(), "only one probe in flight");
+        b.record(false);
+        let snap = b.snapshot();
+        assert_eq!((snap.state, snap.closes, snap.probes), (0, 1, 1));
+        assert!(!b.degraded());
+    }
+
+    #[test]
+    fn half_open_probe_reopens_on_failure() {
+        let b = CircuitBreaker::new(cfg(1, 5));
+        assert!(b.allow());
+        b.record(true);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.allow());
+        b.record(true);
+        let snap = b.snapshot();
+        assert_eq!((snap.state, snap.opens), (2, 2), "probe failure re-opens");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.allow());
+        b.record(false);
+        assert_eq!(b.snapshot().state, 0, "second probe succeeds and closes");
+    }
+}

@@ -40,7 +40,7 @@ use crate::key::CacheKey;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use tcor_common::{write_atomic_unique, TcorError, TcorResult};
+use tcor_common::{fault, write_atomic_unique, FaultInjector, TcorError, TcorResult};
 
 /// Object file extension.
 const OBJ_EXT: &str = "tcpc";
@@ -84,6 +84,9 @@ struct DiskState {
 pub struct DiskTier {
     dir: PathBuf,
     budget: u64,
+    /// Hermetic fault injector for tests; `None` defers to the
+    /// process-wide `tcor_common::fault` injector (the chaos harness).
+    injector: Option<Arc<FaultInjector>>,
     state: Mutex<DiskState>,
 }
 
@@ -105,6 +108,12 @@ impl DiskTier {
     /// scan).
     pub fn open(dir: impl AsRef<Path>, budget: u64) -> TcorResult<Self> {
         let dir = dir.as_ref().to_path_buf();
+        if fault::fire("pcache/open").is_some() {
+            return Err(TcorError::io(
+                format!("opening cache dir {}", dir.display()),
+                std::io::Error::other("injected fault at pcache/open"),
+            ));
+        }
         std::fs::create_dir_all(&dir)
             .map_err(|e| TcorError::io(format!("creating cache dir {}", dir.display()), e))?;
         let mut entries = load_index(&dir.join(INDEX_FILE));
@@ -114,6 +123,7 @@ impl DiskTier {
         Ok(DiskTier {
             dir,
             budget: budget.max(1),
+            injector: None,
             state: Mutex::new(DiskState {
                 entries,
                 clock,
@@ -121,6 +131,21 @@ impl DiskTier {
                 counters: Counters::default(),
             }),
         })
+    }
+
+    /// Attaches a hermetic fault injector (tests); without one, the
+    /// process-wide `tcor_common::fault` injector governs.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Asks the owning injector (instance, else global) about `point`.
+    fn fault(&self, point: &str) -> Option<u64> {
+        match &self.injector {
+            Some(injector) => injector.fire(point),
+            None => fault::fire(point),
+        }
     }
 
     /// The cache directory.
@@ -149,19 +174,31 @@ impl DiskTier {
 
     /// Reads, validates and classifies one object file. Invalid
     /// entries are deleted from disk and dropped from the index.
-    fn load(&self, st: &mut DiskState, key: &CacheKey) -> Loaded {
+    /// The second return is `true` when an I/O error occurred (the
+    /// breaker's failure signal — a clean miss is *not* one).
+    fn load(&self, st: &mut DiskState, key: &CacheKey) -> (Loaded, bool) {
         let path = self.object_path(key.identity);
+        if self.fault("pcache/read").is_some() {
+            st.counters.io_errors += 1;
+            return (Loaded::Miss, true);
+        }
         let raw = match std::fs::read(&path) {
             Ok(raw) => raw,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 // A sibling process evicted it (or it never existed).
                 Self::remove_entry(st, key.identity);
-                return Loaded::Miss;
+                return (Loaded::Miss, false);
             }
             Err(_) => {
                 st.counters.io_errors += 1;
-                return Loaded::Miss;
+                return (Loaded::Miss, true);
             }
+        };
+        // A short read hands the decoder a strict prefix: it must
+        // classify the entry Truncated, which evicts it below.
+        let raw = match self.fault("pcache/short_read") {
+            Some(keep) => raw[..(keep as usize).min(raw.len().saturating_sub(1))].to_vec(),
+            None => raw,
         };
         match decode(key, &raw) {
             Ok(body) => {
@@ -178,7 +215,7 @@ impl DiskTier {
                     },
                 );
                 st.total_bytes = st.total_bytes - prev.map_or(0, |m| m.size) + size;
-                Loaded::Hit(body)
+                (Loaded::Hit(body), false)
             }
             Err(e) => {
                 match e {
@@ -187,7 +224,7 @@ impl DiskTier {
                 }
                 Self::remove_entry(st, key.identity);
                 let _ = std::fs::remove_file(&path);
-                Loaded::Miss
+                (Loaded::Miss, false)
             }
         }
     }
@@ -196,15 +233,21 @@ impl DiskTier {
     /// index are probed on disk (a sibling process may have written
     /// them); entries that fail validation are evicted and missed.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedBody>> {
+        self.get_checked(key).0
+    }
+
+    /// [`get`](DiskTier::get), also reporting whether an I/O error
+    /// occurred — the circuit breaker's failure signal.
+    pub fn get_checked(&self, key: &CacheKey) -> (Option<Arc<CachedBody>>, bool) {
         let mut st = self.lock();
         // Known entries written under a *different* version are stale
         // by bookkeeping alone; let the load path classify and evict.
         match self.load(&mut st, key) {
-            Loaded::Hit(body) => {
+            (Loaded::Hit(body), io_error) => {
                 st.counters.hits += 1;
-                Some(Arc::new(body))
+                (Some(Arc::new(body)), io_error)
             }
-            Loaded::Miss => None,
+            (Loaded::Miss, io_error) => (None, io_error),
         }
     }
 
@@ -212,6 +255,12 @@ impl DiskTier {
     /// the byte budget. Identical bytes already on disk are only
     /// touched (content dedup). Failures are counted, never raised.
     pub fn put(&self, key: &CacheKey, body: &CachedBody) {
+        let _ = self.put_checked(key, body);
+    }
+
+    /// [`put`](DiskTier::put), also reporting whether an I/O error
+    /// occurred — the circuit breaker's failure signal.
+    pub fn put_checked(&self, key: &CacheKey, body: &CachedBody) -> bool {
         let hash = body.integrity_hash();
         let mut st = self.lock();
         let dedup = st.entries.get(&key.identity).is_some_and(|meta| {
@@ -226,14 +275,13 @@ impl DiskTier {
                 .last_used = tick;
             st.counters.dedup_puts += 1;
             drop(st);
-            self.persist_index();
-            return;
+            return self.persist_index();
         }
         let raw = body.encode(key);
         let size = raw.len() as u64;
         if size > self.budget {
             st.counters.oversize_puts += 1;
-            return;
+            return false;
         }
         // Make room: evict coldest entries (never the one being
         // replaced — its bytes are about to be overwritten in place).
@@ -251,26 +299,42 @@ impl DiskTier {
             let _ = std::fs::remove_file(self.object_path(victim));
             st.counters.evicted_size += 1;
         }
-        match write_atomic_unique(&self.object_path(key.identity), &raw) {
-            Ok(()) => {
-                st.clock += 1;
-                let tick = st.clock;
-                let prev = st.entries.insert(
-                    key.identity,
-                    EntryMeta {
-                        size,
-                        last_used: tick,
-                        payload_hash: hash,
-                        version: key.version,
-                    },
-                );
-                st.total_bytes = st.total_bytes - prev.map_or(0, |m| m.size) + size;
-                st.counters.puts += 1;
+        let mut io_error = false;
+        if self.fault("pcache/write").is_some() || self.fault("pcache/rename").is_some() {
+            st.counters.io_errors += 1;
+            io_error = true;
+        } else {
+            // A torn write succeeds from the writer's point of view
+            // but lands only a prefix of the bytes on disk; the next
+            // read finds a Truncated entry and evicts it.
+            let written: &[u8] = match self.fault("pcache/torn_write") {
+                Some(offset) => &raw[..(offset as usize).min(raw.len().saturating_sub(1))],
+                None => &raw,
+            };
+            match write_atomic_unique(&self.object_path(key.identity), written) {
+                Ok(()) => {
+                    st.clock += 1;
+                    let tick = st.clock;
+                    let prev = st.entries.insert(
+                        key.identity,
+                        EntryMeta {
+                            size,
+                            last_used: tick,
+                            payload_hash: hash,
+                            version: key.version,
+                        },
+                    );
+                    st.total_bytes = st.total_bytes - prev.map_or(0, |m| m.size) + size;
+                    st.counters.puts += 1;
+                }
+                Err(_) => {
+                    st.counters.io_errors += 1;
+                    io_error = true;
+                }
             }
-            Err(_) => st.counters.io_errors += 1,
         }
         drop(st);
-        self.persist_index();
+        self.persist_index() || io_error
     }
 
     /// Validates every tracked entry against `version` without
@@ -289,8 +353,8 @@ impl DiskTier {
             let key = CacheKey::new(identity, version);
             let mut st = self.lock();
             match self.load(&mut st, &key) {
-                Loaded::Hit(_) => valid += 1,
-                Loaded::Miss => evicted += 1,
+                (Loaded::Hit(_), _) => valid += 1,
+                (Loaded::Miss, _) => evicted += 1,
             }
         }
         self.persist_index();
@@ -299,8 +363,9 @@ impl DiskTier {
 
     /// Writes the index (atomically); called after every put and on
     /// drop so recency survives restarts. Failures are counted — the
-    /// objects remain the truth and the next open re-scans.
-    fn persist_index(&self) {
+    /// objects remain the truth and the next open re-scans. Returns
+    /// `true` when the write failed (an I/O error for the breaker).
+    fn persist_index(&self) -> bool {
         let mut st = self.lock();
         let mut lines: Vec<(u64, EntryMeta)> = st.entries.iter().map(|(&id, &m)| (id, m)).collect();
         lines.sort_by_key(|&(id, _)| id);
@@ -314,7 +379,9 @@ impl DiskTier {
         }
         if write_atomic_unique(&self.dir.join(INDEX_FILE), text.as_bytes()).is_err() {
             st.counters.io_errors += 1;
+            return true;
         }
+        false
     }
 
     /// Counter and gauge snapshot, merged into [`crate::CacheStats`]
@@ -535,6 +602,82 @@ mod tests {
         let snap = tier.snapshot();
         assert_eq!(snap.entries, 0);
         assert_eq!(snap.evicted_size, 1, "refusal is visible, not silent");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_faults_degrade_to_counted_misses() {
+        let dir = tmp("faultread");
+        let key = CacheKey::new(0x11, 1);
+        let tier = DiskTier::open(&dir, 1 << 20)
+            .unwrap()
+            .with_fault_injector(Arc::new(
+                FaultInjector::parse(3, "pcache/read=100#2").unwrap(),
+            ));
+        tier.put(&key, &body("still here"));
+        let (got, io) = tier.get_checked(&key);
+        assert!(got.is_none() && io, "injected read fault is an I/O miss");
+        let (got, io) = tier.get_checked(&key);
+        assert!(got.is_none() && io);
+        assert_eq!(tier.snapshot().io_errors, 2);
+        // Fault budget exhausted: the entry was never deleted.
+        let (got, io) = tier.get_checked(&key);
+        assert_eq!(got.expect("served after faults clear").bytes, b"still here");
+        assert!(!io);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_fault_counts_and_skips_the_object() {
+        let dir = tmp("faultwrite");
+        let tier = DiskTier::open(&dir, 1 << 20)
+            .unwrap()
+            .with_fault_injector(Arc::new(
+                FaultInjector::parse(3, "pcache/write=100#1").unwrap(),
+            ));
+        let key = CacheKey::new(0x12, 1);
+        assert!(tier.put_checked(&key, &body("lost")), "io error reported");
+        assert!(tier.get(&key).is_none());
+        assert_eq!(tier.snapshot().io_errors, 1);
+        assert!(!tier.put_checked(&key, &body("kept")), "budget exhausted");
+        assert_eq!(tier.get(&key).unwrap().bytes, b"kept");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_reads_evict_as_corrupt() {
+        let dir = tmp("faultshort");
+        let tier = DiskTier::open(&dir, 1 << 20)
+            .unwrap()
+            .with_fault_injector(Arc::new(
+                FaultInjector::parse(3, "pcache/short_read=100#1").unwrap(),
+            ));
+        // A whole entry on disk, truncated in flight by the read.
+        let key = CacheKey::new(0x14, 1);
+        tier.put(&key, &body("short victim"));
+        assert!(tier.get(&key).is_none(), "short read evicts on sight");
+        assert_eq!(tier.snapshot().evicted_corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_writes_evict_as_corrupt_on_next_read() {
+        let dir = tmp("faulttorn");
+        let tier = DiskTier::open(&dir, 1 << 20)
+            .unwrap()
+            .with_fault_injector(Arc::new(
+                FaultInjector::parse(3, "pcache/torn_write=100@50#1").unwrap(),
+            ));
+        // The put "succeeds" from the writer's view but lands 50 bytes.
+        let key = CacheKey::new(0x13, 1);
+        assert!(!tier.put_checked(&key, &body("torn victim")), "undetected");
+        assert_eq!(tier.snapshot().puts, 1);
+        let (got, io) = tier.get_checked(&key);
+        assert!(got.is_none() && !io, "truncation is corruption, not I/O");
+        assert_eq!(tier.snapshot().evicted_corrupt, 1);
+        // The budgeted fault is spent: the recomputed entry round-trips.
+        tier.put(&key, &body("torn victim"));
+        assert_eq!(tier.get(&key).unwrap().bytes, b"torn victim");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -31,6 +31,13 @@
 //! and reported as a miss — the caller recomputes cold. A validation
 //! failure additionally deletes the offending file
 //! ([`CacheStats::evicted_corrupt`] / [`CacheStats::evicted_version`]).
+//! A *dying* disk — consecutive I/O errors — trips the tiered cache's
+//! [`CircuitBreaker`], which skips disk operations outright until a
+//! cooldown-gated probe succeeds; while it is open the cache reports
+//! itself [`degraded`](ResultCache::degraded) and serves memory +
+//! recompute only. All of this is exercised deterministically by
+//! `tcor_common::fault` injection (see `DiskTier::with_fault_injector`
+//! and the `tcor-sim chaos` harness).
 //! Two processes may share one cache directory: object files are
 //! atomic and self-validating, the index is rewritten atomically
 //! (last-writer-wins) and re-validated on every load, and a reader
@@ -38,12 +45,14 @@
 //! sibling's writes are visible without coordination.
 
 pub mod body;
+pub mod breaker;
 pub mod disk;
 pub mod key;
 pub mod mem;
 pub mod tier;
 
 pub use body::CachedBody;
+pub use breaker::{BreakerConfig, BreakerSnapshot, CircuitBreaker};
 pub use disk::DiskTier;
 pub use key::CacheKey;
 pub use mem::MemTier;
@@ -103,6 +112,16 @@ pub struct CacheStats {
     pub disk_entries: u64,
     /// Payload bytes currently tracked on disk.
     pub disk_bytes: u64,
+    /// Disk breaker state: 0 closed, 1 half-open, 2 open.
+    pub breaker_state: u64,
+    /// Times the disk breaker tripped open.
+    pub breaker_opens: u64,
+    /// Times a successful probe closed the breaker.
+    pub breaker_closes: u64,
+    /// Half-open probe operations attempted.
+    pub breaker_probes: u64,
+    /// Disk operations skipped while the breaker was open.
+    pub breaker_skipped: u64,
 }
 
 impl CacheStats {
@@ -124,6 +143,11 @@ impl CacheStats {
             ("mem_entries", self.mem_entries),
             ("disk_entries", self.disk_entries),
             ("disk_bytes", self.disk_bytes),
+            ("breaker_state", self.breaker_state),
+            ("breaker_opens", self.breaker_opens),
+            ("breaker_closes", self.breaker_closes),
+            ("breaker_probes", self.breaker_probes),
+            ("breaker_skipped", self.breaker_skipped),
         ] {
             reg.add(&format!("{prefix}/{name}"), value);
         }
@@ -149,6 +173,13 @@ pub trait ResultCache: Send + Sync {
 
     /// Counter snapshot.
     fn stats(&self) -> CacheStats;
+
+    /// Whether the cache is operating in a degraded mode (e.g. its
+    /// disk-tier breaker is open or probing). Serving continues —
+    /// degraded means slower, never wrong.
+    fn degraded(&self) -> bool {
+        false
+    }
 
     /// Re-validates any persistent entries against `version`, evicting
     /// stale or corrupt ones, without promoting anything into faster

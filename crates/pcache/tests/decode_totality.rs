@@ -1,0 +1,139 @@
+//! Decoder-totality fuzzing for the TCPC0001 on-disk format.
+//!
+//! `body::decode` consumes bytes the process did not necessarily write
+//! — a torn copy, a shared directory, a crashed writer — so every
+//! buffer must come back as `Ok` or a typed [`DecodeError`], never a
+//! panic. Seeded (fixed Xoshiro seeds) so failures reproduce exactly.
+
+use tcor_common::Xoshiro256pp;
+use tcor_pcache::body::{decode, DecodeError};
+use tcor_pcache::{CacheKey, CachedBody};
+
+fn key() -> CacheKey {
+    CacheKey::new(0xFEED_BEEF_F00D, 0x51)
+}
+
+fn valid_encoding() -> Vec<u8> {
+    CachedBody::text(
+        "application/json",
+        "{\"experiment\":\"fig10\",\"cells\":[1,2,3]}\n",
+    )
+    .encode(&key())
+}
+
+/// One seeded mutation pass: 1–4 edits, each a truncation, bit flip,
+/// byte insertion, or byte removal at a random offset.
+fn mutate(rng: &mut Xoshiro256pp, base: &[u8]) -> Vec<u8> {
+    let mut buf = base.to_vec();
+    let edits = 1 + rng.random_range(0..4u64) as usize;
+    for _ in 0..edits {
+        match rng.random_range(0..4u64) {
+            0 if !buf.is_empty() => {
+                let at = rng.random_range(0..buf.len() as u64) as usize;
+                buf.truncate(at);
+            }
+            1 if !buf.is_empty() => {
+                let at = rng.random_range(0..buf.len() as u64) as usize;
+                buf[at] ^= 1 << rng.random_range(0..8u64);
+            }
+            2 => {
+                let at = rng.random_range(0..buf.len() as u64 + 1) as usize;
+                buf.insert(at, rng.random_range(0..256u64) as u8);
+            }
+            _ if !buf.is_empty() => {
+                let at = rng.random_range(0..buf.len() as u64) as usize;
+                buf.remove(at);
+            }
+            _ => {}
+        }
+    }
+    buf
+}
+
+#[test]
+fn mutated_entries_never_panic_and_only_identical_bytes_decode() {
+    let original = valid_encoding();
+    let reference = decode(&key(), &original).expect("valid encoding decodes");
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
+    let mut variants_hit = std::collections::BTreeSet::new();
+    for _ in 0..4000 {
+        let fuzzed = mutate(&mut rng, &original);
+        match decode(&key(), &fuzzed) {
+            // Edits can cancel (insert+remove); a buffer that decodes
+            // must be byte-identical to the original — anything else
+            // would be an integrity-hash collision slipping corrupt
+            // bytes through.
+            Ok(body) => {
+                assert_eq!(fuzzed, original, "non-identical bytes decoded Ok");
+                assert_eq!(body, reference);
+            }
+            Err(e) => {
+                variants_hit.insert(format!("{e:?}"));
+            }
+        }
+    }
+    // The typed-error surface is really exercised, not just one
+    // catch-all path.
+    assert!(
+        variants_hit.len() >= 3,
+        "expected ≥3 distinct DecodeError variants, saw {variants_hit:?}"
+    );
+}
+
+#[test]
+fn random_buffers_never_panic() {
+    let mut rng = Xoshiro256pp::seed_from_u64(4242);
+    for _ in 0..4000 {
+        let len = rng.random_range(0..512u64) as usize;
+        let buf: Vec<u8> = (0..len)
+            .map(|_| rng.random_range(0..256u64) as u8)
+            .collect();
+        let _ = decode(&key(), buf.as_slice());
+    }
+}
+
+/// Field-targeted corruption maps to the right typed error, in check
+/// order: magic, identity, version, lengths, payload hash.
+#[test]
+fn targeted_corruption_yields_the_matching_variant() {
+    let original = valid_encoding();
+
+    let mut bad_magic = original.clone();
+    bad_magic[0] ^= 0xFF;
+    assert_eq!(decode(&key(), &bad_magic), Err(DecodeError::BadMagic));
+
+    let mut wrong_identity = original.clone();
+    wrong_identity[8] ^= 0x01;
+    assert_eq!(
+        decode(&key(), &wrong_identity),
+        Err(DecodeError::IdentityMismatch)
+    );
+
+    let mut stale_version = original.clone();
+    stale_version[16] ^= 0x01;
+    assert_eq!(
+        decode(&key(), &stale_version),
+        Err(DecodeError::VersionMismatch)
+    );
+
+    let mut huge_content_type = original.clone();
+    huge_content_type[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decode(&key(), &huge_content_type),
+        Err(DecodeError::BadContentType)
+    );
+
+    let mut huge_payload = original.clone();
+    huge_payload[28..36].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert_eq!(decode(&key(), &huge_payload), Err(DecodeError::Truncated));
+
+    let mut flipped_payload = original.clone();
+    let last = flipped_payload.len() - 1;
+    flipped_payload[last] ^= 0x01;
+    assert_eq!(
+        decode(&key(), &flipped_payload),
+        Err(DecodeError::HashMismatch)
+    );
+
+    assert_eq!(decode(&key(), &original[..20]), Err(DecodeError::Truncated));
+}

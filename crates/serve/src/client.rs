@@ -1,14 +1,22 @@
-//! Blocking loopback HTTP client: CI probe and loadgen substrate.
+//! Blocking loopback HTTP client: CI probe, loadgen and chaos-harness
+//! substrate.
 //!
 //! One request per connection, mirroring the server's
 //! `Connection: close` contract: write the request, read to EOF, parse.
-//! Used by `tcor-sim serve-req` (the ci.sh smoke probe) and
-//! `tcor-sim bench-serve` (the deterministic loadgen).
+//! Used by `tcor-sim serve-req` (the ci.sh smoke probe), `tcor-sim
+//! bench-serve` (the deterministic loadgen) and `tcor-sim chaos` (the
+//! torture loop). The retrying entry point,
+//! [`http_request_retrying`], is the client-side half of the chaos
+//! layer's resilience story: capped exponential backoff with seeded
+//! deterministic jitter, `Retry-After` honored on 429, and idempotent
+//! GETs retried on 5xx, transport failures, short reads and
+//! `X-Tcor-Body-Hash` mismatches — so a client survives a daemon
+//! being killed, restarted, or fault-injected mid-response.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
-use tcor_common::{ErrorKind, TcorError, TcorResult};
+use tcor_common::{fxhash64, ErrorKind, TcorError, TcorResult, Xoshiro256pp};
 
 /// A parsed response.
 #[derive(Clone, Debug)]
@@ -29,6 +37,97 @@ impl HttpReply {
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
+
+    /// Checks the reply's own integrity claims: the body length
+    /// against `Content-Length` (a mismatch means the connection died
+    /// mid-response) and the body bytes against the server's
+    /// `X-Tcor-Body-Hash` stamp (a mismatch means in-flight
+    /// corruption). Headers that are absent are not required.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first failed check.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(want) = self
+            .header("content-length")
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if self.body.len() != want {
+                return Err(format!("short body: {} of {want} bytes", self.body.len()));
+            }
+        }
+        if let Some(want) = self.header("x-tcor-body-hash") {
+            let got = format!("{:016x}", fxhash64(self.body.as_bytes()));
+            if got != want {
+                return Err(format!("body hash mismatch: computed {got}, header {want}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The server's backoff hint, preferring the millisecond-precise
+    /// `X-Tcor-Retry-After-Ms` over the integer-seconds `Retry-After`.
+    pub fn retry_after(&self) -> Option<Duration> {
+        if let Some(ms) = self
+            .header("x-tcor-retry-after-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            return Some(Duration::from_millis(ms));
+        }
+        self.header("retry-after")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_secs)
+    }
+}
+
+/// Retry tuning for [`http_request_retrying`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = behave like
+    /// [`http_request`] plus reply validation).
+    pub retries: u32,
+    /// Base backoff; attempt `n` waits ~`backoff * 2^n`, jittered.
+    pub backoff: Duration,
+    /// Ceiling on any single backoff wait.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `retries` extra attempts over `backoff` base.
+    pub fn new(retries: u32, backoff: Duration, seed: u64) -> Self {
+        RetryPolicy {
+            retries,
+            backoff,
+            seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Capped exponential backoff with deterministic jitter: attempt
+    /// `n` waits `min(backoff * 2^n, max_backoff)` scaled by a seeded
+    /// factor in [0.5, 1.0), so concurrent retriers with different
+    /// seeds decorrelate while one seed replays exactly.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let base = self.backoff.as_millis().max(1) as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(16));
+        let capped = exp.min(self.max_backoff.as_millis().max(1) as u64);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed ^ 0x7C0A_11E5 ^ u64::from(attempt));
+        let jitter = 0.5 + 0.5 * rng.random_f64();
+        Duration::from_millis(((capped as f64) * jitter).round() as u64)
+    }
 }
 
 /// Sends one `method path` request to `addr` ("127.0.0.1:8080") and
@@ -45,26 +144,119 @@ pub fn http_request(
     body: Option<&str>,
     timeout: Duration,
 ) -> TcorResult<HttpReply> {
-    let stream = TcpStream::connect(addr)
-        .map_err(|e| TcorError::with_source(ErrorKind::Serve, format!("connecting {addr}"), e))?;
+    request_once(addr, method, path, body, timeout).map_err(|(_, e)| e)
+}
+
+/// One request attempt. The error carries whether any request bytes
+/// may have reached the server (`sent`) — a connect failure is safe to
+/// retry for any method, a post-send failure only for idempotent ones.
+fn request_once(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<HttpReply, (bool, TcorError)> {
+    let stream = TcpStream::connect(addr).map_err(|e| {
+        (
+            false,
+            TcorError::with_source(ErrorKind::Serve, format!("connecting {addr}"), e),
+        )
+    })?;
     stream
         .set_read_timeout(Some(timeout))
         .and_then(|()| stream.set_write_timeout(Some(timeout)))
-        .map_err(|e| TcorError::with_source(ErrorKind::Serve, "setting socket timeouts", e))?;
+        .map_err(|e| {
+            (
+                false,
+                TcorError::with_source(ErrorKind::Serve, "setting socket timeouts", e),
+            )
+        })?;
     let mut stream = stream;
     let body = body.unwrap_or("");
     let request = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
-    stream
-        .write_all(request.as_bytes())
-        .map_err(|e| TcorError::with_source(ErrorKind::Serve, "writing request", e))?;
+    stream.write_all(request.as_bytes()).map_err(|e| {
+        (
+            true,
+            TcorError::with_source(ErrorKind::Serve, "writing request", e),
+        )
+    })?;
     let mut raw = Vec::new();
-    stream
-        .read_to_end(&mut raw)
-        .map_err(|e| TcorError::with_source(ErrorKind::Serve, "reading response", e))?;
-    parse_reply(&raw)
+    stream.read_to_end(&mut raw).map_err(|e| {
+        (
+            true,
+            TcorError::with_source(ErrorKind::Serve, "reading response", e),
+        )
+    })?;
+    parse_reply(&raw).map_err(|e| (true, e))
+}
+
+/// [`http_request`] under a [`RetryPolicy`]. Returns the reply plus
+/// how many retries it took.
+///
+/// Retried (budget permitting): connect failures (any method — no
+/// bytes were sent), and for idempotent GETs also transport failures
+/// mid-exchange, unparseable or integrity-failing replies
+/// ([`HttpReply::validate`]) and 5xx statuses. A 429 is retried for
+/// any method, waiting at least the server's `Retry-After` /
+/// `X-Tcor-Retry-After-Ms` hint. A non-retryable (or
+/// budget-exhausted) status is returned to the caller as a normal
+/// reply, never an error.
+///
+/// # Errors
+///
+/// The last transport/validation error once the budget is exhausted.
+pub fn http_request_retrying(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+    policy: &RetryPolicy,
+) -> TcorResult<(HttpReply, u32)> {
+    let idempotent = method.eq_ignore_ascii_case("GET");
+    let mut attempt = 0u32;
+    loop {
+        let budget_left = attempt < policy.retries;
+        match request_once(addr, method, path, body, timeout) {
+            Ok(reply) => {
+                if let Err(why) = reply.validate() {
+                    if idempotent && budget_left {
+                        std::thread::sleep(policy.delay(attempt));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(TcorError::serve(format!(
+                        "invalid reply from {addr} {path}: {why}"
+                    )));
+                }
+                let retryable = reply.status == 429 || (reply.status >= 500 && idempotent);
+                if retryable && budget_left {
+                    let mut wait = policy.delay(attempt);
+                    if reply.status == 429 {
+                        if let Some(hint) = reply.retry_after() {
+                            wait = wait.max(hint);
+                        }
+                    }
+                    std::thread::sleep(wait);
+                    attempt += 1;
+                    continue;
+                }
+                return Ok((reply, attempt));
+            }
+            Err((sent, e)) => {
+                if budget_left && (idempotent || !sent) {
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                    continue;
+                }
+                return Err(e);
+            }
+        }
+    }
 }
 
 fn parse_reply(raw: &[u8]) -> TcorResult<HttpReply> {
@@ -119,6 +311,190 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_reply(b"not http").is_err());
         assert!(parse_reply(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+
+    /// A listener that answers successive connections with scripted
+    /// raw bytes (reading the request head first), then exits.
+    fn stub(responses: Vec<Vec<u8>>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for response in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 2048];
+                let _ = stream.read(&mut buf);
+                let _ = stream.write_all(&response);
+            }
+        });
+        (addr, handle)
+    }
+
+    fn ok_with_hash(body: &str) -> Vec<u8> {
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nX-Tcor-Body-Hash: {:016x}\r\n\r\n{body}",
+            body.len(),
+            fxhash64(body.as_bytes())
+        )
+        .into_bytes()
+    }
+
+    fn policy(retries: u32) -> RetryPolicy {
+        RetryPolicy::new(retries, Duration::from_millis(1), 7)
+    }
+
+    #[test]
+    fn validate_catches_short_bodies_and_corruption() {
+        let good = parse_reply(&ok_with_hash("payload")).unwrap();
+        assert!(good.validate().is_ok());
+        let short = parse_reply(b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc").unwrap();
+        assert!(short.validate().unwrap_err().contains("short body"));
+        let corrupt =
+            parse_reply(b"HTTP/1.1 200 OK\r\nX-Tcor-Body-Hash: 0000000000000000\r\n\r\nabc")
+                .unwrap();
+        assert!(corrupt.validate().unwrap_err().contains("hash mismatch"));
+        // No integrity headers: nothing to check.
+        assert!(parse_reply(b"HTTP/1.1 200 OK\r\n\r\nabc")
+            .unwrap()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn retries_short_read_until_a_whole_reply_arrives() {
+        let torn = b"HTTP/1.1 200 OK\r\nContent-Length: 40\r\n\r\nonly half of".to_vec();
+        let (addr, h) = stub(vec![torn, ok_with_hash("whole\n")]);
+        let (reply, retries) =
+            http_request_retrying(&addr, "GET", "/x", None, Duration::from_secs(5), &policy(3))
+                .unwrap();
+        assert_eq!((reply.status, retries), (200, 1));
+        assert_eq!(reply.body, "whole\n");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn retries_corrupted_body_detected_by_hash() {
+        let corrupt =
+            b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\nX-Tcor-Body-Hash: 0000000000000000\r\n\r\nabc"
+                .to_vec();
+        let (addr, h) = stub(vec![corrupt, ok_with_hash("clean")]);
+        let (reply, retries) =
+            http_request_retrying(&addr, "GET", "/x", None, Duration::from_secs(5), &policy(2))
+                .unwrap();
+        assert_eq!((reply.status, retries), (200, 1));
+        assert_eq!(reply.body, "clean");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn honors_retry_after_hint_on_429() {
+        let shed = b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 0\r\nRetry-After: 1\r\nX-Tcor-Retry-After-Ms: 60\r\n\r\n"
+            .to_vec();
+        let (addr, h) = stub(vec![shed, ok_with_hash("after backoff")]);
+        let start = std::time::Instant::now();
+        let (reply, retries) = http_request_retrying(
+            &addr,
+            "POST",
+            "/x",
+            Some("body"),
+            Duration::from_secs(5),
+            &policy(2),
+        )
+        .unwrap();
+        assert_eq!(
+            (reply.status, retries),
+            (200, 1),
+            "429 retried even for POST"
+        );
+        assert!(
+            start.elapsed() >= Duration::from_millis(60),
+            "waited at least the ms hint, not the 1s Retry-After"
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn non_idempotent_5xx_is_returned_not_retried() {
+        let fail = b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 4\r\n\r\noops".to_vec();
+        let (addr, h) = stub(vec![fail]);
+        let (reply, retries) = http_request_retrying(
+            &addr,
+            "POST",
+            "/x",
+            Some("body"),
+            Duration::from_secs(5),
+            &policy(5),
+        )
+        .unwrap();
+        assert_eq!((reply.status, retries), (500, 0));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn idempotent_5xx_and_budget_exhaustion_return_the_last_reply() {
+        let fail = b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n".to_vec();
+        let (addr, h) = stub(vec![fail.clone(), fail.clone(), fail]);
+        let (reply, retries) =
+            http_request_retrying(&addr, "GET", "/x", None, Duration::from_secs(5), &policy(2))
+                .unwrap();
+        assert_eq!(
+            (reply.status, retries),
+            (503, 2),
+            "budget spent, reply handed back"
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn connect_refused_exhausts_into_an_error() {
+        // Bind then drop: the port is (momentarily) dead.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = http_request_retrying(
+            &addr,
+            "GET",
+            "/x",
+            None,
+            Duration::from_millis(200),
+            &policy(2),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Serve);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let p = RetryPolicy {
+            retries: 8,
+            backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(1500),
+            seed: 11,
+        };
+        let delays: Vec<u64> = (0..8).map(|a| p.delay(a).as_millis() as u64).collect();
+        assert_eq!(
+            delays,
+            (0..8)
+                .map(|a| p.delay(a).as_millis() as u64)
+                .collect::<Vec<_>>(),
+            "same seed, same schedule"
+        );
+        for (a, d) in delays.iter().enumerate() {
+            let cap = (100u64 << a).min(1500);
+            assert!(
+                *d >= cap / 2 && *d <= cap,
+                "jitter in [cap/2, cap]: {d} vs {cap}"
+            );
+        }
+        assert!(delays[7] <= 1500, "capped");
+        let other = RetryPolicy { seed: 12, ..p };
+        assert_ne!(
+            delays,
+            (0..8)
+                .map(|a| other.delay(a).as_millis() as u64)
+                .collect::<Vec<_>>(),
+            "different seeds decorrelate"
+        );
     }
 
     #[test]

@@ -191,13 +191,14 @@ impl Response {
         }
     }
 
-    /// Serializes the response (status line, headers, `Connection:
-    /// close`, body) onto `w`.
+    /// The fully serialized response (status line, headers,
+    /// `Connection: close`, body) — the exact bytes [`write_to`]
+    /// sends. Exposed so the serve-plane fault layer can truncate or
+    /// corrupt a response *after* serialization, the way a failing
+    /// network would.
     ///
-    /// # Errors
-    ///
-    /// Propagates transport errors as serve-class errors.
-    pub fn write_to<W: Write>(&self, mut w: W) -> TcorResult<()> {
+    /// [`write_to`]: Response::write_to
+    pub fn to_bytes(&self) -> Vec<u8> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
@@ -212,8 +213,18 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        w.write_all(head.as_bytes())
-            .and_then(|()| w.write_all(self.body.as_bytes()))
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(self.body.as_bytes());
+        bytes
+    }
+
+    /// Serializes the response onto `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors as serve-class errors.
+    pub fn write_to<W: Write>(&self, mut w: W) -> TcorResult<()> {
+        w.write_all(&self.to_bytes())
             .and_then(|()| w.flush())
             .map_err(|e| {
                 TcorError::with_source(tcor_common::ErrorKind::Serve, "writing response", e)

@@ -38,7 +38,7 @@ pub mod router;
 pub mod server;
 pub mod signal;
 
-pub use client::{http_request, percentile, HttpReply};
+pub use client::{http_request, http_request_retrying, percentile, HttpReply, RetryPolicy};
 pub use coalesce::{FollowerHandle, Join, LeaderToken, Singleflight, Waited};
 pub use http::{read_request, Request, Response};
 pub use metrics::ServeMetrics;

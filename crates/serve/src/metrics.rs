@@ -31,6 +31,13 @@ pub struct ServeMetrics {
     pub deadline_expired: AtomicU64,
     /// Requests answered 5xx.
     pub errors: AtomicU64,
+    /// Followers that re-entered an abandoned flight as its new leader.
+    pub flight_retries: AtomicU64,
+    /// Gauge: the last `Retry-After` hint handed to a shed request, ms
+    /// (queue depth × recent service time).
+    pub retry_after_ms: AtomicU64,
+    /// Gauge: EWMA of API service time (accept → answer), µs.
+    pub service_time_us: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -42,6 +49,19 @@ impl ServeMetrics {
     /// Bumps a counter by one.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one service-time sample (µs) into the EWMA gauge
+    /// (α = 1/8). The read-modify-write races between workers, but the
+    /// gauge is a shedding hint, not an invariant.
+    pub fn observe_service_time(&self, sample_us: u64) {
+        let prev = self.service_time_us.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            sample_us
+        } else {
+            prev - prev / 8 + sample_us / 8
+        };
+        self.service_time_us.store(next.max(1), Ordering::Relaxed);
     }
 
     /// Snapshot as a registry (sorted, mergeable, renderable).
@@ -58,6 +78,9 @@ impl ServeMetrics {
             ("serve/cold_computes", &self.cold_computes),
             ("serve/deadline_expired", &self.deadline_expired),
             ("serve/errors", &self.errors),
+            ("serve/flight_retries", &self.flight_retries),
+            ("serve/retry_after_ms", &self.retry_after_ms),
+            ("serve/service_time_us", &self.service_time_us),
         ] {
             reg.add(path, counter.load(Ordering::Relaxed));
         }

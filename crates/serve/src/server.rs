@@ -19,6 +19,7 @@ use crate::metrics::ServeMetrics;
 use crate::pool::{BoundedQueue, Pushed};
 use crate::router::{route, ApiCall, Route};
 use crate::signal;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -26,9 +27,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tcor_common::{ErrorKind, TcorError, TcorResult};
+use tcor_common::{fault, fxhash64, ErrorKind, TcorError, TcorResult};
 use tcor_obs::RequestSpan;
-use tcor_pcache::{CacheKey, CachedBody, ResultCache, Tier, TieredCache};
+use tcor_pcache::{BreakerConfig, CacheKey, CachedBody, ResultCache, Tier, TieredCache};
 use tcor_runner::{Json, Telemetry};
 
 /// A computed API response body: what the backend produces, what
@@ -98,10 +99,15 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Persistent-tier byte budget (`--cache-disk-bytes`).
     pub cache_disk_bytes: u64,
+    /// Disk-breaker trip threshold (consecutive I/O errors).
+    pub breaker_threshold: u32,
+    /// Disk-breaker cooldown before a half-open probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let breaker = BreakerConfig::default();
         ServeConfig {
             port: 0,
             workers: 4,
@@ -110,6 +116,8 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(30),
             cache_dir: None,
             cache_disk_bytes: 256 << 20,
+            breaker_threshold: breaker.threshold,
+            breaker_cooldown: breaker.cooldown,
         }
     }
 }
@@ -161,11 +169,30 @@ impl Shared {
     }
 
     /// The `GET /metrics` body: serve-plane counters plus the result
-    /// cache's per-tier counters under `pcache/`.
+    /// cache's per-tier counters under `pcache/`, the degraded flag,
+    /// and — when a fault injector is armed — per-point fire counts
+    /// under `fault/` so chaos runs can audit their schedule.
     fn metrics_text(&self) -> String {
         let mut reg = self.metrics.registry();
         reg.merge(&self.cache.stats().registry("pcache"));
+        reg.add("serve/degraded", u64::from(self.cache.degraded()));
+        for (point, fired) in fault::snapshot() {
+            reg.add(&format!("fault/{point}"), fired);
+        }
         reg.to_string()
+    }
+
+    /// The `Retry-After` hint handed to a shed request, in ms:
+    /// (queue depth + 1) × the EWMA service time, clamped to a range a
+    /// client can act on. Before any request has completed the EWMA is
+    /// empty and the hint falls back to a conservative one second.
+    fn retry_after_hint_ms(&self) -> u64 {
+        let svc_us = self.metrics.service_time_us.load(Ordering::Relaxed);
+        if svc_us == 0 {
+            return 1000;
+        }
+        let depth = self.queue.depth() as u64;
+        ((depth + 1) * svc_us / 1000).clamp(25, 30_000)
     }
 }
 
@@ -227,7 +254,12 @@ pub fn start(
         .cache_dir
         .clone()
         .map(|dir| (dir, config.cache_disk_bytes));
-    let cache: Arc<dyn ResultCache> = Arc::new(TieredCache::open(config.cache_cap, disk)?);
+    let cache: Arc<dyn ResultCache> = Arc::new(
+        TieredCache::open(config.cache_cap, disk)?.with_breaker_config(BreakerConfig {
+            threshold: config.breaker_threshold,
+            cooldown: config.breaker_cooldown,
+        }),
+    );
     start_with_cache(config, backend, telemetry, cache)
 }
 
@@ -321,9 +353,20 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                     Pushed::Accepted => {}
                     Pushed::Full(conn) => {
                         ServeMetrics::bump(&shared.metrics.shed);
-                        shared.event("request_shed", vec![]);
+                        let hint_ms = shared.retry_after_hint_ms();
+                        shared
+                            .metrics
+                            .retry_after_ms
+                            .store(hint_ms, Ordering::Relaxed);
+                        shared.event(
+                            "request_shed",
+                            vec![("retry_after_ms".to_string(), Json::UInt(hint_ms))],
+                        );
+                        // Integer-seconds `Retry-After` for generic
+                        // clients, the precise ms hint for ours.
                         let resp = Response::text(429, "queue full, retry shortly\n")
-                            .with_header("Retry-After", "1");
+                            .with_header("Retry-After", hint_ms.div_ceil(1000).max(1).to_string())
+                            .with_header("X-Tcor-Retry-After-Ms", hint_ms.to_string());
                         refuse(&conn, &resp);
                     }
                     Pushed::ShuttingDown(conn) => {
@@ -359,6 +402,12 @@ fn worker_loop(worker: usize, shared: &Shared) {
 }
 
 fn handle_conn(shared: &Shared, worker: usize, conn: Conn) {
+    // Chaos: a stalled read. The sleep runs with the connection held,
+    // exactly like a peer (or kernel) that stops delivering bytes; a
+    // stall past SOCKET_TIMEOUT turns into a read-timeout 400.
+    if let Some(ms) = fault::fire("serve/stall_read") {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
     let req = match read_request(&conn.stream) {
         Ok(req) => req,
         Err(e) => {
@@ -368,7 +417,13 @@ fn handle_conn(shared: &Shared, worker: usize, conn: Conn) {
     };
     let response = match route(&req) {
         Err(resp) => resp,
-        Ok(Route::Health) => Response::text(200, "ok\n"),
+        Ok(Route::Health) => {
+            if shared.cache.degraded() {
+                Response::text(200, "degraded\n")
+            } else {
+                Response::text(200, "ok\n")
+            }
+        }
         Ok(Route::Metrics) => Response::text(200, shared.metrics_text()),
         Ok(Route::Shutdown) => {
             shared.stop.store(true, Ordering::SeqCst);
@@ -380,7 +435,36 @@ fn handle_conn(shared: &Shared, worker: usize, conn: Conn) {
             response
         }
     };
-    let _ = response.write_to(&conn.stream);
+    send_response(&conn.stream, &response);
+}
+
+/// Sends `response`, stamped with `X-Tcor-Body-Hash` (fxhash64 of the
+/// body, hex) so a client can detect in-flight corruption — then
+/// applies any armed serve-plane faults to the serialized bytes:
+/// `serve/corrupt_response` flips the final byte after the hash was
+/// computed, `serve/drop_conn` truncates mid-body and severs the
+/// connection, the way a dying peer or middlebox would.
+fn send_response(stream: &TcpStream, response: &Response) {
+    let body_len = response.body.len();
+    let stamped = response.clone().with_header(
+        "X-Tcor-Body-Hash",
+        format!("{:016x}", fxhash64(response.body.as_bytes())),
+    );
+    let mut bytes = stamped.to_bytes();
+    if fault::fire("serve/corrupt_response").is_some() {
+        if let Some(last) = bytes.last_mut() {
+            *last ^= 0x5A;
+        }
+    }
+    let mut w = stream;
+    if let Some(keep) = fault::fire("serve/drop_conn") {
+        let body_off = bytes.len() - body_len;
+        let cut = (body_off + keep as usize).min(bytes.len().saturating_sub(1));
+        let _ = w.write_all(&bytes[..cut]).and_then(|()| w.flush());
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return;
+    }
+    let _ = w.write_all(&bytes).and_then(|()| w.flush());
 }
 
 /// Bookkeeping common to every answered API request: counters, the
@@ -398,6 +482,7 @@ fn finish_api(
         ServeMetrics::bump(&shared.metrics.errors);
     }
     let wall_ms = conn.accepted.elapsed().as_secs_f64() * 1e3;
+    shared.metrics.observe_service_time((wall_ms * 1e3) as u64);
     let start_ms = (conn.accepted - shared.started).as_secs_f64() * 1e3;
     shared.event(
         "request_done",
@@ -448,74 +533,90 @@ fn answer_api(shared: &Shared, call: &ApiCall, accepted: Instant) -> (Response, 
         );
     }
     let key = CacheKey::new(call.cache_key(), shared.backend.version());
-    if let Some((body, tier)) = shared.cache.get(&key) {
-        ServeMetrics::bump(&shared.metrics.warm_hits);
-        match tier {
-            Tier::Mem => ServeMetrics::bump(&shared.metrics.mem_hits),
-            Tier::Disk => ServeMetrics::bump(&shared.metrics.disk_hits),
+    // Up to one follower re-lead: an abandoned flight (the leader's
+    // computation panicked) removes itself from the flight map, so the
+    // first follower to re-enter `join` becomes the new leader and
+    // recomputes. Followers therefore never surface a 500 for a panic
+    // that was not their own request's fault — unless the retry leader
+    // panics too.
+    for attempt in 0..2u32 {
+        if let Some((body, tier)) = shared.cache.get(&key) {
+            ServeMetrics::bump(&shared.metrics.warm_hits);
+            match tier {
+                Tier::Mem => ServeMetrics::bump(&shared.metrics.mem_hits),
+                Tier::Disk => ServeMetrics::bump(&shared.metrics.disk_hits),
+            }
+            // The span source distinguishes the tiers ("cache" =
+            // memory, "disk" = restored and promoted).
+            let source = match tier {
+                Tier::Mem => "cache",
+                Tier::Disk => "disk",
+            };
+            return (ok_response(&body, tier.label()), source);
         }
-        // The span source distinguishes the tiers ("cache" = memory,
-        // "disk" = restored from the persistent tier and promoted).
-        let source = match tier {
-            Tier::Mem => "cache",
-            Tier::Disk => "disk",
-        };
-        return (ok_response(&body, tier.label()), source);
-    }
-    match shared.flights.join(key.identity) {
-        Join::Leader(token) => {
-            let outcome = catch_unwind(AssertUnwindSafe(|| shared.backend.call(call)));
-            match outcome {
-                Ok(Ok(body)) => {
-                    let body = Arc::new(body.to_cached());
-                    shared.cache.put(&key, &body);
-                    ServeMetrics::bump(&shared.metrics.cold_computes);
-                    token.finish(Ok(Arc::clone(&body)));
-                    (ok_response(&body, "miss"), "compute")
-                }
-                Ok(Err(e)) => {
-                    let e = Arc::new(e);
-                    token.finish(Err(Arc::clone(&e)));
-                    (error_response(&e), "compute")
-                }
-                Err(_panic) => {
-                    // Dropping the token abandons the flight, waking
-                    // followers; the panic is contained to this request.
-                    drop(token);
-                    (
-                        Response::text(500, "computation panicked; see server log\n"),
-                        "compute",
-                    )
+        match shared.flights.join(key.identity) {
+            Join::Leader(token) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| shared.backend.call(call)));
+                return match outcome {
+                    Ok(Ok(body)) => {
+                        let body = Arc::new(body.to_cached());
+                        shared.cache.put(&key, &body);
+                        ServeMetrics::bump(&shared.metrics.cold_computes);
+                        token.finish(Ok(Arc::clone(&body)));
+                        (ok_response(&body, "miss"), "compute")
+                    }
+                    Ok(Err(e)) => {
+                        let e = Arc::new(e);
+                        token.finish(Err(Arc::clone(&e)));
+                        (error_response(&e), "compute")
+                    }
+                    Err(_panic) => {
+                        // Dropping the token abandons the flight,
+                        // waking followers; the panic is contained to
+                        // this request.
+                        drop(token);
+                        (
+                            Response::text(500, "computation panicked; see server log\n"),
+                            "compute",
+                        )
+                    }
+                };
+            }
+            Join::Follower(handle) => {
+                ServeMetrics::bump(&shared.metrics.coalesced);
+                shared.event(
+                    "request_coalesced",
+                    vec![("request".to_string(), Json::str(call.canonical()))],
+                );
+                let remaining = shared
+                    .deadline
+                    .checked_sub(accepted.elapsed())
+                    .unwrap_or(Duration::ZERO);
+                match handle.wait(Some(remaining)) {
+                    Waited::Done(Ok(body)) => {
+                        return (ok_response(&body, "coalesced"), "coalesced")
+                    }
+                    Waited::Done(Err(e)) => return (error_response(&e), "coalesced"),
+                    Waited::Abandoned if attempt == 0 => {
+                        ServeMetrics::bump(&shared.metrics.flight_retries);
+                        continue;
+                    }
+                    Waited::Abandoned => break,
+                    Waited::TimedOut => {
+                        ServeMetrics::bump(&shared.metrics.deadline_expired);
+                        return (
+                            Response::text(504, "deadline expired awaiting coalesced result\n"),
+                            "coalesced",
+                        );
+                    }
                 }
             }
         }
-        Join::Follower(handle) => {
-            ServeMetrics::bump(&shared.metrics.coalesced);
-            shared.event(
-                "request_coalesced",
-                vec![("request".to_string(), Json::str(call.canonical()))],
-            );
-            let remaining = shared
-                .deadline
-                .checked_sub(accepted.elapsed())
-                .unwrap_or(Duration::ZERO);
-            match handle.wait(Some(remaining)) {
-                Waited::Done(Ok(body)) => (ok_response(&body, "coalesced"), "coalesced"),
-                Waited::Done(Err(e)) => (error_response(&e), "coalesced"),
-                Waited::Abandoned => (
-                    Response::text(500, "leading computation failed; retry\n"),
-                    "coalesced",
-                ),
-                Waited::TimedOut => {
-                    ServeMetrics::bump(&shared.metrics.deadline_expired);
-                    (
-                        Response::text(504, "deadline expired awaiting coalesced result\n"),
-                        "coalesced",
-                    )
-                }
-            }
-        }
     }
+    (
+        Response::text(500, "leading computation failed; retry\n"),
+        "coalesced",
+    )
 }
 
 /// A 200 carrying a cached body, labeled with which tier (or miss)

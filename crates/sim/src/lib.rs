@@ -24,6 +24,7 @@
 //! state-machine-based, and no wall-clock enters any measurement.
 
 pub mod ablation;
+pub mod chaos;
 pub mod example;
 pub mod figures;
 pub mod misscurves;

@@ -27,6 +27,8 @@
 //!                                a non-2xx answer)
 //! tcor-sim bench-serve           drive a loopback daemon cold/warm/burst,
 //!                                write BENCH_serve.json
+//! tcor-sim chaos                 torture a child daemon under seeded fault
+//!                                injection and kill/restart cycles
 //! ```
 //!
 //! `--audit` re-derives every headline counter from two independent
@@ -80,17 +82,25 @@ fn usage() {
     eprintln!(
         "       tcor-sim serve [--port N] [--workers K] [--queue-depth D] [--cache-cap C] \
          [--deadline-ms MS] [--cache-dir DIR] [--cache-disk-bytes B] \
-         [--telemetry FILE] [--serve-trace FILE] [--port-file FILE]"
+         [--telemetry FILE] [--serve-trace FILE] [--port-file FILE] \
+         [--breaker-threshold N] [--breaker-cooldown-ms MS] \
+         [--fault-seed S] [--fault-spec SPEC]"
     );
     eprintln!(
         "       tcor-sim cell <alias> <config> [--cache-dir DIR]  print one cell report as JSON"
     );
     eprintln!(
-        "       tcor-sim serve-req <addr> <method> <path> [body] [--expect-cache TIER]  \
-         one-shot HTTP client"
+        "       tcor-sim serve-req <addr> <method> <path> [body] [--expect-cache TIER] \
+         [--retries N] [--backoff-ms MS]  one-shot HTTP client"
     );
     eprintln!(
         "       tcor-sim bench-serve [FILE]     cold/warm-mem/warm-disk serving timings -> FILE"
+    );
+    eprintln!(
+        "       tcor-sim chaos [--seed S] [--fault-spec SPEC] [--kill-every N] [--rounds R] \
+         [--experiments a,b] [--expect-breaker] [--retries N] [--backoff-ms MS] \
+         [--cache-cap C] [--breaker-threshold N] [--breaker-cooldown-ms MS] \
+         [--bench-out FILE]  torture the daemon under seeded faults/kills"
     );
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
 }
@@ -403,6 +413,8 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     let mut telemetry_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut port_file: Option<PathBuf> = None;
+    let mut fault_seed: u64 = 0;
+    let mut fault_spec: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -444,6 +456,19 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             "--telemetry" => telemetry_path = Some(PathBuf::from(value)),
             "--serve-trace" => trace_path = Some(PathBuf::from(value)),
             "--port-file" => port_file = Some(PathBuf::from(value)),
+            "--breaker-threshold" => match value.parse::<u32>() {
+                Ok(n) if n >= 1 => cfg.breaker_threshold = n,
+                _ => return bad("a positive error count"),
+            },
+            "--breaker-cooldown-ms" => match value.parse::<u64>() {
+                Ok(ms) if ms >= 1 => cfg.breaker_cooldown = Duration::from_millis(ms),
+                _ => return bad("milliseconds >= 1"),
+            },
+            "--fault-seed" => match value.parse::<u64>() {
+                Ok(seed) => fault_seed = seed,
+                Err(_) => return bad("an integer seed"),
+            },
+            "--fault-spec" => fault_spec = Some(value.clone()),
             other => {
                 eprintln!("unknown serve flag `{other}`");
                 usage();
@@ -451,6 +476,21 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             }
         }
         i += 2;
+    }
+    // Arm the process-wide injector before any plane can touch disk or
+    // sockets: the chaos harness forwards its schedule through these
+    // flags, and the daemon runs it deterministically.
+    if let Some(spec) = &fault_spec {
+        match tcor_common::FaultInjector::parse(fault_seed, spec) {
+            Ok(injector) => {
+                eprintln!("tcor-serve: fault injector armed (seed {fault_seed}, `{spec}`)");
+                tcor_common::fault::arm(injector);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return exit_for(&e);
+            }
+        }
     }
     tcor_serve::signal::install();
     let telemetry = Arc::new(Telemetry::new());
@@ -467,7 +507,10 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     let persistent = disk.is_some();
     let cache: Arc<dyn tcor_pcache::ResultCache> =
         match tcor_pcache::TieredCache::open(cfg.cache_cap, disk) {
-            Ok(c) => Arc::new(c),
+            Ok(c) => Arc::new(c.with_breaker_config(tcor_pcache::BreakerConfig {
+                threshold: cfg.breaker_threshold,
+                cooldown: cfg.breaker_cooldown,
+            })),
             Err(e) => {
                 eprintln!("{e}");
                 return exit_for(&e);
@@ -592,19 +635,40 @@ fn cell_cmd(workload: &str, config: &str, rest: &[String]) -> ExitCode {
 /// an answer came from, not just that one arrived.
 fn serve_req(args: &[String]) -> ExitCode {
     let mut expect_cache: Option<String> = None;
+    let mut retries: u32 = 0;
+    let mut backoff_ms: u64 = 100;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--expect-cache" {
-            let Some(value) = args.get(i + 1) else {
-                eprintln!("--expect-cache needs a value (mem, disk, or miss)");
-                return ExitCode::from(2);
-            };
-            expect_cache = Some(value.clone());
-            i += 2;
-        } else {
-            positional.push(&args[i]);
-            i += 1;
+        match args[i].as_str() {
+            "--expect-cache" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--expect-cache needs a value (mem, disk, or miss)");
+                    return ExitCode::from(2);
+                };
+                expect_cache = Some(value.clone());
+                i += 2;
+            }
+            "--retries" => {
+                let Some(Ok(n)) = args.get(i + 1).map(|v| v.parse::<u32>()) else {
+                    eprintln!("--retries needs a retry count");
+                    return ExitCode::from(2);
+                };
+                retries = n;
+                i += 2;
+            }
+            "--backoff-ms" => {
+                let Some(Ok(ms)) = args.get(i + 1).map(|v| v.parse::<u64>()) else {
+                    eprintln!("--backoff-ms needs milliseconds");
+                    return ExitCode::from(2);
+                };
+                backoff_ms = ms.max(1);
+                i += 2;
+            }
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
         }
     }
     let (Some(addr), Some(method), Some(path)) =
@@ -614,8 +678,19 @@ fn serve_req(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     let body = positional.get(3).map(|s| s.as_str());
-    match tcor_serve::http_request(addr, method, path, body, Duration::from_secs(120)) {
-        Ok(reply) => {
+    let policy = tcor_serve::RetryPolicy::new(retries, Duration::from_millis(backoff_ms), 0);
+    match tcor_serve::http_request_retrying(
+        addr,
+        method,
+        path,
+        body,
+        Duration::from_secs(120),
+        &policy,
+    ) {
+        Ok((reply, attempts)) => {
+            if attempts > 0 {
+                eprintln!("serve-req: {method} {path} took {attempts} retr(ies)");
+            }
             print!("{}", reply.body);
             if !(200..300).contains(&reply.status) {
                 eprintln!("serve-req: {method} {path} -> {}", reply.status);
@@ -660,6 +735,7 @@ fn bench_serve(path: &str) -> ExitCode {
         deadline: Duration::from_secs(600),
         cache_dir: Some(cache_dir.clone()),
         cache_disk_bytes: 256 << 20,
+        ..tcor_serve::ServeConfig::default()
     };
     let server = match tcor_serve::start(cfg.clone(), backend, None) {
         Ok(s) => s,
@@ -827,6 +903,15 @@ fn bench_serve(path: &str) -> ExitCode {
             .unwrap_or(0)
     };
     let disk_hits = counter2("serve/cache_disk_hits");
+    // The degradation ledger: on a healthy offline run every one of
+    // these is expected to stay 0 / closed, and recording them makes a
+    // regression (silent disk errors, a stuck-open breaker) visible as
+    // a BENCH_serve.json diff.
+    let pcache_io_errors = counter("pcache/io_errors") + counter2("pcache/io_errors");
+    let evicted_corrupt = counter("pcache/evicted_corrupt") + counter2("pcache/evicted_corrupt");
+    let evicted_version = counter("pcache/evicted_version") + counter2("pcache/evicted_version");
+    let breaker_opens = counter("pcache/breaker_opens") + counter2("pcache/breaker_opens");
+    let degraded = counter("serve/degraded") + counter2("serve/degraded");
     let bye2 = tcor_serve::http_request(
         &addr2,
         "POST",
@@ -886,6 +971,11 @@ fn bench_serve(path: &str) -> ExitCode {
         ("cache_disk_hits", Json::UInt(disk_hits)),
         ("cold_computes", Json::UInt(cold_computes)),
         ("coalesced_requests", Json::UInt(coalesced)),
+        ("pcache_io_errors", Json::UInt(pcache_io_errors)),
+        ("pcache_evicted_corrupt", Json::UInt(evicted_corrupt)),
+        ("pcache_evicted_version", Json::UInt(evicted_version)),
+        ("breaker_opens", Json::UInt(breaker_opens)),
+        ("degraded", Json::UInt(degraded)),
         ("warm_equals_cold", Json::Bool(true)),
         ("restart_equals_cold", Json::Bool(true)),
     ]);
@@ -925,6 +1015,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("serve-req") {
         return serve_req(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        return tcor_sim::chaos::chaos_cmd(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("cell") {
         return match (args.get(1), args.get(2)) {

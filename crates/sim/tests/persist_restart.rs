@@ -36,6 +36,7 @@ fn config(dir: &Path) -> ServeConfig {
         deadline: Duration::from_secs(600),
         cache_dir: Some(dir.to_path_buf()),
         cache_disk_bytes: 64 << 20,
+        ..ServeConfig::default()
     }
 }
 
