@@ -34,6 +34,16 @@ echo "== golden check (miss curves, single-pass engine)"
 cargo run --release -q -p tcor-sim -- fig1 fig11 fig12 fig13 fig13x --check \
   --telemetry /tmp/tcor-ci-telemetry.jsonl >/dev/null
 
+echo "== miss-curve engine regression gate"
+# Benchmarks the single-pass engine against the per-capacity replay on
+# every miss-curve experiment and fails if any speedup drops below
+# 1.00x or outputs drift (this is the gate that would have caught the
+# fig13x 0.94x banked-engine regression). Writes the per-experiment
+# table to a scratch path; the committed BENCH_misscurves.json is
+# refreshed intentionally via `bench-misscurves` without --gate.
+cargo run --release -q -p tcor-sim -- bench-misscurves \
+  /tmp/tcor-ci-bench-misscurves.json --gate >/dev/null
+
 echo "== metric-conservation audit (clean, then injected counter fault)"
 # The audit re-derives every headline counter from two independent
 # counting sites over all 60 suite cells (see crates/obs). A clean tree

@@ -30,6 +30,15 @@
 //! same for fully-associative Belady-OPT. These regenerate Figures 1,
 //! 11, 12 and 13 without re-simulating per point.
 //!
+//! ## Sharded replay
+//!
+//! Cache sets never interact, so for [set-local](ReplacementPolicy::set_local)
+//! policies [`shard::ShardedTrace`] pre-buckets a trace by set index once
+//! per geometry and [`shard::simulate_policy_shard_range`] replays dense
+//! per-set streams through independent single-set caches —
+//! bit-identical to the whole-cache run, friendlier to the memory
+//! hierarchy, and embarrassingly parallel across set ranges.
+//!
 //! ```
 //! use tcor_cache::{Cache, AccessKind, AccessMeta, Indexing, policy::Lru};
 //! use tcor_common::{BlockAddr, CacheParams};
@@ -47,10 +56,12 @@ pub mod index;
 pub mod meta;
 pub mod policy;
 pub mod profile;
+pub mod shard;
 pub mod trace;
 
 pub use cache::{Cache, Evicted};
 pub use index::Indexing;
 pub use meta::{AccessKind, AccessMeta, AccessOutcome};
 pub use policy::ReplacementPolicy;
+pub use shard::{simulate_policy_shard_range, simulate_policy_sharded, ShardCache, ShardedTrace};
 pub use trace::{annotate_next_use, Access, Trace};

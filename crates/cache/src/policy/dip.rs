@@ -85,6 +85,14 @@ impl ReplacementPolicy for Lip {
     fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
         self.lru.victim(set, lines.len())
     }
+
+    fn set_local(&self) -> bool {
+        // `touch_lru` clamps at 0 via saturating_sub: whether an LRU
+        // insertion chain saturates (and then ties toward the lowest
+        // way) depends on the absolute magnitude of the shared clock,
+        // which differs between a whole-trace and a per-set replay.
+        false
+    }
 }
 
 /// BIP: Bimodal Insertion Policy — LIP, except one fill in
@@ -128,6 +136,12 @@ impl ReplacementPolicy for Bip {
 
     fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
         self.lru.victim(set, lines.len())
+    }
+
+    fn set_local(&self) -> bool {
+        // The epsilon promotion counts fills across ALL sets (and LIP's
+        // clamp caveat applies too).
+        false
     }
 }
 
@@ -210,6 +224,11 @@ impl ReplacementPolicy for Dip {
 
     fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
         self.lru.victim(set, lines.len())
+    }
+
+    fn set_local(&self) -> bool {
+        // Set dueling over a global PSEL plus a global fill counter.
+        false
     }
 }
 

@@ -49,6 +49,12 @@ impl ReplacementPolicy for Fifo {
             .min_by_key(|&w| self.fill_time[base + w])
             .expect("victim called on empty set")
     }
+
+    fn set_local(&self) -> bool {
+        // Fill times are compared only within a set; relative order is
+        // all that matters.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,12 @@ impl ReplacementPolicy for Hawkeye {
         }
         w
     }
+
+    fn set_local(&self) -> bool {
+        // The region predictor is shared across sets: training in one
+        // set changes insertion ages in every other.
+        false
+    }
 }
 
 /// Drives a trace through a cache running Hawkeye, passing each block

@@ -56,6 +56,12 @@ impl ReplacementPolicy for Lru {
             .min_by_key(|&w| self.last_touch[base + w])
             .expect("victim called on empty set")
     }
+
+    fn set_local(&self) -> bool {
+        // Victims compare strictly-increasing timestamps *within* one
+        // set; only their relative order matters, never the magnitude.
+        true
+    }
 }
 
 /// Most-Recently-Used: evicts the way touched most recently. A known-bad
@@ -99,6 +105,12 @@ impl ReplacementPolicy for Mru {
         (0..lines.len())
             .max_by_key(|&w| self.inner.last_touch[base + w])
             .expect("victim called on empty set")
+    }
+
+    fn set_local(&self) -> bool {
+        // Same relative-timestamp argument as LRU, maximum instead of
+        // minimum.
+        true
     }
 }
 

@@ -59,6 +59,21 @@ pub trait ReplacementPolicy {
     /// Chooses the way to evict from a **full** set. `lines` holds exactly
     /// the set's ways, all valid.
     fn victim(&mut self, set: usize, lines: &[Line]) -> usize;
+
+    /// Whether every victim decision depends only on the *relative*
+    /// history of the victim's own set.
+    ///
+    /// A `true` here is a proof obligation, not a hint: it asserts that
+    /// simulating each set in isolation (each with a fresh policy
+    /// instance seeing only that set's access subsequence) produces
+    /// bit-identical evictions to the whole-cache run — the contract
+    /// the sharded replay core (`crate::shard`) builds on. Policies
+    /// with any cross-set or absolute-valued state (global RNG streams,
+    /// fill counters, set-dueling monitors, value clamps sensitive to
+    /// the global clock magnitude) must leave this `false`.
+    fn set_local(&self) -> bool {
+        false
+    }
 }
 
 /// A boxed policy, used where experiment harnesses pick policies at
@@ -89,6 +104,10 @@ impl ReplacementPolicy for BoxedPolicy {
     fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
         self.as_mut().victim(set, lines)
     }
+
+    fn set_local(&self) -> bool {
+        self.as_ref().set_local()
+    }
 }
 
 /// The policies compared in the paper's replacement study (Fig. 13), by
@@ -116,6 +135,86 @@ pub fn by_name(name: &str) -> BoxedPolicy {
     }
 }
 
+/// Statically dispatches on a registry policy name: binds `$make` to a
+/// concretely-typed `Fn() -> P` constructor and evaluates `$body` once,
+/// monomorphized for that policy type. Simulation loops driven through
+/// this macro inline the policy callbacks instead of paying
+/// [`BoxedPolicy`]'s virtual call per access — the hot-path form of
+/// [`by_name`], which it mirrors name-for-name (including the
+/// [`RandomEvict`] seed).
+///
+/// ```
+/// use tcor_cache::{dispatch_policy, ReplacementPolicy};
+/// let name = dispatch_policy!("lru", make => make().name());
+/// assert_eq!(name, "LRU");
+/// ```
+///
+/// # Panics
+///
+/// Panics on an unknown name, exactly like [`by_name`].
+///
+/// [`RandomEvict`]: crate::policy::RandomEvict
+#[macro_export]
+macro_rules! dispatch_policy {
+    ($name:expr, $make:ident => $body:expr) => {
+        match $name {
+            "lru" => {
+                let $make = $crate::policy::Lru::new;
+                $body
+            }
+            "mru" => {
+                let $make = $crate::policy::Mru::new;
+                $body
+            }
+            "fifo" => {
+                let $make = $crate::policy::Fifo::new;
+                $body
+            }
+            "random" => {
+                let $make = || $crate::policy::RandomEvict::with_seed(0xC0FFEE);
+                $body
+            }
+            "plru" => {
+                let $make = $crate::policy::TreePlru::new;
+                $body
+            }
+            "nru" => {
+                let $make = $crate::policy::Nru::new;
+                $body
+            }
+            "lip" => {
+                let $make = $crate::policy::Lip::new;
+                $body
+            }
+            "bip" => {
+                let $make = $crate::policy::Bip::new;
+                $body
+            }
+            "dip" => {
+                let $make = $crate::policy::Dip::new;
+                $body
+            }
+            "srrip" => {
+                let $make = $crate::policy::Srrip::new;
+                $body
+            }
+            "brrip" => {
+                let $make = $crate::policy::Brrip::new;
+                $body
+            }
+            "drrip" => {
+                let $make = $crate::policy::Drrip::new;
+                $body
+            }
+            "opt" => {
+                let $make = $crate::policy::Opt::new;
+                $body
+            }
+            other => panic!("unknown replacement policy `{other}`"),
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +234,57 @@ mod tests {
     #[should_panic(expected = "unknown replacement policy")]
     fn registry_rejects_unknown() {
         by_name("clairvoyant-ai");
+    }
+
+    /// `dispatch_policy!` must stay a name-for-name mirror of
+    /// [`by_name`]: same `name()`, same set-locality, for every
+    /// registry entry (a drifted arm would silently change which
+    /// simulation a single-pass engine runs).
+    #[test]
+    fn dispatch_mirrors_by_name() {
+        for name in [
+            "lru", "mru", "fifo", "random", "plru", "nru", "srrip", "brrip", "drrip", "opt", "lip",
+            "bip", "dip",
+        ] {
+            let boxed = by_name(name);
+            let (static_name, static_local) =
+                dispatch_policy!(name, make => { let p = make(); (p.name(), p.set_local()) });
+            assert_eq!(static_name, boxed.name(), "{name}");
+            assert_eq!(static_local, boxed.set_local(), "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown replacement policy")]
+    fn dispatch_rejects_unknown() {
+        dispatch_policy!("clairvoyant-ai", make => {
+            let _ = make;
+        });
+    }
+
+    /// Exhaustive set-locality classification. Every registry policy is
+    /// pinned on one side; a new policy (or a changed answer) must
+    /// consciously update this list *and* the sharding equivalence
+    /// property in `crate::shard` before the replay core will trust it.
+    #[test]
+    fn set_locality_classification_is_pinned() {
+        // Per-set relative state only: strictly-increasing recency/fill
+        // clocks compared within a set (lru/mru/fifo), per-line bits
+        // (nru/srrip), a per-set PLRU tree, or per-line future
+        // timestamps (opt).
+        for name in ["lru", "mru", "fifo", "nru", "plru", "srrip", "opt"] {
+            assert!(by_name(name).set_local(), "{name} should be set-local");
+        }
+        // Cross-set or absolute-valued state: a global RNG stream
+        // (random), global fill counters (bip/brrip), set-dueling PSEL
+        // monitors keyed on set index (dip/drrip), or LIP's
+        // saturating-decrement clamp, whose within-set ordering depends
+        // on the global clock magnitude.
+        for name in ["random", "lip", "bip", "dip", "brrip", "drrip"] {
+            assert!(!by_name(name).set_local(), "{name} must not be set-local");
+        }
+        assert!(!Hawkeye::new().set_local(), "hawkeye's predictor is global");
+        // A boxed policy answers for its inner policy.
+        assert!(by_name("lru").set_local());
     }
 }

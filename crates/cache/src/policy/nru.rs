@@ -54,6 +54,12 @@ impl ReplacementPolicy for Nru {
         }
         0
     }
+
+    fn set_local(&self) -> bool {
+        // One reference bit per line; the all-referenced sweep clears
+        // only the victim's own set.
+        true
+    }
 }
 
 #[cfg(test)]

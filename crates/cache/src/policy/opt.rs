@@ -73,6 +73,12 @@ impl ReplacementPolicy for Opt {
         }
         best
     }
+
+    fn set_local(&self) -> bool {
+        // Per-line next-use priorities supplied by the caller; ties
+        // break to the lowest way regardless of any global state.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,11 @@ impl ReplacementPolicy for TreePlru {
         }
         lo.min(self.ways - 1)
     }
+
+    fn set_local(&self) -> bool {
+        // The direction-bit tree is entirely per-set.
+        true
+    }
 }
 
 #[cfg(test)]

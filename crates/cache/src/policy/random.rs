@@ -50,6 +50,12 @@ impl ReplacementPolicy for RandomEvict {
     fn victim(&mut self, _set: usize, lines: &[Line]) -> usize {
         (self.next() % lines.len() as u64) as usize
     }
+
+    fn set_local(&self) -> bool {
+        // One xorshift stream feeds every set: each victim consumes a
+        // draw, so any re-interleaving of sets re-deals the stream.
+        false
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,12 @@ impl ReplacementPolicy for Srrip {
     fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
         self.state.victim(set, lines.len())
     }
+
+    fn set_local(&self) -> bool {
+        // Static insertion + per-line RRPVs; aging sweeps touch only
+        // the victim's set.
+        true
+    }
 }
 
 /// Bimodal RRIP: inserts at `MAX_RRPV` (distant) most of the time,
@@ -127,6 +133,12 @@ impl ReplacementPolicy for Brrip {
 
     fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
         self.state.victim(set, lines.len())
+    }
+
+    fn set_local(&self) -> bool {
+        // The bimodal throttle is a single fill counter across ALL
+        // sets; a per-set replay would re-time the epsilon insertions.
+        false
     }
 }
 
@@ -217,6 +229,12 @@ impl ReplacementPolicy for Drrip {
 
     fn victim(&mut self, set: usize, lines: &[Line]) -> usize {
         self.state.victim(set, lines.len())
+    }
+
+    fn set_local(&self) -> bool {
+        // Set dueling: leader sets steer a global PSEL that decides
+        // follower insertion — inherently cross-set.
+        false
     }
 }
 

@@ -445,10 +445,11 @@ fn prepare<T>(graph: JobGraph<'_, T>) -> Prepared<'_, T> {
 }
 
 /// Runs the graph on `workers` threads and returns the per-job report
-/// ordered by job id. `workers == 1` still goes through the queue
-/// machinery; use [`execute_serial`] for the zero-thread reference
-/// path. Panicking jobs are contained (never propagated): see
-/// [`RunReport`].
+/// ordered by job id. An effective worker count of 1 (after clamping to
+/// the job count) runs inline on the calling thread via
+/// [`execute_serial`] — same outcomes, no thread, queue or condvar
+/// overhead, so single-core parallel runs cost the same as `--serial`.
+/// Panicking jobs are contained (never propagated): see [`RunReport`].
 pub fn execute<T: Send>(
     graph: JobGraph<'_, T>,
     workers: usize,
@@ -465,6 +466,13 @@ pub fn execute<T: Send>(
         };
     }
     let workers = workers.clamp(1, n);
+    if workers == 1 {
+        // One worker would drain the queue in topological id order
+        // anyway; the serial path does exactly that without paying for
+        // the pool machinery (serial and parallel outputs are already
+        // bit-identical — this makes the times match too).
+        return execute_serial(graph, opts, store, telemetry);
+    }
     let prepared = prepare(graph);
 
     let shared = Shared {
@@ -626,6 +634,41 @@ pub fn execute_serial<T>(
         outcomes,
         labels: prepared.labels,
         timed_out,
+    }
+}
+
+/// Fans a flat list of independent tasks across `workers` threads and
+/// returns their results in input order.
+///
+/// The light-weight companion to [`execute`] for dependency-free
+/// fan-out (e.g. per-set shard ranges in the miss-curve engine): no
+/// graph to declare, no report to unpack. With one effective worker (or
+/// one task) the tasks run inline on the calling thread with zero
+/// overhead, preserving the single-core guarantee of [`execute`].
+///
+/// # Panics
+///
+/// A panicking task panics the caller (in the parallel case, after the
+/// remaining tasks finish): unlike [`execute`], there is no outcome
+/// report to record a contained failure in, and callers pass closures
+/// that are not expected to fail.
+pub fn scatter<'a, T: Send + 'a>(
+    workers: usize,
+    tasks: Vec<Box<dyn FnOnce() -> T + Send + 'a>>,
+) -> Vec<T> {
+    if workers <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    let mut graph: JobGraph<'a, T> = JobGraph::new();
+    for (i, task) in tasks.into_iter().enumerate() {
+        graph.add_job(format!("scatter-{i}"), &[], move |_| task());
+    }
+    let store = ArtifactStore::new();
+    let telemetry = Telemetry::new();
+    let report = execute(graph, workers, &ExecOptions::default(), &store, &telemetry);
+    match report.into_results() {
+        Ok(results) => results,
+        Err(failures) => panic!("scatter task failed: {failures}"),
     }
 }
 
@@ -856,5 +899,73 @@ mod tests {
         });
         let report = execute_serial(g, &opts, &store, &Telemetry::new());
         assert_eq!(report.timed_out, vec![0]);
+    }
+
+    #[test]
+    fn one_worker_runs_inline_on_the_calling_thread() {
+        // The single-core bugfix: workers == 1 must not spawn a pool.
+        // Every job observing the caller's thread id proves the inline
+        // delegation; >1 workers on independent jobs still uses threads.
+        let caller = std::thread::current().id();
+        let mut g: JobGraph<'_, bool> = JobGraph::new();
+        for i in 0..6 {
+            g.add_job(format!("j{i}"), &[], move |_| {
+                std::thread::current().id() == caller
+            });
+        }
+        let out = run_bools(g, 1);
+        assert!(out.iter().all(|&on_caller| on_caller));
+
+        // Clamping does it too: 8 workers, 1 job -> inline.
+        let mut g: JobGraph<'_, bool> = JobGraph::new();
+        g.add_job("only", &[], move |_| std::thread::current().id() == caller);
+        assert!(run_bools(g, 8)[0]);
+    }
+
+    fn run_bools(graph: JobGraph<'_, bool>, workers: usize) -> Vec<bool> {
+        let store = ArtifactStore::new();
+        let t = Telemetry::new();
+        execute(graph, workers, &ExecOptions::default(), &store, &t)
+            .into_results()
+            .unwrap()
+    }
+
+    #[test]
+    fn scatter_returns_results_in_input_order() {
+        for workers in [1usize, 2, 4] {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+                .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            let out = scatter(workers, tasks);
+            let expect: Vec<usize> = (0..16usize).map(|i| i * i).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn scatter_with_one_worker_stays_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let tasks: Vec<Box<dyn FnOnce() -> bool + Send>> = (0..4)
+            .map(|_| {
+                Box::new(move || std::thread::current().id() == caller)
+                    as Box<dyn FnOnce() -> bool + Send>
+            })
+            .collect();
+        assert!(scatter(1, tasks).into_iter().all(|on_caller| on_caller));
+    }
+
+    #[test]
+    fn scatter_borrows_from_the_caller() {
+        // Non-'static capture: tasks may read caller-owned data.
+        let data: Vec<u64> = (0..100).collect();
+        let chunks: Vec<&[u64]> = data.chunks(25).collect();
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = chunks
+            .into_iter()
+            .map(|c| {
+                Box::new(move || c.iter().sum::<u64>()) as Box<dyn FnOnce() -> u64 + Send + '_>
+            })
+            .collect();
+        let partials = scatter(2, tasks);
+        assert_eq!(partials.iter().sum::<u64>(), data.iter().sum::<u64>());
     }
 }

@@ -39,7 +39,9 @@ pub mod manifest;
 pub mod store;
 pub mod telemetry;
 
-pub use executor::{default_workers, execute, execute_serial, ExecOptions, JobOutcome, RunReport};
+pub use executor::{
+    default_workers, execute, execute_serial, scatter, ExecOptions, JobOutcome, RunReport,
+};
 pub use fault::{FaultPlan, JobFault};
 pub use golden::{GoldenStatus, GoldenStore, LineDiff};
 pub use job::{Job, JobCtx, JobGraph, JobId};

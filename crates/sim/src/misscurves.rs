@@ -16,16 +16,18 @@
 
 use crate::orchestrate::{artifact_key, calibrated_scene, paper_grid, TRACES_DESC};
 use crate::output::Table;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tcor_cache::policy::{by_name, simulate_hawkeye, simulate_hawkeye_bank, Opt};
 use tcor_cache::profile::{
-    opt_misses, simulate_policy, simulate_policy_bank, LruStackProfiler, OptStackProfiler,
+    opt_misses, simulate_policy, simulate_policy_annotated, simulate_policy_bank, LruStackProfiler,
+    OptStackProfiler,
 };
-use tcor_cache::{annotate_next_use, Indexing, Trace};
+use tcor_cache::{annotate_next_use, simulate_policy_shard_range, Indexing, ShardCache, Trace};
 use tcor_common::{CacheParams, TcorError, TcorResult};
 use tcor_gpu::bin_scene;
-use tcor_runner::ArtifactStore;
+use tcor_runner::{scatter, ArtifactStore};
 use tcor_workloads::{primitive_trace, prims_capacity, suite};
 
 /// One benchmark's trace plus its primitive count and shared annotation.
@@ -39,6 +41,10 @@ pub struct BenchTrace {
     pub next_use: Vec<u64>,
     /// Total primitives (TP in the lower-bound formula).
     pub total_prims: usize,
+    /// Memoized per-set bucketings of `trace` (see
+    /// [`tcor_cache::shard`]): every set-local policy sweeping the same
+    /// geometry bank shares one counting-sort pass per set count.
+    pub shards: ShardCache,
 }
 
 impl BenchTrace {
@@ -50,6 +56,7 @@ impl BenchTrace {
             trace,
             next_use,
             total_prims,
+            shards: ShardCache::new(),
         }
     }
 }
@@ -162,8 +169,10 @@ pub fn workload_curve(
     let sizes = kb_sizes(8, 152, 8);
     let caps = prim_caps(&sizes);
     let mut passes = 0u64;
+    // The serving plane answers one workload per request: curves stay
+    // strictly serial (workers = 1) so request latency is predictable.
     let curve = match policy {
-        "hawkeye" => hawkeye_curve(traces, &caps, CurveEngine::SinglePass, &mut passes),
+        "hawkeye" => hawkeye_curve(traces, &caps, CurveEngine::SinglePass, 1, &mut passes),
         "lru" => lru_curve(traces, &caps, &mut passes),
         _ => policy_curve(
             traces,
@@ -171,6 +180,7 @@ pub fn workload_curve(
             0,
             policy,
             CurveEngine::SinglePass,
+            1,
             &mut passes,
         ),
     };
@@ -197,6 +207,35 @@ pub fn trace_passes(store: &ArtifactStore, id: &str) -> Option<u64> {
         .ok()
         .flatten()
         .map(|c| c.load(Ordering::Relaxed))
+}
+
+fn engine_workers_key() -> u64 {
+    artifact_key("misscurves/engine-workers")
+}
+
+/// Publishes the worker count the miss-curve engine's sharded dispatch
+/// may fan set ranges across. The orchestrator sets this from the
+/// execution mode (1 for `--serial`, the pool width for parallel runs);
+/// unset, the engine stays strictly serial.
+///
+/// # Errors
+///
+/// Propagates store corruption.
+pub fn set_engine_workers(store: &ArtifactStore, workers: usize) -> TcorResult<()> {
+    let cell = store.get_or_compute(engine_workers_key(), || AtomicU64::new(1))?;
+    cell.store(workers.max(1) as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+/// The worker count published by [`set_engine_workers`] (1 when unset).
+pub fn engine_workers(store: &ArtifactStore) -> usize {
+    store
+        .get::<AtomicU64>(engine_workers_key())
+        .ok()
+        .flatten()
+        .map(|c| c.load(Ordering::Relaxed) as usize)
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// Set-associative geometry for a capacity of `c` primitives.
@@ -300,19 +339,155 @@ fn lb_curve(traces: &[BenchTrace], capacities: &[usize]) -> Vec<f64> {
         .collect()
 }
 
+/// Below this many geometries, the interleaved capacity bank loses: its
+/// per-access loop over N cache instances has worse locality than N
+/// dense replays, and a non-OPT replay pays no annotation cost either.
+/// This is the fig13x regression threshold — fig13x sweeps 4 capacities
+/// and was 0.94× *slower* through the unconditional bank; fig13 (16)
+/// and the full-associativity sweeps (10–28) keep their bank wins.
+const BANK_MIN_GEOMS: usize = 8;
+
+/// Splits `num_sets` into contiguous near-even ranges for the scatter
+/// dispatch: about two chunks per worker (so a straggler set range can
+/// be stolen), one chunk when there is nothing to parallelize.
+fn chunk_sets(num_sets: usize, workers: usize) -> Vec<Range<usize>> {
+    if workers <= 1 || num_sets <= 1 {
+        // One chunk covering every set (not a collected 0..num_sets).
+        return std::iter::once(0..num_sets).collect();
+    }
+    let chunks = (workers * 2).min(num_sets);
+    let base = num_sets / chunks;
+    let extra = num_sets % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Per-geometry miss sums via the data-oriented sharded core: bucket
+/// each trace by set index once per set count (memoized on the
+/// [`BenchTrace`]), then replay dense per-set streams — scattered
+/// across `workers` threads as contiguous set ranges. Only sound for
+/// [set-local](tcor_cache::ReplacementPolicy::set_local) policies;
+/// bit-identical to the whole-cache replay (`oracle` selects the
+/// annotated OPT drive).
+fn sharded_miss_sums(
+    traces: &[BenchTrace],
+    geoms: &[CacheParams],
+    policy: &str,
+    workers: usize,
+) -> Vec<u64> {
+    let oracle = policy == "opt";
+    let mut miss_sums = vec![0u64; geoms.len()];
+    for b in traces {
+        let mut tasks: Vec<Box<dyn FnOnce() -> (usize, u64) + Send + '_>> = Vec::new();
+        for (gi, &params) in geoms.iter().enumerate() {
+            // Always gather the (already computed) annotation so OPT and
+            // the non-oracle policies share one memoized bucketing per
+            // set count.
+            let shard = b.shards.get_or_build(
+                &b.trace,
+                Some(&b.next_use),
+                params.num_sets(),
+                Indexing::Modulo,
+            );
+            for sets in chunk_sets(shard.num_sets(), workers) {
+                let shard = Arc::clone(&shard);
+                tasks.push(Box::new(move || {
+                    // Static dispatch: the per-set loops monomorphize
+                    // per policy type instead of paying a virtual call
+                    // per access.
+                    let stats = tcor_cache::dispatch_policy!(policy, make => {
+                        simulate_policy_shard_range(&shard, params, sets, oracle, make)
+                    });
+                    (gi, stats.misses())
+                }));
+            }
+        }
+        // Scatter returns in input order; the sums are commutative
+        // anyway, so the accumulation is deterministic either way.
+        for (gi, misses) in scatter(workers, tasks) {
+            miss_sums[gi] += misses;
+        }
+    }
+    miss_sums
+}
+
+/// Per-geometry miss sums via one whole-cache replay per geometry,
+/// scattered across `workers` — the small-bank path for policies whose
+/// cross-set state forbids sharding. OPT reuses the shared annotation
+/// instead of re-deriving it the way [`CurveEngine::Replay`] does.
+fn chunked_miss_sums(
+    traces: &[BenchTrace],
+    geoms: &[CacheParams],
+    policy: &str,
+    workers: usize,
+) -> Vec<u64> {
+    let oracle = policy == "opt";
+    let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = geoms
+        .iter()
+        .map(|&params| {
+            Box::new(move || {
+                traces
+                    .iter()
+                    .map(|b| {
+                        let stats = if oracle {
+                            simulate_policy_annotated(
+                                &b.trace,
+                                &b.next_use,
+                                params,
+                                Indexing::Modulo,
+                                Opt::new(),
+                            )
+                        } else {
+                            // Static dispatch: the replay loop
+                            // monomorphizes per policy type instead of
+                            // paying a virtual call per access.
+                            tcor_cache::dispatch_policy!(policy, make => {
+                                simulate_policy(
+                                    &b.trace,
+                                    params,
+                                    Indexing::Modulo,
+                                    make(),
+                                    false,
+                                )
+                            })
+                        };
+                        stats.misses()
+                    })
+                    .sum()
+            }) as Box<dyn FnOnce() -> u64 + Send + '_>
+        })
+        .collect();
+    scatter(workers, tasks)
+}
+
 /// Aggregate miss ratio of a named policy on a set-associative geometry
 /// (capacity in primitives, `ways == 0` for fully associative).
 ///
-/// Single-pass engine: fully-associative LRU/OPT read straight off the
-/// stack profilers; every other case streams each trace once through a
-/// bank of caches, one per capacity. Replay engine: one simulation per
-/// (capacity, benchmark), re-annotating per capacity for OPT.
+/// Single-pass engine cost model: fully-associative LRU/OPT read
+/// straight off the stack profilers; banks of [`BANK_MIN_GEOMS`] or
+/// more geometries keep the interleaved capacity bank (one trace walk
+/// amortized across the whole sweep); smaller banks of set-local
+/// policies go through the per-set sharded core when more than one
+/// worker is available (the only path that scales), and fall back to
+/// chunked per-geometry replays on one worker — dense single-cache
+/// replays with no bucketing cost, reusing the suite's shared next-use
+/// annotation for OPT where the replay engine re-annotates per
+/// capacity. Every path is bit-identical — the model only chooses
+/// where the time goes. Replay engine: one simulation per (capacity,
+/// benchmark), re-annotating per capacity for OPT.
 fn policy_curve(
     traces: &[BenchTrace],
     capacities: &[usize],
     ways: u32,
     policy: &str,
     engine: CurveEngine,
+    workers: usize,
     passes: &mut u64,
 ) -> Vec<f64> {
     let total = total_accesses(traces);
@@ -350,44 +525,71 @@ fn policy_curve(
                 })
                 .collect()
         }
-        CurveEngine::SinglePass if ways == 0 && policy == "lru" => {
-            lru_curve(traces, capacities, passes)
-        }
-        CurveEngine::SinglePass if ways == 0 && policy == "opt" => {
-            opt_curve(traces, capacities, CurveEngine::SinglePass, passes)
-        }
+        // One dispatch for both profiler-backed fully-associative
+        // curves: a single arm can't let the lru and opt special cases
+        // silently diverge from the banked path (or each other) again.
+        CurveEngine::SinglePass if ways == 0 && matches!(policy, "lru" | "opt") => match policy {
+            "lru" => lru_curve(traces, capacities, passes),
+            _ => opt_curve(traces, capacities, CurveEngine::SinglePass, passes),
+        },
         CurveEngine::SinglePass => {
-            *passes += 1;
-            let mut miss_sums = vec![0u64; geoms.len()];
-            for b in traces {
-                let stats = if policy == "opt" {
-                    simulate_policy_bank(
-                        &b.trace,
-                        Some(&b.next_use),
-                        &geoms,
-                        Indexing::Modulo,
-                        Opt::new,
-                    )
-                } else {
-                    simulate_policy_bank(&b.trace, None, &geoms, Indexing::Modulo, || {
-                        by_name(policy)
-                    })
-                };
-                for (sum, s) in miss_sums.iter_mut().zip(&stats) {
-                    *sum += s.misses();
+            if geoms.len() >= BANK_MIN_GEOMS {
+                // Wide bank: one interleaved trace walk amortizes best,
+                // and beats per-set sharding until the worker count
+                // rivals the bank width (far beyond this machine).
+                *passes += 1;
+                let mut miss_sums = vec![0u64; geoms.len()];
+                for b in traces {
+                    let stats = if policy == "opt" {
+                        simulate_policy_bank(
+                            &b.trace,
+                            Some(&b.next_use),
+                            &geoms,
+                            Indexing::Modulo,
+                            Opt::new,
+                        )
+                    } else {
+                        // Static dispatch: the bank walk monomorphizes
+                        // per policy type instead of paying a virtual
+                        // call per access per bank member.
+                        tcor_cache::dispatch_policy!(policy, make => {
+                            simulate_policy_bank(&b.trace, None, &geoms, Indexing::Modulo, make)
+                        })
+                    };
+                    for (sum, s) in miss_sums.iter_mut().zip(&stats) {
+                        *sum += s.misses();
+                    }
                 }
+                miss_sums.iter().map(|&m| m as f64 / total as f64).collect()
+            } else if by_name(policy).set_local() && workers > 1 {
+                // Small bank, set-local policy, real parallelism: dense
+                // per-set streams scatter across the workers (the only
+                // path whose wall time scales with the worker count).
+                *passes += geoms.len() as u64;
+                let sums = sharded_miss_sums(traces, &geoms, policy, workers);
+                sums.iter().map(|&m| m as f64 / total as f64).collect()
+            } else {
+                // Small bank on one worker (or cross-set policy state):
+                // dense per-geometry replays beat the interleaved bank's
+                // scattered per-access dispatch, with no bucketing cost.
+                *passes += geoms.len() as u64;
+                let sums = chunked_miss_sums(traces, &geoms, policy, workers);
+                sums.iter().map(|&m| m as f64 / total as f64).collect()
             }
-            miss_sums.iter().map(|&m| m as f64 / total as f64).collect()
         }
     }
 }
 
 /// Aggregate Hawkeye miss ratio per capacity, 4-way (its dedicated
-/// driver carries the address training signal).
+/// driver carries the address training signal). Hawkeye's global
+/// predictor forbids set sharding, so the cost model picks between the
+/// interleaved bank (wide sweeps) and chunked per-geometry replays
+/// (small banks, scattered across `workers`).
 fn hawkeye_curve(
     traces: &[BenchTrace],
     capacities: &[usize],
     engine: CurveEngine,
+    workers: usize,
     passes: &mut u64,
 ) -> Vec<f64> {
     let total = total_accesses(traces);
@@ -405,6 +607,22 @@ fn hawkeye_curve(
                     misses as f64 / total as f64
                 })
                 .collect()
+        }
+        CurveEngine::SinglePass if geoms.len() < BANK_MIN_GEOMS => {
+            *passes += geoms.len() as u64;
+            let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = geoms
+                .iter()
+                .map(|&params| {
+                    Box::new(move || {
+                        traces
+                            .iter()
+                            .map(|b| simulate_hawkeye(&b.trace, params).misses())
+                            .sum()
+                    }) as Box<dyn FnOnce() -> u64 + Send + '_>
+                })
+                .collect();
+            let sums = scatter(workers, tasks);
+            sums.iter().map(|&m| m as f64 / total as f64).collect()
         }
         CurveEngine::SinglePass => {
             *passes += 1;
@@ -538,6 +756,7 @@ pub fn fig12_engine(store: &ArtifactStore, engine: CurveEngine) -> TcorResult<(V
         (8, "assoc8"),
         (0, "full"),
     ];
+    let workers = engine_workers(store);
     let mut passes = 0u64;
     let mut out = Vec::new();
     for (policy, id) in [("lru", "fig12-lru"), ("opt", "fig12-opt")] {
@@ -551,7 +770,7 @@ pub fn fig12_engine(store: &ArtifactStore, engine: CurveEngine) -> TcorResult<(V
         };
         let curves: Vec<Vec<f64>> = assocs
             .iter()
-            .map(|(w, _)| policy_curve(&traces, &caps, *w, policy, engine, &mut passes))
+            .map(|(w, _)| policy_curve(&traces, &caps, *w, policy, engine, workers, &mut passes))
             .collect();
         for (i, kb) in sizes.iter().enumerate() {
             let mut row = vec![kb.to_string(), format!("{:.4}", lb[i])];
@@ -587,10 +806,11 @@ pub fn fig13_engine(store: &ArtifactStore, engine: CurveEngine) -> TcorResult<(T
     let caps = prim_caps(&sizes);
     let lb = lb_curve(&traces, &caps);
     let policies = ["mru", "drrip", "lru", "opt"];
+    let workers = engine_workers(store);
     let mut passes = 0u64;
     let curves: Vec<Vec<f64>> = policies
         .iter()
-        .map(|p| policy_curve(&traces, &caps, 4, p, engine, &mut passes))
+        .map(|p| policy_curve(&traces, &caps, 4, p, engine, workers, &mut passes))
         .collect();
     let mut t = Table::new(
         "fig13",
@@ -633,14 +853,15 @@ pub fn fig13x_engine(store: &ArtifactStore, engine: CurveEngine) -> TcorResult<(
         "random", "fifo", "mru", "nru", "plru", "lip", "bip", "dip", "srrip", "brrip", "drrip",
         "lru",
     ];
+    let workers = engine_workers(store);
     let mut passes = 0u64;
     let curves: Vec<Vec<f64>> = policies
         .iter()
-        .map(|p| policy_curve(&traces, &caps, 4, p, engine, &mut passes))
+        .map(|p| policy_curve(&traces, &caps, 4, p, engine, workers, &mut passes))
         .collect();
     // Hawkeye needs the address signal; use its dedicated driver.
-    let hawkeye = hawkeye_curve(&traces, &caps, engine, &mut passes);
-    let opt = policy_curve(&traces, &caps, 4, "opt", engine, &mut passes);
+    let hawkeye = hawkeye_curve(&traces, &caps, engine, workers, &mut passes);
+    let opt = policy_curve(&traces, &caps, 4, "opt", engine, workers, &mut passes);
 
     let mut cols = vec!["size_kb".to_string(), "lower_bound".to_string()];
     cols.extend(policies.iter().map(|p| p.to_string()));
@@ -686,7 +907,70 @@ mod tests {
 
     fn sp(traces: &[BenchTrace], caps: &[usize], ways: u32, policy: &str) -> Vec<f64> {
         let mut p = 0;
-        policy_curve(traces, caps, ways, policy, CurveEngine::SinglePass, &mut p)
+        policy_curve(
+            traces,
+            caps,
+            ways,
+            policy,
+            CurveEngine::SinglePass,
+            1,
+            &mut p,
+        )
+    }
+
+    /// Manual profiling aid for the engine cost model: per-policy
+    /// replay-vs-single-pass wall times on the real fig13x workload.
+    /// Run with `cargo test -p tcor-sim --release -- --ignored
+    /// profile_fig13x_paths --nocapture`.
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn profile_fig13x_paths() {
+        let store = ArtifactStore::new();
+        let traces = suite_traces(&store).unwrap();
+        let caps = prim_caps(&kb_sizes(48, 144, 32));
+        let geoms: Vec<CacheParams> = caps.iter().map(|&c| geometry(c, 4)).collect();
+        let total: usize = traces.iter().map(|b| b.trace.len()).sum();
+        eprintln!(
+            "trace total {total} accesses, geoms {:?}",
+            geoms.iter().map(|g| g.num_sets()).collect::<Vec<_>>()
+        );
+        for policy in [
+            "random", "fifo", "mru", "nru", "plru", "lip", "bip", "dip", "srrip", "brrip", "drrip",
+            "lru", "opt",
+        ] {
+            let t0 = std::time::Instant::now();
+            let mut p = 0;
+            let r = policy_curve(&traces, &caps, 4, policy, CurveEngine::Replay, 1, &mut p);
+            let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t0 = std::time::Instant::now();
+            let mut p = 0;
+            let s = policy_curve(
+                &traces,
+                &caps,
+                4,
+                policy,
+                CurveEngine::SinglePass,
+                1,
+                &mut p,
+            );
+            let single_ms = t0.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "{policy}: replay {replay_ms:.1}ms single {single_ms:.1}ms (agree: {})",
+                s == r
+            );
+        }
+        for (what, engine) in [
+            ("replay", CurveEngine::Replay),
+            ("single", CurveEngine::SinglePass),
+        ] {
+            let t0 = std::time::Instant::now();
+            let mut p = 0;
+            let _ = hawkeye_curve(&traces, &caps, engine, 1, &mut p);
+            eprintln!("hawkeye {what}: {:.1}ms", t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let t0 = std::time::Instant::now();
+        let _ = lb_curve(&traces, &caps);
+        eprintln!("lb_curve: {:.1}ms", t0.elapsed().as_secs_f64() * 1e3);
     }
 
     #[test]
@@ -764,9 +1048,18 @@ mod tests {
                     ways,
                     policy,
                     CurveEngine::SinglePass,
+                    1,
                     &mut p1,
                 );
-                let slow = policy_curve(&traces, &caps, ways, policy, CurveEngine::Replay, &mut p2);
+                let slow = policy_curve(
+                    &traces,
+                    &caps,
+                    ways,
+                    policy,
+                    CurveEngine::Replay,
+                    1,
+                    &mut p2,
+                );
                 assert_eq!(fast, slow, "ways={ways} policy={policy}");
                 assert!(
                     p1 <= p2,
@@ -783,10 +1076,68 @@ mod tests {
         assert_eq!(p2, caps.len() as u64, "replay is one pass per capacity");
         let (mut p1, mut p2) = (0, 0);
         assert_eq!(
-            hawkeye_curve(&traces, &caps, CurveEngine::SinglePass, &mut p1),
-            hawkeye_curve(&traces, &caps, CurveEngine::Replay, &mut p2),
+            hawkeye_curve(&traces, &caps, CurveEngine::SinglePass, 1, &mut p1),
+            hawkeye_curve(&traces, &caps, CurveEngine::Replay, 1, &mut p2),
         );
-        assert_eq!((p1, p2), (1, caps.len() as u64));
+        // 4 capacities < BANK_MIN_GEOMS: the cost model picks chunked
+        // per-geometry replays over the interleaved bank for Hawkeye.
+        assert_eq!((p1, p2), (caps.len() as u64, caps.len() as u64));
+    }
+
+    /// The cost model's paths are interchangeable: sharded dispatch (any
+    /// worker count), the interleaved bank, chunked replays and the
+    /// reference replay all produce the same f64 ratios, exactly.
+    #[test]
+    fn worker_counts_and_paths_are_bit_identical() {
+        let traces = mini_traces();
+        let small = vec![8usize, 64, 256]; // < BANK_MIN_GEOMS
+        let wide: Vec<usize> = (1..=BANK_MIN_GEOMS).map(|i| i * 32).collect();
+        for policy in ["lru", "opt", "fifo", "srrip", "drrip"] {
+            for caps in [&small, &wide] {
+                let mut p = 0;
+                let reference =
+                    policy_curve(&traces, caps, 4, policy, CurveEngine::Replay, 1, &mut p);
+                for workers in [1usize, 2, 4] {
+                    let mut p = 0;
+                    let got = policy_curve(
+                        &traces,
+                        caps,
+                        4,
+                        policy,
+                        CurveEngine::SinglePass,
+                        workers,
+                        &mut p,
+                    );
+                    assert_eq!(
+                        got,
+                        reference,
+                        "policy={policy} workers={workers} caps={}",
+                        caps.len()
+                    );
+                }
+            }
+        }
+        // Hawkeye's chunked path under parallel dispatch.
+        let mut p = 0;
+        let reference = hawkeye_curve(&traces, &small, CurveEngine::Replay, 1, &mut p);
+        for workers in [1usize, 3] {
+            let mut p = 0;
+            assert_eq!(
+                hawkeye_curve(&traces, &small, CurveEngine::SinglePass, workers, &mut p),
+                reference,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_workers_roundtrip_and_default() {
+        let store = ArtifactStore::new();
+        assert_eq!(engine_workers(&store), 1, "unset store means serial");
+        set_engine_workers(&store, 6).unwrap();
+        assert_eq!(engine_workers(&store), 6);
+        set_engine_workers(&store, 0).unwrap();
+        assert_eq!(engine_workers(&store), 1, "0 clamps to 1");
     }
 
     /// Satellite fix: `geometry` must never *inflate* a capacity below

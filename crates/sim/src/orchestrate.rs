@@ -375,6 +375,17 @@ pub fn run_experiments(
         job_timeout: opts.job_timeout,
         fault_plan: opts.fault_plan.clone(),
     };
+    // Tell the miss-curve engine how wide its sharded set dispatch may
+    // fan out: serial runs stay strictly serial (bit-identity is then
+    // trivially preserved), parallel runs may split set ranges across
+    // the pool width.
+    misscurves::set_engine_workers(
+        store,
+        match opts.mode {
+            ExecMode::Serial => 1,
+            ExecMode::Parallel(workers) => workers.max(1),
+        },
+    )?;
     let report = match opts.mode {
         ExecMode::Serial => execute_serial(g, &exec_opts, store, telemetry),
         ExecMode::Parallel(workers) => execute(g, workers, &exec_opts, store, telemetry),
