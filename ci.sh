@@ -199,6 +199,29 @@ fi
 rm -rf "$CACHE_DIR"
 rm -f "$PORT_FILE" "$SERVE_OUT" "$RESTART_OUT"
 
+echo "== bench-load smoke (open-loop load: keep-alive tiers + graceful shedding)"
+# A reduced run of the open-loop concurrent load generator: warm
+# keep-alive tiers must answer byte-identically to the offline CLI, and
+# a synchronized cold burst against a 1-worker / depth-2 daemon must
+# shed the overflow with 429 + X-Tcor-Retry-After-Ms — never a 5xx,
+# never a reset — then drain cleanly. The bench enforces all of that
+# internally (nonzero exit on any violation); the greps additionally
+# pin the written record.
+BENCH_LOAD_OUT=/tmp/tcor-ci-bench-load.json
+rm -f "$BENCH_LOAD_OUT"
+"$TCOR_SIM" bench-load "$BENCH_LOAD_OUT" --smoke 2>/dev/null
+for want in '"server_5xx":0' '"transport_errors":0' '"clean_drain":true'; do
+  if ! grep -q "$want" "$BENCH_LOAD_OUT"; then
+    echo "ci: FAIL: bench-load record is missing $want" >&2
+    exit 1
+  fi
+done
+if grep -q '"shed":0' "$BENCH_LOAD_OUT"; then
+  echo "ci: FAIL: the overload burst shed nothing" >&2
+  exit 1
+fi
+rm -f "$BENCH_LOAD_OUT"
+
 echo "== chaos (disk-fault schedule: breaker must open, probe, and close)"
 # A seeded disk-fault schedule (every read and write errors until its
 # budget runs out) against a cache-cap-1 daemon: the circuit breaker

@@ -1,17 +1,21 @@
 //! Blocking loopback HTTP client: CI probe, loadgen and chaos-harness
 //! substrate.
 //!
-//! One request per connection, mirroring the server's
-//! `Connection: close` contract: write the request, read to EOF, parse.
-//! Used by `tcor-sim serve-req` (the ci.sh smoke probe), `tcor-sim
-//! bench-serve` (the deterministic loadgen) and `tcor-sim chaos` (the
-//! torture loop). The retrying entry point,
-//! [`http_request_retrying`], is the client-side half of the chaos
-//! layer's resilience story: capped exponential backoff with seeded
-//! deterministic jitter, `Retry-After` honored on 429, and idempotent
-//! GETs retried on 5xx, transport failures, short reads and
-//! `X-Tcor-Body-Hash` mismatches — so a client survives a daemon
-//! being killed, restarted, or fault-injected mid-response.
+//! [`HttpClient`] holds one keep-alive connection and frames responses
+//! by `Content-Length`, so successive requests ride the daemon's
+//! multiplexed event plane instead of paying a connect per request; a
+//! connection the server closed while idle is detected (EOF before any
+//! response byte) and replayed once on a fresh connection. Used by
+//! `tcor-sim serve-req` (the ci.sh smoke probe), `tcor-sim bench-serve`
+//! and `tcor-sim bench-load` (the deterministic load generators) and
+//! `tcor-sim chaos` (the torture loop). The retrying entry points,
+//! [`http_request_retrying`] / [`request_retrying`], are the
+//! client-side half of the chaos layer's resilience story: capped
+//! exponential backoff with seeded deterministic jitter, `Retry-After`
+//! honored on 429, and idempotent GETs retried on 5xx, transport
+//! failures, short reads and `X-Tcor-Body-Hash` mismatches — so a
+//! client survives a daemon being killed, restarted, or fault-injected
+//! mid-response.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -78,6 +82,296 @@ impl HttpReply {
             .and_then(|v| v.parse::<u64>().ok())
             .map(Duration::from_secs)
     }
+
+    /// Whether the server will keep the connection open after this
+    /// reply (absent header defaults to keep-alive, per HTTP/1.1).
+    fn keeps_connection(&self) -> bool {
+        self.header("connection")
+            .is_none_or(|v| !v.split(',').any(|t| t.trim().eq_ignore_ascii_case("close")))
+    }
+}
+
+/// How far a failed attempt got — decides whether a retry is safe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Connect failed: no bytes ever reached the server.
+    Connect,
+    /// The request was (possibly partially) written, but no response
+    /// byte came back.
+    Sent,
+    /// The response started arriving and then broke off.
+    ResponseStarted,
+}
+
+/// A keep-alive HTTP/1.1 client for one server address.
+///
+/// Holds the connection across requests and reconnects transparently:
+/// lazily on first use, and with a single replay when a *reused*
+/// connection turns out to be stale (the server closed it while idle —
+/// observed as EOF/reset before any response byte, which also means
+/// the server never took the request, so the replay cannot double-run
+/// work).
+pub struct HttpClient {
+    addr: String,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    rbuf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// A client for `addr` ("127.0.0.1:8080"); connects on first use.
+    pub fn new(addr: impl Into<String>, timeout: Duration) -> Self {
+        HttpClient {
+            addr: addr.into(),
+            timeout,
+            stream: None,
+            rbuf: Vec::new(),
+        }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether a keep-alive connection is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Sends one request and reads its reply, reusing the held
+    /// connection when possible.
+    ///
+    /// # Errors
+    ///
+    /// Serve-class errors for connect/transport failures, timeout
+    /// expiry, or an unparseable response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> TcorResult<HttpReply> {
+        self.request_inner(method, path, body).map_err(|(_, e)| e)
+    }
+
+    /// [`Self::request`], with the error carrying whether any request
+    /// bytes may have reached the server (`sent`) — a connect failure
+    /// is safe to retry for any method, a post-send failure only for
+    /// idempotent ones.
+    fn request_inner(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpReply, (bool, TcorError)> {
+        let reused = self.stream.is_some();
+        match self.attempt(method, path, body) {
+            Ok(reply) => Ok(reply),
+            Err((phase, e)) => {
+                self.reset();
+                if reused && phase != Phase::ResponseStarted {
+                    // Stale keep-alive: replay once on a fresh
+                    // connection (any method — see the type docs).
+                    self.attempt(method, path, body).map_err(|(phase, e)| {
+                        self.reset();
+                        (phase != Phase::Connect, e)
+                    })
+                } else {
+                    Err((phase != Phase::Connect, e))
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.stream = None;
+        self.rbuf.clear();
+    }
+
+    fn attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpReply, (Phase, TcorError)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr).map_err(|e| {
+                (
+                    Phase::Connect,
+                    TcorError::with_source(
+                        ErrorKind::Serve,
+                        format!("connecting {}", self.addr),
+                        e,
+                    ),
+                )
+            })?;
+            stream
+                .set_read_timeout(Some(self.timeout))
+                .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+                .map_err(|e| {
+                    (
+                        Phase::Connect,
+                        TcorError::with_source(ErrorKind::Serve, "setting socket timeouts", e),
+                    )
+                })?;
+            let _ = stream.set_nodelay(true);
+            self.rbuf.clear();
+            self.stream = Some(stream);
+        }
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        let stream = self.stream.as_mut().expect("connected above");
+        stream.write_all(request.as_bytes()).map_err(|e| {
+            (
+                Phase::Sent,
+                TcorError::with_source(ErrorKind::Serve, "writing request", e),
+            )
+        })?;
+        // Accumulate the head up to the blank line.
+        let head_end = loop {
+            if let Some(pos) = find_blank_line(&self.rbuf) {
+                break pos;
+            }
+            let started = if self.rbuf.is_empty() {
+                Phase::Sent
+            } else {
+                Phase::ResponseStarted
+            };
+            match read_chunk(self.stream.as_mut().expect("held"), &mut self.rbuf) {
+                Ok(0) => {
+                    return Err((
+                        started,
+                        TcorError::serve("connection closed before a full response head"),
+                    ))
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    return Err((
+                        started,
+                        TcorError::with_source(ErrorKind::Serve, "reading response", e),
+                    ))
+                }
+            }
+        };
+        let head = std::str::from_utf8(&self.rbuf[..head_end])
+            .map_err(|_| {
+                (
+                    Phase::ResponseStarted,
+                    TcorError::serve("response head is not UTF-8"),
+                )
+            })?
+            .to_string();
+        let (status, headers) = parse_head_block(&head).map_err(|e| (Phase::ResponseStarted, e))?;
+        let body_start = head_end + 4;
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        let reply = match content_length {
+            Some(n) => {
+                while self.rbuf.len() < body_start + n {
+                    match read_chunk(self.stream.as_mut().expect("held"), &mut self.rbuf) {
+                        Ok(0) => {
+                            return Err((
+                                Phase::ResponseStarted,
+                                TcorError::serve("connection closed mid-body"),
+                            ))
+                        }
+                        Ok(_) => {}
+                        Err(e) => {
+                            return Err((
+                                Phase::ResponseStarted,
+                                TcorError::with_source(
+                                    ErrorKind::Serve,
+                                    "reading response body",
+                                    e,
+                                ),
+                            ))
+                        }
+                    }
+                }
+                let body =
+                    String::from_utf8_lossy(&self.rbuf[body_start..body_start + n]).into_owned();
+                self.rbuf.drain(..body_start + n);
+                HttpReply {
+                    status,
+                    headers,
+                    body,
+                }
+            }
+            None => {
+                // No length: pre-keep-alive framing — read to EOF, and
+                // the connection cannot be reused afterwards.
+                loop {
+                    match read_chunk(self.stream.as_mut().expect("held"), &mut self.rbuf) {
+                        Ok(0) => break,
+                        Ok(_) => {}
+                        Err(e) => {
+                            return Err((
+                                Phase::ResponseStarted,
+                                TcorError::with_source(
+                                    ErrorKind::Serve,
+                                    "reading response body",
+                                    e,
+                                ),
+                            ))
+                        }
+                    }
+                }
+                let body = String::from_utf8_lossy(&self.rbuf[body_start..]).into_owned();
+                self.rbuf.clear();
+                let reply = HttpReply {
+                    status,
+                    headers,
+                    body,
+                };
+                self.stream = None;
+                reply
+            }
+        };
+        if self.stream.is_some() && !reply.keeps_connection() {
+            self.reset();
+        }
+        Ok(reply)
+    }
+}
+
+fn read_chunk(stream: &mut TcpStream, rbuf: &mut Vec<u8>) -> std::io::Result<usize> {
+    let mut tmp = [0u8; 16 * 1024];
+    loop {
+        match stream.read(&mut tmp) {
+            Ok(n) => {
+                rbuf.extend_from_slice(&tmp[..n]);
+                return Ok(n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_head_block(head: &str) -> TcorResult<(u16, Vec<(String, String)>)> {
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| TcorError::serve(format!("bad status line `{status_line}`")))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, headers))
 }
 
 /// Retry tuning for [`http_request_retrying`].
@@ -130,8 +424,8 @@ impl RetryPolicy {
     }
 }
 
-/// Sends one `method path` request to `addr` ("127.0.0.1:8080") and
-/// reads the full response.
+/// Sends one `method path` request to `addr` ("127.0.0.1:8080") on a
+/// fresh connection and reads the full response.
 ///
 /// # Errors
 ///
@@ -144,58 +438,12 @@ pub fn http_request(
     body: Option<&str>,
     timeout: Duration,
 ) -> TcorResult<HttpReply> {
-    request_once(addr, method, path, body, timeout).map_err(|(_, e)| e)
+    HttpClient::new(addr, timeout).request(method, path, body)
 }
 
-/// One request attempt. The error carries whether any request bytes
-/// may have reached the server (`sent`) — a connect failure is safe to
-/// retry for any method, a post-send failure only for idempotent ones.
-fn request_once(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-    timeout: Duration,
-) -> Result<HttpReply, (bool, TcorError)> {
-    let stream = TcpStream::connect(addr).map_err(|e| {
-        (
-            false,
-            TcorError::with_source(ErrorKind::Serve, format!("connecting {addr}"), e),
-        )
-    })?;
-    stream
-        .set_read_timeout(Some(timeout))
-        .and_then(|()| stream.set_write_timeout(Some(timeout)))
-        .map_err(|e| {
-            (
-                false,
-                TcorError::with_source(ErrorKind::Serve, "setting socket timeouts", e),
-            )
-        })?;
-    let mut stream = stream;
-    let body = body.unwrap_or("");
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(request.as_bytes()).map_err(|e| {
-        (
-            true,
-            TcorError::with_source(ErrorKind::Serve, "writing request", e),
-        )
-    })?;
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).map_err(|e| {
-        (
-            true,
-            TcorError::with_source(ErrorKind::Serve, "reading response", e),
-        )
-    })?;
-    parse_reply(&raw).map_err(|e| (true, e))
-}
-
-/// [`http_request`] under a [`RetryPolicy`]. Returns the reply plus
-/// how many retries it took.
+/// [`HttpClient::request`] under a [`RetryPolicy`], reusing `client`'s
+/// keep-alive connection across attempts. Returns the reply plus how
+/// many retries it took.
 ///
 /// Retried (budget permitting): connect failures (any method — no
 /// bytes were sent), and for idempotent GETs also transport failures
@@ -209,19 +457,18 @@ fn request_once(
 /// # Errors
 ///
 /// The last transport/validation error once the budget is exhausted.
-pub fn http_request_retrying(
-    addr: &str,
+pub fn request_retrying(
+    client: &mut HttpClient,
     method: &str,
     path: &str,
     body: Option<&str>,
-    timeout: Duration,
     policy: &RetryPolicy,
 ) -> TcorResult<(HttpReply, u32)> {
     let idempotent = method.eq_ignore_ascii_case("GET");
     let mut attempt = 0u32;
     loop {
         let budget_left = attempt < policy.retries;
-        match request_once(addr, method, path, body, timeout) {
+        match client.request_inner(method, path, body) {
             Ok(reply) => {
                 if let Err(why) = reply.validate() {
                     if idempotent && budget_left {
@@ -230,7 +477,8 @@ pub fn http_request_retrying(
                         continue;
                     }
                     return Err(TcorError::serve(format!(
-                        "invalid reply from {addr} {path}: {why}"
+                        "invalid reply from {} {path}: {why}",
+                        client.addr()
                     )));
                 }
                 let retryable = reply.status == 429 || (reply.status >= 500 && idempotent);
@@ -259,27 +507,22 @@ pub fn http_request_retrying(
     }
 }
 
-fn parse_reply(raw: &[u8]) -> TcorResult<HttpReply> {
-    let text = std::str::from_utf8(raw).map_err(|_| TcorError::serve("response is not UTF-8"))?;
-    let Some((head, body)) = text.split_once("\r\n\r\n") else {
-        return Err(TcorError::serve("response has no header/body separator"));
-    };
-    let mut lines = head.split("\r\n");
-    let status_line = lines.next().unwrap_or_default();
-    let status = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| TcorError::serve(format!("bad status line `{status_line}`")))?;
-    let headers = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
-        .collect();
-    Ok(HttpReply {
-        status,
-        headers,
-        body: body.to_string(),
-    })
+/// [`request_retrying`] on a single-use client (one call's attempts
+/// still share a keep-alive connection when the server cooperates).
+///
+/// # Errors
+///
+/// The last transport/validation error once the budget is exhausted.
+pub fn http_request_retrying(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+    policy: &RetryPolicy,
+) -> TcorResult<(HttpReply, u32)> {
+    let mut client = HttpClient::new(addr, timeout);
+    request_retrying(&mut client, method, path, body, policy)
 }
 
 /// The `p`-th percentile (0–100) of `samples`, by nearest-rank on a
@@ -297,6 +540,21 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn parse_reply(raw: &[u8]) -> TcorResult<HttpReply> {
+        let pos = find_blank_line(raw)
+            .ok_or_else(|| TcorError::serve("response has no header/body separator"))?;
+        let head = std::str::from_utf8(&raw[..pos])
+            .map_err(|_| TcorError::serve("response is not UTF-8"))?;
+        let (status, headers) = parse_head_block(head)?;
+        Ok(HttpReply {
+            status,
+            headers,
+            body: String::from_utf8_lossy(&raw[pos + 4..]).into_owned(),
+        })
+    }
 
     #[test]
     fn parses_a_reply() {
@@ -324,6 +582,28 @@ mod tests {
                 let mut buf = [0u8; 2048];
                 let _ = stream.read(&mut buf);
                 let _ = stream.write_all(&response);
+            }
+        });
+        (addr, handle)
+    }
+
+    /// A listener that serves `per_conn` scripted responses over each
+    /// accepted connection (keep-alive), counting connections.
+    fn stub_keepalive(
+        per_conn: Vec<Vec<Vec<u8>>>,
+        conns: Arc<AtomicUsize>,
+    ) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for responses in per_conn {
+                let (mut stream, _) = listener.accept().unwrap();
+                conns.fetch_add(1, Ordering::SeqCst);
+                for response in responses {
+                    let mut buf = [0u8; 2048];
+                    let _ = stream.read(&mut buf);
+                    let _ = stream.write_all(&response);
+                }
             }
         });
         (addr, handle)
@@ -357,6 +637,54 @@ mod tests {
             .unwrap()
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_one_connection() {
+        let conns = Arc::new(AtomicUsize::new(0));
+        let (addr, h) = stub_keepalive(
+            vec![vec![ok_with_hash("first"), ok_with_hash("second")]],
+            Arc::clone(&conns),
+        );
+        let mut client = HttpClient::new(&addr, Duration::from_secs(5));
+        let a = client.request("GET", "/a", None).unwrap();
+        let b = client.request("GET", "/b", None).unwrap();
+        assert_eq!((a.body.as_str(), b.body.as_str()), ("first", "second"));
+        assert!(client.is_connected(), "connection retained across requests");
+        assert_eq!(conns.load(Ordering::SeqCst), 1, "one connection for both");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn stale_keep_alive_connection_is_replayed_on_a_fresh_one() {
+        let conns = Arc::new(AtomicUsize::new(0));
+        // Each connection serves exactly one response, then closes —
+        // the second request finds the held connection dead.
+        let (addr, h) = stub_keepalive(
+            vec![vec![ok_with_hash("one")], vec![ok_with_hash("two")]],
+            Arc::clone(&conns),
+        );
+        let mut client = HttpClient::new(&addr, Duration::from_secs(5));
+        assert_eq!(client.request("GET", "/a", None).unwrap().body, "one");
+        assert_eq!(
+            client.request("POST", "/b", Some("x")).unwrap().body,
+            "two",
+            "stale reuse replays transparently, even for POST"
+        );
+        assert_eq!(conns.load(Ordering::SeqCst), 2);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn connection_close_reply_drops_the_held_connection() {
+        let conns = Arc::new(AtomicUsize::new(0));
+        let close_reply =
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok".to_vec();
+        let (addr, h) = stub_keepalive(vec![vec![close_reply]], Arc::clone(&conns));
+        let mut client = HttpClient::new(&addr, Duration::from_secs(5));
+        assert_eq!(client.request("GET", "/a", None).unwrap().body, "ok");
+        assert!(!client.is_connected(), "server said close");
+        h.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! HDR-style latency histogram: log-linear µs buckets, mergeable
+//! across client threads.
+//!
+//! Values land in buckets whose width doubles every power of two but
+//! is subdivided into [`SUB_BUCKETS`] linear steps — constant ~1.6%
+//! relative resolution across nine orders of magnitude in a few KB,
+//! the classic HdrHistogram layout. Quantiles interpolate within the
+//! winning bucket, so p50/p99 are smooth even at low counts. No
+//! atomics: each load-generator thread owns a histogram and the
+//! coordinator [`merge`](LatencyHistogram::merge)s after the run —
+//! recording stays a handful of integer ops on the timing path.
+
+/// Linear sub-buckets per power-of-two range (64 ⇒ ≤ 1/64 ≈ 1.6%
+/// relative error).
+const SUB_BUCKETS: usize = 64;
+/// Power-of-two ranges covered: values up to 2^RANGES × SUB_BUCKETS µs
+/// (≈ 2.3 hours) before clamping into the last bucket.
+const RANGES: usize = 27;
+
+/// A fixed-size log-linear histogram of microsecond latencies.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_us: u64,
+    min_us: u64,
+    sum_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0u64; SUB_BUCKETS * (RANGES + 1)],
+            total: 0,
+            max_us: 0,
+            min_us: u64::MAX,
+            sum_us: 0,
+        }
+    }
+
+    /// Bucket index for a value: values below [`SUB_BUCKETS`] map
+    /// linearly (exact), above that each power-of-two range splits
+    /// into [`SUB_BUCKETS`] equal slices.
+    fn index(value_us: u64) -> usize {
+        if value_us < SUB_BUCKETS as u64 {
+            return value_us as usize;
+        }
+        let range =
+            (63 - value_us.leading_zeros() as usize) - (SUB_BUCKETS.trailing_zeros() as usize - 1);
+        let range = range.min(RANGES);
+        let sub = (value_us >> range) as usize - SUB_BUCKETS / 2;
+        // range 1 starts right after the linear section; each range
+        // contributes SUB_BUCKETS/2 new buckets.
+        SUB_BUCKETS + (range - 1) * (SUB_BUCKETS / 2) + sub.min(SUB_BUCKETS / 2 - 1)
+    }
+
+    /// Lowest value (µs) that would land in bucket `i` — the
+    /// interpolation anchor for quantiles.
+    fn bucket_floor(i: usize) -> u64 {
+        if i < SUB_BUCKETS {
+            return i as u64;
+        }
+        let range = (i - SUB_BUCKETS) / (SUB_BUCKETS / 2) + 1;
+        let sub = (i - SUB_BUCKETS) % (SUB_BUCKETS / 2) + SUB_BUCKETS / 2;
+        (sub as u64) << range
+    }
+
+    /// Width (µs) of bucket `i`.
+    fn bucket_width(i: usize) -> u64 {
+        if i < SUB_BUCKETS {
+            return 1;
+        }
+        let range = (i - SUB_BUCKETS) / (SUB_BUCKETS / 2) + 1;
+        1u64 << range
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, value_us: u64) {
+        let i = Self::index(value_us).min(self.counts.len() - 1);
+        self.counts[i] += 1;
+        self.total += 1;
+        self.sum_us = self.sum_us.saturating_add(value_us);
+        self.max_us = self.max_us.max(value_us);
+        self.min_us = self.min_us.min(value_us);
+    }
+
+    /// Folds another histogram (e.g. a worker thread's) into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+        self.min_us = self.min_us.min(other.min_us);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value, µs (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max_us
+        }
+    }
+
+    /// Smallest recorded value, µs (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Mean of recorded values, µs.
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in µs, linearly interpolated
+    /// inside the winning bucket and clamped to the observed max.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let into = rank - seen; // 1 ..= c
+                let est = Self::bucket_floor(i)
+                    + (Self::bucket_width(i) * into)
+                        .div_ceil(c.max(1))
+                        .saturating_sub(1);
+                return est.clamp(self.min_us, self.max_us);
+            }
+            seen += c;
+        }
+        self.max_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 7, 42, 63] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.max_us(), 63);
+        assert_eq!(h.quantile_us(0.0), 0);
+        assert_eq!(h.quantile_us(1.0), 63);
+    }
+
+    #[test]
+    fn quantiles_hold_relative_resolution_across_ranges() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 10); // 10 µs .. 100 ms, uniform
+        }
+        for (q, expect) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile_us(q) as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.02, "q{q}: got {got}, want ~{expect} (rel {rel:.4})");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            let v = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max_us(), whole.max_us());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_us(q), whole.quantile_us(q));
+        }
+    }
+
+    #[test]
+    fn huge_values_clamp_instead_of_panicking() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(3);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_us(), u64::MAX);
+        assert!(h.quantile_us(1.0) >= 3);
+    }
+}

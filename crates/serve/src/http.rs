@@ -1,10 +1,16 @@
-//! Minimal HTTP/1.1 framing over blocking streams.
+//! Minimal HTTP/1.1 framing: blocking reads for clients, incremental
+//! buffer parsing for the event loop.
 //!
-//! Just enough of RFC 9112 for a loopback result service: one request
-//! per connection (`Connection: close` on every response), explicit
-//! `Content-Length` bodies, hard limits on line, header-count and body
-//! sizes so a misbehaving peer cannot balloon memory. Anything outside
-//! that envelope is a typed [`ErrorKind::Serve`](tcor_common::ErrorKind)
+//! Just enough of RFC 9112 for a loopback result service: explicit
+//! `Content-Length` bodies, `Connection` negotiation (keep-alive by
+//! default on HTTP/1.1, close on HTTP/1.0 or an explicit `close`
+//! token), and hard limits on line, header-count and body sizes so a
+//! misbehaving peer cannot balloon memory. The server side accumulates
+//! bytes into a per-connection buffer and calls [`parse_request`] —
+//! which either yields a complete request plus its consumed length
+//! (enabling pipelining: the remainder of the buffer is the next
+//! request) or reports "incomplete, keep reading". Anything outside
+//! the envelope is a typed [`ErrorKind::Serve`](tcor_common::ErrorKind)
 //! error, answered with a 400 by the caller.
 
 use std::io::{BufRead, BufReader, Read, Write};
@@ -16,6 +22,10 @@ const MAX_LINE: usize = 8 * 1024;
 const MAX_HEADERS: usize = 64;
 /// Largest accepted request body, bytes.
 const MAX_BODY: usize = 64 * 1024;
+/// Largest accepted header block (start line + headers), bytes — the
+/// incremental parser's "stop accumulating" bound for a peer that
+/// never sends the blank line.
+const MAX_HEAD: usize = 32 * 1024;
 
 /// A parsed request: method, path, headers, body.
 #[derive(Clone, Debug)]
@@ -24,6 +34,9 @@ pub struct Request {
     pub method: String,
     /// Request target as sent ("/v1/cell/GTr/base64").
     pub path: String,
+    /// Protocol version as sent ("HTTP/1.1"); decides the keep-alive
+    /// default.
+    pub version: String,
     /// Lowercased header names with their values.
     pub headers: Vec<(String, String)>,
     /// Request body (empty without a `Content-Length`).
@@ -37,6 +50,26 @@ impl Request {
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open after this
+    /// request: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close,
+    /// and an explicit `Connection:` header overrides either way. The
+    /// header is a comma-separated token list compared
+    /// case-insensitively (`Close`, `Keep-Alive, TE` both count).
+    pub fn wants_keep_alive(&self) -> bool {
+        let mut keep = self.version != "HTTP/1.0";
+        if let Some(value) = self.header("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    keep = false;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
+                }
+            }
+        }
+        keep
     }
 }
 
@@ -72,16 +105,8 @@ fn read_line<R: BufRead>(r: &mut R) -> TcorResult<String> {
     String::from_utf8(line).map_err(|_| TcorError::serve("request line is not UTF-8"))
 }
 
-/// Reads and parses one request from `stream`.
-///
-/// # Errors
-///
-/// Returns a serve-class error for an empty/garbled request line, too
-/// many or too long headers, an oversized or short body, or transport
-/// failures (including read-timeout expiry).
-pub fn read_request<S: Read>(stream: S) -> TcorResult<Request> {
-    let mut reader = BufReader::new(stream);
-    let start = read_line(&mut reader)?;
+/// Parses one request line + header block into their parts.
+fn parse_head(start: &str, header_lines: &[String]) -> TcorResult<Request> {
     let mut parts = start.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
@@ -95,11 +120,7 @@ pub fn read_request<S: Read>(stream: S) -> TcorResult<Request> {
         return Err(TcorError::serve(format!("unsupported version `{version}`")));
     }
     let mut headers = Vec::new();
-    loop {
-        let line = read_line(&mut reader)?;
-        if line.is_empty() {
-            break;
-        }
+    for line in header_lines {
         if headers.len() == MAX_HEADERS {
             return Err(TcorError::serve(format!("more than {MAX_HEADERS} headers")));
         }
@@ -108,7 +129,17 @@ pub fn read_request<S: Read>(stream: S) -> TcorResult<Request> {
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    let content_length = headers
+    Ok(Request {
+        method,
+        path,
+        version: version.to_string(),
+        headers,
+        body: String::new(),
+    })
+}
+
+fn content_length(headers: &[(String, String)]) -> TcorResult<usize> {
+    let len = headers
         .iter()
         .find(|(k, _)| k == "content-length")
         .map(|(_, v)| {
@@ -117,25 +148,121 @@ pub fn read_request<S: Read>(stream: S) -> TcorResult<Request> {
         })
         .transpose()?
         .unwrap_or(0);
-    if content_length > MAX_BODY {
+    if len > MAX_BODY {
         return Err(TcorError::serve(format!(
-            "body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"
+            "body of {len} bytes exceeds the {MAX_BODY}-byte limit"
         )));
     }
-    let mut body = vec![0u8; content_length];
+    Ok(len)
+}
+
+/// Incrementally parses the front of an accumulated byte buffer.
+///
+/// Returns `Ok(Some((request, consumed)))` when `buf` starts with a
+/// complete request — `consumed` is how many bytes it occupied, and
+/// the caller drains them, leaving any pipelined successor in place —
+/// or `Ok(None)` when more bytes are needed.
+///
+/// # Errors
+///
+/// A serve-class error for a malformed start line or header, an
+/// oversized line, header block or body, or a non-UTF-8 body — the
+/// connection is poisoned and the caller answers 400 and closes.
+pub fn parse_request(buf: &[u8]) -> TcorResult<Option<(Request, usize)>> {
+    // Walk the header block line by line until the blank terminator.
+    let mut lines: Vec<String> = Vec::new();
+    let mut pos = 0usize;
+    let body_start = loop {
+        let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+            // No complete line yet: bound both the pending line and
+            // the total head so a drip-feeding peer cannot accumulate.
+            if buf.len() - pos > MAX_LINE {
+                return Err(TcorError::serve(format!(
+                    "request line exceeds {MAX_LINE} bytes"
+                )));
+            }
+            if buf.len() > MAX_HEAD {
+                return Err(TcorError::serve(format!(
+                    "header block exceeds {MAX_HEAD} bytes"
+                )));
+            }
+            return Ok(None);
+        };
+        let mut line = &buf[pos..pos + nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.len() > MAX_LINE {
+            return Err(TcorError::serve(format!(
+                "request line exceeds {MAX_LINE} bytes"
+            )));
+        }
+        pos += nl + 1;
+        if line.is_empty() {
+            if lines.is_empty() {
+                return Err(TcorError::serve("malformed request line ``"));
+            }
+            break pos;
+        }
+        if lines.len() > MAX_HEADERS {
+            return Err(TcorError::serve(format!("more than {MAX_HEADERS} headers")));
+        }
+        lines.push(
+            String::from_utf8(line.to_vec())
+                .map_err(|_| TcorError::serve("request line is not UTF-8"))?,
+        );
+        if pos > MAX_HEAD {
+            return Err(TcorError::serve(format!(
+                "header block exceeds {MAX_HEAD} bytes"
+            )));
+        }
+    };
+    let mut request = parse_head(&lines[0], &lines[1..])?;
+    let body_len = content_length(&request.headers)?;
+    let total = body_start + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    request.body = String::from_utf8(buf[body_start..total].to_vec())
+        .map_err(|_| TcorError::serve("body is not UTF-8"))?;
+    Ok(Some((request, total)))
+}
+
+/// Reads and parses one request from `stream` (blocking; client-side
+/// and test substrate — the server uses [`parse_request`]).
+///
+/// # Errors
+///
+/// Returns a serve-class error for an empty/garbled request line, too
+/// many or too long headers, an oversized or short body, or transport
+/// failures (including read-timeout expiry).
+pub fn read_request<S: Read>(stream: S) -> TcorResult<Request> {
+    let mut reader = BufReader::new(stream);
+    let start = read_line(&mut reader)?;
+    let mut header_lines = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if header_lines.len() > MAX_HEADERS {
+            return Err(TcorError::serve(format!("more than {MAX_HEADERS} headers")));
+        }
+        header_lines.push(line);
+    }
+    let mut request = parse_head(&start, &header_lines)?;
+    let body_len = content_length(&request.headers)?;
+    let mut body = vec![0u8; body_len];
     reader.read_exact(&mut body).map_err(|e| {
         TcorError::with_source(tcor_common::ErrorKind::Serve, "reading request body", e)
     })?;
-    let body = String::from_utf8(body).map_err(|_| TcorError::serve("body is not UTF-8"))?;
-    Ok(Request {
-        method,
-        path,
-        headers,
-        body,
-    })
+    request.body = String::from_utf8(body).map_err(|_| TcorError::serve("body is not UTF-8"))?;
+    Ok(request)
 }
 
-/// A response ready to serialize. Every response closes its connection.
+/// A response ready to serialize. The `Connection:` header follows the
+/// negotiated [`keep_alive`](Response::keep_alive) state — constructors
+/// default to close, and the event loop flips it per connection.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
@@ -147,6 +274,9 @@ pub struct Response {
     pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: String,
+    /// Whether the connection stays open after this response
+    /// (`Connection: keep-alive` vs `close`).
+    pub keep_alive: bool,
 }
 
 impl Response {
@@ -157,6 +287,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8".to_string(),
             headers: Vec::new(),
             body: body.into(),
+            keep_alive: false,
         }
     }
 
@@ -167,12 +298,19 @@ impl Response {
             content_type: "application/json".to_string(),
             headers: Vec::new(),
             body: body.into(),
+            keep_alive: false,
         }
     }
 
     /// Adds a header, builder-style.
     pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
         self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Sets the negotiated connection state, builder-style.
+    pub fn with_keep_alive(mut self, keep_alive: bool) -> Self {
+        self.keep_alive = keep_alive;
         self
     }
 
@@ -183,6 +321,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -191,20 +330,25 @@ impl Response {
         }
     }
 
-    /// The fully serialized response (status line, headers,
-    /// `Connection: close`, body) — the exact bytes [`write_to`]
-    /// sends. Exposed so the serve-plane fault layer can truncate or
-    /// corrupt a response *after* serialization, the way a failing
-    /// network would.
+    /// The fully serialized response (status line, headers, the
+    /// negotiated `Connection:` header, body) — the exact bytes
+    /// [`write_to`] sends. Exposed so the serve-plane fault layer can
+    /// truncate or corrupt a response *after* serialization, the way a
+    /// failing network would.
     ///
     /// [`write_to`]: Response::write_to
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             Self::reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if self.keep_alive {
+                "keep-alive"
+            } else {
+                "close"
+            },
         );
         for (name, value) in &self.headers {
             head.push_str(name);
@@ -242,6 +386,7 @@ mod tests {
         let req = read_request(raw.as_bytes()).unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/health");
+        assert_eq!(req.version, "HTTP/1.1");
         assert_eq!(req.header("host"), Some("localhost"));
         assert_eq!(req.header("X-Probe"), Some("1"));
         assert!(req.body.is_empty());
@@ -267,6 +412,54 @@ mod tests {
     }
 
     #[test]
+    fn incremental_parse_waits_for_completion_then_consumes_exactly() {
+        let raw = b"POST /v1/run HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /next";
+        let (req, consumed) = parse_request(raw).unwrap().expect("complete");
+        // Every proper prefix short of head+body is "keep reading".
+        for cut in 0..consumed {
+            assert!(
+                parse_request(&raw[..cut]).unwrap().is_none(),
+                "cut at {cut} must be incomplete"
+            );
+        }
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "hello");
+        assert_eq!(&raw[consumed..], b"GET /next", "pipelined tail preserved");
+    }
+
+    #[test]
+    fn incremental_parse_rejects_what_read_request_rejects() {
+        assert!(parse_request(b"\r\n\r\n").is_err());
+        assert!(parse_request(b"GET /x SPDY/9\r\n\r\n").is_err());
+        assert!(parse_request(b"no colon header\r\nGET / HTTP/1.1\r\n\r\n").is_err());
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(parse_request(huge.as_bytes()).is_err());
+        // A never-terminating header block errors instead of buffering.
+        let drip = vec![b'a'; MAX_HEAD + 2];
+        assert!(parse_request(&drip).is_err());
+    }
+
+    #[test]
+    fn connection_token_negotiation() {
+        let parse = |raw: &str| parse_request(raw.as_bytes()).unwrap().unwrap().0;
+        // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").wants_keep_alive());
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").wants_keep_alive());
+        // Explicit tokens override the default, case-insensitively.
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").wants_keep_alive());
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n").wants_keep_alive());
+        assert!(parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").wants_keep_alive());
+        // Token lists: any `close` wins over other tokens.
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: TE, close\r\n\r\n").wants_keep_alive());
+        assert!(parse("GET / HTTP/1.0\r\nConnection: keep-alive, TE\r\n\r\n").wants_keep_alive());
+        // Unknown tokens leave the version default in place.
+        assert!(parse("GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n").wants_keep_alive());
+    }
+
+    #[test]
     fn response_serializes_with_close_and_length() {
         let mut buf = Vec::new();
         Response::text(200, "ok\n")
@@ -279,5 +472,13 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("X-Tcor-Cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn response_serializes_keep_alive_when_negotiated() {
+        let bytes = Response::text(200, "ok\n").with_keep_alive(true).to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close\r\n"));
     }
 }

@@ -5,9 +5,14 @@
 //! one-shot CLI into a queryable service with the full
 //! inference-serving request shape —
 //!
-//! * **admission control** — a bounded queue feeds a fixed worker
-//!   pool; at capacity, requests are shed at the door with 429 +
-//!   `Retry-After` ([`pool`]);
+//! * **event-driven connections** — a few event threads multiplex
+//!   every socket with a `poll(2)` readiness loop: nonblocking
+//!   accept, HTTP/1.1 keep-alive reuse, pipelined request batching,
+//!   and inline answers for control routes and warm cache hits
+//!   (the private `event` module; counters in [`metrics`]);
+//! * **admission control** — only cold work crosses a bounded queue
+//!   into a fixed compute pool; at capacity, requests are shed with
+//!   429 + `Retry-After` ([`pool`]);
 //! * **deadlines** — each request carries an accept-time deadline,
 //!   checked when its job is dequeued and while awaiting a coalesced
 //!   result (504 on expiry), so queue waits cannot pin workers on
@@ -31,6 +36,8 @@
 
 pub mod client;
 pub mod coalesce;
+mod event;
+pub mod hist;
 pub mod http;
 pub mod metrics;
 pub mod pool;
@@ -38,9 +45,13 @@ pub mod router;
 pub mod server;
 pub mod signal;
 
-pub use client::{http_request, http_request_retrying, percentile, HttpReply, RetryPolicy};
+pub use client::{
+    http_request, http_request_retrying, percentile, request_retrying, HttpClient, HttpReply,
+    RetryPolicy,
+};
 pub use coalesce::{FollowerHandle, Join, LeaderToken, Singleflight, Waited};
-pub use http::{read_request, Request, Response};
+pub use hist::LatencyHistogram;
+pub use http::{parse_request, read_request, Request, Response};
 pub use metrics::ServeMetrics;
 pub use pool::{BoundedQueue, Pushed};
 pub use router::{route, ApiCall, Route};

@@ -157,6 +157,7 @@ mod tests {
         Request {
             method: method.to_string(),
             path: path.to_string(),
+            version: "HTTP/1.1".to_string(),
             headers: Vec::new(),
             body: body.to_string(),
         }

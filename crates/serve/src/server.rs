@@ -1,26 +1,30 @@
-//! The daemon: accept loop, worker pool, and the full request path.
+//! The daemon: event-driven connection plane plus a bounded compute
+//! pool.
 //!
-//! One nonblocking accept thread admits connections into the
-//! [`BoundedQueue`] (or sheds them at the door); `workers` threads pull
-//! connections, parse, route, and answer. The API path layers, in
-//! order: a per-request deadline (checked when the job is *dequeued*,
-//! so work that already overstayed its queue wait is aborted before it
-//! starts — the watchdog discipline from the runner), the tiered
-//! result cache (a memory hit bypasses the simulator entirely; a disk
-//! hit restores a previous session's bytes and promotes them), and
-//! singleflight coalescing (concurrent identical requests ride one
-//! computation). Shutdown — admin route or signal — stops admission,
-//! drains what was admitted, joins every thread, and hands back the
-//! request timeline.
+//! A small set of event threads ([`crate::event`]) own every socket —
+//! nonblocking accept, keep-alive multiplexing, pipelined parsing, and
+//! write-drain — and answer control routes and warm cache hits inline.
+//! Only cache misses cross the queue: a [`ComputeJob`] goes through
+//! the [`BoundedQueue`] (full ⇒ 429 with a dynamic `Retry-After`),
+//! `workers` threads pull jobs and run the API path, and the finished
+//! response rides an [`EventInbox`] back to the event thread that owns
+//! the connection. The API path layers, in order: a per-request
+//! deadline (checked when the job is *dequeued*, so work that already
+//! overstayed its queue wait is aborted before it starts — the
+//! watchdog discipline from the runner), the tiered result cache (a
+//! memory hit bypasses the simulator entirely; a disk hit restores a
+//! previous session's bytes and promotes them), and singleflight
+//! coalescing (concurrent identical requests ride one computation).
+//! Shutdown — admin route or signal — stops admission, drains what was
+//! admitted, joins every thread, and hands back the request timeline.
 
 use crate::coalesce::{Join, Singleflight, Waited};
-use crate::http::{read_request, Request, Response};
+use crate::event::{event_loop, Completion, EventInbox};
+use crate::http::Response;
 use crate::metrics::ServeMetrics;
-use crate::pool::{BoundedQueue, Pushed};
-use crate::router::{route, ApiCall, Route};
-use crate::signal;
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use crate::pool::BoundedQueue;
+use crate::router::ApiCall;
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -86,13 +90,15 @@ pub trait Backend: Send + Sync + 'static {
 pub struct ServeConfig {
     /// TCP port on 127.0.0.1; 0 binds an ephemeral port.
     pub port: u16,
-    /// Worker threads answering requests.
+    /// Compute-pool threads answering cold (cache-miss) requests.
     pub workers: usize,
+    /// Event threads multiplexing connections (thread 0 also accepts).
+    pub event_threads: usize,
     /// Bounded-queue depth; beyond it requests are shed with 429.
     pub queue_depth: usize,
     /// Memory-tier response-cache capacity, entries.
     pub cache_cap: usize,
-    /// Per-request deadline, accept to answer.
+    /// Per-request deadline, first byte to answer.
     pub deadline: Duration,
     /// Persistent-tier directory (`--cache-dir`); `None` disables
     /// persistence and the daemon behaves exactly as before it existed.
@@ -111,6 +117,7 @@ impl Default for ServeConfig {
         ServeConfig {
             port: 0,
             workers: 4,
+            event_threads: 2,
             queue_depth: 64,
             cache_cap: 256,
             deadline: Duration::from_secs(30),
@@ -125,34 +132,40 @@ impl Default for ServeConfig {
 /// Outcome of a flight: the shared body, or the shared failure.
 type FlightOut = Result<Arc<CachedBody>, Arc<TcorError>>;
 
-struct Conn {
-    stream: TcpStream,
-    accepted: Instant,
+/// A cold request crossing from the connection plane to the compute
+/// pool. Admission happened when this was pushed (that is where 429s
+/// come from); the answer returns as a [`Completion`] to the event
+/// thread that owns the connection.
+pub(crate) struct ComputeJob {
+    /// Index of the owning event thread.
+    pub(crate) thread: usize,
+    /// Connection id within that thread.
+    pub(crate) conn: u64,
+    /// The canonical call to compute.
+    pub(crate) call: ApiCall,
+    /// Request path, for the timeline span.
+    pub(crate) path: String,
+    /// When the request's first byte arrived (deadline anchor).
+    pub(crate) arrived: Instant,
 }
 
-struct Shared {
-    stop: AtomicBool,
-    queue: BoundedQueue<Conn>,
-    metrics: ServeMetrics,
-    cache: Arc<dyn ResultCache>,
+pub(crate) struct Shared {
+    pub(crate) stop: AtomicBool,
+    pub(crate) queue: BoundedQueue<ComputeJob>,
+    pub(crate) metrics: ServeMetrics,
+    pub(crate) cache: Arc<dyn ResultCache>,
     flights: Singleflight<FlightOut>,
     backend: Arc<dyn Backend>,
     telemetry: Option<Arc<Telemetry>>,
-    deadline: Duration,
+    pub(crate) deadline: Duration,
     spans: Mutex<Vec<RequestSpan>>,
     started: Instant,
+    /// One inbox per event thread; workers post completions here.
+    pub(crate) inboxes: Vec<Arc<EventInbox>>,
 }
 
 /// Most request spans retained for the timeline export.
 const MAX_SPANS: usize = 65_536;
-/// Accept-loop poll period while idle. Short enough that connection
-/// admission never dominates a warm (cache-hit) response; the idle
-/// cost is ~2k no-op accept calls per second on one thread.
-const POLL: Duration = Duration::from_micros(500);
-/// Per-connection socket timeout (a stuck peer cannot pin a worker).
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
-/// How long the accept thread will wait to drain a refused request.
-const REFUSE_DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
 
 impl Shared {
     fn event(&self, name: &str, fields: Vec<(String, Json)>) {
@@ -172,7 +185,7 @@ impl Shared {
     /// cache's per-tier counters under `pcache/`, the degraded flag,
     /// and — when a fault injector is armed — per-point fire counts
     /// under `fault/` so chaos runs can audit their schedule.
-    fn metrics_text(&self) -> String {
+    pub(crate) fn metrics_text(&self) -> String {
         let mut reg = self.metrics.registry();
         reg.merge(&self.cache.stats().registry("pcache"));
         reg.add("serve/degraded", u64::from(self.cache.degraded()));
@@ -194,12 +207,68 @@ impl Shared {
         let depth = self.queue.depth() as u64;
         ((depth + 1) * svc_us / 1000).clamp(25, 30_000)
     }
+
+    /// Counts an admitted API request (inline warm answer, or a job
+    /// accepted by the queue — shed requests are *not* received).
+    pub(crate) fn note_received(&self, call: &ApiCall) {
+        self.note_received_parts(call.endpoint(), &call.canonical());
+    }
+
+    /// [`Self::note_received`] when the call was already moved into a
+    /// queued job.
+    pub(crate) fn note_received_parts(&self, endpoint: &str, canonical: &str) {
+        ServeMetrics::bump(&self.metrics.received);
+        self.event(
+            "request_received",
+            vec![
+                ("endpoint".to_string(), Json::str(endpoint)),
+                ("request".to_string(), Json::str(canonical)),
+            ],
+        );
+    }
+
+    /// Probes the result cache for an inline warm answer. A hit never
+    /// touches the queue: the event thread serializes it directly, so
+    /// warm latency is bounded by syscall cost, not queue depth.
+    pub(crate) fn try_warm(&self, call: &ApiCall) -> Option<(Response, &'static str)> {
+        let key = CacheKey::new(call.cache_key(), self.backend.version());
+        let (body, tier) = self.cache.get(&key)?;
+        ServeMetrics::bump(&self.metrics.warm_hits);
+        match tier {
+            Tier::Mem => ServeMetrics::bump(&self.metrics.mem_hits),
+            Tier::Disk => ServeMetrics::bump(&self.metrics.disk_hits),
+        }
+        // The span source distinguishes the tiers ("cache" = memory,
+        // "disk" = restored and promoted).
+        let source = match tier {
+            Tier::Mem => "cache",
+            Tier::Disk => "disk",
+        };
+        Some((ok_response(&body, tier.label()), source))
+    }
+
+    /// The 429 for a request refused at a full queue: integer-seconds
+    /// `Retry-After` for generic clients, the precise ms hint for ours.
+    pub(crate) fn shed_response(&self) -> Response {
+        ServeMetrics::bump(&self.metrics.shed);
+        let hint_ms = self.retry_after_hint_ms();
+        self.metrics
+            .retry_after_ms
+            .store(hint_ms, Ordering::Relaxed);
+        self.event(
+            "request_shed",
+            vec![("retry_after_ms".to_string(), Json::UInt(hint_ms))],
+        );
+        Response::text(429, "queue full, retry shortly\n")
+            .with_header("Retry-After", hint_ms.div_ceil(1000).max(1).to_string())
+            .with_header("X-Tcor-Retry-After-Ms", hint_ms.to_string())
+    }
 }
 
 /// A running daemon.
 pub struct ServerHandle {
     addr: SocketAddr,
-    accept: JoinHandle<()>,
+    events: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
 }
@@ -210,9 +279,13 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests shutdown (same path as `POST /admin/shutdown`).
+    /// Requests shutdown (same path as `POST /admin/shutdown`) and
+    /// wakes the event threads so the drain starts immediately.
     pub fn stop(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        for inbox in &self.shared.inboxes {
+            inbox.notify();
+        }
     }
 
     /// Current `GET /metrics` body, read in-process.
@@ -222,8 +295,17 @@ impl ServerHandle {
 
     /// Blocks until the daemon has drained and every thread has
     /// exited; returns the recorded request timeline.
+    ///
+    /// Join order matters: event threads first (they still need live
+    /// workers to complete inflight jobs during the drain), then the
+    /// queue closes and the workers run dry. A completion for a
+    /// connection whose event thread already exited is dropped — its
+    /// client is gone.
     pub fn wait(self) -> Vec<RequestSpan> {
-        let _ = self.accept.join();
+        for e in self.events {
+            let _ = e.join();
+        }
+        self.shared.queue.close();
         for w in self.workers {
             let _ = w.join();
         }
@@ -237,9 +319,9 @@ impl ServerHandle {
     }
 }
 
-/// Binds 127.0.0.1:`port` and starts the accept loop and worker pool,
-/// building the result cache from `config` (`cache_dir` attaches the
-/// persistent tier).
+/// Binds 127.0.0.1:`port` and starts the event threads and compute
+/// pool, building the result cache from `config` (`cache_dir` attaches
+/// the persistent tier).
 ///
 /// # Errors
 ///
@@ -296,6 +378,14 @@ pub fn start_with_cache(
         .set_nonblocking(true)
         .map_err(|e| TcorError::with_source(ErrorKind::Serve, "setting listener nonblocking", e))?;
     let (warm_valid, warm_evicted) = cache.warm_start(backend.version());
+    let event_threads = config.event_threads.max(1);
+    let mut inboxes = Vec::with_capacity(event_threads);
+    let mut wake_rxs = Vec::with_capacity(event_threads);
+    for _ in 0..event_threads {
+        let (inbox, rx) = EventInbox::new()?;
+        inboxes.push(inbox);
+        wake_rxs.push(rx);
+    }
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
         queue: BoundedQueue::new(config.queue_depth),
@@ -307,6 +397,7 @@ pub fn start_with_cache(
         deadline: config.deadline,
         spans: Mutex::new(Vec::new()),
         started: Instant::now(),
+        inboxes: inboxes.clone(),
     });
     if warm_valid > 0 || warm_evicted > 0 {
         shared.event(
@@ -317,134 +408,56 @@ pub fn start_with_cache(
             ],
         );
     }
-    let accept = {
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || accept_loop(&listener, &shared))
-    };
+    let mut listener = Some(listener);
+    let events = wake_rxs
+        .into_iter()
+        .enumerate()
+        .map(|(t, rx)| {
+            let shared = Arc::clone(&shared);
+            let inbox = Arc::clone(&inboxes[t]);
+            let listener = if t == 0 { listener.take() } else { None };
+            std::thread::spawn(move || event_loop(t, shared, inbox, rx, listener))
+        })
+        .collect();
     let workers = (0..config.workers.max(1))
         .map(|w| {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || worker_loop(w, &shared))
+            let lane = (event_threads + w) as u64;
+            std::thread::spawn(move || worker_loop(lane, &shared))
         })
         .collect();
     Ok(ServerHandle {
         addr,
-        accept,
+        events,
         workers,
         shared,
     })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        if shared.stop.load(Ordering::SeqCst) || signal::requested() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-                let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-                let conn = Conn {
-                    stream,
-                    accepted: Instant::now(),
-                };
-                match shared.queue.try_push(conn) {
-                    Pushed::Accepted => {}
-                    Pushed::Full(conn) => {
-                        ServeMetrics::bump(&shared.metrics.shed);
-                        let hint_ms = shared.retry_after_hint_ms();
-                        shared
-                            .metrics
-                            .retry_after_ms
-                            .store(hint_ms, Ordering::Relaxed);
-                        shared.event(
-                            "request_shed",
-                            vec![("retry_after_ms".to_string(), Json::UInt(hint_ms))],
-                        );
-                        // Integer-seconds `Retry-After` for generic
-                        // clients, the precise ms hint for ours.
-                        let resp = Response::text(429, "queue full, retry shortly\n")
-                            .with_header("Retry-After", hint_ms.div_ceil(1000).max(1).to_string())
-                            .with_header("X-Tcor-Retry-After-Ms", hint_ms.to_string());
-                        refuse(&conn, &resp);
-                    }
-                    Pushed::ShuttingDown(conn) => {
-                        refuse(&conn, &Response::text(503, "shutting down\n"));
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL);
-            }
-            Err(_) => std::thread::sleep(POLL),
+/// One compute-pool thread: pull jobs, run the API path, post the
+/// completion back to the owning event thread. `lane` numbers the
+/// thread in the span timeline after the event threads.
+fn worker_loop(lane: u64, shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let (response, source) = answer_api(shared, &job.call, job.arrived);
+        finish_api(shared, lane, &job.path, job.arrived, &response, source);
+        if let Some(inbox) = shared.inboxes.get(job.thread) {
+            inbox.complete(Completion {
+                conn: job.conn,
+                response,
+            });
         }
     }
-    // Stop admitting, let workers drain what was accepted, then exit.
-    shared.queue.close();
 }
 
-/// Answers a connection refused at admission. The pending request is
-/// drained first (under a short timeout so a slow peer cannot stall
-/// admission): closing with unread data in the receive buffer makes
-/// the kernel RST the connection and the peer would lose the 429/503
-/// we are about to send.
-fn refuse(conn: &Conn, response: &Response) {
-    let _ = conn.stream.set_read_timeout(Some(REFUSE_DRAIN_TIMEOUT));
-    let _ = read_request(&conn.stream);
-    let _ = response.write_to(&conn.stream);
-}
-
-fn worker_loop(worker: usize, shared: &Shared) {
-    while let Some(conn) = shared.queue.pop() {
-        handle_conn(shared, worker, conn);
-    }
-}
-
-fn handle_conn(shared: &Shared, worker: usize, conn: Conn) {
-    // Chaos: a stalled read. The sleep runs with the connection held,
-    // exactly like a peer (or kernel) that stops delivering bytes; a
-    // stall past SOCKET_TIMEOUT turns into a read-timeout 400.
-    if let Some(ms) = fault::fire("serve/stall_read") {
-        std::thread::sleep(Duration::from_millis(ms));
-    }
-    let req = match read_request(&conn.stream) {
-        Ok(req) => req,
-        Err(e) => {
-            let _ = Response::text(400, format!("{e}\n")).write_to(&conn.stream);
-            return;
-        }
-    };
-    let response = match route(&req) {
-        Err(resp) => resp,
-        Ok(Route::Health) => {
-            if shared.cache.degraded() {
-                Response::text(200, "degraded\n")
-            } else {
-                Response::text(200, "ok\n")
-            }
-        }
-        Ok(Route::Metrics) => Response::text(200, shared.metrics_text()),
-        Ok(Route::Shutdown) => {
-            shared.stop.store(true, Ordering::SeqCst);
-            Response::text(200, "shutting down\n")
-        }
-        Ok(Route::Api(call)) => {
-            let (response, source) = answer_api(shared, &call, conn.accepted);
-            finish_api(shared, worker, &req, &conn, &response, source);
-            response
-        }
-    };
-    send_response(&conn.stream, &response);
-}
-
-/// Sends `response`, stamped with `X-Tcor-Body-Hash` (fxhash64 of the
-/// body, hex) so a client can detect in-flight corruption — then
-/// applies any armed serve-plane faults to the serialized bytes:
+/// Serializes a response for the wire: stamps `X-Tcor-Body-Hash`
+/// (fxhash64 of the body, hex) so a client can detect in-flight
+/// corruption, then applies any armed serve-plane faults to the bytes:
 /// `serve/corrupt_response` flips the final byte after the hash was
-/// computed, `serve/drop_conn` truncates mid-body and severs the
-/// connection, the way a dying peer or middlebox would.
-fn send_response(stream: &TcpStream, response: &Response) {
+/// computed; `serve/drop_conn` truncates mid-body (the returned flag
+/// tells the event loop to sever the connection after the partial
+/// write, the way a dying peer or middlebox would).
+pub(crate) fn wire_bytes(response: &Response) -> (Vec<u8>, bool) {
     let body_len = response.body.len();
     let stamped = response.clone().with_header(
         "X-Tcor-Body-Hash",
@@ -456,24 +469,24 @@ fn send_response(stream: &TcpStream, response: &Response) {
             *last ^= 0x5A;
         }
     }
-    let mut w = stream;
     if let Some(keep) = fault::fire("serve/drop_conn") {
         let body_off = bytes.len() - body_len;
         let cut = (body_off + keep as usize).min(bytes.len().saturating_sub(1));
-        let _ = w.write_all(&bytes[..cut]).and_then(|()| w.flush());
-        let _ = stream.shutdown(std::net::Shutdown::Both);
-        return;
+        bytes.truncate(cut);
+        return (bytes, true);
     }
-    let _ = w.write_all(&bytes).and_then(|()| w.flush());
+    (bytes, false)
 }
 
 /// Bookkeeping common to every answered API request: counters, the
-/// `request_done` telemetry event, and the timeline span.
-fn finish_api(
+/// `request_done` telemetry event, and the timeline span. `lane` is
+/// the answering thread (event threads first, then pool workers);
+/// `arrived` anchors wall time at the request's first byte.
+pub(crate) fn finish_api(
     shared: &Shared,
-    worker: usize,
-    req: &Request,
-    conn: &Conn,
+    lane: u64,
+    path: &str,
+    arrived: Instant,
     response: &Response,
     source: &'static str,
 ) {
@@ -481,21 +494,24 @@ fn finish_api(
     if response.status >= 500 {
         ServeMetrics::bump(&shared.metrics.errors);
     }
-    let wall_ms = conn.accepted.elapsed().as_secs_f64() * 1e3;
+    let wall_ms = arrived.elapsed().as_secs_f64() * 1e3;
     shared.metrics.observe_service_time((wall_ms * 1e3) as u64);
-    let start_ms = (conn.accepted - shared.started).as_secs_f64() * 1e3;
+    let start_ms = arrived
+        .saturating_duration_since(shared.started)
+        .as_secs_f64()
+        * 1e3;
     shared.event(
         "request_done",
         vec![
-            ("endpoint".to_string(), Json::str(req.path.clone())),
+            ("endpoint".to_string(), Json::str(path)),
             ("status".to_string(), Json::UInt(response.status as u64)),
             ("wall_ms".to_string(), Json::Float(wall_ms)),
             ("source".to_string(), Json::str(source)),
         ],
     );
     shared.record_span(RequestSpan {
-        endpoint: req.path.clone(),
-        worker: worker as u64,
+        endpoint: path.to_string(),
+        worker: lane,
         start_ms,
         wall_ms,
         status: response.status,
@@ -512,20 +528,14 @@ fn error_response(e: &TcorError) -> Response {
     Response::text(status, format!("{}: {e}\n", e.kind()))
 }
 
-/// The API request path: deadline → cache → singleflight → backend.
-/// Returns the response plus how it was produced (for telemetry).
-fn answer_api(shared: &Shared, call: &ApiCall, accepted: Instant) -> (Response, &'static str) {
-    ServeMetrics::bump(&shared.metrics.received);
-    shared.event(
-        "request_received",
-        vec![
-            ("endpoint".to_string(), Json::str(call.endpoint())),
-            ("request".to_string(), Json::str(call.canonical())),
-        ],
-    );
+/// The API request path for a dequeued job: deadline → cache →
+/// singleflight → backend. Returns the response plus how it was
+/// produced (for telemetry). Admission accounting already happened on
+/// the event thread when the job was accepted.
+fn answer_api(shared: &Shared, call: &ApiCall, arrived: Instant) -> (Response, &'static str) {
     // Deadline check at dequeue: a request that overstayed its queue
     // wait is answered 504 without ever starting its job.
-    if accepted.elapsed() >= shared.deadline {
+    if arrived.elapsed() >= shared.deadline {
         ServeMetrics::bump(&shared.metrics.deadline_expired);
         return (
             Response::text(504, "deadline expired while queued\n"),
@@ -590,7 +600,7 @@ fn answer_api(shared: &Shared, call: &ApiCall, accepted: Instant) -> (Response, 
                 );
                 let remaining = shared
                     .deadline
-                    .checked_sub(accepted.elapsed())
+                    .checked_sub(arrived.elapsed())
                     .unwrap_or(Duration::ZERO);
                 match handle.wait(Some(remaining)) {
                     Waited::Done(Ok(body)) => {
@@ -627,5 +637,6 @@ fn ok_response(body: &CachedBody, cache_state: &'static str) -> Response {
         content_type: body.content_type.clone(),
         headers: vec![("X-Tcor-Cache", cache_state.to_string())],
         body: String::from_utf8_lossy(&body.bytes).into_owned(),
+        keep_alive: false,
     }
 }

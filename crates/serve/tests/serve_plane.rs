@@ -444,3 +444,139 @@ fn admin_shutdown_drains_and_exits() {
     assert!(jsonl.contains("\"event\":\"request_done\""));
     assert!(jsonl.contains("\"source\":\"compute\""));
 }
+
+/// ≥32 simultaneous keep-alive connections on one cold key: exactly
+/// one simulation runs (singleflight), every body is byte-identical,
+/// and a second request down each held connection is a warm inline
+/// hit counted as a keep-alive reuse.
+#[test]
+fn many_keepalive_connections_coalesce_on_one_cold_key() {
+    const CLIENTS: usize = 32;
+    let backend = Arc::new(StubBackend::new(Duration::from_millis(300)));
+    let server = tcor_serve::start(
+        config(4, 64, Duration::from_secs(10)),
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        None,
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = tcor_serve::HttpClient::new(&addr, Duration::from_secs(10));
+                barrier.wait();
+                let cold = client
+                    .request("GET", "/v1/cell/GTr/base64", None)
+                    .expect("cold request");
+                let warm = client
+                    .request("GET", "/v1/cell/GTr/base64", None)
+                    .expect("warm request on the same connection");
+                (cold.body, warm.body, client.is_connected())
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let expected = "{\"request\":\"cell/GTr/base64\"}";
+    for (cold, warm, connected) in &results {
+        assert_eq!(cold, expected, "cold bodies byte-identical");
+        assert_eq!(warm, expected, "warm bodies byte-identical");
+        assert!(connected, "connection survived both requests");
+    }
+    assert_eq!(
+        backend.calls_for("cell/GTr/base64"),
+        1,
+        "one compute for {CLIENTS} connections"
+    );
+    let metrics = server.metrics_text();
+    assert_eq!(metric(&metrics, "serve/cold_computes"), 1);
+    assert_eq!(
+        metric(&metrics, "serve/request_received"),
+        2 * CLIENTS as u64
+    );
+    assert_eq!(
+        metric(&metrics, "serve/request_coalesced") + metric(&metrics, "serve/cache_warm_hits"),
+        2 * CLIENTS as u64 - 1,
+        "everyone but the leader coalesced or hit warm"
+    );
+    assert_eq!(metric(&metrics, "serve/conns_accepted"), CLIENTS as u64);
+    assert_eq!(
+        metric(&metrics, "serve/keepalive_reuses"),
+        CLIENTS as u64,
+        "each connection served a second request"
+    );
+    server.stop();
+    server.wait();
+}
+
+/// A slowloris peer — request head held open forever — is answered 408
+/// at the per-request deadline and closed, and meanwhile never blocks
+/// the event plane from answering healthy clients.
+#[test]
+fn slowloris_partial_request_times_out_with_408() {
+    use std::io::{Read, Write};
+    let backend = Arc::new(StubBackend::new(Duration::ZERO));
+    let server =
+        tcor_serve::start(config(2, 8, Duration::from_millis(400)), backend, None).unwrap();
+    let addr = server.addr().to_string();
+    let mut slow = std::net::TcpStream::connect(&addr).unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    slow.write_all(b"GET /v1/cell/GTr/base64 HTTP/1.1\r\nHost: trickle\r\n")
+        .unwrap(); // never finishes the head
+                   // The held-open connection must not pin the plane.
+    for _ in 0..4 {
+        assert_eq!(get(&addr, "/health").status, 200);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let mut raw = Vec::new();
+    slow.read_to_end(&mut raw).unwrap(); // server answers then closes
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 408 "),
+        "slowloris answered 408, got: {text}"
+    );
+    assert!(text.contains("Connection: close"));
+    let metrics = server.metrics_text();
+    assert!(metric(&metrics, "serve/deadline_expired") >= 1);
+    server.stop();
+    server.wait();
+}
+
+/// Two requests written back-to-back on one connection come back as
+/// two in-order responses (HTTP/1.1 pipelining), visible in the
+/// pipelined-batch counter.
+#[test]
+fn pipelined_requests_answer_in_order_on_one_connection() {
+    use std::io::{Read, Write};
+    let backend = Arc::new(StubBackend::new(Duration::ZERO));
+    let server = tcor_serve::start(config(2, 8, Duration::from_secs(5)), backend, None).unwrap();
+    let addr = server.addr().to_string();
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(
+            b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n\
+              GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap(); // close after the 2nd reply
+    let text = String::from_utf8_lossy(&raw);
+    let first = text.find("HTTP/1.1 200").expect("first response");
+    let second = text.rfind("HTTP/1.1 200").expect("second response");
+    assert!(second > first, "two responses on the wire");
+    let (head1, head2) = (&text[..second], &text[second..]);
+    assert!(head1.contains("Connection: keep-alive"), "1st keeps alive");
+    assert!(head2.contains("Connection: close"), "2nd negotiated close");
+    assert!(head1.contains("ok\n"), "health body first");
+    assert!(head2.contains("serve/request_done"), "metrics body second");
+    let metrics = server.metrics_text();
+    assert!(metric(&metrics, "serve/pipelined_batches") >= 1);
+    server.stop();
+    server.wait();
+}

@@ -31,7 +31,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 use tcor_runner::Json;
-use tcor_serve::{http_request_retrying, HttpReply, RetryPolicy};
+use tcor_serve::{http_request_retrying, request_retrying, HttpClient, HttpReply, RetryPolicy};
 
 /// Parsed `tcor-sim chaos` flags.
 struct ChaosOpts {
@@ -68,10 +68,15 @@ impl Default for ChaosOpts {
     }
 }
 
-/// The daemon under torture.
+/// The daemon under torture, plus the keep-alive client pinned to this
+/// generation. A SIGKILL/restart cycle yields a fresh address, so the
+/// client lives and dies with its daemon; within a generation every
+/// request rides the same reused connection (stale-connection replay
+/// in [`HttpClient`] covers the race where a kill lands mid-reuse).
 struct Daemon {
     child: Child,
     addr: String,
+    client: HttpClient,
 }
 
 /// How long to wait for a (re)started daemon to publish its port.
@@ -113,7 +118,12 @@ fn spawn_daemon(opts: &ChaosOpts, cache_dir: &Path, port_file: &Path) -> Result<
         if let Ok(addr) = std::fs::read_to_string(port_file) {
             let addr = addr.trim().to_string();
             if !addr.is_empty() {
-                return Ok(Daemon { child, addr });
+                let client = HttpClient::new(addr.clone(), REQUEST_TIMEOUT);
+                return Ok(Daemon {
+                    child,
+                    addr,
+                    client,
+                });
             }
         }
         if let Ok(Some(status)) = child.try_wait() {
@@ -128,11 +138,13 @@ fn spawn_daemon(opts: &ChaosOpts, cache_dir: &Path, port_file: &Path) -> Result<
     }
 }
 
-/// One retried GET against the daemon; returns the reply plus the
-/// retries it took.
-fn get(addr: &str, path: &str, policy: &RetryPolicy) -> Result<(HttpReply, u32), String> {
-    http_request_retrying(addr, "GET", path, None, REQUEST_TIMEOUT, policy)
-        .map_err(|e| format!("GET {path}: {e}"))
+impl Daemon {
+    /// One retried GET over this generation's keep-alive connection;
+    /// returns the reply plus the retries it took.
+    fn get(&mut self, path: &str, policy: &RetryPolicy) -> Result<(HttpReply, u32), String> {
+        request_retrying(&mut self.client, "GET", path, None, policy)
+            .map_err(|e| format!("GET {path}: {e}"))
+    }
 }
 
 /// Counter value out of a `/metrics` body (0 when absent).
@@ -263,7 +275,7 @@ fn torture(opts: &ChaosOpts, cache_dir: &Path, port_file: &Path) -> Result<(), S
 
     for round in 0..opts.rounds {
         for target in &targets {
-            let (reply, retries) = get(&daemon.addr, target, &policy)?;
+            let (reply, retries) = daemon.get(target, &policy)?;
             requests += 1;
             retries_total += u64::from(retries);
             if reply.status != 200 {
@@ -303,21 +315,18 @@ fn torture(opts: &ChaosOpts, cache_dir: &Path, port_file: &Path) -> Result<(), S
     // have opened; once the schedule's per-point budgets (`#limit`)
     // are exhausted, cooldown + a half-open probe must close it again.
     // Driven with real requests so the probe has traffic to ride.
-    let mut final_metrics = get(&daemon.addr, "/metrics", &policy)?.0.body;
+    let mut final_metrics = daemon.get("/metrics", &policy)?.0.body;
     if opts.expect_breaker {
         let deadline = Instant::now() + RECOVERY_TIMEOUT;
         loop {
-            let (reply, retries) = get(
-                &daemon.addr,
-                &targets[requests as usize % targets.len()],
-                &policy,
-            )?;
+            let target = targets[requests as usize % targets.len()].clone();
+            let (reply, retries) = daemon.get(&target, &policy)?;
             requests += 1;
             retries_total += u64::from(retries);
             if reply.status != 200 {
                 return Err(format!("recovery drive -> {}", reply.status));
             }
-            final_metrics = get(&daemon.addr, "/metrics", &policy)?.0.body;
+            final_metrics = daemon.get("/metrics", &policy)?.0.body;
             let opens = counter(&final_metrics, "pcache/breaker_opens");
             let state = counter(&final_metrics, "pcache/breaker_state");
             if opens >= 1 && state == 0 {

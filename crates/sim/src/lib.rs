@@ -27,6 +27,7 @@ pub mod ablation;
 pub mod chaos;
 pub mod example;
 pub mod figures;
+pub mod loadgen;
 pub mod misscurves;
 pub mod orchestrate;
 pub mod output;

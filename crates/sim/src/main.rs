@@ -27,6 +27,10 @@
 //!                                a non-2xx answer)
 //! tcor-sim bench-serve           drive a loopback daemon cold/warm/burst,
 //!                                write BENCH_serve.json
+//! tcor-sim bench-load            open-loop concurrent load generator: warm
+//!                                latency tiers (1..2048 keep-alive conns)
+//!                                plus shedding under overload, merged into
+//!                                BENCH_serve.json
 //! tcor-sim chaos                 torture a child daemon under seeded fault
 //!                                injection and kill/restart cycles
 //! ```
@@ -83,7 +87,8 @@ fn usage() {
          (--gate: fail if any speedup < 1.0 or output drifts)"
     );
     eprintln!(
-        "       tcor-sim serve [--port N] [--workers K] [--queue-depth D] [--cache-cap C] \
+        "       tcor-sim serve [--port N] [--workers K] [--event-threads E] [--queue-depth D] \
+         [--cache-cap C] \
          [--deadline-ms MS] [--cache-dir DIR] [--cache-disk-bytes B] \
          [--telemetry FILE] [--serve-trace FILE] [--port-file FILE] \
          [--breaker-threshold N] [--breaker-cooldown-ms MS] \
@@ -98,6 +103,10 @@ fn usage() {
     );
     eprintln!(
         "       tcor-sim bench-serve [FILE]     cold/warm-mem/warm-disk serving timings -> FILE"
+    );
+    eprintln!(
+        "       tcor-sim bench-load [FILE] [--smoke] [--seed S]  open-loop concurrent load \
+         generator: warm latency tiers + shedding under overload, merged into FILE"
     );
     eprintln!(
         "       tcor-sim chaos [--seed S] [--fault-spec SPEC] [--kill-every N] [--rounds R] \
@@ -470,6 +479,10 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             },
             "--workers" => match value.parse::<usize>() {
                 Ok(n) if n >= 1 => cfg.workers = n,
+                _ => return bad("a positive integer"),
+            },
+            "--event-threads" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.event_threads = n,
                 _ => return bad("a positive integer"),
             },
             "--queue-depth" => match value.parse::<usize>() {
@@ -1051,6 +1064,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench-serve") {
         return bench_serve(args.get(1).map_or("BENCH_serve.json", String::as_str));
+    }
+    if args.first().map(String::as_str) == Some("bench-load") {
+        return tcor_sim::loadgen::bench_load_cmd(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("serve") {
         return serve_cmd(&args[1..]);
