@@ -122,6 +122,83 @@ if [ "$code" -ne 0 ]; then
 fi
 rm -f "$PORT_FILE" "$SERVE_OUT"
 
+echo "== stream smoke (chunked upload byte-identical to offline misscurves + 413 cap)"
+# The streaming profile plane must answer a chunked GTr upload with
+# finish curves byte-identical to the offline /v1/misscurve plane for
+# both policies (streamed ≡ whole-trace, proved with cmp), refuse an
+# over-limit chunk body with 413 from the head alone, and count the
+# rejection in serve/body_rejected.
+STREAM_OUT=/tmp/tcor-ci-stream-gtr.json
+OFFLINE_OUT=/tmp/tcor-ci-offline-gtr.json
+rm -f "$PORT_FILE"
+"$TCOR_SIM" serve --port 0 --workers 2 --queue-depth 16 --port-file "$PORT_FILE" \
+  >/dev/null 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "ci: FAIL: stream-smoke daemon never published its port" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+ADDR=$(cat "$PORT_FILE")
+for policy in opt lru; do
+  if ! "$TCOR_SIM" stream "$ADDR" --workload GTr --policy "$policy" \
+      --chunk-accesses 1000 > "$STREAM_OUT" 2>/dev/null; then
+    echo "ci: FAIL: chunked stream upload (policy $policy) failed" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+  "$TCOR_SIM" serve-req "$ADDR" GET "/v1/misscurve/GTr/$policy" > "$OFFLINE_OUT"
+  if ! cmp -s "$STREAM_OUT" "$OFFLINE_OUT"; then
+    echo "ci: FAIL: streamed GTr/$policy curve differs from the offline misscurve bytes" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+done
+if ! "$TCOR_SIM" stream "$ADDR" --probe-oversize 2>/dev/null; then
+  echo "ci: FAIL: oversize chunk body was not refused with 413" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+if ! "$TCOR_SIM" serve-req "$ADDR" GET /metrics | grep -q 'serve/body_rejected = 1'; then
+  echo "ci: FAIL: the 413 rejection did not land in serve/body_rejected" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+"$TCOR_SIM" serve-req "$ADDR" POST /admin/shutdown >/dev/null
+set +e
+wait "$SERVE_PID"
+code=$?
+set -e
+if [ "$code" -ne 0 ]; then
+  echo "ci: FAIL: stream-smoke daemon exited $code after graceful shutdown, expected 0" >&2
+  exit 1
+fi
+rm -f "$PORT_FILE" "$STREAM_OUT" "$OFFLINE_OUT"
+
+echo "== bench-stream smoke (streaming ingest + live snapshots, offline byte parity)"
+# The in-process streaming benchmark asserts the finished curve is
+# byte-identical to a whole-trace profiler run of the same synthetic
+# trace, takes live snapshots mid-ingest, and records the profiler's
+# window high-water against the session budgets.
+BENCH_STREAM_OUT=/tmp/tcor-ci-bench-stream.json
+rm -f "$BENCH_STREAM_OUT"
+"$TCOR_SIM" bench-stream "$BENCH_STREAM_OUT" --smoke 2>/dev/null
+for want in '"byte_identical_vs_offline":true' '"smoke":true'; do
+  if ! grep -q "$want" "$BENCH_STREAM_OUT"; then
+    echo "ci: FAIL: bench-stream record is missing $want" >&2
+    exit 1
+  fi
+done
+if grep -q '"snapshots":0' "$BENCH_STREAM_OUT"; then
+  echo "ci: FAIL: bench-stream took no live snapshots" >&2
+  exit 1
+fi
+rm -f "$BENCH_STREAM_OUT"
+
 echo "== restart-warm smoke (persistent cache survives a daemon restart)"
 # Two daemon generations over one --cache-dir. Generation 1 computes a
 # golden table into the persistent cache and dies; generation 2 must

@@ -4,6 +4,10 @@
 //!   trace yields the LRU miss count for *every* capacity simultaneously.
 //! * [`OptStackProfiler`] — the same single-pass trick for Belady-OPT
 //!   (also a stack algorithm under its fixed priority order).
+//! * [`StreamingProfiler`] — incremental driver over both stack
+//!   profilers for traces that arrive as a stream: forward next-use
+//!   resolution, exact snapshots at any prefix, bounded memory via
+//!   run-compaction.
 //! * [`opt_misses`] / [`opt_misses_annotated`] — exact fully-associative
 //!   Belady-OPT replay, one capacity per pass (the retained reference
 //!   implementation the profiler is tested against).
@@ -16,10 +20,12 @@
 mod opt;
 mod optstack;
 mod stack;
+mod streaming;
 
 pub use opt::{opt_misses, opt_misses_annotated};
 pub use optstack::OptStackProfiler;
 pub use stack::LruStackProfiler;
+pub use streaming::StreamingProfiler;
 
 use crate::cache::Cache;
 use crate::index::Indexing;

@@ -1,0 +1,340 @@
+//! Incremental profiler driver: exact OPT + LRU miss curves over a
+//! trace that arrives as a stream.
+//!
+//! [`LruStackProfiler`] is already online — each access's stack
+//! distance depends only on the past. Belady-OPT is not: every
+//! [`OptStackProfiler::record`] needs the access's *next-use* position,
+//! which [`annotate_next_use`](crate::trace::annotate_next_use)
+//! computes with a backward pass over the whole trace. This driver
+//! computes the same annotation *forward*:
+//!
+//! * Every arriving access is appended to a tail window as
+//!   `(addr, u64::MAX)` and indexed in a **pending** map — one slot per
+//!   block, pointing at that block's most recent occurrence (which is,
+//!   by definition, the one whose next use is still unknown).
+//! * When a block recurs at absolute position `p`, the pending slot's
+//!   entry resolves to `next_use = p` — exactly the value the backward
+//!   pass would have produced — and the pending slot moves to the new
+//!   occurrence.
+//! * Resolved accesses feed [`OptStackProfiler::record`] **in trace
+//!   order**: only the maximal resolved *prefix* of the tail is
+//!   flushed. Order matters — resolution order is not trace order (in
+//!   `a b b a`, `a`'s first access resolves last), and the OPT stack's
+//!   depth accounting is only correct for in-order feeding.
+//! * A snapshot at any prefix clones the profiler and replays the
+//!   unflushed tail, with still-pending entries as `next_use = ∞` —
+//!   which is precisely `annotate_next_use` of the prefix (nothing in
+//!   the prefix touches those blocks again). So live snapshots are
+//!   *exact* for the ingested prefix, not approximate.
+//!
+//! Memory: the tail holds every access since the oldest still-pending
+//! one — `O(window)`, not `O(trace)` in the common case — and
+//! **run-compaction** drains the consumed prefix once it dominates the
+//! tail, so the buffer tracks the live window instead of growing
+//! monotonically. A worst-case stream (one never-repeated block
+//! followed by heavy reuse) keeps its window equal to the stream, which
+//! is why serving sessions pair this driver with byte budgets;
+//! [`peak_window`](StreamingProfiler::peak_window) reports the
+//! high-water mark so the budget can be audited.
+
+use super::{LruStackProfiler, OptStackProfiler};
+use crate::trace::Access;
+use tcor_common::{BlockAddr, FxHashMap};
+
+/// Tail consumption below which compaction is not worth the move.
+const COMPACT_MIN: usize = 64;
+
+/// Streaming exact-OPT + LRU profiler: push accesses as they arrive,
+/// snapshot exact miss curves for the prefix seen so far, finalize for
+/// the whole stream.
+///
+/// ```
+/// use tcor_cache::profile::StreamingProfiler;
+/// use tcor_cache::Access;
+/// use tcor_common::BlockAddr;
+///
+/// let mut s = StreamingProfiler::new();
+/// for b in [1u64, 2, 3, 1, 2] {
+///     s.push(Access::read(BlockAddr(b)));
+/// }
+/// // Belady textbook: a b c a b in 2 lines -> 4 misses, exact mid-stream.
+/// assert_eq!(s.snapshot_opt().misses_at(2), 4);
+/// s.finalize();
+/// assert_eq!(s.opt().misses_at(2), 4);
+/// assert_eq!(s.lru().misses_at(2), 5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StreamingProfiler {
+    /// OPT profiler holding the resolved prefix (fed in trace order).
+    opt: OptStackProfiler,
+    /// LRU profiler — online by nature, always covers the full prefix.
+    lru: LruStackProfiler,
+    /// Accesses not yet fed to `opt`: `(addr, next_use)`, where
+    /// `u64::MAX` marks a still-pending (last-occurrence) entry.
+    /// Entries before `start` are consumed and await compaction.
+    tail: Vec<(BlockAddr, u64)>,
+    /// First unconsumed tail index.
+    start: usize,
+    /// Block -> tail index of its most recent (pending) occurrence.
+    /// Always ≥ `start`: a pending entry is never consumed.
+    pending: FxHashMap<BlockAddr, usize>,
+    /// Absolute position of the next access (= total pushed).
+    position: u64,
+    /// High-water mark of the live window (`tail.len() - start`).
+    peak_window: usize,
+    /// `finalize` ran; further pushes would mis-annotate.
+    finalized: bool,
+}
+
+impl StreamingProfiler {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests the next access of the stream.
+    ///
+    /// Must not be called after [`finalize`](Self::finalize): the
+    /// pending map was cleared, so recurrences of old blocks would be
+    /// mis-annotated as first touches (debug-asserted).
+    pub fn push(&mut self, access: Access) {
+        debug_assert!(!self.finalized, "push after finalize");
+        self.lru.record(access.addr);
+        let p = self.position;
+        self.position += 1;
+        // The block's previous occurrence (if any) just learned its
+        // next use: this access's absolute position.
+        if let Some(&at) = self.pending.get(&access.addr) {
+            self.tail[at].1 = p;
+        }
+        self.pending.insert(access.addr, self.tail.len());
+        self.tail.push((access.addr, u64::MAX));
+        self.flush();
+    }
+
+    /// Feeds the maximal resolved prefix of the tail to the OPT
+    /// profiler (in trace order), then compacts the consumed region
+    /// once it dominates.
+    fn flush(&mut self) {
+        while let Some(&(addr, next_use)) = self.tail.get(self.start) {
+            if next_use == u64::MAX {
+                break; // still pending: everything after must wait
+            }
+            // A resolved entry is never a block's last occurrence, so
+            // `pending` cannot reference this slot.
+            self.opt.record(addr, next_use);
+            self.start += 1;
+        }
+        self.peak_window = self.peak_window.max(self.tail.len() - self.start);
+        if self.start > COMPACT_MIN && self.start * 2 > self.tail.len() {
+            let consumed = self.start;
+            self.tail.drain(..consumed);
+            for at in self.pending.values_mut() {
+                *at -= consumed; // pending indices are all ≥ consumed
+            }
+            self.start = 0;
+        }
+    }
+
+    /// Exact OPT profile of the prefix pushed so far: a clone of the
+    /// resolved-prefix profiler with the live window replayed on top
+    /// (pending entries as `next_use = ∞`). Equals
+    /// `OptStackProfiler::profile(prefix, annotate_next_use(prefix))`
+    /// bit for bit. Cost: `O(window)` records on the clone.
+    pub fn snapshot_opt(&self) -> OptStackProfiler {
+        let mut opt = self.opt.clone();
+        for &(addr, next_use) in &self.tail[self.start..] {
+            opt.record(addr, next_use);
+        }
+        opt
+    }
+
+    /// Declares the stream complete: every pending access keeps
+    /// `next_use = ∞` and the whole tail is flushed into the OPT
+    /// profiler, which [`opt`](Self::opt) then exposes directly.
+    /// Idempotent; [`push`](Self::push) is no longer allowed.
+    pub fn finalize(&mut self) {
+        for &(addr, next_use) in &self.tail[self.start..] {
+            self.opt.record(addr, next_use);
+        }
+        self.tail.clear();
+        self.tail.shrink_to_fit();
+        self.pending.clear();
+        self.start = 0;
+        self.finalized = true;
+    }
+
+    /// The finalized (or resolved-prefix) OPT profiler. Only covers the
+    /// full stream after [`finalize`](Self::finalize); use
+    /// [`snapshot_opt`](Self::snapshot_opt) mid-stream.
+    pub fn opt(&self) -> &OptStackProfiler {
+        &self.opt
+    }
+
+    /// The LRU profiler — always exact for the full prefix (LRU needs
+    /// no future information).
+    pub fn lru(&self) -> &LruStackProfiler {
+        &self.lru
+    }
+
+    /// Accesses pushed so far.
+    pub fn total_accesses(&self) -> u64 {
+        self.position
+    }
+
+    /// Distinct blocks seen so far.
+    pub fn distinct_blocks(&self) -> usize {
+        self.lru.distinct_blocks()
+    }
+
+    /// Current live window: accesses buffered but not yet fed to the
+    /// OPT profiler (everything since the oldest still-pending access).
+    pub fn window_len(&self) -> usize {
+        self.tail.len() - self.start
+    }
+
+    /// High-water mark of [`window_len`](Self::window_len) — the
+    /// session's memory bound, reported against the compaction budget.
+    pub fn peak_window(&self) -> usize {
+        self.peak_window
+    }
+
+    /// Whether [`finalize`](Self::finalize) has run.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::annotate_next_use;
+
+    fn reads(seq: &[u64]) -> Vec<Access> {
+        seq.iter().map(|&b| Access::read(BlockAddr(b))).collect()
+    }
+
+    fn whole(trace: &[Access]) -> OptStackProfiler {
+        OptStackProfiler::profile(trace, &annotate_next_use(trace))
+    }
+
+    #[test]
+    fn belady_textbook_streams_exactly() {
+        let mut s = StreamingProfiler::new();
+        for a in reads(&[1, 2, 3, 1, 2]) {
+            s.push(a);
+        }
+        s.finalize();
+        assert_eq!(s.opt().misses_at(1), 5);
+        assert_eq!(s.opt().misses_at(2), 4);
+        assert_eq!(s.opt().misses_at(3), 3);
+        assert_eq!(s.lru().misses_at(3), 3);
+        assert_eq!(s.total_accesses(), 5);
+        assert_eq!(s.distinct_blocks(), 3);
+    }
+
+    /// The ordering trap this driver exists to avoid: in `a b b a`,
+    /// resolution order is `b a` (b resolves at the second b, a only at
+    /// the final a) — feeding in that order would profile the trace
+    /// `b a b a` and get 4 misses at capacity 1 instead of 3.
+    #[test]
+    fn resolution_order_differs_from_trace_order() {
+        let t = reads(&[1, 2, 2, 1]);
+        let mut s = StreamingProfiler::new();
+        for a in &t {
+            s.push(*a);
+        }
+        s.finalize();
+        assert_eq!(s.opt().misses_at(1), 3, "a b b a has one hit at C=1");
+        for c in 0..6 {
+            assert_eq!(s.opt().misses_at(c), whole(&t).misses_at(c));
+        }
+    }
+
+    #[test]
+    fn snapshot_is_exact_at_every_prefix() {
+        let seq = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3];
+        let t = reads(&seq);
+        let mut s = StreamingProfiler::new();
+        for (i, a) in t.iter().enumerate() {
+            s.push(*a);
+            let snap = s.snapshot_opt();
+            let reference = whole(&t[..=i]);
+            for c in 0..=seq.len() + 1 {
+                assert_eq!(
+                    snap.misses_at(c),
+                    reference.misses_at(c),
+                    "prefix {} capacity {c}",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut s = StreamingProfiler::new();
+        assert_eq!(s.snapshot_opt().misses_at(4), 0);
+        assert_eq!(s.window_len(), 0);
+        s.finalize();
+        assert_eq!(s.opt().total_accesses(), 0);
+        assert_eq!(s.lru().total_accesses(), 0);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut s = StreamingProfiler::new();
+        for a in reads(&[1, 2, 1]) {
+            s.push(a);
+        }
+        s.finalize();
+        let before: Vec<u64> = (0..5).map(|c| s.opt().misses_at(c)).collect();
+        s.finalize();
+        let after: Vec<u64> = (0..5).map(|c| s.opt().misses_at(c)).collect();
+        assert_eq!(before, after);
+        assert!(s.is_finalized());
+    }
+
+    /// Heavy reuse keeps the window tiny (compaction drains the
+    /// consumed prefix); the one never-repeated block pins the window
+    /// until finalize.
+    #[test]
+    fn compaction_bounds_the_window_under_reuse() {
+        let mut s = StreamingProfiler::new();
+        // A cyclic working set: every block recurs within 8 accesses.
+        for i in 0..10_000u64 {
+            s.push(Access::read(BlockAddr(i % 8)));
+        }
+        assert!(
+            s.window_len() <= 9,
+            "window {} must track the reuse distance, not the stream",
+            s.window_len()
+        );
+        assert!(s.peak_window() <= 9);
+        // Memory bound, not just index bound: the buffer itself shrank.
+        assert!(s.tail.len() < 1024, "tail holds {} entries", s.tail.len());
+        s.finalize();
+        assert_eq!(s.opt().total_accesses(), 10_000);
+        assert_eq!(s.opt().misses_at(8), 8, "working set fits: cold only");
+    }
+
+    #[test]
+    fn all_distinct_tail_stays_pending_until_finalize() {
+        let t = reads(&[1, 1, 2, 3, 4, 5]);
+        let mut s = StreamingProfiler::new();
+        for a in &t {
+            s.push(*a);
+        }
+        // Only `1 1` resolved; the scan tail is all pending.
+        assert_eq!(s.window_len(), 5);
+        let snap = s.snapshot_opt();
+        for c in 0..8 {
+            assert_eq!(snap.misses_at(c), whole(&t).misses_at(c));
+        }
+        s.finalize();
+        assert_eq!(s.window_len(), 0);
+        for c in 0..8 {
+            assert_eq!(s.opt().misses_at(c), whole(&t).misses_at(c));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests: the streaming profiler is *exact*, not approximate.
+//!
+//! For 100+ seeded random traces, cut at arbitrary chunk boundaries
+//! (including one-access chunks and a final all-pending tail of
+//! never-recurring blocks), every live snapshot and the finalized
+//! profiler must agree pointwise — at every capacity — with the
+//! whole-trace [`OptStackProfiler::profile`] / [`LruStackProfiler`]
+//! over the same prefix. Chunking is a transport detail; it must never
+//! leak into the curves.
+
+use tcor_cache::profile::{LruStackProfiler, OptStackProfiler, StreamingProfiler};
+use tcor_cache::{annotate_next_use, Access};
+use tcor_common::{BlockAddr, SmallRng};
+
+fn random_trace(rng: &mut SmallRng, blocks: u64, max_len: usize) -> Vec<Access> {
+    let len = rng.random_range(1..max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| Access::read(BlockAddr(rng.random_range(0..blocks))))
+        .collect()
+}
+
+/// Whole-trace reference profilers over `prefix`.
+fn reference(prefix: &[Access]) -> (OptStackProfiler, LruStackProfiler) {
+    let opt = OptStackProfiler::profile(prefix, &annotate_next_use(prefix));
+    let mut lru = LruStackProfiler::new();
+    for a in prefix {
+        lru.record(a.addr);
+    }
+    (opt, lru)
+}
+
+/// Asserts streamed == whole-trace at every capacity up to just past
+/// the prefix's distinct-block count (beyond which both are flat).
+fn assert_pointwise(
+    streamed_opt: &OptStackProfiler,
+    streamed_lru: &LruStackProfiler,
+    prefix: &[Access],
+) {
+    let (want_opt, want_lru) = reference(prefix);
+    let caps = tcor_cache::trace::distinct_blocks(prefix) + 2;
+    for c in 0..=caps {
+        assert_eq!(
+            streamed_opt.misses_at(c),
+            want_opt.misses_at(c),
+            "OPT diverges at capacity {c} over {} accesses",
+            prefix.len()
+        );
+        assert_eq!(
+            streamed_lru.misses_at(c),
+            want_lru.misses_at(c),
+            "LRU diverges at capacity {c} over {} accesses",
+            prefix.len()
+        );
+    }
+}
+
+#[test]
+fn chunked_streams_match_whole_trace_profiles_pointwise() {
+    let mut rng = SmallRng::seed_from_u64(0x7c0e);
+    let mut checked = 0u32;
+    for case in 0..120 {
+        // Small block universes force reuse; large ones force pending
+        // tails. Sweep both.
+        let blocks = [3, 8, 32, 1024][case % 4];
+        let trace = random_trace(&mut rng, blocks, 400);
+        let mut sp = StreamingProfiler::new();
+        let mut fed = 0usize;
+        while fed < trace.len() {
+            let chunk = 1 + rng.random_range(0..64u64) as usize;
+            let until = (fed + chunk).min(trace.len());
+            for a in &trace[fed..until] {
+                sp.push(*a);
+            }
+            fed = until;
+            // Live snapshot at this arbitrary cut: exact for the
+            // ingested prefix.
+            assert_pointwise(&sp.snapshot_opt(), sp.lru(), &trace[..fed]);
+        }
+        sp.finalize();
+        assert_pointwise(sp.opt(), sp.lru(), &trace);
+        checked += 1;
+    }
+    assert!(checked >= 100, "property needs 100+ traces, got {checked}");
+}
+
+#[test]
+fn one_access_chunks_are_exact() {
+    let mut rng = SmallRng::seed_from_u64(0x517e);
+    for _ in 0..20 {
+        let trace = random_trace(&mut rng, 6, 120);
+        let mut sp = StreamingProfiler::new();
+        for (i, a) in trace.iter().enumerate() {
+            sp.push(*a);
+            assert_pointwise(&sp.snapshot_opt(), sp.lru(), &trace[..=i]);
+        }
+        sp.finalize();
+        assert_pointwise(sp.opt(), sp.lru(), &trace);
+    }
+}
+
+#[test]
+fn all_pending_tail_resolves_only_at_finalize() {
+    // A reuse-heavy body followed by a tail of never-again blocks: the
+    // tail stays pending (next_use unknown) until finalize pins it to
+    // infinity. Snapshots mid-tail must still be exact.
+    let mut rng = SmallRng::seed_from_u64(0xfade);
+    for _ in 0..20 {
+        let mut trace = random_trace(&mut rng, 4, 100);
+        let start = 1_000_000 + rng.random_range(0..100);
+        for i in 0..30 {
+            trace.push(Access::read(BlockAddr(start + i)));
+        }
+        let mut sp = StreamingProfiler::new();
+        for (i, a) in trace.iter().enumerate() {
+            sp.push(*a);
+            if i >= trace.len() - 30 {
+                assert_pointwise(&sp.snapshot_opt(), sp.lru(), &trace[..=i]);
+            }
+        }
+        assert!(
+            sp.window_len() >= 30,
+            "the distinct tail must still be pending"
+        );
+        sp.finalize();
+        assert_pointwise(sp.opt(), sp.lru(), &trace);
+    }
+}

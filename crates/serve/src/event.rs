@@ -36,11 +36,11 @@
 //! feeds the poll timeout, so an idle daemon wakes ~2 times a second
 //! instead of the old accept loop's ~2000 no-op polls.
 
-use crate::http::{parse_request, Request, Response};
+use crate::http::{parse_request_limited, ParseOutcome, Request, Response};
 use crate::metrics::ServeMetrics;
 use crate::pool::Pushed;
-use crate::router::{route, Route};
-use crate::server::{finish_api, wire_bytes, ComputeJob, Shared};
+use crate::router::{body_limit, route, Route};
+use crate::server::{finish_api, wire_bytes, ComputeJob, Shared, Work};
 use crate::signal;
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -279,6 +279,11 @@ struct Conn {
     partial_since: Option<Instant>,
     /// `serve/stall_read` fired: don't parse new bytes until then.
     stall_until: Option<Instant>,
+    /// Head+body size of the in-progress request once its head has
+    /// parsed and its declared body passed the per-route limit — the
+    /// read cap is raised to this so an *allowed* large body (stream
+    /// ingest) can finish arriving; hostile sizes were already 413'd.
+    frame_total: Option<usize>,
     last_activity: Instant,
     /// Requests parsed on this connection (≥ 2 ⇒ keep-alive reuse).
     served: u64,
@@ -301,6 +306,7 @@ impl Conn {
             peer_closed: false,
             partial_since: None,
             stall_until: None,
+            frame_total: None,
             last_activity: Instant::now(),
             served: 0,
             dead: false,
@@ -311,13 +317,19 @@ impl Conn {
         self.out_pos < self.out.len()
     }
 
+    /// Read cap: the pipelining backpressure bound, raised to the
+    /// in-progress request's admitted frame size when that is larger.
+    fn read_cap(&self) -> usize {
+        MAX_CONN_BUF.max(self.frame_total.unwrap_or(0))
+    }
+
     fn wants_read(&self, stopping: bool) -> bool {
         !stopping
             && !self.dead
             && !self.close_after_drain
             && !self.peer_closed
             && self.stall_until.is_none()
-            && self.buf.len() < MAX_CONN_BUF
+            && self.buf.len() < self.read_cap()
     }
 
     /// Nothing left to do for this connection: safe to close.
@@ -538,7 +550,7 @@ impl EventLoop {
         let mut tmp = [0u8; READ_CHUNK];
         let mut read_any = false;
         loop {
-            if conn.buf.len() >= MAX_CONN_BUF {
+            if conn.buf.len() >= conn.read_cap() {
                 break;
             }
             match conn.stream.read(&mut tmp) {
@@ -590,9 +602,10 @@ impl EventLoop {
             if conn.dead || conn.close_after_drain {
                 break;
             }
-            match parse_request(&conn.buf) {
-                Ok(Some((request, consumed))) => {
+            match parse_request_limited(&conn.buf, |req| body_limit(&req.method, &req.path)) {
+                Ok(ParseOutcome::Complete(request, consumed)) => {
                     conn.buf.drain(..consumed);
+                    conn.frame_total = None;
                     let arrived = conn.partial_since.take().unwrap_or_else(Instant::now);
                     if !conn.buf.is_empty() {
                         conn.partial_since = Some(Instant::now());
@@ -604,7 +617,32 @@ impl EventLoop {
                     conn.pending.push_back((request, arrived));
                     parsed += 1;
                 }
-                Ok(None) => break,
+                Ok(ParseOutcome::Incomplete { frame }) => {
+                    conn.frame_total = frame;
+                    break;
+                }
+                Ok(ParseOutcome::BodyTooLarge { declared, limit }) => {
+                    // The head alone convicted the request: answer 413
+                    // and close without ever buffering the body.
+                    ServeMetrics::bump(&self.shared.metrics.body_rejected);
+                    conn.keep_alive = false;
+                    conn.buf.clear();
+                    conn.partial_since = None;
+                    conn.frame_total = None;
+                    conn.pending.clear();
+                    conn.close_after_drain = true;
+                    self.enqueue_response(
+                        id,
+                        Response::text(
+                            413,
+                            format!(
+                                "declared body of {declared} bytes exceeds the \
+                                 {limit}-byte limit for this route\n"
+                            ),
+                        ),
+                    );
+                    break;
+                }
                 Err(e) => {
                     // Framing is poisoned: answer 400 and close.
                     // (`close_after_drain` is set before the enqueue
@@ -613,6 +651,7 @@ impl EventLoop {
                     conn.keep_alive = false;
                     conn.buf.clear();
                     conn.partial_since = None;
+                    conn.frame_total = None;
                     conn.pending.clear();
                     conn.close_after_drain = true;
                     self.enqueue_response(id, Response::text(400, format!("{e}\n")));
@@ -708,13 +747,34 @@ impl EventLoop {
                 let job = ComputeJob {
                     thread: self.id,
                     conn: id,
-                    call,
+                    work: Work::Api(call),
                     path: request.path.clone(),
                     arrived,
                 };
                 match shared.queue.try_push(job) {
                     Pushed::Accepted => {
                         shared.note_received_parts(endpoint, &canonical);
+                        None
+                    }
+                    Pushed::Full(_) => Some(shared.shed_response()),
+                    Pushed::ShuttingDown(_) => Some(Response::text(503, "shutting down\n")),
+                }
+            }
+            Ok(Route::Stream(op)) => {
+                // Stream ops are stateful: no warm probe, no
+                // coalescing — straight through the same bounded
+                // admission point as API work.
+                let endpoint = op.endpoint();
+                let job = ComputeJob {
+                    thread: self.id,
+                    conn: id,
+                    work: Work::Stream(op),
+                    path: request.path.clone(),
+                    arrived,
+                };
+                match shared.queue.try_push(job) {
+                    Pushed::Accepted => {
+                        shared.note_received_parts(endpoint, endpoint);
                         None
                     }
                     Pushed::Full(_) => Some(shared.shed_response()),

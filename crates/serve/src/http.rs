@@ -20,8 +20,11 @@ use tcor_common::{TcorError, TcorResult};
 const MAX_LINE: usize = 8 * 1024;
 /// Most accepted header lines.
 const MAX_HEADERS: usize = 64;
-/// Largest accepted request body, bytes.
-const MAX_BODY: usize = 64 * 1024;
+/// Largest accepted request body on ordinary routes, bytes.
+pub const MAX_BODY: usize = 64 * 1024;
+/// Largest accepted request body on streaming-ingest routes, bytes —
+/// the one route family that legitimately uploads bulk data.
+pub const STREAM_MAX_BODY: usize = 1024 * 1024;
 /// Largest accepted header block (start line + headers), bytes — the
 /// incremental parser's "stop accumulating" bound for a peer that
 /// never sends the blank line.
@@ -138,16 +141,22 @@ fn parse_head(start: &str, header_lines: &[String]) -> TcorResult<Request> {
     })
 }
 
-fn content_length(headers: &[(String, String)]) -> TcorResult<usize> {
-    let len = headers
+/// Parses `Content-Length` without enforcing any body limit — limits
+/// are per-route, applied by the caller against the parsed head.
+fn content_length_raw(headers: &[(String, String)]) -> TcorResult<usize> {
+    headers
         .iter()
         .find(|(k, _)| k == "content-length")
         .map(|(_, v)| {
             v.parse::<usize>()
                 .map_err(|_| TcorError::serve(format!("bad content-length `{v}`")))
         })
-        .transpose()?
-        .unwrap_or(0);
+        .transpose()
+        .map(|len| len.unwrap_or(0))
+}
+
+fn content_length(headers: &[(String, String)]) -> TcorResult<usize> {
+    let len = content_length_raw(headers)?;
     if len > MAX_BODY {
         return Err(TcorError::serve(format!(
             "body of {len} bytes exceeds the {MAX_BODY}-byte limit"
@@ -156,19 +165,38 @@ fn content_length(headers: &[(String, String)]) -> TcorResult<usize> {
     Ok(len)
 }
 
-/// Incrementally parses the front of an accumulated byte buffer.
-///
-/// Returns `Ok(Some((request, consumed)))` when `buf` starts with a
-/// complete request — `consumed` is how many bytes it occupied, and
-/// the caller drains them, leaving any pipelined successor in place —
-/// or `Ok(None)` when more bytes are needed.
+/// The incremental parser's verdict on the front of a buffer.
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// A complete request and the bytes it occupied (the caller drains
+    /// them, leaving any pipelined successor in place).
+    Complete(Request, usize),
+    /// More bytes are needed. Once the head has parsed, `frame` is the
+    /// request's total head+body size, so the event loop can admit a
+    /// declared-and-allowed large body past its normal buffer cap.
+    Incomplete { frame: Option<usize> },
+    /// The head parsed cleanly but declares a body over the caller's
+    /// per-route limit — answer 413 *now*, before buffering the body.
+    BodyTooLarge { declared: usize, limit: usize },
+}
+
+/// Incrementally parses the front of an accumulated byte buffer with a
+/// per-route body limit: once the head is available, `limit_for`
+/// inspects it (method/path/headers) and returns the body size this
+/// route accepts. Hostile `Content-Length` values are thus rejected
+/// from the head alone — no body bytes are ever buffered for them.
 ///
 /// # Errors
 ///
 /// A serve-class error for a malformed start line or header, an
-/// oversized line, header block or body, or a non-UTF-8 body — the
+/// oversized line or header block, or a non-UTF-8 body — the
 /// connection is poisoned and the caller answers 400 and closes.
-pub fn parse_request(buf: &[u8]) -> TcorResult<Option<(Request, usize)>> {
+/// An over-limit body is *not* an error (the head framing is intact):
+/// it is the [`ParseOutcome::BodyTooLarge`] verdict, answered 413.
+pub fn parse_request_limited(
+    buf: &[u8],
+    limit_for: impl Fn(&Request) -> usize,
+) -> TcorResult<ParseOutcome> {
     // Walk the header block line by line until the blank terminator.
     let mut lines: Vec<String> = Vec::new();
     let mut pos = 0usize;
@@ -186,7 +214,7 @@ pub fn parse_request(buf: &[u8]) -> TcorResult<Option<(Request, usize)>> {
                     "header block exceeds {MAX_HEAD} bytes"
                 )));
             }
-            return Ok(None);
+            return Ok(ParseOutcome::Incomplete { frame: None });
         };
         let mut line = &buf[pos..pos + nl];
         if line.last() == Some(&b'\r') {
@@ -218,14 +246,39 @@ pub fn parse_request(buf: &[u8]) -> TcorResult<Option<(Request, usize)>> {
         }
     };
     let mut request = parse_head(&lines[0], &lines[1..])?;
-    let body_len = content_length(&request.headers)?;
+    let body_len = content_length_raw(&request.headers)?;
+    let limit = limit_for(&request);
+    if body_len > limit {
+        return Ok(ParseOutcome::BodyTooLarge {
+            declared: body_len,
+            limit,
+        });
+    }
     let total = body_start + body_len;
     if buf.len() < total {
-        return Ok(None);
+        return Ok(ParseOutcome::Incomplete { frame: Some(total) });
     }
     request.body = String::from_utf8(buf[body_start..total].to_vec())
         .map_err(|_| TcorError::serve("body is not UTF-8"))?;
-    Ok(Some((request, total)))
+    Ok(ParseOutcome::Complete(request, total))
+}
+
+/// [`parse_request_limited`] under the flat [`MAX_BODY`] limit, with
+/// the legacy `Option` shape: an over-limit body is a serve-class
+/// error (connection poisoned) rather than a typed 413.
+///
+/// # Errors
+///
+/// Everything [`parse_request_limited`] rejects, plus bodies over
+/// [`MAX_BODY`].
+pub fn parse_request(buf: &[u8]) -> TcorResult<Option<(Request, usize)>> {
+    match parse_request_limited(buf, |_| MAX_BODY)? {
+        ParseOutcome::Complete(request, consumed) => Ok(Some((request, consumed))),
+        ParseOutcome::Incomplete { .. } => Ok(None),
+        ParseOutcome::BodyTooLarge { declared, limit } => Err(TcorError::serve(format!(
+            "body of {declared} bytes exceeds the {limit}-byte limit"
+        ))),
+    }
 }
 
 /// Reads and parses one request from `stream` (blocking; client-side
@@ -322,6 +375,8 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            409 => "Conflict",
+            413 => "Payload Too Large",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -440,6 +495,49 @@ mod tests {
         // A never-terminating header block errors instead of buffering.
         let drip = vec![b'a'; MAX_HEAD + 2];
         assert!(parse_request(&drip).is_err());
+    }
+
+    #[test]
+    fn per_route_limit_verdicts_from_the_head_alone() {
+        // The head alone (no body bytes at all) is enough for a 413
+        // verdict — nothing is buffered for a hostile Content-Length.
+        let head = format!(
+            "POST /v1/stream/s0/chunk HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        match parse_request_limited(head.as_bytes(), |_| MAX_BODY).unwrap() {
+            ParseOutcome::BodyTooLarge { declared, limit } => {
+                assert_eq!(declared, MAX_BODY + 1);
+                assert_eq!(limit, MAX_BODY);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+        // A route-specific larger limit admits the same head.
+        match parse_request_limited(head.as_bytes(), |r| {
+            if r.path.starts_with("/v1/stream/") {
+                STREAM_MAX_BODY
+            } else {
+                MAX_BODY
+            }
+        })
+        .unwrap()
+        {
+            ParseOutcome::Incomplete { frame: Some(total) } => {
+                assert_eq!(total, head.len() + MAX_BODY + 1, "frame spans head+body");
+            }
+            other => panic!("expected Incomplete with frame, got {other:?}"),
+        }
+        // Before the head completes there is no frame size yet.
+        match parse_request_limited(b"POST /x HTTP/1.1\r\n", |_| MAX_BODY).unwrap() {
+            ParseOutcome::Incomplete { frame: None } => {}
+            other => panic!("expected headless Incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reason_covers_streaming_statuses() {
+        assert_eq!(Response::reason(409), "Conflict");
+        assert_eq!(Response::reason(413), "Payload Too Large");
     }
 
     #[test]

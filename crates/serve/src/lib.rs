@@ -26,6 +26,11 @@
 //!   (`tcor-pcache`: an in-memory session LRU over an optional
 //!   persistent disk tier) so warm hits never touch the simulator and
 //!   a restarted daemon answers from disk, not cold;
+//! * **streaming ingest** — `POST /v1/stream` opens a profiling
+//!   session; chunked trace uploads are profiled incrementally
+//!   (`tcor-stream`) with exact live OPT/LRU miss-curve snapshots,
+//!   per-session budgets (413/429), TTL eviction, and per-session
+//!   fault isolation (the private `stream` module);
 //! * **graceful shutdown** — `POST /admin/shutdown` or
 //!   SIGINT/SIGTERM ([`signal`]) stops admission, drains admitted
 //!   work, and exits 0.
@@ -44,6 +49,7 @@ pub mod pool;
 pub mod router;
 pub mod server;
 pub mod signal;
+mod stream;
 
 pub use client::{
     http_request, http_request_retrying, percentile, request_retrying, HttpClient, HttpReply,
@@ -51,8 +57,11 @@ pub use client::{
 };
 pub use coalesce::{FollowerHandle, Join, LeaderToken, Singleflight, Waited};
 pub use hist::LatencyHistogram;
-pub use http::{parse_request, read_request, Request, Response};
+pub use http::{
+    parse_request, parse_request_limited, read_request, ParseOutcome, Request, Response, MAX_BODY,
+    STREAM_MAX_BODY,
+};
 pub use metrics::ServeMetrics;
 pub use pool::{BoundedQueue, Pushed};
-pub use router::{route, ApiCall, Route};
+pub use router::{body_limit, route, ApiCall, Route, StreamOp};
 pub use server::{start, start_with_cache, ApiBody, Backend, ServeConfig, ServerHandle};

@@ -50,6 +50,26 @@ pub struct ServeMetrics {
     /// idle-poll elimination, observable: an idle daemon accrues ~2/s
     /// here where the old accept loop burned ~2000/s.
     pub eventloop_wakeups: AtomicU64,
+    /// Requests rejected 413 from the head alone (declared body over
+    /// the route's limit — the body was never buffered).
+    pub body_rejected: AtomicU64,
+    /// Streaming sessions opened.
+    pub stream_sessions: AtomicU64,
+    /// Streaming sessions swept by TTL expiry.
+    pub stream_sessions_expired: AtomicU64,
+    /// Gauge: streaming sessions currently live.
+    pub stream_sessions_open: AtomicU64,
+    /// Trace chunks accepted into a session.
+    pub stream_chunks: AtomicU64,
+    /// Accesses ingested across all sessions.
+    pub stream_accesses: AtomicU64,
+    /// Chunk payload bytes accepted across all sessions.
+    pub stream_bytes: AtomicU64,
+    /// Streaming operations refused with a typed 4xx (budget breach,
+    /// unknown session, malformed chunk, ...).
+    pub stream_rejected: AtomicU64,
+    /// Curve snapshots rendered (live or final).
+    pub stream_snapshots: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -106,6 +126,15 @@ impl ServeMetrics {
             ("serve/keepalive_reuses", &self.keepalive_reuses),
             ("serve/pipelined_batches", &self.pipelined_batches),
             ("serve/eventloop_wakeups", &self.eventloop_wakeups),
+            ("serve/body_rejected", &self.body_rejected),
+            ("stream/sessions_opened", &self.stream_sessions),
+            ("stream/sessions_expired", &self.stream_sessions_expired),
+            ("stream/sessions_open", &self.stream_sessions_open),
+            ("stream/chunks", &self.stream_chunks),
+            ("stream/accesses", &self.stream_accesses),
+            ("stream/bytes_in", &self.stream_bytes),
+            ("stream/rejected", &self.stream_rejected),
+            ("stream/snapshots", &self.stream_snapshots),
         ] {
             reg.add(path, counter.load(Ordering::Relaxed));
         }

@@ -9,7 +9,7 @@
 //! its `fxhash64` is the shared cache/singleflight key — the same
 //! content-addressing discipline `tcor-runner` uses for artifacts.
 
-use crate::http::{Request, Response};
+use crate::http::{Request, Response, MAX_BODY, STREAM_MAX_BODY};
 use tcor_common::fxhash64;
 
 /// Where a request goes.
@@ -23,6 +23,52 @@ pub enum Route {
     Shutdown,
     /// Simulator work, keyed and coalesced.
     Api(ApiCall),
+    /// Streaming profile session operation (stateful — never cached
+    /// or coalesced).
+    Stream(StreamOp),
+}
+
+/// One streaming-plane operation, addressed by session id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamOp {
+    /// `POST /v1/stream` — open a session; body carries parameters.
+    Open {
+        /// Raw `key=value` parameter body.
+        params: String,
+    },
+    /// `POST /v1/stream/{id}/chunk` — ingest one trace chunk.
+    Chunk {
+        /// Session id.
+        id: String,
+        /// Chunk payload in the `tcor-workloads` chunk line format.
+        body: String,
+    },
+    /// `GET /v1/stream/{id}/curve[?policy=opt|lru]` — live snapshot.
+    Curve {
+        /// Session id.
+        id: String,
+        /// Optional single-policy selection.
+        policy: Option<String>,
+    },
+    /// `POST /v1/stream/{id}/finish[?policy=opt|lru]` — finalize.
+    Finish {
+        /// Session id.
+        id: String,
+        /// Optional single-policy selection.
+        policy: Option<String>,
+    },
+}
+
+impl StreamOp {
+    /// Endpoint label for metrics/telemetry.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            StreamOp::Open { .. } => "/v1/stream",
+            StreamOp::Chunk { .. } => "/v1/stream/chunk",
+            StreamOp::Curve { .. } => "/v1/stream/curve",
+            StreamOp::Finish { .. } => "/v1/stream/finish",
+        }
+    }
 }
 
 /// One canonical unit of simulator work.
@@ -112,11 +158,44 @@ fn parse_params(body: &str) -> Result<Vec<(String, String)>, Response> {
     Ok(params)
 }
 
+/// Parses an optional `policy=...` query (the only query any route
+/// accepts; anything else fails loudly instead of being ignored).
+fn policy_param(query: Option<&str>) -> Result<Option<String>, Response> {
+    let Some(query) = query.filter(|q| !q.is_empty()) else {
+        return Ok(None);
+    };
+    match query.split_once('=') {
+        Some(("policy", value)) if !value.is_empty() && !value.contains('&') => {
+            Ok(Some(value.to_string()))
+        }
+        _ => Err(Response::text(
+            400,
+            format!("bad query `{query}`: expected policy=opt|lru\n"),
+        )),
+    }
+}
+
+/// The request body size this route accepts, decided from the head
+/// alone (before any body bytes are buffered): the streaming chunk
+/// ingest path gets [`STREAM_MAX_BODY`], everything else [`MAX_BODY`].
+pub fn body_limit(method: &str, path: &str) -> usize {
+    let path = path.split('?').next().unwrap_or(path);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["v1", "stream", _, "chunk"] if method == "POST" => STREAM_MAX_BODY,
+        _ => MAX_BODY,
+    }
+}
+
 /// Routes a request, or produces the error response (404 unknown path,
 /// 405 wrong method, 400 malformed run body) to send instead.
 #[allow(clippy::result_large_err)]
 pub fn route(req: &Request) -> Result<Route, Response> {
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (req.path.as_str(), None),
+    };
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let get = req.method == "GET";
     let post = req.method == "POST";
     match segments.as_slice() {
@@ -137,7 +216,28 @@ pub fn route(req: &Request) -> Result<Route, Response> {
         ["v1", "run"] if post => Ok(Route::Api(ApiCall::Run {
             params: parse_params(&req.body)?,
         })),
-        ["health" | "metrics"] | ["admin", "shutdown"] | ["v1", "run"] => Err(Response::text(
+        ["v1", "stream"] if post => Ok(Route::Stream(StreamOp::Open {
+            params: req.body.clone(),
+        })),
+        ["v1", "stream", id, "chunk"] if post => Ok(Route::Stream(StreamOp::Chunk {
+            id: (*id).to_string(),
+            body: req.body.clone(),
+        })),
+        ["v1", "stream", id, "curve"] if get => Ok(Route::Stream(StreamOp::Curve {
+            id: (*id).to_string(),
+            policy: policy_param(query)?,
+        })),
+        ["v1", "stream", id, "finish"] if post => Ok(Route::Stream(StreamOp::Finish {
+            id: (*id).to_string(),
+            policy: policy_param(query)?,
+        })),
+        ["health" | "metrics"] | ["admin", "shutdown"] | ["v1", "run"] | ["v1", "stream"] => {
+            Err(Response::text(
+                405,
+                format!("method {} not allowed on {}\n", req.method, req.path),
+            ))
+        }
+        ["v1", "stream", _, "chunk" | "curve" | "finish"] => Err(Response::text(
             405,
             format!("method {} not allowed on {}\n", req.method, req.path),
         )),
@@ -239,6 +339,75 @@ mod tests {
         assert_eq!(cell.cache_key(), same.cache_key());
         assert_ne!(cell.cache_key(), other.cache_key());
         assert_eq!(cell.endpoint(), "/v1/cell");
+    }
+
+    #[test]
+    fn routes_the_stream_surface() {
+        assert_eq!(
+            route(&req("POST", "/v1/stream", "label=GTr")),
+            Ok(Route::Stream(StreamOp::Open {
+                params: "label=GTr".into()
+            }))
+        );
+        assert_eq!(
+            route(&req("POST", "/v1/stream/s00000000/chunk", "R1\n")),
+            Ok(Route::Stream(StreamOp::Chunk {
+                id: "s00000000".into(),
+                body: "R1\n".into()
+            }))
+        );
+        assert_eq!(
+            route(&req("GET", "/v1/stream/s0/curve", "")),
+            Ok(Route::Stream(StreamOp::Curve {
+                id: "s0".into(),
+                policy: None
+            }))
+        );
+        assert_eq!(
+            route(&req("GET", "/v1/stream/s0/curve?policy=opt", "")),
+            Ok(Route::Stream(StreamOp::Curve {
+                id: "s0".into(),
+                policy: Some("opt".into())
+            }))
+        );
+        assert_eq!(
+            route(&req("POST", "/v1/stream/s0/finish?policy=lru", "")),
+            Ok(Route::Stream(StreamOp::Finish {
+                id: "s0".into(),
+                policy: Some("lru".into())
+            }))
+        );
+        // Wrong methods and bad queries fail loudly.
+        assert_eq!(
+            route(&req("GET", "/v1/stream", "")).unwrap_err().status,
+            405
+        );
+        assert_eq!(
+            route(&req("GET", "/v1/stream/s0/chunk", ""))
+                .unwrap_err()
+                .status,
+            405
+        );
+        assert_eq!(
+            route(&req("POST", "/v1/stream/s0/curve", ""))
+                .unwrap_err()
+                .status,
+            405
+        );
+        assert_eq!(
+            route(&req("GET", "/v1/stream/s0/curve?bogus=1", ""))
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn body_limit_is_per_route() {
+        assert_eq!(body_limit("POST", "/v1/stream/s0/chunk"), STREAM_MAX_BODY);
+        assert_eq!(body_limit("GET", "/v1/stream/s0/chunk"), MAX_BODY);
+        assert_eq!(body_limit("POST", "/v1/run"), MAX_BODY);
+        assert_eq!(body_limit("POST", "/v1/stream"), MAX_BODY);
     }
 
     #[test]

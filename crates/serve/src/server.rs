@@ -23,7 +23,8 @@ use crate::event::{event_loop, Completion, EventInbox};
 use crate::http::Response;
 use crate::metrics::ServeMetrics;
 use crate::pool::BoundedQueue;
-use crate::router::ApiCall;
+use crate::router::{ApiCall, StreamOp};
+use crate::stream::StreamPlane;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -109,6 +110,8 @@ pub struct ServeConfig {
     pub breaker_threshold: u32,
     /// Disk-breaker cooldown before a half-open probe.
     pub breaker_cooldown: Duration,
+    /// Streaming-session budgets (`--stream-*` flags).
+    pub stream: tcor_stream::StreamConfig,
 }
 
 impl Default for ServeConfig {
@@ -125,12 +128,22 @@ impl Default for ServeConfig {
             cache_disk_bytes: 256 << 20,
             breaker_threshold: breaker.threshold,
             breaker_cooldown: breaker.cooldown,
+            stream: tcor_stream::StreamConfig::default(),
         }
     }
 }
 
 /// Outcome of a flight: the shared body, or the shared failure.
 type FlightOut = Result<Arc<CachedBody>, Arc<TcorError>>;
+
+/// What a queued job runs: cacheable simulator work, or a stateful
+/// streaming-session operation (never cached or coalesced).
+pub(crate) enum Work {
+    /// Canonical simulator call (cache + singleflight path).
+    Api(ApiCall),
+    /// Streaming profile-session operation.
+    Stream(StreamOp),
+}
 
 /// A cold request crossing from the connection plane to the compute
 /// pool. Admission happened when this was pushed (that is where 429s
@@ -141,8 +154,8 @@ pub(crate) struct ComputeJob {
     pub(crate) thread: usize,
     /// Connection id within that thread.
     pub(crate) conn: u64,
-    /// The canonical call to compute.
-    pub(crate) call: ApiCall,
+    /// The work to run.
+    pub(crate) work: Work,
     /// Request path, for the timeline span.
     pub(crate) path: String,
     /// When the request's first byte arrived (deadline anchor).
@@ -158,6 +171,8 @@ pub(crate) struct Shared {
     backend: Arc<dyn Backend>,
     telemetry: Option<Arc<Telemetry>>,
     pub(crate) deadline: Duration,
+    /// The streaming profile plane (sessions, budgets, TTL).
+    pub(crate) stream: StreamPlane,
     spans: Mutex<Vec<RequestSpan>>,
     started: Instant,
     /// One inbox per event thread; workers post completions here.
@@ -395,6 +410,7 @@ pub fn start_with_cache(
         backend,
         telemetry,
         deadline: config.deadline,
+        stream: StreamPlane::new(config.stream),
         spans: Mutex::new(Vec::new()),
         started: Instant::now(),
         inboxes: inboxes.clone(),
@@ -439,7 +455,10 @@ pub fn start_with_cache(
 /// thread in the span timeline after the event threads.
 fn worker_loop(lane: u64, shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        let (response, source) = answer_api(shared, &job.call, job.arrived);
+        let (response, source) = match &job.work {
+            Work::Api(call) => answer_api(shared, call, job.arrived),
+            Work::Stream(op) => answer_stream(shared, op, job.arrived),
+        };
         finish_api(shared, lane, &job.path, job.arrived, &response, source);
         if let Some(inbox) = shared.inboxes.get(job.thread) {
             inbox.complete(Completion {
@@ -526,6 +545,20 @@ fn error_response(e: &TcorError) -> Response {
         _ => 500,
     };
     Response::text(status, format!("{}: {e}\n", e.kind()))
+}
+
+/// The streaming path for a dequeued job: the same dequeue-time
+/// deadline as API work, then the session plane (which contains its
+/// own panics and types every expected failure).
+fn answer_stream(shared: &Shared, op: &StreamOp, arrived: Instant) -> (Response, &'static str) {
+    if arrived.elapsed() >= shared.deadline {
+        ServeMetrics::bump(&shared.metrics.deadline_expired);
+        return (
+            Response::text(504, "deadline expired while queued\n"),
+            "aborted",
+        );
+    }
+    (shared.stream.handle(op, &shared.metrics), "stream")
 }
 
 /// The API request path for a dequeued job: deadline → cache →

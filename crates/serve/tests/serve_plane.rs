@@ -580,3 +580,165 @@ fn pipelined_requests_answer_in_order_on_one_connection() {
     server.stop();
     server.wait();
 }
+
+/// Extracts the session id from an open receipt
+/// (`{"session":"s…",…}`).
+fn stream_session_id(receipt: &str) -> String {
+    receipt.split('"').nth(3).expect("session id").to_string()
+}
+
+/// The full streaming lifecycle over loopback: open, chunked upload,
+/// live snapshot, finish — with the finished curve byte-identical to
+/// the offline profiler and the plane's counters advancing.
+#[test]
+fn stream_session_lifecycle_over_loopback() {
+    let backend = Arc::new(StubBackend::new(Duration::ZERO));
+    let server = tcor_serve::start(config(2, 8, Duration::from_secs(10)), backend, None).unwrap();
+    let addr = server.addr().to_string();
+    let post = |path: &str, body: Option<&str>| {
+        http_request(&addr, "POST", path, body, Duration::from_secs(10)).expect("request")
+    };
+
+    let open = post("/v1/stream", Some("label=GTr"));
+    assert_eq!(open.status, 200);
+    let id = stream_session_id(&open.body);
+    let chunk1 = post(&format!("/v1/stream/{id}/chunk"), Some("R1\nR2\nR3\n"));
+    assert_eq!(chunk1.status, 200);
+    assert!(chunk1.body.contains("\"accesses\":3"), "{}", chunk1.body);
+    // A live snapshot mid-stream is exact for the ingested prefix.
+    let live = get(&addr, &format!("/v1/stream/{id}/curve"));
+    assert_eq!(live.status, 200);
+    assert!(live.body.contains("\"finished\":false"));
+    let chunk2 = post(&format!("/v1/stream/{id}/chunk"), Some("R1\nR2\nR9\n"));
+    assert_eq!(chunk2.status, 200);
+    let done = post(&format!("/v1/stream/{id}/finish?policy=opt"), None);
+    assert_eq!(done.status, 200);
+
+    // Byte parity with the whole-trace profiler, same encoder.
+    use tcor_cache::profile::OptStackProfiler;
+    use tcor_cache::{annotate_next_use, Access};
+    let trace: Vec<Access> = [1u64, 2, 3, 1, 2, 9]
+        .iter()
+        .map(|&b| Access::read(tcor_common::BlockAddr(b)))
+        .collect();
+    let opt = OptStackProfiler::profile(&trace, &annotate_next_use(&trace));
+    let grid = tcor_stream::default_grid();
+    let curve: Vec<f64> = grid
+        .caps
+        .iter()
+        .map(|&c| tcor_stream::miss_ratio(opt.misses_at(c), trace.len() as u64))
+        .collect();
+    let want = tcor_stream::misscurve_json("GTr", "opt", &grid.size_kb, &curve).render() + "\n";
+    assert_eq!(done.body, want, "streamed != whole-trace bytes");
+
+    let metrics = server.metrics_text();
+    assert_eq!(metric(&metrics, "stream/sessions_opened"), 1);
+    assert_eq!(metric(&metrics, "stream/chunks"), 2);
+    assert_eq!(metric(&metrics, "stream/accesses"), 6);
+    assert_eq!(metric(&metrics, "stream/snapshots"), 2);
+    assert_eq!(metric(&metrics, "stream/rejected"), 0);
+    server.stop();
+    server.wait();
+}
+
+/// Typed stream failures cross the wire as their 4xx statuses — and
+/// the daemon survives all of them.
+#[test]
+fn stream_failures_are_typed_4xx_never_5xx() {
+    let mut cfg = config(2, 8, Duration::from_secs(10));
+    cfg.stream.max_sessions = 1;
+    cfg.stream.session_bytes = 64;
+    let backend = Arc::new(StubBackend::new(Duration::ZERO));
+    let server = tcor_serve::start(cfg, backend, None).unwrap();
+    let addr = server.addr().to_string();
+    let post = |path: &str, body: Option<&str>| {
+        http_request(&addr, "POST", path, body, Duration::from_secs(10)).expect("request")
+    };
+
+    // Unknown session -> 404.
+    assert_eq!(post("/v1/stream/s99/chunk", Some("R1\n")).status, 404);
+    let open = post("/v1/stream", None);
+    assert_eq!(open.status, 200);
+    let id = stream_session_id(&open.body);
+    // Sessions full -> 429.
+    assert_eq!(post("/v1/stream", None).status, 429);
+    // Malformed chunk -> 400, session intact.
+    assert_eq!(
+        post(&format!("/v1/stream/{id}/chunk"), Some("zap!\n")).status,
+        400
+    );
+    assert_eq!(
+        post(&format!("/v1/stream/{id}/chunk"), Some("R1\n")).status,
+        200
+    );
+    // Byte budget -> 413, session still intact.
+    let big = "R1\n".repeat(32);
+    assert_eq!(
+        post(&format!("/v1/stream/{id}/chunk"), Some(&big)).status,
+        413
+    );
+    // Chunk after finish -> 409.
+    assert_eq!(post(&format!("/v1/stream/{id}/finish"), None).status, 200);
+    assert_eq!(
+        post(&format!("/v1/stream/{id}/chunk"), Some("R2\n")).status,
+        409
+    );
+    // Bad method on a stream route -> 405.
+    assert_eq!(get(&addr, &format!("/v1/stream/{id}/chunk")).status, 405);
+
+    let metrics = server.metrics_text();
+    assert_eq!(metric(&metrics, "stream/rejected"), 5);
+    assert_eq!(metric(&metrics, "serve/errors"), 0, "no 5xx anywhere");
+    server.stop();
+    server.wait();
+}
+
+/// Bodies over a route's limit are refused 413 from the head alone —
+/// the daemon answers before (and without) buffering the body.
+#[test]
+fn oversize_bodies_are_rejected_from_the_head() {
+    use std::io::{Read, Write};
+    let backend = Arc::new(StubBackend::new(Duration::ZERO));
+    let server = tcor_serve::start(config(2, 8, Duration::from_secs(5)), backend, None).unwrap();
+    let addr = server.addr().to_string();
+    for (path, declared) in [
+        ("/v1/stream/s0/chunk", 4 * 1024 * 1024), // over the 1 MiB stream cap
+        ("/v1/run", 128 * 1024),                  // over the 64 KiB API cap
+    ] {
+        let mut sock = std::net::TcpStream::connect(&addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Head only — a server waiting for the body would hang here.
+        sock.write_all(
+            format!("POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {declared}\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap();
+        let mut reply = String::new();
+        sock.read_to_string(&mut reply).unwrap();
+        assert!(
+            reply.starts_with("HTTP/1.1 413 "),
+            "{path}: wanted 413, got {}",
+            reply.lines().next().unwrap_or("<empty>")
+        );
+        assert!(reply.contains("Connection: close"), "poisoned conns close");
+    }
+    // An admitted stream chunk *under* the cap still works even though
+    // it exceeds the API-route cap.
+    let open = http_request(&addr, "POST", "/v1/stream", None, Duration::from_secs(10)).unwrap();
+    let id = stream_session_id(&open.body);
+    let big = "R1\nR2\n".repeat(20_000); // ~120 KiB > 64 KiB API cap
+    let reply = http_request(
+        &addr,
+        "POST",
+        &format!("/v1/stream/{id}/chunk"),
+        Some(&big),
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200, "under-cap stream chunk admitted");
+    let metrics = server.metrics_text();
+    assert_eq!(metric(&metrics, "serve/body_rejected"), 2);
+    server.stop();
+    server.wait();
+}

@@ -34,6 +34,7 @@ pub mod output;
 pub mod report_json;
 pub mod scaling;
 pub mod serve_backend;
+pub mod streamcli;
 pub mod suite;
 pub mod sweep;
 pub mod tables;

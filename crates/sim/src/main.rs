@@ -92,7 +92,17 @@ fn usage() {
          [--deadline-ms MS] [--cache-dir DIR] [--cache-disk-bytes B] \
          [--telemetry FILE] [--serve-trace FILE] [--port-file FILE] \
          [--breaker-threshold N] [--breaker-cooldown-ms MS] \
-         [--fault-seed S] [--fault-spec SPEC]"
+         [--fault-seed S] [--fault-spec SPEC] \
+         [--stream-sessions N] [--stream-session-bytes B] [--stream-session-blocks K] \
+         [--stream-ttl-secs S]"
+    );
+    eprintln!(
+        "       tcor-sim stream <addr> (--workload ALIAS | --trace-csv FILE | --probe-oversize) \
+         [--label L] [--policy opt|lru] [--chunk-accesses N]  chunked trace upload -> final curve"
+    );
+    eprintln!(
+        "       tcor-sim bench-stream [FILE] [--smoke] [--seed S]  streaming ingest + live \
+         snapshot timings -> FILE"
     );
     eprintln!(
         "       tcor-sim cell <alias> <config> [--cache-dir DIR]  print one cell report as JSON"
@@ -518,6 +528,22 @@ fn serve_cmd(args: &[String]) -> ExitCode {
                 Err(_) => return bad("an integer seed"),
             },
             "--fault-spec" => fault_spec = Some(value.clone()),
+            "--stream-sessions" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.stream.max_sessions = n,
+                _ => return bad("a positive integer"),
+            },
+            "--stream-session-bytes" => match value.parse::<u64>() {
+                Ok(n) if n >= 1 => cfg.stream.session_bytes = n,
+                _ => return bad("a positive byte count"),
+            },
+            "--stream-session-blocks" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.stream.session_blocks = n,
+                _ => return bad("a positive integer"),
+            },
+            "--stream-ttl-secs" => match value.parse::<u64>() {
+                Ok(s) if s >= 1 => cfg.stream.ttl = Duration::from_secs(s),
+                _ => return bad("seconds >= 1"),
+            },
             other => {
                 eprintln!("unknown serve flag `{other}`");
                 usage();
@@ -1067,6 +1093,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench-load") {
         return tcor_sim::loadgen::bench_load_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench-stream") {
+        return tcor_sim::streamcli::bench_stream_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("stream") {
+        return tcor_sim::streamcli::stream_cmd(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("serve") {
         return serve_cmd(&args[1..]);

@@ -64,19 +64,11 @@ pub fn frame_report_json(workload: &str, config: &str, report: &FrameReport) -> 
 }
 
 /// Encodes one miss curve as parallel `size_kb` / `miss_ratio` arrays.
+/// Delegates to the shared encoder in `tcor-stream` so the offline
+/// misscurve goldens and the streaming plane's finished curves are
+/// byte-identical by construction, not by convention.
 pub fn misscurve_json(workload: &str, policy: &str, sizes: &[usize], curve: &[f64]) -> Json {
-    Json::obj([
-        ("workload", Json::str(workload)),
-        ("policy", Json::str(policy)),
-        (
-            "size_kb",
-            Json::Arr(sizes.iter().map(|&s| Json::UInt(s as u64)).collect()),
-        ),
-        (
-            "miss_ratio",
-            Json::Arr(curve.iter().map(|&m| Json::Float(m)).collect()),
-        ),
-    ])
+    tcor_stream::misscurve_json(workload, policy, sizes, curve)
 }
 
 #[cfg(test)]

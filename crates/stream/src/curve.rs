@@ -1,0 +1,104 @@
+//! Miss-curve rendering shared by the streaming sessions and the
+//! offline `misscurves` engine.
+//!
+//! The CI byte-identity guarantee ("a finished stream session renders
+//! the same bytes as `GET /v1/misscurve/{workload}/{policy}`") holds
+//! because both planes call [`misscurve_json`] *here* with the same
+//! capacity grid ([`default_grid`]) and the same ratio expression
+//! (`misses as f64 / total as f64`).
+
+use tcor_runner::Json;
+use tcor_workloads::prims_capacity;
+
+/// Capacity grids larger than this are rejected at session open — a
+/// hostile `grid` parameter must not turn every snapshot into a
+/// thousand-point scan.
+pub const MAX_GRID_POINTS: usize = 512;
+
+/// A capacity grid: tile-cache sizes in KB paired with the
+/// primitive-entry capacities the profilers are queried at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapacityGrid {
+    /// Cache sizes in KB (the published x-axis).
+    pub size_kb: Vec<usize>,
+    /// Fully-associative capacities in primitive entries, one per size.
+    pub caps: Vec<usize>,
+}
+
+impl CapacityGrid {
+    /// The grid for an inclusive KB range with a step.
+    pub fn from_range(from_kb: usize, to_kb: usize, step_kb: usize) -> Self {
+        let size_kb: Vec<usize> = (from_kb..=to_kb).step_by(step_kb).collect();
+        let caps = size_kb
+            .iter()
+            .map(|kb| prims_capacity(*kb as u64 * 1024))
+            .collect();
+        CapacityGrid { size_kb, caps }
+    }
+}
+
+/// The Fig.-1 serving grid: 8–152 KB in 8 KB steps — identical to the
+/// offline `workload_curve` grid, so streamed and offline curves are
+/// comparable (and, for the same trace, byte-identical).
+pub fn default_grid() -> CapacityGrid {
+    CapacityGrid::from_range(8, 152, 8)
+}
+
+/// Encodes one miss curve as parallel `size_kb` / `miss_ratio` arrays.
+/// This is the single wire encoding for miss curves; the offline plane
+/// (`tcor-sim`) re-exports it.
+pub fn misscurve_json(workload: &str, policy: &str, sizes: &[usize], curve: &[f64]) -> Json {
+    Json::obj([
+        ("workload", Json::str(workload)),
+        ("policy", Json::str(policy)),
+        (
+            "size_kb",
+            Json::Arr(sizes.iter().map(|&s| Json::UInt(s as u64)).collect()),
+        ),
+        (
+            "miss_ratio",
+            Json::Arr(curve.iter().map(|&m| Json::Float(m)).collect()),
+        ),
+    ])
+}
+
+/// The offline engines' ratio expression, guarded for the one case
+/// they never see: an empty (zero-access) session profiles to 0.0.
+pub fn miss_ratio(misses: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        misses as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misscurve_json_pins_the_wire_bytes() {
+        let doc = misscurve_json("GTr", "lru", &[8, 16], &[0.5, 0.25]);
+        assert_eq!(
+            doc.render(),
+            "{\"workload\":\"GTr\",\"policy\":\"lru\",\"size_kb\":[8,16],\
+             \"miss_ratio\":[0.5,0.25]}"
+        );
+    }
+
+    #[test]
+    fn default_grid_matches_fig1() {
+        let g = default_grid();
+        assert_eq!(g.size_kb.first(), Some(&8));
+        assert_eq!(g.size_kb.last(), Some(&152));
+        assert_eq!(g.size_kb.len(), 19);
+        assert_eq!(g.caps.len(), g.size_kb.len());
+        assert_eq!(g.caps[0], prims_capacity(8 * 1024));
+    }
+
+    #[test]
+    fn miss_ratio_guards_empty() {
+        assert_eq!(miss_ratio(0, 0), 0.0);
+        assert_eq!(miss_ratio(1, 2), 0.5);
+    }
+}

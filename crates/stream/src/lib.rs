@@ -1,0 +1,33 @@
+//! # tcor-stream
+//!
+//! Session-based streaming trace ingestion + online miss-curve
+//! profiling: the subsystem that turns the daemon's ten canned
+//! benchmarks into "profile *any* access stream, live".
+//!
+//! A client opens a [`SessionRegistry`] session, uploads trace chunks
+//! in the compact [`tcor_workloads::chunk`] line format, polls exact
+//! OPT/LRU miss curves for the prefix ingested so far, and finalizes
+//! for the whole stream. Exactness comes from
+//! [`tcor_cache::profile::StreamingProfiler`]'s forward next-use
+//! resolution; boundedness from its run-compaction plus this crate's
+//! per-session byte/block budgets and TTL sweeps (see [`session`]).
+//!
+//! The crate is HTTP-free: `tcor-serve` maps sessions onto routes, and
+//! `tcor-sim` reuses [`misscurve_json`] so streamed and offline curves
+//! are byte-identical for identical traces.
+//!
+//! ```
+//! use std::time::Instant;
+//! use tcor_stream::{SessionRegistry, StreamConfig};
+//!
+//! let reg = SessionRegistry::new(StreamConfig::default());
+//! let now = Instant::now();
+//! let receipt = reg.open("label=GTr", now).unwrap();
+//! assert!(receipt.contains("\"session\":\"s00000000\""));
+//! ```
+
+pub mod curve;
+pub mod session;
+
+pub use curve::{default_grid, miss_ratio, misscurve_json, CapacityGrid, MAX_GRID_POINTS};
+pub use session::{ChunkReceipt, SessionRegistry, StreamConfig, StreamError};

@@ -20,10 +20,12 @@
 //! assert!(!scene.is_empty());
 //! ```
 
+pub mod chunk;
 pub mod profile;
 pub mod synth;
 pub mod trace;
 
+pub use chunk::{decode_chunk, encode_chunk, ChunkDecoder};
 pub use profile::{suite, BenchmarkProfile};
 pub use synth::{generate_scene, Animation, CalibratedScene};
 pub use trace::{primitive_trace, prims_capacity, AVG_ATTR_BYTES};

@@ -1,0 +1,168 @@
+//! Decoder-totality fuzzing for the streaming chunk format.
+//!
+//! [`ChunkDecoder`] sits on the daemon's upload boundary: every byte
+//! sequence a client can send must come back as `Ok` or a typed
+//! serve-class error — never a panic, never an unbounded carry. The
+//! fuzz is seeded (Xoshiro, fixed seed) so a failure reproduces
+//! exactly; the corpus is structured mutations of valid chunks (which
+//! land near the parser's edge cases) plus fully random buffers, plus
+//! a split-anywhere pass proving the incremental path total at every
+//! possible chunk boundary.
+
+use tcor_common::{ErrorKind, Xoshiro256pp};
+use tcor_workloads::{decode_chunk, ChunkDecoder};
+
+/// Valid chunks covering every shape the decoder accepts: reads,
+/// writes, blank lines, CRLF, an unterminated final line.
+const VALID: &[&str] = &[
+    "R1\nR2\nR3\n",
+    "Rdeadbeef\nW0\nRffffffffffffffff\n",
+    "R1\r\n\r\nW2\r\n",
+    "\n\nR7\n",
+    "R1\nW2",
+];
+
+/// One seeded mutation pass: 1–4 edits, each a truncation, bit flip,
+/// byte insertion, or byte removal at a random offset.
+fn mutate(rng: &mut Xoshiro256pp, base: &[u8]) -> Vec<u8> {
+    let mut buf = base.to_vec();
+    let edits = 1 + rng.random_range(0..4u64) as usize;
+    for _ in 0..edits {
+        match rng.random_range(0..4u64) {
+            0 if !buf.is_empty() => {
+                let at = rng.random_range(0..buf.len() as u64) as usize;
+                buf.truncate(at);
+            }
+            1 if !buf.is_empty() => {
+                let at = rng.random_range(0..buf.len() as u64) as usize;
+                buf[at] ^= 1 << rng.random_range(0..8u64);
+            }
+            2 => {
+                let at = rng.random_range(0..buf.len() as u64 + 1) as usize;
+                buf.insert(at, rng.random_range(0..256u64) as u8);
+            }
+            _ if !buf.is_empty() => {
+                let at = rng.random_range(0..buf.len() as u64) as usize;
+                buf.remove(at);
+            }
+            _ => {}
+        }
+    }
+    buf
+}
+
+/// Runs one buffer through the full decoder lifecycle (feed + finish)
+/// and asserts any failure is serve-class.
+fn decode_total(buf: &[u8]) -> bool {
+    let Ok(text) = std::str::from_utf8(buf) else {
+        // The HTTP layer hands the decoder `&str`; non-UTF-8 never
+        // reaches it.
+        return false;
+    };
+    let mut dec = ChunkDecoder::new();
+    let fed = match dec.feed(text) {
+        Ok(t) => t,
+        Err(e) => {
+            assert_eq!(
+                e.kind(),
+                ErrorKind::Serve,
+                "decode failures must be serve-class: {e}"
+            );
+            return false;
+        }
+    };
+    match dec.finish() {
+        Ok(tail) => {
+            // Cross-check against the one-shot decoder.
+            let whole = decode_chunk(text).expect("feed+finish ok but one-shot failed");
+            let mut streamed = fed;
+            streamed.extend(tail);
+            assert_eq!(streamed, whole, "incremental and one-shot decode differ");
+            true
+        }
+        Err(e) => {
+            assert_eq!(e.kind(), ErrorKind::Serve);
+            false
+        }
+    }
+}
+
+#[test]
+fn the_valid_corpus_decodes_clean() {
+    for chunk in VALID {
+        assert!(
+            decode_total(chunk.as_bytes()),
+            "valid chunk refused: {chunk:?}"
+        );
+    }
+}
+
+#[test]
+fn mutated_chunks_never_panic_and_fail_typed() {
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
+    let (mut ok, mut err) = (0u64, 0u64);
+    for round in 0..2000 {
+        let base = VALID[round % VALID.len()].as_bytes();
+        let fuzzed = mutate(&mut rng, base);
+        if decode_total(&fuzzed) {
+            ok += 1;
+        } else {
+            err += 1;
+        }
+    }
+    // Mutations near valid chunks must actually exercise the error
+    // paths — and some flips (hex digit to hex digit) should survive.
+    assert!(err > 0, "no mutation reached an error path");
+    assert!(ok > 0, "no mutation survived decoding (corpus too fragile)");
+}
+
+#[test]
+fn random_buffers_never_panic() {
+    let mut rng = Xoshiro256pp::seed_from_u64(4242);
+    for _ in 0..2000 {
+        let len = rng.random_range(0..256u64) as usize;
+        let buf: Vec<u8> = (0..len)
+            .map(|_| rng.random_range(0..256u64) as u8)
+            .collect();
+        decode_total(&buf);
+    }
+}
+
+#[test]
+fn split_anywhere_decodes_like_the_whole() {
+    // Feeding a valid stream split at EVERY byte boundary must agree
+    // with the one-shot decode — the carry is a transport detail.
+    let stream = "R1\nRdeadbeef\r\n\nW2\nR3\nWabc\n";
+    let whole = decode_chunk(stream).unwrap();
+    for cut in 0..=stream.len() {
+        if !stream.is_char_boundary(cut) {
+            continue;
+        }
+        let mut dec = ChunkDecoder::new();
+        let mut got = dec.feed(&stream[..cut]).unwrap();
+        got.extend(dec.feed(&stream[cut..]).unwrap());
+        got.extend(dec.finish().unwrap());
+        assert_eq!(got, whole, "split at byte {cut} diverged");
+    }
+}
+
+#[test]
+fn adversarial_inputs_hit_the_declared_limits() {
+    // A line that never ends must be refused at the carry bound, not
+    // buffered forever.
+    let endless = "R".repeat(1 << 16);
+    let mut dec = ChunkDecoder::new();
+    let err = dec.feed(&endless).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Serve);
+    // Fed one byte at a time, the bound still holds (the carry is what
+    // grows).
+    let mut dec = ChunkDecoder::new();
+    let mut refused = false;
+    for c in endless.chars().take(256) {
+        if dec.feed(&c.to_string()).is_err() {
+            refused = true;
+            break;
+        }
+    }
+    assert!(refused, "unterminated line grew past the carry bound");
+}
